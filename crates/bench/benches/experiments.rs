@@ -1,0 +1,34 @@
+//! One criterion bench per regenerated table/figure: each bench runs the
+//! pipeline that produces that artifact at smoke scale, so `cargo bench`
+//! both times the experiments and proves they still run.
+//!
+//! The shared context is created once — dataset-backed experiments
+//! (table1, headline, fig3/4/6/10) amortize the generation cost exactly as
+//! the `repro` binary does.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hsm_bench::{Ctx, Scale, EXPERIMENTS};
+use std::time::Duration;
+
+fn bench_experiments(c: &mut Criterion) {
+    let ctx = Ctx::new(Scale::Smoke);
+    // Pre-build the cached datasets so the first dataset-backed bench
+    // doesn't pay for generation inside its measurement.
+    let _ = ctx.high_speed();
+    let _ = ctx.stationary();
+
+    let mut group = c.benchmark_group("experiments");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for e in EXPERIMENTS {
+        group.bench_function(e.id, |b| {
+            b.iter_with_large_drop(|| (e.run)(&ctx));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Kernel benches: the hot paths under every experiment — the event
+//! engine, a full TCP flow, the trace analyses and the analytic models.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// Short measurement windows keep `cargo bench` tractable: the slow
+/// benches here simulate seconds of TCP per iteration.
+fn tune(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("kernels");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    g
+}
+use hsm_core::enhanced::EnhancedModel;
+use hsm_core::params::ModelParams;
+use hsm_core::padhye;
+use hsm_scenario::runner::{run_scenario, Motion, ScenarioConfig};
+use hsm_simnet::loss::{GilbertElliott, LossModel};
+use hsm_simnet::prelude::*;
+use hsm_trace::analysis::timeout::TimeoutConfig;
+use hsm_trace::summary::analyze_flow;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut c = tune(c);
+    c.bench_function("engine/10k_packet_events", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(1);
+            let sink = eng.add_agent(Box::new(NullAgent::new()));
+            let link = eng.add_link(LinkSpec::new(sink, "wire"));
+            for seq in 0..10_000u64 {
+                eng.inject(link, Packet::data(FlowId(0), SeqNo(seq), false));
+            }
+            eng.run_until_idle();
+            black_box(eng.events_processed())
+        });
+    });
+}
+
+fn bench_tcp_flow(c: &mut Criterion) {
+    let mut c = tune(c);
+    c.bench_function("tcp/stationary_flow_10s", |b| {
+        b.iter(|| {
+            let out = run_scenario(&ScenarioConfig {
+                motion: Motion::Stationary,
+                duration: SimDuration::from_secs(10),
+                seed: 7,
+                ..Default::default()
+            });
+            black_box(out.summary().throughput_sps)
+        });
+    });
+    c.bench_function("tcp/high_speed_flow_10s", |b| {
+        b.iter(|| {
+            let out = run_scenario(&ScenarioConfig {
+                duration: SimDuration::from_secs(10),
+                seed: 7,
+                ..Default::default()
+            });
+            black_box(out.summary().timeouts)
+        });
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let out = run_scenario(&ScenarioConfig {
+        duration: SimDuration::from_secs(30),
+        seed: 11,
+        ..Default::default()
+    });
+    let trace = out.outcome.trace;
+    let mut c = tune(c);
+    c.bench_function("trace/analyze_flow_30s_trace", |b| {
+        b.iter(|| black_box(analyze_flow(&trace, &TimeoutConfig::default())));
+    });
+}
+
+fn bench_models(c: &mut Criterion) {
+    let params = ModelParams::high_speed_example();
+    let mut c = tune(c);
+    c.bench_function("model/enhanced_eval", |b| {
+        b.iter(|| black_box(EnhancedModel::as_published().throughput(&params).unwrap()));
+    });
+    c.bench_function("model/padhye_full_eval", |b| {
+        b.iter(|| black_box(padhye::full(&params).unwrap()));
+    });
+}
+
+fn bench_loss_models(c: &mut Criterion) {
+    let mut c = tune(c);
+    c.bench_function("loss/gilbert_elliott_100k", |b| {
+        b.iter(|| {
+            let mut ge = GilbertElliott::new(0.001, 0.5, 0.01, 0.2);
+            let mut rng = SimRng::seed_from_u64(3);
+            let mut lost = 0u32;
+            for _ in 0..100_000 {
+                if ge.is_lost(SimTime::ZERO, &mut rng) {
+                    lost += 1;
+                }
+            }
+            black_box(lost)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_tcp_flow,
+    bench_analysis,
+    bench_models,
+    bench_loss_models
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro                  # list experiments
+//! repro all              # run everything (standard scale)
+//! repro fig10 fig12      # run a subset
+//! repro all --full       # full 255-flow scale (minutes)
+//! repro all --smoke      # fastest sanity pass
+//! repro fig3 --csv out/  # export each table as CSV too
+//! ```
+
+use hsm_bench::{Ctx, Scale, EXPERIMENTS};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() {
+    println!("usage: repro [all | <id>...] [--smoke | --full] [--csv DIR]\n");
+    println!("experiments:");
+    for e in EXPERIMENTS {
+        println!("  {:10} {}", e.id, e.about);
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale::Standard;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => scale = Scale::Smoke,
+            "--full" => scale = Scale::Full,
+            "--csv" => match iter.next() {
+                Some(dir) => csv_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--csv needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_owned()),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+        return ExitCode::SUCCESS;
+    }
+
+    let run_all = ids.iter().any(|i| i == "all");
+    let selected: Vec<_> = if run_all {
+        EXPERIMENTS.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for id in &ids {
+            match hsm_bench::find(id) {
+                Some(e) => sel.push(e),
+                None => {
+                    eprintln!("unknown experiment `{id}` (try --help)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        sel
+    };
+
+    let ctx = Ctx::new(scale);
+    for e in selected {
+        let result = (e.run)(&ctx);
+        println!("{}", result.to_text());
+        if let Some(dir) = &csv_dir {
+            if let Err(err) = result.save_csv(dir) {
+                eprintln!("failed to write CSVs for {}: {err}", result.id);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,80 @@
+//! Table III — the distribution of the number of rounds in a CA phase,
+//! analytic vs Monte Carlo.
+
+use crate::context::Ctx;
+use crate::report::ExperimentResult;
+use hsm_core::enhanced::{e_x, round_distribution};
+use hsm_core::padhye::x_p;
+use hsm_simnet::rng::SimRng;
+use hsm_trace::export::{fnum, Table};
+
+/// Simulates the CA-phase round process: each round ends the phase with
+/// probability `p_a` (ACK burst loss); reaching round `x_p + 1` ends it by
+/// data loss.
+fn monte_carlo(p_a: f64, xp: u32, trials: u32, rng: &mut SimRng) -> Vec<f64> {
+    let mut counts = vec![0u32; xp as usize + 1];
+    for _ in 0..trials {
+        let mut rounds = xp + 1;
+        for k in 1..=xp {
+            if rng.chance(p_a) {
+                rounds = k;
+                break;
+            }
+        }
+        counts[(rounds - 1) as usize] += 1;
+    }
+    counts.iter().map(|&c| f64::from(c) / f64::from(trials)).collect()
+}
+
+/// Regenerates Table III for a representative high-speed parameterization
+/// and cross-checks the analytic distribution against simulation.
+pub fn run(ctx: &Ctx) -> ExperimentResult {
+    let p_a = 0.05;
+    let p_d = 0.0075;
+    let b = 2.0;
+    let xp = x_p(p_d, b);
+    let dist = round_distribution(p_a, xp);
+    let trials = match ctx.scale {
+        crate::context::Scale::Smoke => 20_000,
+        _ => 200_000,
+    };
+    let mut rng = SimRng::seed_from_u64(42);
+    let mc = monte_carlo(p_a, xp.round() as u32, trials, &mut rng);
+
+    let mut t = Table::new(
+        format!("Table III — P(X = k), P_a = {p_a}, X_P = {:.1}", xp),
+        &["k (rounds)", "analytic", "monte-carlo"],
+    );
+    let mut max_err = 0.0_f64;
+    for (row, mc_p) in dist.iter().zip(&mc) {
+        max_err = max_err.max((row.probability - mc_p).abs());
+        t.push_row(vec![row.rounds.to_string(), fnum(row.probability), fnum(*mc_p)]);
+    }
+    let analytic_mean = e_x(p_a, xp);
+    let mc_mean: f64 = mc.iter().enumerate().map(|(i, p)| (i + 1) as f64 * p).sum();
+
+    ExperimentResult::new("table3", "Rounds in a CA phase (Table III)")
+        .with_table(t)
+        .note(format!("E[X]: analytic (Eq. 2) = {analytic_mean:.4}, monte-carlo = {mc_mean:.4}"))
+        .note(format!("max per-row deviation = {max_err:.4}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn analytic_matches_monte_carlo() {
+        let r = run(&Ctx::new(Scale::Smoke));
+        assert!(!r.tables[0].is_empty());
+        // Parse the E[X] note and require close agreement.
+        let note = &r.notes[0];
+        let nums: Vec<f64> = note
+            .split(|c: char| !c.is_ascii_digit() && c != '.')
+            .filter_map(|s| s.parse().ok())
+            .collect();
+        let (analytic, mc) = (nums[1], nums[2]);
+        assert!((analytic - mc).abs() / analytic < 0.05, "{note}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Parallel repetition helper.
+//!
+//! Repetition-based experiments (Fig. 12, the extension ablations) average
+//! over many independent simulated rides; this fans the rides out over CPU
+//! cores, preserving determinism (each ride is a pure function of its
+//! index).
+
+/// Maps `f` over `0..n` in parallel, returning results in index order.
+pub fn par_map<T: Send>(n: u64, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
+    let workers = std::thread::available_parallelism()
+        .map(|w| w.get())
+        .unwrap_or(4)
+        .min(n.max(1) as usize);
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded();
+    crossbeam::thread::scope(|scope| {
+        let f = &f;
+        let next = &next;
+        for _ in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                tx.send((i, f(i))).expect("parallel map channel closed");
+            });
+        }
+        drop(tx);
+    })
+    .expect("parallel map worker panicked");
+    let mut results: Vec<(u64, T)> = rx.into_iter().collect();
+    results.sort_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Parallel mean of `f` over `0..n`; 0.0 when `n == 0`.
+pub fn par_mean(n: u64, f: impl Fn(u64) -> f64 + Sync) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    par_map(n, f).iter().sum::<f64>() / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let out = par_map(100, |i| i * i);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn mean_of_constants() {
+        assert!((par_mean(64, |_| 2.5) - 2.5).abs() < 1e-12);
+        assert_eq!(par_mean(0, |_| 1.0), 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Experiment results: titled tables plus free-form notes, printable and
+//! CSV-exportable.
+
+use hsm_trace::export::Table;
+use std::io;
+use std::path::Path;
+
+/// The outcome of regenerating one table/figure.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentResult {
+    /// Stable experiment id (`"fig10"`, `"table1"`, …).
+    pub id: &'static str,
+    /// Human title (paper caption).
+    pub title: String,
+    /// The regenerated data, one or more tables.
+    pub tables: Vec<Table>,
+    /// Observations, paper-vs-ours commentary.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Creates an empty result.
+    pub fn new(id: &'static str, title: impl Into<String>) -> Self {
+        ExperimentResult { id, title: title.into(), tables: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Adds a table (builder style).
+    pub fn with_table(mut self, table: Table) -> Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Adds a note (builder style).
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders everything as text.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("#### {} — {}\n", self.id, self.title);
+        for t in &self.tables {
+            out.push_str(&t.to_text());
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str("  * ");
+            out.push_str(n);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Saves each table as `<dir>/<id>_<index>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_csv(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for (i, t) in self.tables.iter().enumerate() {
+            let path = dir.join(format!("{}_{}.csv", self.id, i));
+            t.save_csv(&path)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_renders() {
+        let mut t = Table::new("demo", &["a"]);
+        t.push_row(vec!["1".into()]);
+        let r = ExperimentResult::new("figx", "Demo figure")
+            .with_table(t)
+            .note("looks right");
+        let text = r.to_text();
+        assert!(text.contains("figx"));
+        assert!(text.contains("demo"));
+        assert!(text.contains("looks right"));
+    }
+
+    #[test]
+    fn csv_export_writes_files() {
+        let mut t = Table::new("demo", &["a"]);
+        t.push_row(vec!["1".into()]);
+        let r = ExperimentResult::new("figy", "Demo").with_table(t);
+        let dir = std::env::temp_dir().join("hsm_bench_report_test");
+        r.save_csv(&dir).unwrap();
+        assert!(dir.join("figy_0.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,182 @@
+//! Model evaluation: the deviation metric `D` (Eq. 22) and the Fig. 10
+//! comparison between the enhanced model and the Padhye baseline.
+
+use crate::enhanced::EnhancedModel;
+use crate::estimate::{estimate_params, EstimateConfig};
+use crate::padhye;
+use crate::params::ModelParams;
+use hsm_trace::summary::FlowSummary;
+use serde::{Deserialize, Serialize};
+
+/// The absolute deviation rate `D = |TP_model − TP_trace| / TP_trace`
+/// (Eq. 22), as a ratio (0.05 = 5 %).
+///
+/// Returns `f64::INFINITY` for a zero measured throughput.
+pub fn deviation(tp_model: f64, tp_trace: f64) -> f64 {
+    if tp_trace <= 0.0 {
+        f64::INFINITY
+    } else {
+        (tp_model - tp_trace).abs() / tp_trace
+    }
+}
+
+/// Per-flow model comparison (one point of Fig. 10).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowEval {
+    /// Flow id.
+    pub flow: u32,
+    /// Provider label.
+    pub provider: String,
+    /// Measured throughput, segments/s.
+    pub measured_sps: f64,
+    /// Enhanced-model prediction, segments/s.
+    pub enhanced_sps: f64,
+    /// Padhye prediction, segments/s.
+    pub padhye_sps: f64,
+    /// `D` for the enhanced model.
+    pub d_enhanced: f64,
+    /// `D` for the Padhye model.
+    pub d_padhye: f64,
+    /// The fitted parameters (for inspection/export).
+    pub params: ModelParams,
+}
+
+/// Aggregate accuracy report (the Fig. 10 headline numbers).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AccuracyReport {
+    /// Flows evaluated.
+    pub flows: usize,
+    /// Mean `D` of the enhanced model (paper: 5.66 %).
+    pub mean_d_enhanced: f64,
+    /// Mean `D` of the Padhye model (paper: 21.96 %).
+    pub mean_d_padhye: f64,
+}
+
+impl AccuracyReport {
+    /// Accuracy improvement in percentage points (paper: 16.3).
+    pub fn improvement_pp(&self) -> f64 {
+        (self.mean_d_padhye - self.mean_d_enhanced) * 100.0
+    }
+}
+
+/// Evaluates both models against one measured flow.
+///
+/// Returns `None` when the flow has no usable measured throughput.
+pub fn evaluate_flow(summary: &FlowSummary, cfg: &EstimateConfig) -> Option<FlowEval> {
+    if summary.throughput_sps <= 0.0 {
+        return None;
+    }
+    let params = estimate_params(summary, cfg);
+    let enhanced_sps = EnhancedModel::as_published().throughput(&params).ok()?;
+    // The Padhye baseline sees the world through its own assumptions: no
+    // ACK loss, retransmissions lost like ordinary data.
+    let padhye_sps = padhye::full(&params).ok()?;
+    Some(FlowEval {
+        flow: summary.flow,
+        provider: summary.provider.clone(),
+        measured_sps: summary.throughput_sps,
+        enhanced_sps,
+        padhye_sps,
+        d_enhanced: deviation(enhanced_sps, summary.throughput_sps),
+        d_padhye: deviation(padhye_sps, summary.throughput_sps),
+        params,
+    })
+}
+
+/// Evaluates a whole dataset and aggregates the accuracy report.
+pub fn evaluate_dataset(summaries: &[FlowSummary], cfg: &EstimateConfig) -> (Vec<FlowEval>, AccuracyReport) {
+    let evals: Vec<FlowEval> = summaries.iter().filter_map(|s| evaluate_flow(s, cfg)).collect();
+    let finite: Vec<&FlowEval> = evals
+        .iter()
+        .filter(|e| e.d_enhanced.is_finite() && e.d_padhye.is_finite())
+        .collect();
+    let n = finite.len();
+    let report = if n == 0 {
+        AccuracyReport::default()
+    } else {
+        AccuracyReport {
+            flows: n,
+            mean_d_enhanced: finite.iter().map(|e| e.d_enhanced).sum::<f64>() / n as f64,
+            mean_d_padhye: finite.iter().map(|e| e.d_padhye).sum::<f64>() / n as f64,
+        }
+    };
+    (evals, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(flow: u32, tp: f64) -> FlowSummary {
+        FlowSummary {
+            flow,
+            provider: "China Unicom".into(),
+            scenario: "high-speed".into(),
+            rtt_s: 0.065,
+            p_d: 0.0075,
+            data_sent: 40_000,
+            p_a: 0.0066,
+            p_a_burst: 0.02,
+            acks_per_round: 5.0,
+            q_hat: 0.27,
+            timeouts: 10,
+            spurious_timeouts: 5,
+            timeout_sequences: 7,
+            mean_recovery_s: 5.0,
+            t_rto_s: 0.6,
+            loss_indications: 15,
+            fast_retransmissions: 8,
+            w_m: 64,
+            b: 2,
+            throughput_sps: tp,
+            goodput_sps: tp,
+            duration_s: 300.0,
+        }
+    }
+
+    #[test]
+    fn deviation_matches_definition() {
+        assert!((deviation(110.0, 100.0) - 0.1).abs() < 1e-12);
+        assert!((deviation(90.0, 100.0) - 0.1).abs() < 1e-12);
+        assert_eq!(deviation(5.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn evaluate_flow_produces_both_predictions() {
+        let e = evaluate_flow(&summary(3, 150.0), &EstimateConfig::default()).unwrap();
+        assert_eq!(e.flow, 3);
+        assert!(e.enhanced_sps > 0.0);
+        assert!(e.padhye_sps > 0.0);
+        assert!(e.d_enhanced.is_finite());
+        // Under heavy recovery losses the enhanced model predicts less
+        // throughput than Padhye (which ignores q and P_a).
+        assert!(e.enhanced_sps < e.padhye_sps);
+    }
+
+    #[test]
+    fn zero_throughput_flow_skipped() {
+        assert!(evaluate_flow(&summary(0, 0.0), &EstimateConfig::default()).is_none());
+    }
+
+    #[test]
+    fn dataset_aggregation() {
+        // Use each flow's enhanced prediction as its "measured" value for
+        // one of them -> its d_enhanced is 0 and the mean reflects it.
+        let probe = evaluate_flow(&summary(0, 100.0), &EstimateConfig::default()).unwrap();
+        let flows = vec![summary(0, probe.enhanced_sps), summary(1, probe.enhanced_sps * 1.1)];
+        let (evals, report) = evaluate_dataset(&flows, &EstimateConfig::default());
+        assert_eq!(evals.len(), 2);
+        assert_eq!(report.flows, 2);
+        assert!(report.mean_d_enhanced < report.mean_d_padhye);
+        assert!(report.improvement_pp() > 0.0);
+        assert!(evals[0].d_enhanced < 1e-9);
+    }
+
+    #[test]
+    fn empty_dataset_report() {
+        let (evals, report) = evaluate_dataset(&[], &EstimateConfig::default());
+        assert!(evals.is_empty());
+        assert_eq!(report.flows, 0);
+        assert_eq!(report.improvement_pp(), 0.0);
+    }
+}

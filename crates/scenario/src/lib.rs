@@ -1,0 +1,52 @@
+//! # hsm-scenario — Beijing–Tianjin HSR scenarios and dataset generation
+//!
+//! Bridges the substrate crates into the paper's measurement setting:
+//!
+//! * [`btr`] — the Beijing–Tianjin Intercity Railway (120 km, 300 km/h);
+//! * [`provider`] — transport-layer channel profiles for the three ISPs of
+//!   Table I (China Mobile LTE, China Unicom 3G, China Telecom 3G with
+//!   poor corridor coverage);
+//! * [`runner`] — one-call scenario execution: provider + motion + seed →
+//!   simulated flow → trace, analysis, model-ready summary;
+//! * [`dataset`] — the synthetic Table-I dataset (255 flows across four
+//!   campaigns), generated in parallel and fully seed-reproducible;
+//! * [`calibrate`] — the paper's §III headline statistics as calibration
+//!   targets, with paper-vs-measured reporting.
+//!
+//! ```
+//! use hsm_scenario::prelude::*;
+//! use hsm_simnet::time::SimDuration;
+//!
+//! let out = run_scenario(&ScenarioConfig {
+//!     provider: Provider::ChinaUnicom,
+//!     duration: SimDuration::from_secs(10),
+//!     ..Default::default()
+//! });
+//! assert_eq!(out.summary().provider, "China Unicom");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod btr;
+pub mod calibrate;
+pub mod dataset;
+pub mod provider;
+pub mod runner;
+
+/// Convenient glob-import surface: `use hsm_scenario::prelude::*;`.
+pub mod prelude {
+    pub use crate::btr;
+    pub use crate::calibrate::{
+        aggregate, calibration_report, CalibrationRow, DatasetAggregates, PaperTargets, PAPER,
+    };
+    pub use crate::dataset::{
+        generate_dataset, generate_stationary_baseline, plan_dataset, table1_total_flows,
+        CampaignSpec, DatasetConfig, DatasetFlow, TABLE1,
+    };
+    pub use crate::provider::Provider;
+    pub use crate::runner::{
+        run_scenario, Motion, ScenarioConfig, ScenarioOutcome, SCENARIO_HIGH_SPEED,
+        SCENARIO_STATIONARY,
+    };
+}

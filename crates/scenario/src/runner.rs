@@ -1,0 +1,206 @@
+//! One-call scenario runner: provider + motion + seed → simulated flow →
+//! trace, analysis and model-ready summary.
+
+use crate::provider::Provider;
+use hsm_simnet::mobility::Trajectory;
+use hsm_simnet::time::{SimDuration, SimTime};
+use hsm_tcp::connection::{
+    run_connection, ConnectionConfig, ConnectionOutcome, MobilityScenario, PathSpec,
+};
+use hsm_tcp::receiver::ReceiverConfig;
+use hsm_tcp::reno::SenderConfig;
+use hsm_trace::analysis::timeout::TimeoutConfig;
+use hsm_trace::summary::{analyze_flow, FlowAnalysis, FlowSummary};
+use serde::{Deserialize, Serialize};
+
+/// Scenario label used in traces for 300 km/h runs.
+pub const SCENARIO_HIGH_SPEED: &str = "high-speed";
+/// Scenario label used in traces for stationary runs.
+pub const SCENARIO_STATIONARY: &str = "stationary";
+
+/// Whether the phone is on the train or on a desk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Motion {
+    /// Cruising at 300 km/h along the BTR corridor.
+    HighSpeed,
+    /// Not moving; benign channel, no handoffs.
+    Stationary,
+}
+
+impl Motion {
+    /// The trace scenario label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Motion::HighSpeed => SCENARIO_HIGH_SPEED,
+            Motion::Stationary => SCENARIO_STATIONARY,
+        }
+    }
+}
+
+/// Full description of one measured flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// Which ISP carries the flow.
+    pub provider: Provider,
+    /// Moving or stationary.
+    pub motion: Motion,
+    /// Master seed (one flow ↔ one seed).
+    pub seed: u64,
+    /// How long the sender keeps transmitting.
+    pub duration: SimDuration,
+    /// Receiver-advertised window, segments.
+    pub w_m: u32,
+    /// Delayed-ACK factor.
+    pub b: u32,
+    /// Flow id recorded in packets/traces.
+    pub flow: u32,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            provider: Provider::ChinaMobile,
+            motion: Motion::HighSpeed,
+            seed: 1,
+            duration: SimDuration::from_secs(120),
+            w_m: 48,
+            b: 2,
+            flow: 0,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// The path spec this scenario runs over.
+    pub fn path(&self) -> PathSpec {
+        match self.motion {
+            Motion::HighSpeed => self.provider.high_speed_path(),
+            Motion::Stationary => self.provider.stationary_path(),
+        }
+    }
+
+    /// The mobility attachment (none when stationary).
+    pub fn mobility(&self) -> Option<MobilityScenario> {
+        match self.motion {
+            Motion::Stationary => None,
+            Motion::HighSpeed => {
+                // Cover whatever distance the flow duration needs at
+                // 300 km/h, capped at the full route — and start the ride
+                // at a seed-determined point of the line, so a dataset of
+                // flows samples the whole corridor (including any
+                // provider's coverage holes), as the paper's captures did.
+                let km = (self.duration.as_secs_f64() * 83.4 / 1000.0 + 2.0).min(crate::btr::ROUTE_KM);
+                let max_start = (crate::btr::ROUTE_KM - km).max(0.0);
+                let start_km =
+                    max_start * (self.seed.wrapping_mul(2_654_435_761) % 1_000) as f64 / 1_000.0;
+                Some(MobilityScenario {
+                    trajectory: Trajectory::cruising(km, crate::btr::CRUISE_KMH)
+                        .starting_at_km(start_km),
+                    layout: self.provider.cell_layout(),
+                    handoff: self.provider.handoff_params(),
+                })
+            }
+        }
+    }
+
+    /// The TCP connection configuration.
+    pub fn connection(&self) -> ConnectionConfig {
+        ConnectionConfig {
+            flow: self.flow,
+            sender: SenderConfig { w_m: self.w_m, stop_after: Some(self.duration), ..Default::default() },
+            receiver: ReceiverConfig { b: self.b, ..Default::default() },
+            provider: self.provider.name().to_owned(),
+            scenario: self.motion.label().to_owned(),
+            mss_bytes: 1460,
+            deadline: SimTime::ZERO + self.duration + SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// Everything produced by one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The configuration that produced it.
+    pub config: ScenarioConfig,
+    /// Raw connection results (trace + endpoint ground truth).
+    pub outcome: ConnectionOutcome,
+    /// Full measurement analysis of the trace.
+    pub analysis: FlowAnalysis,
+}
+
+impl ScenarioOutcome {
+    /// The model-ready flow summary.
+    pub fn summary(&self) -> &FlowSummary {
+        &self.analysis.summary
+    }
+}
+
+/// Runs one scenario end to end.
+pub fn run_scenario(config: &ScenarioConfig) -> ScenarioOutcome {
+    let path = config.path();
+    let mobility = config.mobility();
+    let conn = config.connection();
+    let outcome = run_connection(config.seed, &path, mobility.as_ref(), &conn);
+    let analysis = analyze_flow(&outcome.trace, &TimeoutConfig::default());
+    ScenarioOutcome { config: config.clone(), outcome, analysis }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_flow_is_clean() {
+        let cfg = ScenarioConfig {
+            motion: Motion::Stationary,
+            duration: SimDuration::from_secs(30),
+            seed: 3,
+            ..Default::default()
+        };
+        let out = run_scenario(&cfg);
+        let s = out.summary();
+        assert_eq!(s.scenario, SCENARIO_STATIONARY);
+        assert!(s.p_d < 0.01, "p_d {}", s.p_d);
+        assert!(s.throughput_sps > 100.0, "tp {}", s.throughput_sps);
+        assert!(out.outcome.channel.is_none());
+    }
+
+    #[test]
+    fn high_speed_flow_suffers() {
+        let hs = run_scenario(&ScenarioConfig {
+            duration: SimDuration::from_secs(60),
+            seed: 5,
+            ..Default::default()
+        });
+        let st = run_scenario(&ScenarioConfig {
+            motion: Motion::Stationary,
+            duration: SimDuration::from_secs(60),
+            seed: 5,
+            ..Default::default()
+        });
+        assert!(hs.outcome.channel.expect("mobility attached").handoffs >= 1);
+        assert!(
+            hs.summary().throughput_sps < st.summary().throughput_sps,
+            "high-speed {} vs stationary {}",
+            hs.summary().throughput_sps,
+            st.summary().throughput_sps
+        );
+        assert!(hs.summary().p_a > st.summary().p_a * 0.9, "ACK loss must rise on the train");
+    }
+
+    #[test]
+    fn config_plumbs_labels_and_windows() {
+        let cfg = ScenarioConfig { w_m: 24, b: 1, flow: 9, ..Default::default() };
+        let conn = cfg.connection();
+        assert_eq!(conn.sender.w_m, 24);
+        assert_eq!(conn.receiver.b, 1);
+        assert_eq!(conn.flow, 9);
+        assert_eq!(conn.provider, "China Mobile");
+        let out = run_scenario(&ScenarioConfig {
+            duration: SimDuration::from_secs(10),
+            ..cfg
+        });
+        assert_eq!(out.outcome.trace.meta.w_m, 24);
+        assert_eq!(out.outcome.trace.flow, 9);
+    }
+}

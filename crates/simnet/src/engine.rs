@@ -1,0 +1,525 @@
+//! The discrete-event engine.
+//!
+//! [`Engine`] owns the clock, the future event list, all [`Link`]s, all
+//! [`Agent`]s and all [`Observer`]s. Agents interact with the world through
+//! the [`Ctx`] passed to their callbacks: sending packets onto links,
+//! scheduling/cancelling timers, drawing random numbers and adjusting link
+//! impairments (the channel process uses the latter to impose handoff
+//! outages).
+//!
+//! # Examples
+//!
+//! ```
+//! use hsm_simnet::prelude::*;
+//!
+//! #[derive(Default)]
+//! struct Echo { got: u64 }
+//! impl Agent for Echo {
+//!     fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: Packet) { self.got += 1; }
+//! }
+//!
+//! let mut eng = Engine::new(42);
+//! let echo = eng.add_agent(Box::new(Echo::default()));
+//! let link = eng.add_link(LinkSpec::new(echo, "wire"));
+//! eng.inject(link, Packet::data(FlowId(0), SeqNo(0), false));
+//! eng.run_until_idle();
+//! assert_eq!(eng.agent_mut::<Echo>(echo).unwrap().got, 1);
+//! ```
+
+use crate::agent::{Agent, AgentId};
+use crate::event::{Event, EventId, EventKind, EventQueue};
+use crate::link::{Accept, Link, LinkId, LinkSpec};
+use crate::observer::{DropCause, Observer};
+use crate::packet::{Packet, PacketId};
+use crate::rng::{RngFactory, SimRng};
+use crate::time::{SimDuration, SimTime};
+use std::any::Any;
+
+/// Everything an agent may touch from inside a callback.
+pub struct Ctx<'a> {
+    core: &'a mut Core,
+    id: AgentId,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The id of the agent being called.
+    pub fn agent_id(&self) -> AgentId {
+        self.id
+    }
+
+    /// Sends `packet` onto `link`. The engine stamps the packet id and send
+    /// time. Returns the stamped id.
+    pub fn send(&mut self, link: LinkId, packet: Packet) -> PacketId {
+        self.core.send_packet(link, packet)
+    }
+
+    /// Schedules a timer for this agent `after` from now; `tag` is returned
+    /// verbatim in [`Agent::on_timer`].
+    pub fn schedule_in(&mut self, after: SimDuration, tag: u64) -> EventId {
+        let at = self.core.now + after;
+        self.core.queue.schedule(Event { at, dst: self.id, kind: EventKind::Timer { tag } })
+    }
+
+    /// Schedules a timer for this agent at an absolute instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: SimTime, tag: u64) -> EventId {
+        assert!(at >= self.core.now, "scheduling into the past");
+        self.core.queue.schedule(Event { at, dst: self.id, kind: EventKind::Timer { tag } })
+    }
+
+    /// Cancels a pending timer. Returns `false` if it already fired or was
+    /// already cancelled.
+    pub fn cancel_timer(&mut self, id: EventId) -> bool {
+        self.core.queue.cancel(id)
+    }
+
+    /// This agent's private random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.core.agent_rngs[self.id.as_usize()]
+    }
+
+    /// Immutable view of a link (to read labels, delay, loss counters).
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.core.links[id.as_usize()]
+    }
+
+    /// Mutable view of a link — the channel process uses this to install
+    /// outages, change base loss and extra delay.
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.core.links[id.as_usize()]
+    }
+
+    /// Requests the engine stop after the current event.
+    pub fn stop(&mut self) {
+        self.core.stop_requested = true;
+    }
+}
+
+struct Core {
+    now: SimTime,
+    queue: EventQueue,
+    links: Vec<Link>,
+    observers: Vec<Box<dyn Observer>>,
+    agent_rngs: Vec<SimRng>,
+    link_rngs: Vec<SimRng>,
+    rng_factory: RngFactory,
+    next_packet_id: u64,
+    stop_requested: bool,
+    events_processed: u64,
+}
+
+impl Core {
+    fn send_packet(&mut self, link_id: LinkId, mut packet: Packet) -> PacketId {
+        packet.id = PacketId(self.next_packet_id);
+        self.next_packet_id += 1;
+        packet.sent_at = self.now;
+        let id = packet.id;
+        let label = self.links[link_id.as_usize()].label.clone();
+        for obs in &mut self.observers {
+            obs.on_sent(self.now, link_id, &label, &packet);
+        }
+        let link = &mut self.links[link_id.as_usize()];
+        match link.offer(packet.clone()) {
+            Accept::StartTx => {
+                let at = self.now + link.tx_time(packet.size_bytes);
+                self.queue.schedule(Event {
+                    at,
+                    dst: link.to,
+                    kind: EventKind::LinkReady(link_id),
+                });
+            }
+            Accept::Queued => {}
+            Accept::DroppedOverflow => {
+                for obs in &mut self.observers {
+                    obs.on_dropped(self.now, link_id, &label, &packet, DropCause::QueueOverflow);
+                }
+            }
+        }
+        id
+    }
+
+    fn link_ready(&mut self, link_id: LinkId) {
+        let idx = link_id.as_usize();
+        let (done, next_size) = {
+            let link = &mut self.links[idx];
+            let (done, next) = link.complete_tx();
+            (done, next.map(|p| p.size_bytes))
+        };
+        // Chain the next transmission, if any.
+        if let Some(size) = next_size {
+            let link = &self.links[idx];
+            self.queue.schedule(Event {
+                at: self.now + link.tx_time(size),
+                dst: link.to,
+                kind: EventKind::LinkReady(link_id),
+            });
+        }
+        // Decide the fate of the completed packet.
+        let label = self.links[idx].label.clone();
+        let lost = {
+            let rng = &mut self.link_rngs[idx];
+            self.links[idx].loss.is_lost(self.now, rng)
+        };
+        if lost {
+            for obs in &mut self.observers {
+                obs.on_dropped(self.now, link_id, &label, &done, DropCause::Channel);
+            }
+            return;
+        }
+        let latency = {
+            let rng = &mut self.link_rngs[idx];
+            self.links[idx].sample_latency(self.now, rng)
+        };
+        // FIFO: jitter must not let packets overtake each other.
+        let at = (self.now + latency).max(self.links[idx].last_delivery);
+        self.links[idx].last_delivery = at;
+        let link_to = self.links[idx].to;
+        self.queue.schedule(Event { at, dst: link_to, kind: EventKind::Deliver(done) });
+    }
+
+    fn deliver_observed(&mut self, link_hint: Option<LinkId>, packet: &Packet) {
+        // Delivery events do not carry the link id (the packet already left
+        // the link); observers that need the link use the Sent/Dropped
+        // events. We report with a best-effort hint.
+        let (lid, label) = match link_hint {
+            Some(l) => (l, self.links[l.as_usize()].label.clone()),
+            None => (LinkId::from_raw(u32::MAX), String::from("?")),
+        };
+        for obs in &mut self.observers {
+            obs.on_delivered(self.now, lid, &label, packet);
+        }
+    }
+}
+
+/// The simulation engine. See the module docs for an example.
+pub struct Engine {
+    core: Core,
+    agents: Vec<Option<Box<dyn Agent>>>,
+    started: bool,
+}
+
+impl Engine {
+    /// Creates an engine whose every random stream derives from
+    /// `master_seed`.
+    pub fn new(master_seed: u64) -> Engine {
+        Engine {
+            core: Core {
+                now: SimTime::ZERO,
+                queue: EventQueue::new(),
+                links: Vec::new(),
+                observers: Vec::new(),
+                agent_rngs: Vec::new(),
+                link_rngs: Vec::new(),
+                rng_factory: RngFactory::new(master_seed),
+                next_packet_id: 0,
+                stop_requested: false,
+                events_processed: 0,
+            },
+            agents: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Registers an agent and returns its id.
+    pub fn add_agent(&mut self, agent: Box<dyn Agent>) -> AgentId {
+        let id = AgentId::from_raw(self.agents.len() as u32);
+        let label = format!("agent.{}", id.as_usize());
+        self.core.agent_rngs.push(self.core.rng_factory.stream(&label));
+        self.agents.push(Some(agent));
+        id
+    }
+
+    /// Registers a link and returns its id.
+    pub fn add_link(&mut self, spec: LinkSpec) -> LinkId {
+        let id = LinkId::from_raw(self.core.links.len() as u32);
+        let label = format!("link.{}", id.as_usize());
+        self.core.link_rngs.push(self.core.rng_factory.stream(&label));
+        self.core.links.push(Link::from_spec(spec));
+        id
+    }
+
+    /// Registers a packet-event observer.
+    pub fn add_observer(&mut self, obs: Box<dyn Observer>) {
+        self.core.observers.push(obs);
+    }
+
+    /// Injects a packet onto a link from outside any agent (used by tests
+    /// and wiring code before the simulation starts).
+    pub fn inject(&mut self, link: LinkId, packet: Packet) -> PacketId {
+        self.core.send_packet(link, packet)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
+    }
+
+    /// Immutable view of a link.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.core.links[id.as_usize()]
+    }
+
+    /// Mutable view of a link.
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.core.links[id.as_usize()]
+    }
+
+    /// Concrete-typed mutable access to an agent (after or between runs).
+    ///
+    /// Returns `None` if the id is unknown or the concrete type differs.
+    pub fn agent_mut<T: Agent>(&mut self, id: AgentId) -> Option<&mut T> {
+        let slot = self.agents.get_mut(id.as_usize())?;
+        let agent = slot.as_mut()?;
+        let any: &mut dyn Any = agent.as_mut();
+        any.downcast_mut::<T>()
+    }
+
+    /// Runs until the event queue drains, `deadline` passes, or an agent
+    /// calls [`Ctx::stop`]. Returns the number of events processed by this
+    /// call.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut processed = 0;
+        if !self.started {
+            self.started = true;
+            for idx in 0..self.agents.len() {
+                self.with_agent(AgentId::from_raw(idx as u32), |agent, ctx| agent.on_start(ctx));
+            }
+        }
+        while !self.core.stop_requested {
+            let Some(at) = self.core.queue.peek_time() else { break };
+            if at > deadline {
+                break;
+            }
+            let (_id, event) = self.core.queue.pop().expect("peeked event vanished");
+            debug_assert!(event.at >= self.core.now, "event in the past");
+            self.core.now = event.at;
+            self.core.events_processed += 1;
+            processed += 1;
+            match event.kind {
+                EventKind::LinkReady(link) => self.core.link_ready(link),
+                EventKind::Deliver(packet) => {
+                    self.core.deliver_observed(None, &packet);
+                    self.with_agent(event.dst, |agent, ctx| agent.on_packet(ctx, packet));
+                }
+                EventKind::Timer { tag } => {
+                    self.with_agent(event.dst, |agent, ctx| agent.on_timer(ctx, tag));
+                }
+            }
+        }
+        processed
+    }
+
+    /// Runs until the event queue drains or an agent stops the engine.
+    pub fn run_until_idle(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// True once an agent has requested a stop.
+    pub fn stopped(&self) -> bool {
+        self.core.stop_requested
+    }
+
+    fn with_agent(&mut self, id: AgentId, f: impl FnOnce(&mut dyn Agent, &mut Ctx<'_>)) {
+        let Some(slot) = self.agents.get_mut(id.as_usize()) else { return };
+        let Some(mut agent) = slot.take() else { return };
+        let mut ctx = Ctx { core: &mut self.core, id };
+        f(agent.as_mut(), &mut ctx);
+        self.agents[id.as_usize()] = Some(agent);
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.core.now)
+            .field("agents", &self.agents.len())
+            .field("links", &self.core.links.len())
+            .field("pending_events", &self.core.queue.len())
+            .field("events_processed", &self.core.events_processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{Bernoulli, ChannelLoss};
+    use crate::observer::VecRecorder;
+    use crate::packet::{FlowId, SeqNo};
+
+    /// Sends `count` packets spaced by a timer, records delivery times.
+    struct Pinger {
+        link: LinkId,
+        count: u64,
+        sent: u64,
+    }
+    impl Agent for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.schedule_in(SimDuration::ZERO, 0);
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: Packet) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+            if self.sent < self.count {
+                ctx.send(self.link, Packet::data(FlowId(0), SeqNo(self.sent), false));
+                self.sent += 1;
+                ctx.schedule_in(SimDuration::from_millis(1), 0);
+            }
+        }
+    }
+
+    struct Sink {
+        deliveries: Vec<SimTime>,
+    }
+    impl Agent for Sink {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _p: Packet) {
+            self.deliveries.push(ctx.now());
+        }
+    }
+
+    fn build(seed: u64, loss_p: f64, count: u64) -> (Engine, AgentId, VecRecorder) {
+        let mut eng = Engine::new(seed);
+        let sink = eng.add_agent(Box::new(Sink { deliveries: Vec::new() }));
+        let link = eng.add_link(
+            LinkSpec::new(sink, "wire")
+                .bandwidth_bps(12_000_000)
+                .prop_delay(SimDuration::from_millis(10))
+                .loss(ChannelLoss::new(Box::new(Bernoulli::new(loss_p)))),
+        );
+        let pinger = eng.add_agent(Box::new(Pinger { link, count, sent: 0 }));
+        let _ = pinger;
+        let rec = VecRecorder::new();
+        eng.add_observer(Box::new(rec.clone()));
+        (eng, sink, rec)
+    }
+
+    #[test]
+    fn packets_arrive_after_tx_plus_prop_delay() {
+        let (mut eng, sink, _rec) = build(1, 0.0, 1);
+        eng.run_until_idle();
+        let sink = eng.agent_mut::<Sink>(sink).unwrap();
+        assert_eq!(sink.deliveries.len(), 1);
+        // 1500 bytes at 12 Mbit/s = 1 ms tx + 10 ms prop = 11 ms.
+        assert_eq!(sink.deliveries[0], SimTime::from_millis(11));
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_expected_fraction() {
+        let (mut eng, sink, rec) = build(7, 0.3, 3000);
+        eng.run_until_idle();
+        let delivered = eng.agent_mut::<Sink>(sink).unwrap().deliveries.len() as f64;
+        let rate = 1.0 - delivered / 3000.0;
+        assert!((rate - 0.3).abs() < 0.05, "loss rate {rate}");
+        let drops = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, crate::observer::PacketEventKind::Dropped(_)))
+            .count();
+        assert_eq!(drops as f64 + delivered, 3000.0);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_exactly() {
+        let trace = |seed| {
+            let (mut eng, sink, _r) = build(seed, 0.2, 500);
+            eng.run_until_idle();
+            eng.agent_mut::<Sink>(sink).unwrap().deliveries.clone()
+        };
+        assert_eq!(trace(99), trace(99));
+        assert_ne!(trace(99), trace(100));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let (mut eng, _sink, _r) = build(1, 0.0, 100);
+        eng.run_until(SimTime::from_millis(5));
+        assert!(eng.now() <= SimTime::from_millis(5));
+        let before = eng.events_processed();
+        eng.run_until_idle();
+        assert!(eng.events_processed() > before);
+    }
+
+    struct Stopper;
+    impl Agent for Stopper {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.schedule_in(SimDuration::from_millis(1), 7);
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: Packet) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+            assert_eq!(tag, 7);
+            ctx.stop();
+        }
+    }
+
+    #[test]
+    fn agent_can_stop_engine() {
+        let mut eng = Engine::new(0);
+        eng.add_agent(Box::new(Stopper));
+        eng.run_until_idle();
+        assert!(eng.stopped());
+        assert_eq!(eng.now(), SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn timer_cancellation_prevents_firing() {
+        struct Cancels {
+            fired: bool,
+        }
+        impl Agent for Cancels {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let a = ctx.schedule_in(SimDuration::from_millis(1), 1);
+                ctx.schedule_in(SimDuration::from_millis(2), 2);
+                assert!(ctx.cancel_timer(a));
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: Packet) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, tag: u64) {
+                assert_eq!(tag, 2, "cancelled timer fired");
+                self.fired = true;
+            }
+        }
+        let mut eng = Engine::new(0);
+        let id = eng.add_agent(Box::new(Cancels { fired: false }));
+        eng.run_until_idle();
+        assert!(eng.agent_mut::<Cancels>(id).unwrap().fired);
+    }
+
+    #[test]
+    fn agent_mut_wrong_type_is_none() {
+        let mut eng = Engine::new(0);
+        let id = eng.add_agent(Box::new(Stopper));
+        assert!(eng.agent_mut::<Sink>(id).is_none());
+        assert!(eng.agent_mut::<Stopper>(id).is_some());
+    }
+
+    #[test]
+    fn queueing_serializes_transmissions() {
+        // Two back-to-back packets on a slow link: second arrives one full
+        // tx time after the first.
+        let mut eng = Engine::new(3);
+        let sink = eng.add_agent(Box::new(Sink { deliveries: Vec::new() }));
+        let link = eng.add_link(
+            LinkSpec::new(sink, "slow")
+                .bandwidth_bps(1_200_000) // 1500B -> 10 ms tx
+                .prop_delay(SimDuration::from_millis(5)),
+        );
+        eng.inject(link, Packet::data(FlowId(0), SeqNo(0), false));
+        eng.inject(link, Packet::data(FlowId(0), SeqNo(1), false));
+        eng.run_until_idle();
+        let d = &eng.agent_mut::<Sink>(sink).unwrap().deliveries;
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0], SimTime::from_millis(15));
+        assert_eq!(d[1], SimTime::from_millis(25));
+    }
+}

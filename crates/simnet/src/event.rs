@@ -1,0 +1,235 @@
+//! Future event list.
+//!
+//! A classic discrete-event simulation core: events are kept in a binary
+//! heap ordered by firing time, with a monotonically increasing sequence
+//! number breaking ties so that events scheduled earlier fire earlier
+//! (FIFO among simultaneous events — crucial for determinism).
+//!
+//! Cancellation is implemented by lazy deletion: [`EventQueue::cancel`]
+//! marks the event id dead, and dead entries are skipped on pop. This keeps
+//! both scheduling and cancellation `O(log n)`/`O(1)`.
+
+use crate::agent::AgentId;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Unique handle of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// Raw numeric value (mostly for debugging/logging).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// What a fired event means to the destination agent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A packet finished traversing a link and arrives at the agent.
+    Deliver(crate::packet::Packet),
+    /// A timer set by the agent expired.
+    Timer {
+        /// Agent-defined tag passed back verbatim.
+        tag: u64,
+    },
+    /// A link that was busy transmitting is ready for the next packet.
+    LinkReady(crate::link::LinkId),
+}
+
+/// A scheduled event: at `at`, deliver `kind` to `dst`.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Firing time.
+    pub at: SimTime,
+    /// Destination agent (ignored for [`EventKind::LinkReady`]).
+    pub dst: AgentId,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+#[derive(Debug)]
+struct HeapEntry {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The future event list.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<HeapEntry>,
+    live: HashMap<EventId, Event>,
+    next_id: u64,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Schedules `event` and returns its cancellation handle.
+    pub fn schedule(&mut self, event: Event) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { at: event.at, seq, id });
+        self.live.insert(id, event);
+        id
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending, `false` if it already
+    /// fired or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.live.remove(&id).is_some()
+    }
+
+    /// True if `id` has been scheduled and has neither fired nor been
+    /// cancelled.
+    pub fn is_pending(&self, id: EventId) -> bool {
+        self.live.contains_key(&id)
+    }
+
+    /// Firing time of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_dead();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the next live event.
+    pub fn pop(&mut self) -> Option<(EventId, Event)> {
+        loop {
+            let entry = self.heap.pop()?;
+            if let Entry::Occupied(occ) = self.live.entry(entry.id) {
+                return Some((entry.id, occ.remove()));
+            }
+            // Dead (cancelled) entry: skip.
+        }
+    }
+
+    fn skip_dead(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.live.contains_key(&top.id) {
+                return;
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_us: u64, tag: u64) -> Event {
+        Event {
+            at: SimTime::from_micros(at_us),
+            dst: AgentId::from_raw(0),
+            kind: EventKind::Timer { tag },
+        }
+    }
+
+    fn tag_of(e: &Event) -> u64 {
+        match e.kind {
+            EventKind::Timer { tag } => tag,
+            _ => panic!("not a timer"),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(ev(30, 3));
+        q.schedule(ev(10, 1));
+        q.schedule(ev(20, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| tag_of(&e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        for tag in 0..100 {
+            q.schedule(ev(500, tag));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| tag_of(&e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(ev(10, 1));
+        q.schedule(ev(20, 2));
+        assert!(q.is_pending(a));
+        assert!(q.cancel(a));
+        assert!(!q.is_pending(a));
+        assert!(!q.cancel(a), "double-cancel reports false");
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(tag_of(&e), 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(ev(10, 1));
+        q.schedule(ev(20, 2));
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(20)));
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.schedule(ev(10, 1));
+        q.schedule(ev(20, 2));
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

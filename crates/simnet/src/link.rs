@@ -1,0 +1,308 @@
+//! Point-to-point links.
+//!
+//! A [`Link`] models one direction of a network hop: a transmission rate,
+//! a propagation delay (plus optional jitter and a dynamically adjustable
+//! extra delay for handoff latency spikes), a drop-tail queue, and a
+//! [`ChannelLoss`] deciding which packets the channel destroys.
+//!
+//! Links are owned and driven by the engine; this module contains the
+//! per-link state machine (idle / transmitting, queueing decisions) in a
+//! directly testable form.
+
+use crate::agent::AgentId;
+use crate::loss::ChannelLoss;
+use crate::packet::Packet;
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Identity of a link within an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(u32);
+
+impl LinkId {
+    /// Builds an id from a raw index. Minted by the engine; exposed for
+    /// tests and wiring code.
+    pub fn from_raw(raw: u32) -> LinkId {
+        LinkId(raw)
+    }
+
+    /// Raw index.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Static description of a link, passed to
+/// [`Engine::add_link`](crate::engine::Engine::add_link).
+#[derive(Debug)]
+pub struct LinkSpec {
+    /// Agent that receives packets exiting this link.
+    pub to: AgentId,
+    /// Transmission rate in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub prop_delay: SimDuration,
+    /// Standard deviation of per-packet delay jitter (0 disables).
+    pub jitter_sd: SimDuration,
+    /// Drop-tail queue capacity in packets (not counting the one in
+    /// transmission).
+    pub queue_capacity: usize,
+    /// Channel loss behaviour.
+    pub loss: ChannelLoss,
+    /// Human-readable label used in traces ("downlink", "uplink", …).
+    pub label: String,
+}
+
+impl LinkSpec {
+    /// A sensible default: 50 Mbit/s, 15 ms delay, 100-packet queue,
+    /// lossless — callers override what they need.
+    pub fn new(to: AgentId, label: impl Into<String>) -> Self {
+        LinkSpec {
+            to,
+            bandwidth_bps: 50_000_000,
+            prop_delay: SimDuration::from_millis(15),
+            jitter_sd: SimDuration::ZERO,
+            queue_capacity: 100,
+            loss: ChannelLoss::lossless(),
+            label: label.into(),
+        }
+    }
+
+    /// Sets the bandwidth (builder style).
+    pub fn bandwidth_bps(mut self, bps: u64) -> Self {
+        assert!(bps > 0, "bandwidth must be positive");
+        self.bandwidth_bps = bps;
+        self
+    }
+
+    /// Sets the propagation delay (builder style).
+    pub fn prop_delay(mut self, d: SimDuration) -> Self {
+        self.prop_delay = d;
+        self
+    }
+
+    /// Sets the jitter standard deviation (builder style).
+    pub fn jitter_sd(mut self, d: SimDuration) -> Self {
+        self.jitter_sd = d;
+        self
+    }
+
+    /// Sets the queue capacity (builder style).
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap;
+        self
+    }
+
+    /// Sets the loss behaviour (builder style).
+    pub fn loss(mut self, loss: ChannelLoss) -> Self {
+        self.loss = loss;
+        self
+    }
+}
+
+/// Outcome of offering a packet to a link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Accept {
+    /// Link was idle; transmission starts now.
+    StartTx,
+    /// Link busy; packet queued.
+    Queued,
+    /// Queue full; packet dropped at the queue.
+    DroppedOverflow,
+}
+
+/// Runtime state of a link.
+#[derive(Debug)]
+pub struct Link {
+    /// Destination agent.
+    pub to: AgentId,
+    /// Transmission rate, bits per second.
+    pub bandwidth_bps: u64,
+    /// Base propagation delay.
+    pub prop_delay: SimDuration,
+    /// Jitter standard deviation.
+    pub jitter_sd: SimDuration,
+    /// Extra delay currently imposed (e.g. during a handoff), added to
+    /// `prop_delay`.
+    pub extra_delay: SimDuration,
+    /// Channel loss behaviour.
+    pub loss: ChannelLoss,
+    /// Trace label.
+    pub label: String,
+    queue_capacity: usize,
+    queue: VecDeque<Packet>,
+    in_flight: Option<Packet>,
+    /// Packets dropped due to queue overflow.
+    pub overflow_drops: u64,
+    /// Delivery time of the most recently delivered packet; used to keep
+    /// the link FIFO under jitter (packets never overtake each other).
+    pub last_delivery: SimTime,
+}
+
+impl Link {
+    /// Instantiates runtime state from a spec.
+    pub fn from_spec(spec: LinkSpec) -> Link {
+        Link {
+            to: spec.to,
+            bandwidth_bps: spec.bandwidth_bps,
+            prop_delay: spec.prop_delay,
+            jitter_sd: spec.jitter_sd,
+            extra_delay: SimDuration::ZERO,
+            loss: spec.loss,
+            label: spec.label,
+            queue_capacity: spec.queue_capacity,
+            queue: VecDeque::new(),
+            in_flight: None,
+            overflow_drops: 0,
+            last_delivery: SimTime::ZERO,
+        }
+    }
+
+    /// Time to clock `bytes` onto the wire at this link's rate.
+    pub fn tx_time(&self, bytes: u32) -> SimDuration {
+        let bits = u64::from(bytes) * 8;
+        // Round up to the next microsecond so tiny packets still take time.
+        let us = (bits * 1_000_000).div_ceil(self.bandwidth_bps).max(1);
+        SimDuration::from_micros(us)
+    }
+
+    /// Total latency (propagation + current extra delay) excluding jitter.
+    pub fn current_delay(&self) -> SimDuration {
+        self.prop_delay + self.extra_delay
+    }
+
+    /// Offers a packet. If `StartTx` is returned the engine must begin a
+    /// transmission (the packet is stored as in-flight); `Queued` stores it
+    /// in the queue; `DroppedOverflow` discards it.
+    pub fn offer(&mut self, packet: Packet) -> Accept {
+        if self.in_flight.is_none() {
+            self.in_flight = Some(packet);
+            Accept::StartTx
+        } else if self.queue.len() < self.queue_capacity {
+            self.queue.push_back(packet);
+            Accept::Queued
+        } else {
+            self.overflow_drops += 1;
+            Accept::DroppedOverflow
+        }
+    }
+
+    /// Completes the in-flight transmission, returning the transmitted
+    /// packet and, if the queue is non-empty, the next packet which
+    /// immediately becomes in-flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was in flight (engine bookkeeping bug).
+    pub fn complete_tx(&mut self) -> (Packet, Option<&Packet>) {
+        let done = self.in_flight.take().expect("complete_tx with idle link");
+        if let Some(next) = self.queue.pop_front() {
+            self.in_flight = Some(next);
+        }
+        (done, self.in_flight.as_ref())
+    }
+
+    /// True while a packet is being clocked onto the wire.
+    pub fn is_busy(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Number of packets waiting behind the in-flight one.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Samples the delivery latency for one packet leaving the link at
+    /// `_now`: propagation + extra delay + non-negative jitter draw.
+    pub fn sample_latency(&self, _now: SimTime, rng: &mut crate::rng::SimRng) -> SimDuration {
+        let base = self.current_delay();
+        if self.jitter_sd.is_zero() {
+            base
+        } else {
+            let jitter_s = rng.normal_clamped(0.0, self.jitter_sd.as_secs_f64(), 0.0);
+            base + SimDuration::from_secs_f64(jitter_s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    fn link(cap: usize) -> Link {
+        Link::from_spec(
+            LinkSpec::new(AgentId::from_raw(1), "test")
+                .bandwidth_bps(8_000_000) // 1 byte per microsecond
+                .prop_delay(SimDuration::from_millis(10))
+                .queue_capacity(cap),
+        )
+    }
+
+    fn pkt(seq: u64) -> Packet {
+        Packet::data(crate::packet::FlowId(0), crate::packet::SeqNo(seq), false)
+    }
+
+    #[test]
+    fn tx_time_scales_with_size() {
+        let l = link(10);
+        assert_eq!(l.tx_time(1500).as_micros(), 1500);
+        assert_eq!(l.tx_time(40).as_micros(), 40);
+        // Rounds up, minimum 1us.
+        let fast = Link::from_spec(LinkSpec::new(AgentId::from_raw(0), "fast").bandwidth_bps(u64::MAX / 16));
+        assert_eq!(fast.tx_time(1).as_micros(), 1);
+    }
+
+    #[test]
+    fn offer_transitions() {
+        let mut l = link(1);
+        assert_eq!(l.offer(pkt(0)), Accept::StartTx);
+        assert!(l.is_busy());
+        assert_eq!(l.offer(pkt(1)), Accept::Queued);
+        assert_eq!(l.queue_len(), 1);
+        assert_eq!(l.offer(pkt(2)), Accept::DroppedOverflow);
+        assert_eq!(l.overflow_drops, 1);
+    }
+
+    #[test]
+    fn complete_tx_pumps_queue() {
+        let mut l = link(2);
+        l.offer(pkt(0));
+        l.offer(pkt(1));
+        let (done, next) = l.complete_tx();
+        assert_eq!(done.data_seq().unwrap().as_u64(), 0);
+        assert_eq!(next.unwrap().data_seq().unwrap().as_u64(), 1);
+        assert!(l.is_busy());
+        let (done, next) = l.complete_tx();
+        assert_eq!(done.data_seq().unwrap().as_u64(), 1);
+        assert!(next.is_none());
+        assert!(!l.is_busy());
+    }
+
+    #[test]
+    #[should_panic]
+    fn complete_tx_on_idle_link_panics() {
+        let mut l = link(1);
+        let _ = l.complete_tx();
+    }
+
+    #[test]
+    fn latency_includes_extra_delay() {
+        let mut l = link(1);
+        let mut rng = SimRng::seed_from_u64(1);
+        assert_eq!(l.sample_latency(SimTime::ZERO, &mut rng), SimDuration::from_millis(10));
+        l.extra_delay = SimDuration::from_millis(5);
+        assert_eq!(l.sample_latency(SimTime::ZERO, &mut rng), SimDuration::from_millis(15));
+    }
+
+    #[test]
+    fn jitter_is_nonnegative_and_varies() {
+        let mut l = link(1);
+        l.jitter_sd = SimDuration::from_millis(2);
+        let mut rng = SimRng::seed_from_u64(2);
+        let base = l.current_delay();
+        let samples: Vec<SimDuration> = (0..64).map(|_| l.sample_latency(SimTime::ZERO, &mut rng)).collect();
+        assert!(samples.iter().all(|&s| s >= base));
+        assert!(samples.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -1,0 +1,171 @@
+//! Packet-event observation.
+//!
+//! Observers are the simulator's equivalent of running *wireshark on both
+//! endpoints*: they see every packet enter a link, get destroyed by the
+//! channel or queue, and get delivered. The trace crate builds per-flow
+//! traces from these events; tests use the bundled [`VecRecorder`].
+
+use crate::link::LinkId;
+use crate::packet::Packet;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Why a packet died.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropCause {
+    /// The channel's loss model destroyed it (wireless loss / outage).
+    Channel,
+    /// The link's drop-tail queue was full.
+    QueueOverflow,
+}
+
+/// What happened to a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PacketEventKind {
+    /// Entered a link (started transmission or was queued).
+    Sent,
+    /// Destroyed.
+    Dropped(DropCause),
+    /// Arrived at the link's destination agent.
+    Delivered,
+}
+
+/// A recorded packet event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PacketEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// On which link.
+    pub link: u32,
+    /// Link label at the time of recording ("downlink", "uplink", …).
+    pub link_label: String,
+    /// What happened.
+    pub kind: PacketEventKind,
+    /// The packet (cloned at recording time).
+    pub packet: Packet,
+}
+
+/// Receives packet events as the simulation runs.
+pub trait Observer {
+    /// A packet entered `link`.
+    fn on_sent(&mut self, time: SimTime, link: LinkId, label: &str, packet: &Packet);
+    /// A packet was destroyed on `link`.
+    fn on_dropped(&mut self, time: SimTime, link: LinkId, label: &str, packet: &Packet, cause: DropCause);
+    /// A packet exiting `link` was delivered to its destination.
+    fn on_delivered(&mut self, time: SimTime, link: LinkId, label: &str, packet: &Packet);
+}
+
+/// An observer that records every event into a shared `Vec`.
+///
+/// Cloning shares the underlying storage, so an experiment can keep a
+/// handle while the engine owns the observer:
+///
+/// ```
+/// use hsm_simnet::observer::VecRecorder;
+///
+/// let recorder = VecRecorder::new();
+/// let handle = recorder.clone();
+/// // engine.add_observer(Box::new(recorder));
+/// // ... run ...
+/// assert!(handle.events().is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VecRecorder {
+    events: Rc<RefCell<Vec<PacketEvent>>>,
+}
+
+impl VecRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all events recorded so far.
+    pub fn events(&self) -> Vec<PacketEvent> {
+        self.events.borrow().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.borrow().is_empty()
+    }
+
+    /// Drains and returns all recorded events, leaving the recorder empty.
+    pub fn take_events(&self) -> Vec<PacketEvent> {
+        std::mem::take(&mut *self.events.borrow_mut())
+    }
+
+    fn push(&self, ev: PacketEvent) {
+        self.events.borrow_mut().push(ev);
+    }
+}
+
+impl Observer for VecRecorder {
+    fn on_sent(&mut self, time: SimTime, link: LinkId, label: &str, packet: &Packet) {
+        self.push(PacketEvent {
+            time,
+            link: link.as_usize() as u32,
+            link_label: label.to_owned(),
+            kind: PacketEventKind::Sent,
+            packet: packet.clone(),
+        });
+    }
+
+    fn on_dropped(&mut self, time: SimTime, link: LinkId, label: &str, packet: &Packet, cause: DropCause) {
+        self.push(PacketEvent {
+            time,
+            link: link.as_usize() as u32,
+            link_label: label.to_owned(),
+            kind: PacketEventKind::Dropped(cause),
+            packet: packet.clone(),
+        });
+    }
+
+    fn on_delivered(&mut self, time: SimTime, link: LinkId, label: &str, packet: &Packet) {
+        self.push(PacketEvent {
+            time,
+            link: link.as_usize() as u32,
+            link_label: label.to_owned(),
+            kind: PacketEventKind::Delivered,
+            packet: packet.clone(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, SeqNo};
+
+    #[test]
+    fn recorder_shares_storage_across_clones() {
+        let rec = VecRecorder::new();
+        let mut sink = rec.clone();
+        let p = Packet::data(FlowId(0), SeqNo(1), false);
+        sink.on_sent(SimTime::from_millis(1), LinkId::from_raw(0), "dl", &p);
+        sink.on_dropped(SimTime::from_millis(2), LinkId::from_raw(0), "dl", &p, DropCause::Channel);
+        assert_eq!(rec.len(), 2);
+        let evs = rec.events();
+        assert_eq!(evs[0].kind, PacketEventKind::Sent);
+        assert_eq!(evs[1].kind, PacketEventKind::Dropped(DropCause::Channel));
+        assert_eq!(evs[1].link_label, "dl");
+    }
+
+    #[test]
+    fn take_events_empties() {
+        let rec = VecRecorder::new();
+        let mut sink = rec.clone();
+        let p = Packet::ack(FlowId(0), SeqNo(1), 1);
+        sink.on_delivered(SimTime::ZERO, LinkId::from_raw(1), "ul", &p);
+        let evs = rec.take_events();
+        assert_eq!(evs.len(), 1);
+        assert!(rec.is_empty());
+    }
+}

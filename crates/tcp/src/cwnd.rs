@@ -1,0 +1,401 @@
+//! Congestion-window state machine (TCP Reno, RFC 5681).
+//!
+//! Tracks the congestion window in fractional segments through slow start,
+//! congestion avoidance and fast recovery, capped by the receiver's
+//! advertised window `W_m` — the same window limitation the model's
+//! Section IV-D branch covers.
+
+use serde::{Deserialize, Serialize};
+
+/// Which congestion phase the sender is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Exponential growth below `ssthresh`.
+    SlowStart,
+    /// Additive increase above `ssthresh`.
+    CongestionAvoidance,
+    /// Reno fast recovery (window inflation during dup-ACKs).
+    FastRecovery,
+}
+
+/// Which congestion-control algorithm shapes the window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Algorithm {
+    /// Classic Reno (the paper's modelling target).
+    #[default]
+    Reno,
+    /// TCP Veno (Fu et al., cited by the paper): estimates the router
+    /// backlog `N = cwnd·(RTT − baseRTT)/RTT`; a loss with `N < beta` is
+    /// deemed *random* (wireless) and the window is only reduced by 1/5,
+    /// and congestion-avoidance growth slows to every other ACK once the
+    /// backlog builds up.
+    Veno {
+        /// Backlog threshold distinguishing random from congestive loss
+        /// (Veno's default is 3 packets).
+        beta: f64,
+    },
+}
+
+impl Algorithm {
+    /// Veno with its standard `beta = 3`.
+    pub fn veno() -> Algorithm {
+        Algorithm::Veno { beta: 3.0 }
+    }
+}
+
+/// The congestion controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cwnd {
+    cwnd: f64,
+    ssthresh: f64,
+    phase: Phase,
+    w_m: f64,
+    algo: Algorithm,
+    base_rtt_s: f64,
+    last_rtt_s: f64,
+}
+
+impl Cwnd {
+    /// Creates a Reno controller with initial window 1 and the given
+    /// advertised window limitation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w_m` is zero.
+    pub fn new(w_m: u32) -> Cwnd {
+        Cwnd::with_algorithm(w_m, Algorithm::Reno)
+    }
+
+    /// Creates a controller running the given algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w_m` is zero.
+    pub fn with_algorithm(w_m: u32, algo: Algorithm) -> Cwnd {
+        assert!(w_m > 0, "advertised window must be positive");
+        Cwnd {
+            cwnd: 1.0,
+            ssthresh: f64::from(w_m),
+            phase: Phase::SlowStart,
+            w_m: f64::from(w_m),
+            algo,
+            base_rtt_s: f64::INFINITY,
+            last_rtt_s: f64::INFINITY,
+        }
+    }
+
+    /// Feeds an RTT observation (Veno's backlog estimator needs the
+    /// minimum and the most recent RTT; a no-op for Reno).
+    pub fn observe_rtt(&mut self, rtt_s: f64) {
+        if rtt_s > 0.0 && rtt_s.is_finite() {
+            self.base_rtt_s = self.base_rtt_s.min(rtt_s);
+            self.last_rtt_s = rtt_s;
+        }
+    }
+
+    /// Veno's router-backlog estimate `N`, when enough RTT information is
+    /// available.
+    pub fn backlog_estimate(&self) -> Option<f64> {
+        if self.base_rtt_s.is_finite() && self.last_rtt_s.is_finite() && self.last_rtt_s > 0.0 {
+            Some(self.cwnd * (self.last_rtt_s - self.base_rtt_s) / self.last_rtt_s)
+        } else {
+            None
+        }
+    }
+
+    fn random_loss_suspected(&self) -> bool {
+        match self.algo {
+            Algorithm::Reno => false,
+            Algorithm::Veno { beta } => self.backlog_estimate().is_some_and(|n| n < beta),
+        }
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The raw congestion window, fractional segments (not capped by
+    /// `W_m`).
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Current slow-start threshold.
+    pub fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    /// The effective send window in whole segments:
+    /// `max(1, floor(min(cwnd, W_m)))`.
+    pub fn window(&self) -> u64 {
+        self.cwnd.min(self.w_m).floor().max(1.0) as u64
+    }
+
+    /// True when the advertised window is the binding constraint.
+    pub fn window_limited(&self) -> bool {
+        self.cwnd >= self.w_m
+    }
+
+    /// Processes an ACK advancing the cumulative point by `acked`
+    /// segments (fast-recovery exits are handled by the dedicated
+    /// methods).
+    pub fn on_new_ack(&mut self, acked: u64) {
+        match self.phase {
+            Phase::SlowStart => {
+                // One MSS per ACKed segment (byte-counting slow start).
+                self.cwnd += acked as f64;
+                if self.cwnd >= self.ssthresh {
+                    self.phase = Phase::CongestionAvoidance;
+                }
+            }
+            Phase::CongestionAvoidance => {
+                // 1/cwnd per ACK: +1 MSS per window per RTT; with delayed
+                // ACKs (fewer ACKs per round) growth slows to 1 per b
+                // rounds, matching the model's Eq. (3). Veno halves the
+                // growth once the backlog estimate exceeds beta.
+                let congested = matches!(self.algo, Algorithm::Veno { .. }) && !self.random_loss_suspected();
+                let step = if congested { 0.5 } else { 1.0 };
+                self.cwnd += step / self.cwnd.max(1.0);
+            }
+            Phase::FastRecovery => {
+                // Callers exit fast recovery explicitly.
+            }
+        }
+        self.cwnd = self.cwnd.min(self.w_m.max(1.0) * 2.0); // keep bounded
+    }
+
+    /// Enters fast recovery after the third duplicate ACK. `flight` is
+    /// the amount of outstanding data in segments.
+    ///
+    /// Reno halves the window; Veno, when its backlog estimate indicates a
+    /// *random* (wireless) loss, only takes a 1/5 cut.
+    pub fn enter_fast_recovery(&mut self, flight: u64) {
+        let factor = if self.random_loss_suspected() { 0.8 } else { 0.5 };
+        self.ssthresh = (flight as f64 * factor).max(2.0);
+        self.cwnd = self.ssthresh + 3.0;
+        self.phase = Phase::FastRecovery;
+    }
+
+    /// One more duplicate ACK while in fast recovery: inflate.
+    pub fn on_dup_ack_in_recovery(&mut self) {
+        if self.phase == Phase::FastRecovery {
+            self.cwnd += 1.0;
+        }
+    }
+
+    /// Exits fast recovery on an ACK for new data: deflate to `ssthresh`.
+    pub fn exit_fast_recovery(&mut self) {
+        if self.phase == Phase::FastRecovery {
+            self.cwnd = self.ssthresh;
+            self.phase = Phase::CongestionAvoidance;
+        }
+    }
+
+    /// NewReno partial ACK: deflate by the amount acked but stay in fast
+    /// recovery.
+    pub fn on_partial_ack(&mut self, acked: u64) {
+        if self.phase == Phase::FastRecovery {
+            self.cwnd = (self.cwnd - acked as f64 + 1.0).max(1.0);
+        }
+    }
+
+    /// Retransmission timeout: collapse to one segment and restart slow
+    /// start. `flight` is outstanding data in segments.
+    pub fn on_timeout(&mut self, flight: u64) {
+        self.ssthresh = (flight as f64 / 2.0).max(2.0);
+        self.cwnd = 1.0;
+        self.phase = Phase::SlowStart;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_start_doubles_per_round() {
+        let mut c = Cwnd::new(64);
+        assert_eq!(c.phase(), Phase::SlowStart);
+        assert_eq!(c.window(), 1);
+        // One round: every segment ACKed individually.
+        c.on_new_ack(1);
+        assert_eq!(c.window(), 2);
+        c.on_new_ack(1);
+        c.on_new_ack(1);
+        assert_eq!(c.window(), 4);
+    }
+
+    #[test]
+    fn transitions_to_ca_at_ssthresh() {
+        let mut c = Cwnd::new(64);
+        c.on_timeout(32); // ssthresh = 16, cwnd = 1, slow start
+        assert_eq!(c.ssthresh(), 16.0);
+        for _ in 0..15 {
+            c.on_new_ack(1);
+        }
+        assert_eq!(c.phase(), Phase::CongestionAvoidance);
+        let w = c.cwnd();
+        c.on_new_ack(1);
+        assert!((c.cwnd() - (w + 1.0 / w)).abs() < 1e-12, "additive increase");
+    }
+
+    #[test]
+    fn ca_grows_one_window_per_rtt() {
+        let mut c = Cwnd::new(1000);
+        c.on_timeout(20); // ssthresh = 10
+        for _ in 0..9 {
+            c.on_new_ack(1);
+        }
+        assert_eq!(c.phase(), Phase::CongestionAvoidance);
+        let start = c.cwnd();
+        // One round = cwnd ACKs.
+        let acks = start.floor() as u32;
+        for _ in 0..acks {
+            c.on_new_ack(1);
+        }
+        assert!((c.cwnd() - (start + 1.0)).abs() < 0.1, "{} -> {}", start, c.cwnd());
+    }
+
+    #[test]
+    fn window_capped_by_advertised() {
+        let mut c = Cwnd::new(8);
+        for _ in 0..100 {
+            c.on_new_ack(1);
+        }
+        assert_eq!(c.window(), 8);
+        assert!(c.window_limited());
+    }
+
+    #[test]
+    fn fast_recovery_cycle() {
+        let mut c = Cwnd::new(64);
+        for _ in 0..20 {
+            c.on_new_ack(1);
+        }
+        c.enter_fast_recovery(20);
+        assert_eq!(c.phase(), Phase::FastRecovery);
+        assert_eq!(c.ssthresh(), 10.0);
+        assert_eq!(c.cwnd(), 13.0);
+        c.on_dup_ack_in_recovery();
+        assert_eq!(c.cwnd(), 14.0);
+        // New ACKs during recovery do not grow the window.
+        c.on_new_ack(1);
+        assert_eq!(c.cwnd(), 14.0);
+        c.exit_fast_recovery();
+        assert_eq!(c.phase(), Phase::CongestionAvoidance);
+        assert_eq!(c.cwnd(), 10.0);
+    }
+
+    #[test]
+    fn timeout_resets_to_one() {
+        let mut c = Cwnd::new(64);
+        for _ in 0..30 {
+            c.on_new_ack(1);
+        }
+        c.on_timeout(31);
+        assert_eq!(c.phase(), Phase::SlowStart);
+        assert_eq!(c.window(), 1);
+        assert_eq!(c.ssthresh(), 15.5);
+    }
+
+    #[test]
+    fn minimum_flight_floor_for_ssthresh() {
+        let mut c = Cwnd::new(64);
+        c.on_timeout(1);
+        assert_eq!(c.ssthresh(), 2.0);
+        c.enter_fast_recovery(1);
+        assert_eq!(c.ssthresh(), 2.0);
+    }
+
+    #[test]
+    fn partial_ack_deflates_but_stays_in_recovery() {
+        let mut c = Cwnd::new(64);
+        c.enter_fast_recovery(20);
+        let before = c.cwnd();
+        c.on_partial_ack(4);
+        assert_eq!(c.phase(), Phase::FastRecovery);
+        assert!((c.cwnd() - (before - 4.0 + 1.0)).abs() < 1e-12);
+        c.on_partial_ack(1000);
+        assert!(c.cwnd() >= 1.0);
+    }
+
+    #[test]
+    fn veno_backlog_estimate() {
+        let mut c = Cwnd::with_algorithm(64, Algorithm::veno());
+        assert_eq!(c.backlog_estimate(), None, "no RTT info yet");
+        for _ in 0..20 {
+            c.on_new_ack(1);
+        }
+        c.observe_rtt(0.050); // base
+        c.observe_rtt(0.075); // queueing building up
+        let n = c.backlog_estimate().unwrap();
+        // N = cwnd * (0.075-0.050)/0.075 = cwnd/3.
+        assert!((n - c.cwnd() / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn veno_takes_smaller_cut_on_random_loss() {
+        let mut veno = Cwnd::with_algorithm(64, Algorithm::veno());
+        let mut reno = Cwnd::new(64);
+        for c in [&mut veno, &mut reno] {
+            for _ in 0..20 {
+                c.on_new_ack(1);
+            }
+        }
+        // RTT at its base: backlog ~ 0 -> random loss suspected.
+        veno.observe_rtt(0.050);
+        veno.observe_rtt(0.050);
+        veno.enter_fast_recovery(20);
+        reno.enter_fast_recovery(20);
+        assert_eq!(reno.ssthresh(), 10.0, "Reno halves");
+        assert_eq!(veno.ssthresh(), 16.0, "Veno cuts by 1/5 on random loss");
+    }
+
+    #[test]
+    fn veno_halves_like_reno_when_congested() {
+        let mut veno = Cwnd::with_algorithm(64, Algorithm::veno());
+        for _ in 0..20 {
+            veno.on_new_ack(1);
+        }
+        // Large queueing delay: backlog exceeds beta.
+        veno.observe_rtt(0.050);
+        veno.observe_rtt(0.200);
+        assert!(veno.backlog_estimate().unwrap() > 3.0);
+        veno.enter_fast_recovery(20);
+        assert_eq!(veno.ssthresh(), 10.0);
+    }
+
+    #[test]
+    fn veno_slows_ca_growth_under_backlog() {
+        let mut c = Cwnd::with_algorithm(64, Algorithm::veno());
+        c.on_timeout(20); // ssthresh 10
+        for _ in 0..9 {
+            c.on_new_ack(1);
+        }
+        assert_eq!(c.phase(), Phase::CongestionAvoidance);
+        c.observe_rtt(0.050);
+        c.observe_rtt(0.300); // heavy queueing
+        let w = c.cwnd();
+        c.on_new_ack(1);
+        assert!((c.cwnd() - (w + 0.5 / w)).abs() < 1e-12, "half-rate growth");
+    }
+
+    #[test]
+    fn reno_ignores_rtt_observations() {
+        let mut c = Cwnd::new(64);
+        c.observe_rtt(0.050);
+        c.observe_rtt(0.500);
+        c.enter_fast_recovery(20);
+        assert_eq!(c.ssthresh(), 10.0);
+    }
+
+    #[test]
+    fn window_never_zero() {
+        let c = Cwnd::new(5);
+        assert!(c.window() >= 1);
+        let mut c2 = Cwnd::new(5);
+        c2.on_timeout(10);
+        assert_eq!(c2.window(), 1);
+    }
+}

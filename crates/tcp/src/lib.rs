@@ -1,0 +1,63 @@
+//! # hsm-tcp — TCP Reno / NewReno / MPTCP over the hsm simulator
+//!
+//! A from-scratch, segment-granular TCP implementation providing exactly
+//! the mechanisms the paper's model reasons about:
+//!
+//! * [`rtt`] — Jacobson/Karn RTT estimation and the exponential-backoff
+//!   retransmission timer capped at 64·T;
+//! * [`cwnd`] — the Reno congestion state machine (slow start, congestion
+//!   avoidance, fast recovery) with the `W_m` advertised-window cap;
+//! * [`reno`] — the sender agent (fast retransmit on triple dup-ACKs,
+//!   lone-segment retransmission during timeout recovery, optional NewReno
+//!   partial-ACK handling, optional redundant backup-path retransmission);
+//! * [`receiver`] — cumulative + delayed ACKs (`b`), reordering buffer,
+//!   duplicate-payload accounting (spurious-timeout ground truth);
+//! * [`connection`] — one-call wiring of a full measurement rig
+//!   (sender ↔ cellular path ↔ receiver, optional 300 km/h mobility);
+//! * [`mptcp`] — duplex-mode aggregation and backup-mode redundant
+//!   retransmission (paper §V-B);
+//! * [`metrics`] — endpoint-internal ground truth (cwnd logs, timeout
+//!   times) used to validate the trace analyses.
+//!
+//! ```
+//! use hsm_tcp::prelude::*;
+//!
+//! let cfg = ConnectionConfig {
+//!     sender: SenderConfig { max_segments: Some(50), ..Default::default() },
+//!     ..Default::default()
+//! };
+//! let out = run_connection(1, &PathSpec::default(), None, &cfg);
+//! assert_eq!(out.receiver.next_expected, 50);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod connection;
+pub mod cwnd;
+pub mod demux;
+pub mod metrics;
+pub mod mptcp;
+pub mod newreno;
+pub mod receiver;
+pub mod reno;
+pub mod rtt;
+pub mod veno;
+
+/// Convenient glob-import surface: `use hsm_tcp::prelude::*;`.
+pub mod prelude {
+    pub use crate::connection::{
+        run_connection, ConnectionConfig, ConnectionOutcome, LossSpec, MobilityScenario, PathSpec,
+    };
+    pub use crate::cwnd::{Algorithm, Cwnd, Phase};
+    pub use crate::metrics::{CwndSample, ReceiverMetrics, SenderMetrics};
+    pub use crate::demux::Demux;
+    pub use crate::mptcp::{
+        run_mptcp_duplex, run_mptcp_shared_radio, run_with_backup_path, MptcpOutcome,
+    };
+    pub use crate::newreno::new_reno_sender;
+    pub use crate::receiver::{AdaptiveDelAck, Receiver, ReceiverConfig};
+    pub use crate::reno::{RenoSender, SenderConfig};
+    pub use crate::rtt::{Backoff, RttEstimator};
+    pub use crate::veno::{veno_config, veno_sender};
+}

@@ -1,0 +1,101 @@
+//! Endpoint-internal metrics.
+//!
+//! The trace analyses (hsm-trace) infer everything from packet captures,
+//! as the paper had to. The TCP implementation additionally exports its
+//! *internal* ground truth — actual timeout events, cwnd evolution, phase
+//! changes — which the integration tests use to validate the trace-based
+//! inference, and which the Fig. 7–9 window-evolution plots are drawn
+//! from.
+
+use crate::cwnd::Phase;
+use hsm_simnet::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One point of the congestion-window evolution (Figs. 7–9).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CwndSample {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// Congestion window, fractional segments.
+    pub cwnd: f64,
+    /// Effective send window (min(cwnd, W_m)), whole segments.
+    pub window: u64,
+    /// Phase at the time.
+    pub phase: Phase,
+}
+
+/// Sender-side ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SenderMetrics {
+    /// Window samples, one per change.
+    pub cwnd_log: Vec<CwndSample>,
+    /// Times at which the retransmission timer expired.
+    pub timeouts: Vec<SimTime>,
+    /// The (backed-off) timer value that expired, seconds, parallel to
+    /// `timeouts`.
+    pub rto_at_timeout: Vec<f64>,
+    /// Times of fast retransmissions.
+    pub fast_retransmits: Vec<SimTime>,
+    /// Data segments sent, including retransmissions.
+    pub segments_sent: u64,
+    /// Retransmissions sent.
+    pub retransmissions: u64,
+    /// Highest sequence number sent so far.
+    pub max_seq_sent: u64,
+    /// ACK packets received.
+    pub acks_received: u64,
+    /// Duplicate ACKs received.
+    pub dup_acks_received: u64,
+    /// Timeouts detected as spurious and undone (Eifel-style response;
+    /// only with `spurious_rto_undo` enabled).
+    pub spurious_rto_undone: u64,
+}
+
+impl SenderMetrics {
+    /// Records a window sample.
+    pub fn log_cwnd(&mut self, at: SimTime, cwnd: f64, window: u64, phase: Phase) {
+        self.cwnd_log.push(CwndSample { at, cwnd, window, phase });
+    }
+
+    /// Number of timeout events.
+    pub fn timeout_count(&self) -> usize {
+        self.timeouts.len()
+    }
+}
+
+/// Receiver-side ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ReceiverMetrics {
+    /// Data segments received (including duplicates).
+    pub segments_received: u64,
+    /// Segments whose payload had already been received — the receiver-side
+    /// witness of a *spurious* retransmission (paper §III-B-2).
+    pub duplicate_payloads: u64,
+    /// ACKs sent.
+    pub acks_sent: u64,
+    /// Highest in-order sequence number received (next expected − 1).
+    pub next_expected: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_and_count() {
+        let mut m = SenderMetrics::default();
+        m.log_cwnd(SimTime::ZERO, 1.0, 1, Phase::SlowStart);
+        m.log_cwnd(SimTime::from_millis(10), 2.0, 2, Phase::SlowStart);
+        m.timeouts.push(SimTime::from_secs(1));
+        assert_eq!(m.cwnd_log.len(), 2);
+        assert_eq!(m.timeout_count(), 1);
+        assert_eq!(m.cwnd_log[1].window, 2);
+    }
+
+    #[test]
+    fn receiver_metrics_default_zero() {
+        let r = ReceiverMetrics::default();
+        assert_eq!(r.segments_received, 0);
+        assert_eq!(r.duplicate_payloads, 0);
+    }
+}

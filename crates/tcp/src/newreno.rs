@@ -1,0 +1,91 @@
+//! NewReno (RFC 6582) — the partial-ACK refinement of Reno.
+//!
+//! The paper bases its model on Reno ("TCP Reno is the basis of the other
+//! TCP versions", §II) but cites the NewReno throughput model of Parvez et
+//! al. as related work. We provide NewReno as a configuration of the same
+//! sender: during fast recovery, a *partial* ACK (advancing the cumulative
+//! point but short of the `recover` mark) retransmits the next hole and
+//! stays in fast recovery instead of exiting — repairing multiple losses
+//! in one window without a timeout.
+
+use crate::reno::{RenoSender, SenderConfig};
+use hsm_simnet::link::LinkId;
+use hsm_simnet::packet::FlowId;
+
+/// Builds a NewReno sender: a [`RenoSender`] with partial-ACK handling
+/// enabled.
+pub fn new_reno_sender(flow: FlowId, data_link: LinkId, mut cfg: SenderConfig) -> RenoSender {
+    cfg.newreno = true;
+    RenoSender::new(flow, data_link, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::{Receiver, ReceiverConfig};
+    use hsm_simnet::loss::Outage;
+    use hsm_simnet::prelude::*;
+    use hsm_simnet::time::{SimDuration, SimTime};
+
+    fn run_newreno(seed: u64, multi_loss: bool) -> (u64, usize, usize) {
+        let mut eng = Engine::new(seed);
+        let placeholder = LinkId::from_raw(u32::MAX);
+        let cfg = SenderConfig { max_segments: Some(600), ..Default::default() };
+        let tx = eng.add_agent(Box::new(new_reno_sender(FlowId(0), placeholder, cfg)));
+        let rx = eng.add_agent(Box::new(Receiver::new(
+            FlowId(0),
+            placeholder,
+            ReceiverConfig { b: 1, delack_timeout: SimDuration::from_millis(100), adaptive: None },
+        )));
+        let down = eng.add_link(
+            LinkSpec::new(rx, "downlink")
+                .bandwidth_bps(40_000_000)
+                .prop_delay(SimDuration::from_millis(25)),
+        );
+        let up = eng.add_link(
+            LinkSpec::new(tx, "uplink")
+                .bandwidth_bps(15_000_000)
+                .prop_delay(SimDuration::from_millis(25)),
+        );
+        eng.agent_mut::<RenoSender>(tx).unwrap().data_link = down;
+        eng.agent_mut::<Receiver>(rx).unwrap().uplink = up;
+        if multi_loss {
+            // Two short surgical outages close together: several segments
+            // of one window die -> partial-ACK territory.
+            eng.link_mut(down).loss.set_outage(Some(Outage::new(
+                SimTime::from_millis(400),
+                SimTime::from_millis(406),
+                1.0,
+            )));
+        }
+        eng.run_until_idle();
+        let sender = eng.agent_mut::<RenoSender>(tx).unwrap();
+        let (timeouts, fast) = (sender.metrics.timeouts.len(), sender.metrics.fast_retransmits.len());
+        let rx_agent = eng.agent_mut::<Receiver>(rx).unwrap();
+        (rx_agent.next_expected().as_u64(), timeouts, fast)
+    }
+
+    #[test]
+    fn newreno_completes_cleanly_without_loss() {
+        let (delivered, timeouts, fast) = run_newreno(1, false);
+        assert_eq!(delivered, 600);
+        assert_eq!(timeouts, 0);
+        assert_eq!(fast, 0);
+    }
+
+    #[test]
+    fn newreno_repairs_multi_loss_window() {
+        let (delivered, _timeouts, fast) = run_newreno(2, true);
+        assert_eq!(delivered, 600, "all segments eventually delivered");
+        assert!(fast >= 1, "expected a fast-retransmit recovery");
+    }
+
+    #[test]
+    fn constructor_sets_flag() {
+        let s = new_reno_sender(FlowId(3), LinkId::from_raw(0), SenderConfig::default());
+        // The flag is private; observable via behaviour — here we just
+        // sanity-check construction.
+        assert_eq!(s.snd_una(), 0);
+        assert_eq!(s.flight(), 0);
+    }
+}

@@ -1,0 +1,698 @@
+//! The TCP Reno sender.
+//!
+//! Implements the sender half the paper models: slow start, congestion
+//! avoidance, fast retransmit/recovery on triple duplicate ACKs
+//! (RFC 5681), and retransmission timeouts with exponential backoff capped
+//! at 64·T. During a timeout recovery phase the sender retransmits *only*
+//! the lost segment (Fig. 2) — which is exactly why a lossy recovery phase
+//! (`q`) is so expensive.
+//!
+//! Two extensions live behind configuration flags:
+//!
+//! * `newreno` — NewReno partial-ACK handling (stay in fast recovery until
+//!   the `recover` point is acknowledged);
+//! * `backup_link` — MPTCP-backup-style *redundant retransmission*: after
+//!   a timeout the lost segment is retransmitted on the primary **and** a
+//!   backup path, reducing the effective retransmission loss rate from `q`
+//!   to roughly `q·q_backup` (paper §V-B).
+
+use crate::cwnd::{Algorithm, Cwnd, Phase};
+use crate::metrics::SenderMetrics;
+use crate::rtt::{Backoff, RttEstimator};
+use hsm_simnet::engine::Ctx;
+use hsm_simnet::event::EventId;
+use hsm_simnet::link::LinkId;
+use hsm_simnet::packet::{FlowId, Packet, PacketKind, SeqNo};
+use hsm_simnet::prelude::Agent;
+use hsm_simnet::time::{SimDuration, SimTime};
+
+/// Sender configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SenderConfig {
+    /// Receiver-advertised window limitation `W_m`, segments.
+    pub w_m: u32,
+    /// Initial RTO before any RTT sample.
+    pub initial_rto: SimDuration,
+    /// Lower RTO bound.
+    pub min_rto: SimDuration,
+    /// Upper RTO bound.
+    pub max_rto: SimDuration,
+    /// Enable NewReno partial-ACK handling.
+    pub newreno: bool,
+    /// Congestion-control algorithm (Reno or Veno).
+    pub algorithm: Algorithm,
+    /// F-RTO-style spurious-RTO response: when the first ACK after a
+    /// timeout covers more than the single retransmitted segment, the
+    /// original in-flight data must have arrived — the timeout was
+    /// spurious. Undo the congestion-window collapse and skip the
+    /// go-back-N resends. A future-work mitigation for the paper's
+    /// spurious-timeout problem (exercised by the `ext_undo` experiment).
+    pub spurious_rto_undo: bool,
+    /// Stop sending new data after this long (the flow keeps draining).
+    pub stop_after: Option<SimDuration>,
+    /// Stop after this many distinct segments have been sent.
+    pub max_segments: Option<u64>,
+}
+
+impl Default for SenderConfig {
+    fn default() -> Self {
+        SenderConfig {
+            w_m: 64,
+            initial_rto: SimDuration::from_secs(1),
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(60),
+            newreno: false,
+            algorithm: Algorithm::Reno,
+            spurious_rto_undo: false,
+            stop_after: None,
+            max_segments: None,
+        }
+    }
+}
+
+const TAG_STOP: u64 = 1;
+const TAG_RTO_BASE: u64 = 1_000;
+
+/// Saved state for the F-RTO-style spurious-RTO undo.
+#[derive(Debug, Clone, Copy)]
+struct RtoUndo {
+    cwnd: Cwnd,
+    armed_snd_una: u64,
+}
+
+/// The Reno sender agent with an infinite backlog of data.
+#[derive(Debug)]
+pub struct RenoSender {
+    flow: FlowId,
+    /// Link carrying data to the receiver. Set by wiring code.
+    pub data_link: LinkId,
+    /// Optional backup link for redundant timeout retransmission (§V-B).
+    pub backup_link: Option<LinkId>,
+    /// Whether `stop_after` halts the whole engine (true for single-flow
+    /// rigs). Multi-flow wirings set this false so one sender's stop does
+    /// not truncate its siblings.
+    pub halt_engine_on_stop: bool,
+    cfg: SenderConfig,
+    cwnd: Cwnd,
+    rtt: RttEstimator,
+    backoff: Backoff,
+    /// Next sequence number to (re)transmit. After a timeout this is reset
+    /// to just above `snd_una` (go-back-N): segments between `snd_nxt` and
+    /// `high_water` are presumed lost and resent as the window reopens.
+    snd_nxt: u64,
+    /// Highest sequence number ever sent + 1 (new data starts here).
+    high_water: u64,
+    snd_una: u64,
+    dup_acks: u32,
+    recover: u64,
+    rto_timer: Option<EventId>,
+    rto_gen: u64,
+    timing: Option<(u64, SimTime)>,
+    undo: Option<RtoUndo>,
+    stopped: bool,
+    /// Ground-truth counters and logs.
+    pub metrics: SenderMetrics,
+}
+
+impl RenoSender {
+    /// Creates a sender for `flow`; `data_link` may be a placeholder fixed
+    /// up by wiring code before the simulation starts.
+    pub fn new(flow: FlowId, data_link: LinkId, cfg: SenderConfig) -> RenoSender {
+        RenoSender {
+            flow,
+            data_link,
+            backup_link: None,
+            halt_engine_on_stop: true,
+            cwnd: Cwnd::with_algorithm(cfg.w_m, cfg.algorithm),
+            rtt: RttEstimator::new(cfg.initial_rto, cfg.min_rto, cfg.max_rto),
+            backoff: Backoff::new(),
+            cfg,
+            snd_nxt: 0,
+            high_water: 0,
+            snd_una: 0,
+            dup_acks: 0,
+            recover: 0,
+            rto_timer: None,
+            rto_gen: 0,
+            timing: None,
+            undo: None,
+            stopped: false,
+            metrics: SenderMetrics::default(),
+        }
+    }
+
+    /// Segments in flight (standard `pipe` approximation): sent since the
+    /// last (re)transmission point and not yet acknowledged.
+    pub fn flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// Lowest unacknowledged sequence number.
+    pub fn snd_una(&self) -> u64 {
+        self.snd_una
+    }
+
+    /// The congestion controller (for inspection).
+    pub fn cwnd(&self) -> &Cwnd {
+        &self.cwnd
+    }
+
+    /// The RTT estimator (for inspection).
+    pub fn rtt(&self) -> &RttEstimator {
+        &self.rtt
+    }
+
+    fn log(&mut self, now: SimTime) {
+        let (c, w, p) = (self.cwnd.cwnd(), self.cwnd.window(), self.cwnd.phase());
+        self.metrics.log_cwnd(now, c, w, p);
+    }
+
+    fn arm_rto(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(t) = self.rto_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        self.rto_gen += 1;
+        let delay = self.backoff.apply(self.rtt.rto());
+        self.rto_timer = Some(ctx.schedule_in(delay, TAG_RTO_BASE + self.rto_gen));
+    }
+
+    fn disarm_rto(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(t) = self.rto_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        self.rto_gen += 1; // invalidate any in-flight firing
+    }
+
+    fn may_send_new(&self) -> bool {
+        if self.stopped {
+            return false;
+        }
+        if let Some(max) = self.cfg.max_segments {
+            if self.high_water >= max {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn send_available(&mut self, ctx: &mut Ctx<'_>) {
+        let win = self.cwnd.window();
+        while self.flight() < win {
+            let is_resend = self.snd_nxt < self.high_water;
+            if !is_resend && !self.may_send_new() {
+                break;
+            }
+            let seq = self.snd_nxt;
+            ctx.send(self.data_link, Packet::data(self.flow, SeqNo(seq), is_resend));
+            self.metrics.segments_sent += 1;
+            if is_resend {
+                self.metrics.retransmissions += 1;
+                if self.timing.is_some_and(|(t_seq, _)| t_seq == seq) {
+                    self.timing = None; // Karn
+                }
+            } else {
+                if self.timing.is_none() {
+                    self.timing = Some((seq, ctx.now()));
+                }
+                self.metrics.max_seq_sent = self.metrics.max_seq_sent.max(seq);
+                self.high_water = seq + 1;
+            }
+            self.snd_nxt += 1;
+        }
+        if self.flight() > 0 && self.rto_timer.is_none() {
+            self.arm_rto(ctx);
+        }
+    }
+
+    fn retransmit(&mut self, ctx: &mut Ctx<'_>, seq: u64, redundant: bool) {
+        ctx.send(self.data_link, Packet::data(self.flow, SeqNo(seq), true));
+        self.metrics.segments_sent += 1;
+        self.metrics.retransmissions += 1;
+        if redundant {
+            if let Some(backup) = self.backup_link {
+                ctx.send(backup, Packet::data(self.flow, SeqNo(seq), true).with_tag(1));
+                self.metrics.segments_sent += 1;
+            }
+        }
+        // Karn: a retransmitted segment can no longer give a clean sample.
+        if self.timing.is_some_and(|(t_seq, _)| t_seq == seq) {
+            self.timing = None;
+        }
+    }
+
+    fn on_ack(&mut self, ctx: &mut Ctx<'_>, cum: u64) {
+        self.metrics.acks_received += 1;
+        if cum > self.snd_una {
+            let acked = cum - self.snd_una;
+            self.snd_una = cum;
+            // The receiver may have buffered out-of-order data: never
+            // retransmit below the cumulative point.
+            self.snd_nxt = self.snd_nxt.max(self.snd_una);
+            self.backoff.reset();
+            // F-RTO-style undo, evaluated on the first new ACK after an
+            // RTO: if it covers more than the one retransmitted segment,
+            // the original in-flight data must have arrived — the timeout
+            // was spurious.
+            if let Some(undo) = self.undo.take() {
+                if cum > undo.armed_snd_una + 1 {
+                    self.cwnd = undo.cwnd;
+                    // The old in-flight data was not lost: skip go-back-N.
+                    self.snd_nxt = self.high_water.max(self.snd_una);
+                    self.metrics.spurious_rto_undone += 1;
+                }
+            }
+            if let Some((seq, t0)) = self.timing {
+                if cum > seq {
+                    let sample = ctx.now().saturating_since(t0);
+                    self.rtt.sample(sample);
+                    self.cwnd.observe_rtt(sample.as_secs_f64());
+                    self.timing = None;
+                }
+            }
+            if self.cwnd.phase() == Phase::FastRecovery {
+                if self.cfg.newreno && cum < self.recover {
+                    // Partial ACK: retransmit the next hole, stay in FR.
+                    self.cwnd.on_partial_ack(acked);
+                    let seq = self.snd_una;
+                    self.retransmit(ctx, seq, false);
+                    self.arm_rto(ctx);
+                } else {
+                    self.cwnd.exit_fast_recovery();
+                    self.dup_acks = 0;
+                }
+            } else {
+                self.cwnd.on_new_ack(acked);
+                self.dup_acks = 0;
+            }
+            if self.flight() == 0 {
+                self.disarm_rto(ctx);
+            } else {
+                self.arm_rto(ctx);
+            }
+            self.log(ctx.now());
+            self.send_available(ctx);
+        } else if cum == self.snd_una && self.flight() > 0 {
+            self.dup_acks += 1;
+            self.metrics.dup_acks_received += 1;
+            match self.cwnd.phase() {
+                Phase::FastRecovery => {
+                    self.cwnd.on_dup_ack_in_recovery();
+                    self.send_available(ctx);
+                }
+                _ if self.dup_acks == 3 => {
+                    self.recover = self.high_water;
+                    let flight = self.flight();
+                    self.cwnd.enter_fast_recovery(flight);
+                    self.metrics.fast_retransmits.push(ctx.now());
+                    let seq = self.snd_una;
+                    self.retransmit(ctx, seq, false);
+                    self.arm_rto(ctx);
+                    self.log(ctx.now());
+                }
+                _ => {}
+            }
+        }
+        // cum < snd_una: stale/reordered ACK; ignore.
+    }
+
+    fn on_rto(&mut self, ctx: &mut Ctx<'_>) {
+        if self.flight() == 0 {
+            self.rto_timer = None;
+            return;
+        }
+        let expired = self.backoff.apply(self.rtt.rto());
+        self.metrics.timeouts.push(ctx.now());
+        self.metrics.rto_at_timeout.push(expired.as_secs_f64());
+        // Arm the undo only at the *first* rung of a ladder, so the saved
+        // window is the pre-collapse one; it is consumed (fired or
+        // discarded) by the first new ACK either way.
+        if self.cfg.spurious_rto_undo && self.undo.is_none() {
+            self.undo = Some(RtoUndo { cwnd: self.cwnd, armed_snd_una: self.snd_una });
+        }
+        let flight = self.flight();
+        self.cwnd.on_timeout(flight);
+        self.backoff.on_timeout();
+        self.dup_acks = 0;
+        self.recover = self.high_water;
+        self.rto_timer = None;
+        let seq = self.snd_una;
+        // Timeout recovery: retransmit only the lost segment (Fig. 2),
+        // redundantly over the backup path when configured (§V-B). All
+        // other in-flight data is presumed lost: go-back-N from here.
+        self.retransmit(ctx, seq, true);
+        self.snd_nxt = seq + 1;
+        self.arm_rto(ctx);
+        self.log(ctx.now());
+    }
+}
+
+impl Agent for RenoSender {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(after) = self.cfg.stop_after {
+            ctx.schedule_in(after, TAG_STOP);
+        }
+        self.log(ctx.now());
+        self.send_available(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        if let PacketKind::Ack { cum, .. } = packet.kind {
+            self.on_ack(ctx, cum.as_u64());
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        match tag {
+            TAG_STOP => {
+                self.stopped = true;
+                self.disarm_rto(ctx);
+                if self.halt_engine_on_stop {
+                    ctx.stop();
+                }
+            }
+            t if t == TAG_RTO_BASE + self.rto_gen => self.on_rto(ctx),
+            _ => { /* stale RTO generation: ignore */ }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::{Receiver, ReceiverConfig};
+    use hsm_simnet::loss::{Bernoulli, ChannelLoss, Outage};
+    use hsm_simnet::observer::VecRecorder;
+    use hsm_simnet::prelude::*;
+
+    struct World {
+        eng: Engine,
+        tx: AgentId,
+        rx: AgentId,
+        down: LinkId,
+        up: LinkId,
+        rec: VecRecorder,
+    }
+
+    fn world(seed: u64, scfg: SenderConfig, rcfg: ReceiverConfig, down_loss: f64, up_loss: f64) -> World {
+        let mut eng = Engine::new(seed);
+        let tx = eng.add_agent(Box::new(RenoSender::new(FlowId(0), LinkId::from_raw(0), scfg)));
+        let rx = eng.add_agent(Box::new(Receiver::new(FlowId(0), LinkId::from_raw(0), rcfg)));
+        let down = eng.add_link(
+            LinkSpec::new(rx, "downlink")
+                .bandwidth_bps(50_000_000)
+                .prop_delay(SimDuration::from_millis(25))
+                .loss(ChannelLoss::new(Box::new(Bernoulli::new(down_loss)))),
+        );
+        let up = eng.add_link(
+            LinkSpec::new(tx, "uplink")
+                .bandwidth_bps(50_000_000)
+                .prop_delay(SimDuration::from_millis(25))
+                .loss(ChannelLoss::new(Box::new(Bernoulli::new(up_loss)))),
+        );
+        eng.agent_mut::<RenoSender>(tx).unwrap().data_link = down;
+        eng.agent_mut::<Receiver>(rx).unwrap().uplink = up;
+        let rec = VecRecorder::new();
+        eng.add_observer(Box::new(rec.clone()));
+        World { eng, tx, rx, down, up, rec }
+    }
+
+    #[test]
+    fn lossless_flow_delivers_everything_in_order() {
+        let mut w = world(
+            1,
+            SenderConfig { max_segments: Some(200), ..Default::default() },
+            ReceiverConfig::default(),
+            0.0,
+            0.0,
+        );
+        w.eng.run_until_idle();
+        let rx = w.eng.agent_mut::<Receiver>(w.rx).unwrap();
+        assert_eq!(rx.next_expected(), SeqNo(200));
+        assert_eq!(rx.metrics.duplicate_payloads, 0);
+        let tx = w.eng.agent_mut::<RenoSender>(w.tx).unwrap();
+        assert_eq!(tx.metrics.retransmissions, 0);
+        assert_eq!(tx.metrics.timeout_count(), 0);
+        assert_eq!(tx.flight(), 0);
+    }
+
+    #[test]
+    fn slow_start_grows_window_exponentially() {
+        let mut w = world(
+            2,
+            SenderConfig { max_segments: Some(1000), ..Default::default() },
+            ReceiverConfig { b: 1, delack_timeout: SimDuration::from_millis(100), adaptive: None },
+            0.0,
+            0.0,
+        );
+        w.eng.run_until(SimTime::from_millis(400));
+        let tx = w.eng.agent_mut::<RenoSender>(w.tx).unwrap();
+        // After several RTTs (~55 ms each) of lossless slow start the
+        // window must have grown well beyond the initial 1.
+        assert!(tx.cwnd().cwnd() > 16.0, "cwnd {}", tx.cwnd().cwnd());
+        assert_eq!(tx.metrics.timeout_count(), 0);
+    }
+
+    #[test]
+    fn single_data_loss_triggers_fast_retransmit_not_timeout() {
+        let mut w = world(
+            3,
+            SenderConfig { max_segments: Some(400), ..Default::default() },
+            ReceiverConfig { b: 1, delack_timeout: SimDuration::from_millis(100), adaptive: None },
+            0.0,
+            0.0,
+        );
+        // Kill exactly one data packet mid-flow with a surgical outage.
+        w.eng
+            .link_mut(w.down)
+            .loss
+            .set_outage(Some(Outage::new(
+                SimTime::from_millis(300),
+                SimTime::from_millis(302),
+                1.0,
+            )));
+        w.eng.run_until_idle();
+        let tx = w.eng.agent_mut::<RenoSender>(w.tx).unwrap();
+        assert!(tx.metrics.retransmissions >= 1);
+        assert!(
+            !tx.metrics.fast_retransmits.is_empty(),
+            "expected fast retransmit; timeouts={:?}",
+            tx.metrics.timeouts
+        );
+        let rx = w.eng.agent_mut::<Receiver>(w.rx).unwrap();
+        assert_eq!(rx.next_expected(), SeqNo(400), "flow completes");
+    }
+
+    #[test]
+    fn full_window_loss_causes_timeout_and_backoff() {
+        let mut w = world(
+            4,
+            SenderConfig { max_segments: Some(400), ..Default::default() },
+            ReceiverConfig::default(),
+            0.0,
+            0.0,
+        );
+        // A long outage swallows a whole window: only RTO can recover.
+        w.eng.link_mut(w.down).loss.set_outage(Some(Outage::new(
+            SimTime::from_millis(280),
+            SimTime::from_millis(1200),
+            1.0,
+        )));
+        w.eng.run_until_idle();
+        let tx = w.eng.agent_mut::<RenoSender>(w.tx).unwrap();
+        assert!(tx.metrics.timeout_count() >= 1, "timeouts: {:?}", tx.metrics.timeouts);
+        // Recovery finished: all 400 segments delivered.
+        let rx = w.eng.agent_mut::<Receiver>(w.rx).unwrap();
+        assert_eq!(rx.next_expected(), SeqNo(400));
+    }
+
+    #[test]
+    fn consecutive_timeouts_double_the_timer() {
+        let mut w = world(
+            5,
+            SenderConfig { max_segments: Some(50), ..Default::default() },
+            ReceiverConfig::default(),
+            0.0,
+            0.0,
+        );
+        // Outage long enough for several backoff rungs.
+        w.eng.link_mut(w.down).loss.set_outage(Some(Outage::new(
+            SimTime::from_millis(260),
+            SimTime::from_millis(4_000),
+            1.0,
+        )));
+        w.eng.run_until_idle();
+        let tx = w.eng.agent_mut::<RenoSender>(w.tx).unwrap();
+        let rtos = &tx.metrics.rto_at_timeout;
+        assert!(rtos.len() >= 3, "rtos: {rtos:?}");
+        for pair in rtos.windows(2) {
+            assert!(
+                pair[1] >= pair[0] * 1.9,
+                "backoff not doubling: {rtos:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ack_burst_loss_causes_spurious_timeout() {
+        // No data loss at all; uplink dies completely for a while. The
+        // sender must time out spuriously and the receiver must see
+        // duplicate payloads (paper Fig. 5).
+        let mut w = world(
+            6,
+            SenderConfig { max_segments: Some(300), ..Default::default() },
+            ReceiverConfig::default(),
+            0.0,
+            0.0,
+        );
+        w.eng.link_mut(w.up).loss.set_outage(Some(Outage::new(
+            SimTime::from_millis(250),
+            SimTime::from_millis(900),
+            1.0,
+        )));
+        w.eng.run_until_idle();
+        let tx = w.eng.agent_mut::<RenoSender>(w.tx).unwrap();
+        assert!(tx.metrics.timeout_count() >= 1, "no timeout despite ACK burst loss");
+        let rx = w.eng.agent_mut::<Receiver>(w.rx).unwrap();
+        assert!(
+            rx.metrics.duplicate_payloads >= 1,
+            "spurious retransmission must duplicate payloads"
+        );
+        assert_eq!(rx.next_expected(), SeqNo(300));
+    }
+
+    #[test]
+    fn flow_survives_sustained_random_loss() {
+        let mut w = world(
+            7,
+            SenderConfig { max_segments: Some(2_000), ..Default::default() },
+            ReceiverConfig::default(),
+            0.02,
+            0.01,
+        );
+        w.eng.run_until(SimTime::from_secs(600));
+        let rx = w.eng.agent_mut::<Receiver>(w.rx).unwrap();
+        assert_eq!(rx.next_expected(), SeqNo(2_000), "flow must complete under loss");
+    }
+
+    #[test]
+    fn stop_after_halts_the_flow() {
+        let mut w = world(
+            8,
+            SenderConfig { stop_after: Some(SimDuration::from_secs(2)), ..Default::default() },
+            ReceiverConfig::default(),
+            0.0,
+            0.0,
+        );
+        w.eng.run_until_idle();
+        assert!(w.eng.stopped());
+        assert!(w.eng.now() >= SimTime::from_secs(2));
+        let tx = w.eng.agent_mut::<RenoSender>(w.tx).unwrap();
+        assert!(tx.metrics.segments_sent > 100, "should stream for 2 s");
+    }
+
+    #[test]
+    fn window_respects_advertised_limit() {
+        let mut w = world(
+            9,
+            SenderConfig { w_m: 4, max_segments: Some(500), ..Default::default() },
+            ReceiverConfig::default(),
+            0.0,
+            0.0,
+        );
+        w.eng.run_until_idle();
+        let tx = w.eng.agent_mut::<RenoSender>(w.tx).unwrap();
+        assert!(tx.metrics.cwnd_log.iter().all(|s| s.window <= 4));
+    }
+
+    #[test]
+    fn spurious_rto_undo_restores_the_window() {
+        // A pure ACK blackout: the timeout is spurious. The original
+        // window's data keeps arriving, so the first ACK after the blackout
+        // arrives almost immediately after the (needless) retransmission.
+        let run = |undo: bool| {
+            let mut w = world(
+                12,
+                SenderConfig {
+                    max_segments: Some(1_000),
+                    spurious_rto_undo: undo,
+                    ..Default::default()
+                },
+                ReceiverConfig::default(),
+                0.0,
+                0.0,
+            );
+            w.eng.link_mut(w.up).loss.set_outage(Some(Outage::new(
+                SimTime::from_millis(400),
+                SimTime::from_millis(1_100),
+                1.0,
+            )));
+            w.eng.run_until_idle();
+            let tx = w.eng.agent_mut::<RenoSender>(w.tx).unwrap();
+            (
+                tx.metrics.spurious_rto_undone,
+                tx.metrics.retransmissions,
+                w.eng.now(),
+            )
+        };
+        let (undone, retx_undo, finish_undo) = run(true);
+        let (baseline_undone, retx_plain, finish_plain) = run(false);
+        assert_eq!(baseline_undone, 0);
+        assert!(undone >= 1, "the blackout timeout must be detected as spurious");
+        assert!(
+            retx_undo <= retx_plain,
+            "undo must not add retransmissions ({retx_undo} vs {retx_plain})"
+        );
+        // Undoing the window collapse can only help completion time.
+        assert!(
+            finish_undo <= finish_plain,
+            "undo must not slow the flow ({finish_undo} vs {finish_plain})"
+        );
+    }
+
+    #[test]
+    fn genuine_timeouts_are_not_undone() {
+        // A real downlink outage: the data is genuinely lost, so the first
+        // ACK after recovery arrives a full backed-off RTO later — far
+        // past the undo deadline.
+        let mut w = world(
+            13,
+            SenderConfig {
+                max_segments: Some(400),
+                spurious_rto_undo: true,
+                ..Default::default()
+            },
+            ReceiverConfig::default(),
+            0.0,
+            0.0,
+        );
+        w.eng.link_mut(w.down).loss.set_outage(Some(Outage::new(
+            SimTime::from_millis(280),
+            SimTime::from_millis(1_500),
+            1.0,
+        )));
+        w.eng.run_until_idle();
+        let tx = w.eng.agent_mut::<RenoSender>(w.tx).unwrap();
+        assert!(tx.metrics.timeout_count() >= 1);
+        assert_eq!(
+            tx.metrics.spurious_rto_undone, 0,
+            "a genuine loss must not trigger the undo"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut w = world(
+                seed,
+                SenderConfig { max_segments: Some(500), ..Default::default() },
+                ReceiverConfig::default(),
+                0.01,
+                0.005,
+            );
+            w.eng.run_until_idle();
+            let tx = w.eng.agent_mut::<RenoSender>(w.tx).unwrap();
+            (tx.metrics.segments_sent, tx.metrics.timeouts.clone(), w.rec.len())
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

@@ -1,0 +1,204 @@
+//! RTT estimation (Jacobson/Karn) and base-RTO computation.
+//!
+//! Implements the standard smoothed-RTT estimator of RFC 6298:
+//! `SRTT = 7/8·SRTT + 1/8·R'`, `RTTVAR = 3/4·RTTVAR + 1/4·|SRTT − R'|`,
+//! `RTO = SRTT + 4·RTTVAR`, clamped to `[min_rto, max_rto]`. Karn's rule
+//! (never sample a retransmitted segment) is enforced by the sender, which
+//! only feeds unambiguous samples.
+
+use hsm_simnet::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Jacobson RTT estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RttEstimator {
+    srtt: Option<f64>,
+    rttvar: f64,
+    min_rto: f64,
+    max_rto: f64,
+    initial_rto: f64,
+    samples: u64,
+}
+
+impl RttEstimator {
+    /// Creates an estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are inverted or non-positive.
+    pub fn new(initial_rto: SimDuration, min_rto: SimDuration, max_rto: SimDuration) -> Self {
+        let (init, min, max) = (initial_rto.as_secs_f64(), min_rto.as_secs_f64(), max_rto.as_secs_f64());
+        assert!(min > 0.0 && max >= min, "invalid RTO bounds");
+        assert!(init > 0.0, "invalid initial RTO");
+        RttEstimator { srtt: None, rttvar: 0.0, min_rto: min, max_rto: max, initial_rto: init, samples: 0 }
+    }
+
+    /// RFC 6298 defaults: initial RTO 1 s, bounds [200 ms, 60 s] (Linux's
+    /// 200 ms lower bound rather than the RFC's conservative 1 s).
+    pub fn standard() -> Self {
+        RttEstimator::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(60),
+        )
+    }
+
+    /// Feeds one RTT sample (from a never-retransmitted segment).
+    pub fn sample(&mut self, rtt: SimDuration) {
+        let r = rtt.as_secs_f64();
+        self.samples += 1;
+        match self.srtt {
+            None => {
+                self.srtt = Some(r);
+                self.rttvar = r / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - r).abs();
+                self.srtt = Some(0.875 * srtt + 0.125 * r);
+            }
+        }
+    }
+
+    /// The smoothed RTT, if at least one sample arrived.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt.map(SimDuration::from_secs_f64)
+    }
+
+    /// Number of samples consumed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The current base retransmission timeout (before backoff).
+    pub fn rto(&self) -> SimDuration {
+        let raw = match self.srtt {
+            None => self.initial_rto,
+            Some(srtt) => srtt + 4.0 * self.rttvar,
+        };
+        SimDuration::from_secs_f64(raw.clamp(self.min_rto, self.max_rto))
+    }
+}
+
+/// The retransmission timer with exponential backoff.
+///
+/// After each consecutive timeout the timer doubles; the paper notes the
+/// doubling continues until the timer reaches `64·T` (RFC 6298's cap
+/// behaviour), after which it stays there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Backoff {
+    exponent: u32,
+}
+
+impl Backoff {
+    /// Maximum backoff multiplier (`64·T`).
+    pub const MAX_FACTOR: u64 = 64;
+
+    /// Fresh, un-backed-off state.
+    pub fn new() -> Backoff {
+        Backoff::default()
+    }
+
+    /// The current multiplier (1, 2, 4, …, 64).
+    pub fn factor(&self) -> u64 {
+        1u64 << self.exponent.min(6)
+    }
+
+    /// Applies the backoff to a base RTO.
+    pub fn apply(&self, base: SimDuration) -> SimDuration {
+        base * self.factor()
+    }
+
+    /// Doubles the timer (saturating at 64×).
+    pub fn on_timeout(&mut self) {
+        if self.exponent < 6 {
+            self.exponent += 1;
+        }
+    }
+
+    /// Resets after an ACK for new data.
+    pub fn reset(&mut self) {
+        self.exponent = 0;
+    }
+
+    /// Consecutive timeouts so far.
+    pub fn consecutive_timeouts(&self) -> u32 {
+        self.exponent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::standard();
+        assert_eq!(e.srtt(), None);
+        assert_eq!(e.rto(), SimDuration::from_secs(1));
+        e.sample(SimDuration::from_millis(100));
+        assert_eq!(e.srtt(), Some(SimDuration::from_millis(100)));
+        // RTO = 100 + 4*50 = 300 ms.
+        assert_eq!(e.rto(), SimDuration::from_millis(300));
+        assert_eq!(e.samples(), 1);
+    }
+
+    #[test]
+    fn smoothing_converges_to_stable_rtt() {
+        let mut e = RttEstimator::standard();
+        for _ in 0..200 {
+            e.sample(SimDuration::from_millis(80));
+        }
+        let srtt = e.srtt().unwrap().as_secs_f64();
+        assert!((srtt - 0.080).abs() < 1e-6);
+        // Variance decays toward zero, so RTO approaches the min bound.
+        assert_eq!(e.rto(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn rto_clamped_to_bounds() {
+        let mut e = RttEstimator::standard();
+        e.sample(SimDuration::from_secs(100));
+        assert_eq!(e.rto(), SimDuration::from_secs(60));
+        let mut fast = RttEstimator::standard();
+        fast.sample(SimDuration::from_micros(10));
+        assert_eq!(fast.rto(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn variance_reacts_to_jitter() {
+        let mut e = RttEstimator::standard();
+        e.sample(SimDuration::from_millis(50));
+        e.sample(SimDuration::from_millis(250));
+        // srtt = 0.875*50 + 0.125*250 = 75 ms; rttvar = 0.75*25 + 0.25*200 = 68.75 ms.
+        let srtt = e.srtt().unwrap().as_secs_f64();
+        assert!((srtt - 0.075).abs() < 1e-9);
+        let rto = e.rto().as_secs_f64();
+        assert!((rto - (0.075 + 4.0 * 0.06875)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backoff_doubles_to_64x_cap() {
+        let mut b = Backoff::new();
+        let base = SimDuration::from_millis(500);
+        let mut factors = Vec::new();
+        for _ in 0..9 {
+            factors.push(b.factor());
+            b.on_timeout();
+        }
+        assert_eq!(factors, vec![1, 2, 4, 8, 16, 32, 64, 64, 64]);
+        assert_eq!(b.apply(base), SimDuration::from_secs(32));
+        b.reset();
+        assert_eq!(b.factor(), 1);
+        assert_eq!(b.consecutive_timeouts(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_bounds_rejected() {
+        let _ = RttEstimator::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(1),
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! One-way latency series and RTT estimation (the basis of Fig. 1).
+
+use crate::record::FlowTrace;
+use hsm_simnet::time::SimDuration;
+
+/// A point of the Fig. 1 scatter: `(send_time_s, one_way_delay_s)`, where a
+/// lost packet is plotted at delay −1 exactly as the paper does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayPoint {
+    /// When the packet was sent, seconds since flow start.
+    pub sent_s: f64,
+    /// One-way delay in seconds, or −1.0 for lost packets.
+    pub delay_s: f64,
+    /// True for ACKs (upper half of Fig. 1), false for data (lower half).
+    pub is_ack: bool,
+}
+
+/// Builds the Fig. 1 scatter from a trace.
+pub fn delay_scatter(trace: &FlowTrace) -> Vec<DelayPoint> {
+    let Some(start) = trace.start() else { return Vec::new() };
+    trace
+        .records
+        .iter()
+        .map(|r| DelayPoint {
+            sent_s: r.sent_at.saturating_since(start).as_secs_f64(),
+            delay_s: match r.latency() {
+                Some(d) => d.as_secs_f64(),
+                None => -1.0,
+            },
+            is_ack: r.is_ack,
+        })
+        .collect()
+}
+
+/// Median of a (possibly unsorted) list of durations.
+fn median(mut xs: Vec<SimDuration>) -> Option<SimDuration> {
+    if xs.is_empty() {
+        return None;
+    }
+    xs.sort();
+    Some(xs[xs.len() / 2])
+}
+
+/// Estimates the flow's base RTT as (median data one-way delay) + (median
+/// ACK one-way delay). Returns `None` if either direction has no delivered
+/// packets.
+pub fn estimate_rtt(trace: &FlowTrace) -> Option<SimDuration> {
+    let data: Vec<SimDuration> = trace.data().filter_map(|r| r.latency()).collect();
+    let acks: Vec<SimDuration> = trace.acks().filter_map(|r| r.latency()).collect();
+    Some(median(data)? + median(acks)?)
+}
+
+/// One window of the delay timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayBin {
+    /// Window start, seconds since flow start.
+    pub from_s: f64,
+    /// Median one-way data delay in the window, seconds (`None` when no
+    /// data arrived — a stall).
+    pub median_delay_s: Option<f64>,
+    /// Delivered data packets in the window.
+    pub samples: usize,
+}
+
+/// Median one-way data delay per window — RTT-inflation over time (delay
+/// spikes around handoffs are clearly visible).
+pub fn delay_timeline(trace: &FlowTrace, window: SimDuration) -> Vec<DelayBin> {
+    if window.is_zero() {
+        return Vec::new();
+    }
+    let Some(start) = trace.start() else { return Vec::new() };
+    let Some(end) = trace.end() else { return Vec::new() };
+    let n_bins = (end.saturating_since(start).as_micros() / window.as_micros() + 1) as usize;
+    let mut per_bin: Vec<Vec<f64>> = vec![Vec::new(); n_bins];
+    for rec in trace.data() {
+        if let Some(lat) = rec.latency() {
+            let idx = ((rec.sent_at.saturating_since(start).as_micros() / window.as_micros())
+                as usize)
+                .min(n_bins - 1);
+            per_bin[idx].push(lat.as_secs_f64());
+        }
+    }
+    per_bin
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut xs)| {
+            xs.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            DelayBin {
+                from_s: window.as_secs_f64() * i as f64,
+                median_delay_s: if xs.is_empty() { None } else { Some(xs[xs.len() / 2]) },
+                samples: xs.len(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{FlowMeta, PacketRecord};
+    use hsm_simnet::time::SimTime;
+
+    fn rec(sent_ms: u64, delay_ms: Option<u64>, is_ack: bool) -> PacketRecord {
+        PacketRecord {
+            id: sent_ms,
+            seq: 0,
+            is_ack,
+            retransmit: false,
+            acked_count: 0,
+            size_bytes: 1500,
+            sent_at: SimTime::from_millis(sent_ms),
+            arrived_at: delay_ms.map(|d| SimTime::from_millis(sent_ms + d)),
+        }
+    }
+
+    #[test]
+    fn scatter_marks_lost_at_minus_one() {
+        let mut t = FlowTrace::new(0, FlowMeta::default());
+        t.records = vec![rec(100, Some(30), false), rec(200, None, false), rec(250, Some(28), true)];
+        let pts = delay_scatter(&t);
+        assert_eq!(pts.len(), 3);
+        assert!((pts[0].sent_s - 0.0).abs() < 1e-9);
+        assert!((pts[0].delay_s - 0.030).abs() < 1e-9);
+        assert_eq!(pts[1].delay_s, -1.0);
+        assert!(pts[2].is_ack);
+        assert!((pts[2].sent_s - 0.150).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rtt_is_sum_of_direction_medians() {
+        let mut t = FlowTrace::new(0, FlowMeta::default());
+        t.records = vec![
+            rec(0, Some(30), false),
+            rec(1, Some(32), false),
+            rec(2, Some(31), false),
+            rec(3, Some(25), true),
+            rec(4, Some(27), true),
+        ];
+        let rtt = estimate_rtt(&t).unwrap();
+        // median data = 31 ms, median ack = 27 ms.
+        assert_eq!(rtt, SimDuration::from_millis(58));
+    }
+
+    #[test]
+    fn delay_timeline_bins_and_marks_stalls() {
+        let mut t = FlowTrace::new(0, FlowMeta::default());
+        // Window 0: delays 30, 32; window 1: nothing (stall); window 2: 80.
+        t.records = vec![
+            rec(100, Some(30), false),
+            rec(200, Some(32), false),
+            rec(2_100, Some(80), false),
+        ];
+        let bins = delay_timeline(&t, SimDuration::from_secs(1));
+        assert_eq!(bins.len(), 3);
+        assert_eq!(bins[0].samples, 2);
+        assert!((bins[0].median_delay_s.unwrap() - 0.032).abs() < 1e-9);
+        assert_eq!(bins[1].median_delay_s, None, "stall window");
+        assert!((bins[2].median_delay_s.unwrap() - 0.080).abs() < 1e-9);
+        assert!((bins[2].from_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_timeline_empty_inputs() {
+        let t = FlowTrace::new(0, FlowMeta::default());
+        assert!(delay_timeline(&t, SimDuration::from_secs(1)).is_empty());
+        let mut t2 = FlowTrace::new(0, FlowMeta::default());
+        t2.records = vec![rec(0, Some(30), false)];
+        assert!(delay_timeline(&t2, SimDuration::ZERO).is_empty());
+    }
+
+    #[test]
+    fn rtt_none_without_both_directions() {
+        let mut t = FlowTrace::new(0, FlowMeta::default());
+        t.records = vec![rec(0, Some(30), false)];
+        assert_eq!(estimate_rtt(&t), None);
+        t.records = vec![rec(0, None, false), rec(1, Some(5), true)];
+        assert_eq!(estimate_rtt(&t), None);
+        assert!(delay_scatter(&FlowTrace::new(0, FlowMeta::default())).is_empty());
+    }
+}

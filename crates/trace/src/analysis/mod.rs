@@ -1,0 +1,10 @@
+//! Transport-layer measurement analyses, mirroring the paper's §III
+//! methodology: loss rates, one-way latencies, round segmentation /
+//! ACK-burst detection, timeout classification, and throughput.
+
+pub mod latency;
+pub mod loss;
+pub mod rounds;
+pub mod throughput;
+pub mod timeline;
+pub mod timeout;

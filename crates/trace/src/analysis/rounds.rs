@@ -1,0 +1,220 @@
+//! Round segmentation and ACK-burst-loss detection.
+//!
+//! The paper's key mechanism is *ACK burst loss*: a spurious timeout fires
+//! only when **all** ACKs of one transmission round are lost (Section
+//! III-B-2). This module segments a flow's ACK stream into rounds — groups
+//! of ACKs generated in response to one window of data — and measures how
+//! often an entire round's worth of ACKs vanished (an estimate of `P_a`).
+
+use crate::record::FlowTrace;
+use hsm_simnet::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A group of ACKs belonging to one transmission round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AckRound {
+    /// Send time of the first ACK of the round.
+    pub start: SimTime,
+    /// Send time of the last ACK of the round.
+    pub end: SimTime,
+    /// Indices into `trace.records` of the ACKs in this round.
+    pub acks: Vec<usize>,
+    /// Number of those ACKs that were lost.
+    pub lost: usize,
+}
+
+impl AckRound {
+    /// True when every ACK of the round was lost — the trigger of a
+    /// spurious retransmission timeout.
+    pub fn burst_lost(&self) -> bool {
+        !self.acks.is_empty() && self.lost == self.acks.len()
+    }
+}
+
+/// Segments the ACK stream into rounds.
+///
+/// ACKs whose send times are separated by more than `gap` start a new
+/// round. For TCP the natural gap is about half an RTT: ACKs of one window
+/// leave the receiver back-to-back, while the next window's ACKs trail a
+/// full RTT later. Use [`super::latency::estimate_rtt`] to pick `gap`.
+pub fn ack_rounds(trace: &FlowTrace, gap: SimDuration) -> Vec<AckRound> {
+    let mut rounds: Vec<AckRound> = Vec::new();
+    let mut current: Option<AckRound> = None;
+    for (idx, rec) in trace.records.iter().enumerate() {
+        if !rec.is_ack {
+            continue;
+        }
+        let extend = match &current {
+            Some(r) => rec.sent_at.saturating_since(r.end) <= gap,
+            None => false,
+        };
+        if extend {
+            let r = current.as_mut().expect("extend implies current");
+            r.end = rec.sent_at;
+            r.acks.push(idx);
+            if rec.lost() {
+                r.lost += 1;
+            }
+        } else {
+            if let Some(done) = current.take() {
+                rounds.push(done);
+            }
+            current = Some(AckRound {
+                start: rec.sent_at,
+                end: rec.sent_at,
+                acks: vec![idx],
+                lost: usize::from(rec.lost()),
+            });
+        }
+    }
+    if let Some(done) = current {
+        rounds.push(done);
+    }
+    rounds
+}
+
+/// Summary of ACK-burst behaviour over a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct AckBurstStats {
+    /// Number of rounds observed.
+    pub rounds: usize,
+    /// Rounds in which every ACK was lost.
+    pub burst_lost_rounds: usize,
+    /// Mean number of ACKs per round.
+    pub mean_acks_per_round: f64,
+}
+
+impl AckBurstStats {
+    /// Empirical `P_a`: fraction of rounds whose ACKs were all lost.
+    pub fn burst_loss_rate(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.burst_lost_rounds as f64 / self.rounds as f64
+        }
+    }
+}
+
+/// Computes ACK-burst statistics with the given round gap.
+pub fn ack_burst_stats(trace: &FlowTrace, gap: SimDuration) -> AckBurstStats {
+    ack_burst_stats_excluding(trace, gap, &[])
+}
+
+/// Computes ACK-burst statistics, ignoring rounds that start inside any
+/// of the `excluded` time windows.
+///
+/// The model's `P_a` describes rounds of a *congestion-avoidance* phase;
+/// timeout recovery phases generate single-ACK pseudo-rounds (one
+/// retransmission → one ACK, frequently lost) that would otherwise inflate
+/// the estimate. Pass the recovery windows from
+/// [`analyze_timeouts`](super::timeout::analyze_timeouts) to exclude them.
+pub fn ack_burst_stats_excluding(
+    trace: &FlowTrace,
+    gap: SimDuration,
+    excluded: &[(SimTime, SimTime)],
+) -> AckBurstStats {
+    let rounds = ack_rounds(trace, gap);
+    let kept: Vec<&AckRound> = rounds
+        .iter()
+        .filter(|r| !excluded.iter().any(|&(from, to)| r.start >= from && r.start < to))
+        .collect();
+    let total_acks: usize = kept.iter().map(|r| r.acks.len()).sum();
+    AckBurstStats {
+        rounds: kept.len(),
+        burst_lost_rounds: kept.iter().filter(|r| r.burst_lost()).count(),
+        mean_acks_per_round: if kept.is_empty() {
+            0.0
+        } else {
+            total_acks as f64 / kept.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{FlowMeta, PacketRecord};
+
+    fn ack(sent_ms: u64, lost: bool) -> PacketRecord {
+        PacketRecord {
+            id: sent_ms,
+            seq: 0,
+            is_ack: true,
+            retransmit: false,
+            acked_count: 1,
+            size_bytes: 40,
+            sent_at: SimTime::from_millis(sent_ms),
+            arrived_at: if lost { None } else { Some(SimTime::from_millis(sent_ms + 25)) },
+        }
+    }
+
+    fn trace(acks: Vec<PacketRecord>) -> FlowTrace {
+        let mut t = FlowTrace::new(0, FlowMeta::default());
+        t.records = acks;
+        t
+    }
+
+    #[test]
+    fn segments_by_gap() {
+        // Two rounds: {0,2,4} ms and {100,102} ms with a 30 ms gap rule.
+        let t = trace(vec![ack(0, false), ack(2, false), ack(4, false), ack(100, true), ack(102, true)]);
+        let rounds = ack_rounds(&t, SimDuration::from_millis(30));
+        assert_eq!(rounds.len(), 2);
+        assert_eq!(rounds[0].acks.len(), 3);
+        assert!(!rounds[0].burst_lost());
+        assert_eq!(rounds[1].acks.len(), 2);
+        assert!(rounds[1].burst_lost());
+    }
+
+    #[test]
+    fn burst_stats() {
+        let t = trace(vec![
+            ack(0, true),
+            ack(2, true), // round 1: all lost
+            ack(100, false),
+            ack(102, true), // round 2: partial
+            ack(200, true), // round 3: single, lost
+        ]);
+        let s = ack_burst_stats(&t, SimDuration::from_millis(30));
+        assert_eq!(s.rounds, 3);
+        assert_eq!(s.burst_lost_rounds, 2);
+        assert!((s.burst_loss_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean_acks_per_round - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_surviving_ack_saves_the_round() {
+        // Fig. 11: one ACK arriving is enough.
+        let t = trace(vec![ack(0, true), ack(1, true), ack(2, false), ack(3, true)]);
+        let rounds = ack_rounds(&t, SimDuration::from_millis(30));
+        assert_eq!(rounds.len(), 1);
+        assert!(!rounds[0].burst_lost());
+    }
+
+    #[test]
+    fn exclusion_windows_drop_recovery_rounds() {
+        let t = trace(vec![
+            ack(0, true),
+            ack(2, true), // CA round, burst lost
+            ack(500, true), // inside the excluded recovery window
+            ack(900, false), // after the window
+        ]);
+        let windows = [(SimTime::from_millis(400), SimTime::from_millis(800))];
+        let s = ack_burst_stats_excluding(&t, SimDuration::from_millis(30), &windows);
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.burst_lost_rounds, 1);
+        // Without exclusion the lost recovery ACK counts too.
+        let all = ack_burst_stats(&t, SimDuration::from_millis(30));
+        assert_eq!(all.rounds, 3);
+        assert_eq!(all.burst_lost_rounds, 2);
+    }
+
+    #[test]
+    fn empty_and_dataless_traces() {
+        let t = trace(vec![]);
+        assert!(ack_rounds(&t, SimDuration::from_millis(30)).is_empty());
+        let s = ack_burst_stats(&t, SimDuration::from_millis(30));
+        assert_eq!(s.burst_loss_rate(), 0.0);
+        assert_eq!(s.mean_acks_per_round, 0.0);
+    }
+}

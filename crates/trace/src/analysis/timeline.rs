@@ -1,0 +1,214 @@
+//! Time-resolved views of a flow: windowed throughput and stall
+//! detection.
+//!
+//! The paper's Fig. 1 shows throughput collapsing into "large blanks"
+//! around timeout recoveries. This module quantifies those blanks:
+//! [`throughput_timeline`] bins deliveries over time, and
+//! [`detect_stalls`] finds delivery gaps (the transport-layer footprint of
+//! handoffs and timeout ladders).
+
+use crate::record::FlowTrace;
+use hsm_simnet::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One window of the throughput timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimelineBin {
+    /// Window start.
+    pub from: SimTime,
+    /// Window end.
+    pub to: SimTime,
+    /// Data segments delivered in the window.
+    pub delivered: u64,
+    /// Data segments sent in the window that were lost.
+    pub lost: u64,
+    /// Retransmissions sent in the window.
+    pub retransmissions: u64,
+}
+
+impl TimelineBin {
+    /// Delivered segments per second in this window.
+    pub fn throughput_sps(&self) -> f64 {
+        let dur = self.to.saturating_since(self.from).as_secs_f64();
+        if dur <= 0.0 {
+            0.0
+        } else {
+            self.delivered as f64 / dur
+        }
+    }
+}
+
+/// Bins the flow's deliveries into fixed windows from the first send.
+///
+/// Returns an empty vector for an empty trace or a zero window.
+pub fn throughput_timeline(trace: &FlowTrace, window: SimDuration) -> Vec<TimelineBin> {
+    if window.is_zero() {
+        return Vec::new();
+    }
+    let Some(start) = trace.start() else { return Vec::new() };
+    let Some(end) = trace.end() else { return Vec::new() };
+    let total = end.saturating_since(start);
+    let n_bins = (total.as_micros() / window.as_micros() + 1) as usize;
+    let mut bins: Vec<TimelineBin> = (0..n_bins)
+        .map(|i| TimelineBin {
+            from: start + window * i as u64,
+            to: start + window * (i as u64 + 1),
+            delivered: 0,
+            lost: 0,
+            retransmissions: 0,
+        })
+        .collect();
+    let index_of = |t: SimTime| -> usize {
+        ((t.saturating_since(start).as_micros() / window.as_micros()) as usize).min(n_bins - 1)
+    };
+    for rec in trace.data() {
+        match rec.arrived_at {
+            Some(at) => bins[index_of(at)].delivered += 1,
+            None => bins[index_of(rec.sent_at)].lost += 1,
+        }
+        if rec.retransmit {
+            bins[index_of(rec.sent_at)].retransmissions += 1;
+        }
+    }
+    bins
+}
+
+/// A delivery gap: no data arrived at the receiver for at least the
+/// configured duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stall {
+    /// Last delivery before the gap.
+    pub from: SimTime,
+    /// First delivery after the gap (or the trace end).
+    pub until: SimTime,
+}
+
+impl Stall {
+    /// Gap length.
+    pub fn duration(&self) -> SimDuration {
+        self.until.saturating_since(self.from)
+    }
+}
+
+/// Finds all delivery gaps of at least `min_gap`.
+pub fn detect_stalls(trace: &FlowTrace, min_gap: SimDuration) -> Vec<Stall> {
+    let mut arrivals: Vec<SimTime> = trace.data().filter_map(|r| r.arrived_at).collect();
+    arrivals.sort();
+    let mut stalls = Vec::new();
+    for pair in arrivals.windows(2) {
+        if pair[1].saturating_since(pair[0]) >= min_gap {
+            stalls.push(Stall { from: pair[0], until: pair[1] });
+        }
+    }
+    // A trailing gap (flow died before the capture ended) also counts.
+    if let (Some(&last), Some(end)) = (arrivals.last(), trace.end()) {
+        if end.saturating_since(last) >= min_gap {
+            stalls.push(Stall { from: last, until: end });
+        }
+    }
+    stalls
+}
+
+/// Fraction of the flow's lifetime spent inside stalls of at least
+/// `min_gap` — the "dead time" share that the enhanced model prices via
+/// `Q·E[A^TO]` and Padhye ignores.
+pub fn stall_time_fraction(trace: &FlowTrace, min_gap: SimDuration) -> f64 {
+    let total = trace.duration().as_secs_f64();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let stalled: f64 = detect_stalls(trace, min_gap)
+        .iter()
+        .map(|s| s.duration().as_secs_f64())
+        .sum();
+    (stalled / total).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{FlowMeta, PacketRecord};
+
+    fn data(seq: u64, sent_ms: u64, arrived_ms: Option<u64>, retransmit: bool) -> PacketRecord {
+        PacketRecord {
+            id: sent_ms,
+            seq,
+            is_ack: false,
+            retransmit,
+            acked_count: 0,
+            size_bytes: 1500,
+            sent_at: SimTime::from_millis(sent_ms),
+            arrived_at: arrived_ms.map(SimTime::from_millis),
+        }
+    }
+
+    fn trace(records: Vec<PacketRecord>) -> FlowTrace {
+        let mut t = FlowTrace::new(0, FlowMeta::default());
+        t.records = records;
+        t.sort_by_send_time();
+        t
+    }
+
+    #[test]
+    fn timeline_bins_deliveries_and_losses() {
+        let t = trace(vec![
+            data(0, 0, Some(30), false),
+            data(1, 100, Some(130), false),
+            data(2, 1_100, None, false),
+            data(2, 1_500, Some(1_530), true),
+        ]);
+        let bins = throughput_timeline(&t, SimDuration::from_secs(1));
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0].delivered, 2);
+        assert_eq!(bins[0].lost, 0);
+        assert_eq!(bins[1].delivered, 1);
+        assert_eq!(bins[1].lost, 1);
+        assert_eq!(bins[1].retransmissions, 1);
+        assert!((bins[0].throughput_sps() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeline_empty_cases() {
+        assert!(throughput_timeline(&trace(vec![]), SimDuration::from_secs(1)).is_empty());
+        let t = trace(vec![data(0, 0, Some(30), false)]);
+        assert!(throughput_timeline(&t, SimDuration::ZERO).is_empty());
+    }
+
+    #[test]
+    fn stall_detection_finds_the_blank() {
+        let t = trace(vec![
+            data(0, 0, Some(30), false),
+            data(1, 50, Some(80), false),
+            // 5-second blank (a timeout ladder), then recovery.
+            data(2, 5_000, Some(5_080), false),
+            data(3, 5_100, Some(5_130), false),
+        ]);
+        let stalls = detect_stalls(&t, SimDuration::from_secs(1));
+        assert_eq!(stalls.len(), 1);
+        assert_eq!(stalls[0].from, SimTime::from_millis(80));
+        assert_eq!(stalls[0].until, SimTime::from_millis(5_080));
+        assert_eq!(stalls[0].duration(), SimDuration::from_millis(5_000));
+        let frac = stall_time_fraction(&t, SimDuration::from_secs(1));
+        assert!((frac - 5_000.0 / 5_130.0).abs() < 1e-6, "fraction {frac}");
+    }
+
+    #[test]
+    fn trailing_stall_counts() {
+        let t = trace(vec![
+            data(0, 0, Some(30), false),
+            data(1, 4_000, None, false), // sent but lost; trace ends at 4s
+        ]);
+        let stalls = detect_stalls(&t, SimDuration::from_secs(1));
+        assert_eq!(stalls.len(), 1);
+        assert_eq!(stalls[0].from, SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn no_stalls_in_smooth_flow() {
+        let records: Vec<PacketRecord> =
+            (0..50).map(|i| data(i, i * 20, Some(i * 20 + 30), false)).collect();
+        let t = trace(records);
+        assert!(detect_stalls(&t, SimDuration::from_secs(1)).is_empty());
+        assert_eq!(stall_time_fraction(&t, SimDuration::from_secs(1)), 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Building [`FlowTrace`]s from simulator packet events.
+//!
+//! The simulator's [`Observer`](hsm_simnet::observer::Observer) hooks are
+//! the equivalent of endpoint packet captures; this module folds the raw
+//! event stream into per-flow [`FlowTrace`]s by matching each packet's
+//! `Sent` event with its terminal `Delivered`/`Dropped` event.
+
+use crate::record::{FlowMeta, FlowTrace, PacketRecord};
+use hsm_simnet::observer::{PacketEvent, PacketEventKind};
+use hsm_simnet::packet::PacketKind;
+use std::collections::HashMap;
+
+/// Folds a raw event stream into one trace per flow.
+///
+/// `meta_for` supplies the [`FlowMeta`] for each flow id encountered.
+/// Packets with a `Sent` event but no terminal event by the end of the
+/// stream (still in flight when the simulation stopped) are treated as
+/// lost, which matches how a finite capture is analyzed.
+pub fn traces_from_events(
+    events: &[PacketEvent],
+    meta_for: impl FnMut(u32) -> FlowMeta,
+) -> Vec<FlowTrace> {
+    traces_from_events_filtered(events, meta_for, None)
+}
+
+/// Like [`traces_from_events`], but ignores transmissions on links whose
+/// label starts with `ignore_prefix`.
+///
+/// Multi-hop wirings (e.g. the shared-radio MPTCP demux) use auxiliary
+/// zero-delay links labelled `internal.*`; their per-hop copies must not
+/// appear as extra packet records.
+pub fn traces_from_events_filtered(
+    events: &[PacketEvent],
+    mut meta_for: impl FnMut(u32) -> FlowMeta,
+    ignore_prefix: Option<&str>,
+) -> Vec<FlowTrace> {
+    // Packet id -> (flow, pending record index within that flow).
+    let mut flows: HashMap<u32, FlowTrace> = HashMap::new();
+    let mut open: HashMap<u64, (u32, usize)> = HashMap::new();
+
+    for ev in events {
+        let flow_id = ev.packet.flow.0;
+        match ev.kind {
+            PacketEventKind::Sent => {
+                if ignore_prefix.is_some_and(|p| ev.link_label.starts_with(p)) {
+                    continue;
+                }
+                let trace = flows
+                    .entry(flow_id)
+                    .or_insert_with(|| FlowTrace::new(flow_id, meta_for(flow_id)));
+                let (seq, is_ack, retransmit, acked_count) = match ev.packet.kind {
+                    PacketKind::Data { seq, retransmit } => (seq.as_u64(), false, retransmit, 0),
+                    PacketKind::Ack { cum, acked_count } => (cum.as_u64(), true, false, acked_count),
+                };
+                trace.records.push(PacketRecord {
+                    id: ev.packet.id.0,
+                    seq,
+                    is_ack,
+                    retransmit,
+                    acked_count,
+                    size_bytes: ev.packet.size_bytes,
+                    sent_at: ev.time,
+                    arrived_at: None,
+                });
+                open.insert(ev.packet.id.0, (flow_id, trace.records.len() - 1));
+            }
+            PacketEventKind::Delivered => {
+                if let Some((flow, idx)) = open.remove(&ev.packet.id.0) {
+                    if let Some(trace) = flows.get_mut(&flow) {
+                        trace.records[idx].arrived_at = Some(ev.time);
+                    }
+                }
+            }
+            PacketEventKind::Dropped(_) => {
+                // Terminal: the record stays `arrived_at: None`.
+                open.remove(&ev.packet.id.0);
+            }
+        }
+    }
+
+    let mut out: Vec<FlowTrace> = flows.into_values().collect();
+    out.sort_by_key(|t| t.flow);
+    for t in &mut out {
+        t.sort_by_send_time();
+    }
+    out
+}
+
+/// Convenience wrapper for the single-flow case.
+///
+/// Returns `None` if the event stream contains no packets for `flow`.
+pub fn single_flow_trace(events: &[PacketEvent], flow: u32, meta: FlowMeta) -> Option<FlowTrace> {
+    traces_from_events(events, |_| meta.clone())
+        .into_iter()
+        .find(|t| t.flow == flow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsm_simnet::packet::{FlowId, Packet, PacketId, SeqNo};
+    use hsm_simnet::observer::DropCause;
+    use hsm_simnet::time::SimTime;
+
+    fn ev(kind: PacketEventKind, time_ms: u64, id: u64, flow: u32, pkt: Packet) -> PacketEvent {
+        let mut p = pkt;
+        p.id = PacketId(id);
+        p.flow = FlowId(flow);
+        p.sent_at = SimTime::from_millis(time_ms);
+        PacketEvent {
+            time: SimTime::from_millis(time_ms),
+            link: 0,
+            link_label: "dl".into(),
+            kind,
+            packet: p,
+        }
+    }
+
+    #[test]
+    fn matches_sent_with_delivered_and_dropped() {
+        let data = Packet::data(FlowId(0), SeqNo(0), false);
+        let ack = Packet::ack(FlowId(0), SeqNo(1), 1);
+        let events = vec![
+            ev(PacketEventKind::Sent, 0, 1, 0, data.clone()),
+            ev(PacketEventKind::Delivered, 30, 1, 0, data.clone()),
+            ev(PacketEventKind::Sent, 35, 2, 0, ack.clone()),
+            ev(PacketEventKind::Dropped(DropCause::Channel), 36, 2, 0, ack),
+            ev(PacketEventKind::Sent, 40, 3, 0, Packet::data(FlowId(0), SeqNo(1), true)),
+        ];
+        let traces = traces_from_events(&events, |_| FlowMeta::default());
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(t.records.len(), 3);
+        assert_eq!(t.records[0].arrived_at, Some(SimTime::from_millis(30)));
+        assert!(t.records[1].is_ack && t.records[1].lost());
+        assert!(t.records[2].retransmit);
+        assert!(t.records[2].lost(), "in-flight at end of capture counts as lost");
+    }
+
+    #[test]
+    fn filtered_capture_ignores_internal_hops() {
+        let data = Packet::data(FlowId(0), SeqNo(0), false);
+        let mut internal = ev(PacketEventKind::Sent, 31, 2, 0, data.clone());
+        internal.link_label = "internal.0".into();
+        let mut internal_done = ev(PacketEventKind::Delivered, 32, 2, 0, data.clone());
+        internal_done.link_label = "?".into();
+        let events = vec![
+            ev(PacketEventKind::Sent, 0, 1, 0, data.clone()),
+            ev(PacketEventKind::Delivered, 30, 1, 0, data.clone()),
+            internal,
+            internal_done,
+        ];
+        let traces = traces_from_events_filtered(&events, |_| FlowMeta::default(), Some("internal"));
+        assert_eq!(traces[0].records.len(), 1, "internal hop must not duplicate records");
+        // Without the filter the internal copy shows up.
+        let unfiltered = traces_from_events(&events, |_| FlowMeta::default());
+        assert_eq!(unfiltered[0].records.len(), 2);
+    }
+
+    #[test]
+    fn separates_flows() {
+        let events = vec![
+            ev(PacketEventKind::Sent, 0, 1, 0, Packet::data(FlowId(0), SeqNo(0), false)),
+            ev(PacketEventKind::Sent, 1, 2, 7, Packet::data(FlowId(7), SeqNo(0), false)),
+            ev(PacketEventKind::Delivered, 30, 2, 7, Packet::data(FlowId(7), SeqNo(0), false)),
+        ];
+        let traces = traces_from_events(&events, |f| FlowMeta {
+            provider: format!("p{f}"),
+            ..Default::default()
+        });
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].flow, 0);
+        assert_eq!(traces[1].flow, 7);
+        assert_eq!(traces[1].meta.provider, "p7");
+        assert!(single_flow_trace(&events, 7, FlowMeta::default()).is_some());
+        assert!(single_flow_trace(&events, 9, FlowMeta::default()).is_none());
+    }
+}

@@ -1,0 +1,166 @@
+//! Dataset persistence: JSON-lines storage of flow traces.
+//!
+//! A generated dataset (hundreds of flows, millions of packet records) can
+//! be written once and re-analyzed many times — the workflow the paper's
+//! authors had with their pcap archive. One [`FlowTrace`] per line keeps
+//! the format streamable and diff-friendly.
+
+use crate::record::FlowTrace;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from reading a stored dataset.
+#[derive(Debug)]
+pub enum ReadDatasetError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line failed to parse; carries the 1-based line number.
+    Parse {
+        /// 1-based line number of the malformed entry.
+        line: usize,
+        /// The serde error.
+        source: serde_json::Error,
+    },
+}
+
+impl std::fmt::Display for ReadDatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadDatasetError::Io(e) => write!(f, "dataset io error: {e}"),
+            ReadDatasetError::Parse { line, source } => {
+                write!(f, "malformed trace on line {line}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadDatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadDatasetError::Io(e) => Some(e),
+            ReadDatasetError::Parse { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<io::Error> for ReadDatasetError {
+    fn from(e: io::Error) -> Self {
+        ReadDatasetError::Io(e)
+    }
+}
+
+/// Writes traces as JSON lines to `path` (overwriting).
+///
+/// # Errors
+///
+/// Propagates I/O and serialization failures.
+pub fn save_traces<'a>(
+    path: &Path,
+    traces: impl IntoIterator<Item = &'a FlowTrace>,
+) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    for trace in traces {
+        let line = serde_json::to_string(trace).map_err(io::Error::other)?;
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    out.flush()
+}
+
+/// Reads every trace from a JSON-lines file written by [`save_traces`].
+///
+/// # Errors
+///
+/// Returns [`ReadDatasetError::Parse`] with the offending line number on
+/// malformed input.
+pub fn load_traces(path: &Path) -> Result<Vec<FlowTrace>, ReadDatasetError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut traces = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let trace = serde_json::from_str(&line)
+            .map_err(|source| ReadDatasetError::Parse { line: idx + 1, source })?;
+        traces.push(trace);
+    }
+    Ok(traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{FlowMeta, PacketRecord};
+    use hsm_simnet::time::SimTime;
+
+    fn sample(flow: u32) -> FlowTrace {
+        let mut t = FlowTrace::new(flow, FlowMeta { provider: "China Mobile".into(), ..Default::default() });
+        t.records.push(PacketRecord {
+            id: 1,
+            seq: 0,
+            is_ack: false,
+            retransmit: false,
+            acked_count: 0,
+            size_bytes: 1500,
+            sent_at: SimTime::ZERO,
+            arrived_at: Some(SimTime::from_millis(30)),
+        });
+        t
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("hsm_trace_store_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trips_a_dataset() {
+        let path = tmp("roundtrip.jsonl");
+        let traces = vec![sample(0), sample(1), sample(2)];
+        save_traces(&path, &traces).unwrap();
+        let back = load_traces(&path).unwrap();
+        assert_eq!(traces, back);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_dataset_round_trips() {
+        let path = tmp("empty.jsonl");
+        save_traces(&path, std::iter::empty()).unwrap();
+        assert!(load_traces(&path).unwrap().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_line_reports_its_number() {
+        let path = tmp("bad.jsonl");
+        let good = serde_json::to_string(&sample(0)).unwrap();
+        std::fs::write(&path, format!("{good}\nnot json\n")).unwrap();
+        match load_traces(&path) {
+            Err(ReadDatasetError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_traces(Path::new("/nonexistent/hsm.jsonl")).unwrap_err();
+        assert!(matches!(err, ReadDatasetError::Io(_)));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let path = tmp("blank.jsonl");
+        let good = serde_json::to_string(&sample(7)).unwrap();
+        std::fs::write(&path, format!("\n{good}\n\n")).unwrap();
+        let traces = load_traces(&path).unwrap();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].flow, 7);
+        let _ = std::fs::remove_file(&path);
+    }
+}

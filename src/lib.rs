@@ -1,0 +1,44 @@
+//! # hsm — TCP in High-Speed Mobility Scenarios
+//!
+//! A full reproduction of *"Measurement, Modeling, and Analysis of TCP in
+//! High-Speed Mobility Scenarios"* (ICDCS 2016): a discrete-event cellular
+//! network simulator with a 300 km/h train mobility model, a from-scratch
+//! TCP Reno/NewReno/MPTCP stack, the paper's measurement methodology, and
+//! its enhanced throughput model alongside the Padhye baseline.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`simnet`] — discrete-event simulator substrate (engine, links, loss
+//!   models, mobility, handoffs);
+//! * [`tcp`] — the TCP implementation and connection/MPTCP runners;
+//! * [`trace`] — packet traces and transport-layer measurement analyses;
+//! * [`model`] — the enhanced throughput model (the paper's contribution)
+//!   and the Padhye baseline;
+//! * [`scenario`] — Beijing–Tianjin railway scenarios, provider profiles
+//!   and synthetic dataset generation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hsm::tcp::prelude::*;
+//!
+//! // Stream 100 segments over a healthy LTE-ish path.
+//! let cfg = ConnectionConfig {
+//!     sender: SenderConfig { max_segments: Some(100), ..Default::default() },
+//!     ..Default::default()
+//! };
+//! let out = run_connection(7, &PathSpec::default(), None, &cfg);
+//! assert_eq!(out.receiver.next_expected, 100);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! experiment harness regenerating every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hsm_core as model;
+pub use hsm_scenario as scenario;
+pub use hsm_simnet as simnet;
+pub use hsm_tcp as tcp;
+pub use hsm_trace as trace;

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 gate (see ROADMAP.md): release build, full test suite, strict lints.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings

@@ -91,12 +91,19 @@ pub struct TimeoutSequenceTerms {
 
 /// Computes the timeout-sequence terms for the given parameters.
 pub fn timeout_sequence_terms(params: &ModelParams) -> TimeoutSequenceTerms {
-    let p_fail = (1.0 - (1.0 - params.q) * (1.0 - params.p_a_burst)).clamp(0.0, 0.999_999);
+    // Retransmissions traverse the same channel as first transmissions, so
+    // the per-retransmission loss rate can never sit below the ambient
+    // data-loss rate: floor q at p_d. Without the floor, `q < p_d` (e.g. a
+    // trace with no measured retransmission loss) priced timeout recovery
+    // *cheaper* than Padhye's `T·f(p)/(1−p)` with `p = p_d`, letting the
+    // enhanced model exceed the Padhye bound it only adds impairments to.
+    let q = params.q.max(params.p_d);
+    let p_fail = (1.0 - (1.0 - q) * (1.0 - params.p_a_burst)).clamp(0.0, 0.999_999);
     let e_r = 1.0 / (1.0 - p_fail);
     TimeoutSequenceTerms {
         p_fail,
         e_r,
-        e_y_to: (1.0 - params.q).powf(e_r),
+        e_y_to: (1.0 - q).powf(e_r),
         e_a_to: params.t_rto_s * f_backoff(p_fail) / (1.0 - p_fail),
     }
 }

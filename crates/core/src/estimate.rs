@@ -15,8 +15,14 @@ use hsm_trace::summary::FlowSummary;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum QSource {
     /// Use the per-flow measured `q̂` (lost retransmissions over
-    /// retransmissions) when available (clamped to `[0, 0.95]`), else the
-    /// recommended default.
+    /// retransmissions) when available, shrunk toward the recommended
+    /// default in proportion to the sample size, else the default alone.
+    ///
+    /// A per-flow `q̂` rests on only `timeouts` Bernoulli observations —
+    /// often fewer than a dozen — so the raw ratio can sit at extremes
+    /// (0 or 0.5+) by chance alone. The paper's recommended band plays the
+    /// role of a prior worth [`Q_PSEUDO_OBS`] pseudo-observations:
+    /// `q = (lost + m·q₀) / (n + m)`.
     MeasuredOrDefault,
     /// Always use the paper's recommended default
     /// ([`ModelParams::DEFAULT_Q`]).
@@ -36,6 +42,11 @@ pub enum QSource {
     /// recovery phases were observed.
     RecoveryDuration,
 }
+
+/// Prior strength for [`QSource::MeasuredOrDefault`]: the recommended
+/// default `q` counts as this many pseudo-observations when blended with
+/// the per-flow measurement.
+pub const Q_PSEUDO_OBS: f64 = 10.0;
 
 /// Solves `f(p)/(1−p) = target` for `p ∈ [0, 0.99]` by bisection
 /// (the left side is strictly increasing from 1).
@@ -143,8 +154,11 @@ pub fn estimate_params(summary: &FlowSummary, cfg: &EstimateConfig) -> ModelPara
         QSource::Fixed(v) => v,
         QSource::RecommendedDefault => ModelParams::DEFAULT_Q,
         QSource::MeasuredOrDefault => {
-            if summary.timeout_sequences > 0 {
-                summary.q_hat.clamp(0.0, 0.95)
+            if summary.timeout_sequences > 0 && summary.timeouts > 0 {
+                let n = f64::from(summary.timeouts);
+                let lost = summary.q_hat.clamp(0.0, 1.0) * n;
+                ((lost + Q_PSEUDO_OBS * ModelParams::DEFAULT_Q) / (n + Q_PSEUDO_OBS))
+                    .clamp(0.0, 0.95)
             } else {
                 ModelParams::DEFAULT_Q
             }
@@ -208,9 +222,26 @@ mod tests {
         assert_eq!(p.p_d, 0.0075);
         assert_eq!(p.b, 2.0);
         assert_eq!(p.w_m, 64.0);
-        assert_eq!(p.q, 0.27);
+        // q̂ = 0.27 over 12 retransmissions, shrunk toward the 0.3 default
+        // with 10 pseudo-observations: (0.27·12 + 0.3·10) / 22.
+        let expect_q = (0.27 * 12.0 + 0.3 * 10.0) / 22.0;
+        assert!((p.q - expect_q).abs() < 1e-12, "{} vs {expect_q}", p.q);
         assert_eq!(p.p_a_burst, 0.015);
         assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn q_shrinkage_tracks_sample_size() {
+        // A tiny sample stays near the default; a large one converges to
+        // the measurement.
+        let mut s = summary();
+        s.q_hat = 0.9;
+        s.timeouts = 2;
+        let small = estimate_params(&s, &EstimateConfig::default());
+        assert!(small.q < 0.45, "2 observations barely move the prior: {}", small.q);
+        s.timeouts = 2_000;
+        let large = estimate_params(&s, &EstimateConfig::default());
+        assert!((large.q - 0.9).abs() < 0.01, "2000 observations dominate: {}", large.q);
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! campaigns (date, phone model, provider, flow count), with each flow
 //! simulated end-to-end through the calibrated channel profiles.
 //!
-//! Generation parallelizes across CPU cores with crossbeam scoped threads;
-//! each flow derives from its own master seed so the dataset is fully
-//! reproducible and any single flow can be regenerated in isolation.
+//! Generation parallelizes across CPU cores with scoped threads; each flow
+//! derives from its own master seed so the dataset is fully reproducible
+//! and any single flow can be regenerated in isolation — the output is
+//! identical for every worker count (see `generate_dataset_with_workers`).
 
 use crate::provider::Provider;
 use crate::runner::{run_scenario, Motion, ScenarioConfig, ScenarioOutcome};
@@ -139,8 +140,21 @@ pub fn plan_dataset(cfg: &DatasetConfig) -> Vec<(usize, ScenarioConfig)> {
 
 /// Generates the dataset, simulating flows in parallel across cores.
 pub fn generate_dataset(cfg: &DatasetConfig) -> Vec<DatasetFlow> {
+    generate_dataset_with_workers(cfg, default_workers())
+}
+
+/// [`generate_dataset`] with an explicit worker count (≥ 1).
+///
+/// Each flow is a pure function of its own seed and results are
+/// re-assembled in plan order, so the worker count affects only wall-clock
+/// time, never the flows — the determinism harness in `tests/` pins this.
+pub fn generate_dataset_with_workers(cfg: &DatasetConfig, workers: usize) -> Vec<DatasetFlow> {
     let plans = plan_dataset(cfg);
-    run_plans(plans)
+    run_plans(plans, workers)
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }
 
 /// Generates `n` stationary baseline flows (for the Fig. 3/6 comparisons),
@@ -163,20 +177,19 @@ pub fn generate_stationary_baseline(cfg: &DatasetConfig, n: u32) -> Vec<DatasetF
             )
         })
         .collect();
-    run_plans(plans)
+    run_plans(plans, default_workers())
 }
 
-fn run_plans(plans: Vec<(usize, ScenarioConfig)>) -> Vec<DatasetFlow> {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+fn run_plans(plans: Vec<(usize, ScenarioConfig)>, workers: usize) -> Vec<DatasetFlow> {
     let total = plans.len();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded();
-    crossbeam::thread::scope(|scope| {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::scope(|scope| {
         let plans = &plans;
         let next = &next;
-        for _ in 0..workers.min(total.max(1)) {
+        for _ in 0..workers.clamp(1, total.max(1)) {
             let tx = tx.clone();
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= total {
                     break;
@@ -187,8 +200,7 @@ fn run_plans(plans: Vec<(usize, ScenarioConfig)>) -> Vec<DatasetFlow> {
             });
         }
         drop(tx);
-    })
-    .expect("dataset worker panicked");
+    });
     let mut results: Vec<(usize, DatasetFlow)> = rx.into_iter().collect();
     results.sort_by_key(|(i, _)| *i);
     results.into_iter().map(|(_, f)| f).collect()

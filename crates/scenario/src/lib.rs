@@ -41,8 +41,8 @@ pub mod prelude {
         aggregate, calibration_report, CalibrationRow, DatasetAggregates, PaperTargets, PAPER,
     };
     pub use crate::dataset::{
-        generate_dataset, generate_stationary_baseline, plan_dataset, table1_total_flows,
-        CampaignSpec, DatasetConfig, DatasetFlow, TABLE1,
+        generate_dataset, generate_dataset_with_workers, generate_stationary_baseline,
+        plan_dataset, table1_total_flows, CampaignSpec, DatasetConfig, DatasetFlow, TABLE1,
     };
     pub use crate::provider::Provider;
     pub use crate::runner::{

@@ -169,6 +169,7 @@ impl Core {
             self.links[idx].loss.is_lost(self.now, rng)
         };
         if lost {
+            self.links[idx].channel_drops += 1;
             for obs in &mut self.observers {
                 obs.on_dropped(self.now, link_id, &label, &done, DropCause::Channel);
             }
@@ -181,20 +182,15 @@ impl Core {
         // FIFO: jitter must not let packets overtake each other.
         let at = (self.now + latency).max(self.links[idx].last_delivery);
         self.links[idx].last_delivery = at;
+        self.links[idx].deliver_pending += 1;
         let link_to = self.links[idx].to;
-        self.queue.schedule(Event { at, dst: link_to, kind: EventKind::Deliver(done) });
+        self.queue.schedule(Event { at, dst: link_to, kind: EventKind::Deliver { packet: done, link: link_id } });
     }
 
-    fn deliver_observed(&mut self, link_hint: Option<LinkId>, packet: &Packet) {
-        // Delivery events do not carry the link id (the packet already left
-        // the link); observers that need the link use the Sent/Dropped
-        // events. We report with a best-effort hint.
-        let (lid, label) = match link_hint {
-            Some(l) => (l, self.links[l.as_usize()].label.clone()),
-            None => (LinkId::from_raw(u32::MAX), String::from("?")),
-        };
+    fn deliver_observed(&mut self, link_id: LinkId, packet: &Packet) {
+        let label = self.links[link_id.as_usize()].label.clone();
         for obs in &mut self.observers {
-            obs.on_delivered(self.now, lid, &label, packet);
+            obs.on_delivered(self.now, link_id, &label, packet);
         }
     }
 }
@@ -310,14 +306,24 @@ impl Engine {
             processed += 1;
             match event.kind {
                 EventKind::LinkReady(link) => self.core.link_ready(link),
-                EventKind::Deliver(packet) => {
-                    self.core.deliver_observed(None, &packet);
+                EventKind::Deliver { packet, link } => {
+                    let l = &mut self.core.links[link.as_usize()];
+                    l.deliver_pending -= 1;
+                    l.delivered += 1;
+                    self.core.deliver_observed(link, &packet);
                     self.with_agent(event.dst, |agent, ctx| agent.on_packet(ctx, packet));
                 }
                 EventKind::Timer { tag } => {
                     self.with_agent(event.dst, |agent, ctx| agent.on_timer(ctx, tag));
                 }
             }
+        }
+        // Cross-layer invariant: no link may have lost or duplicated a
+        // packet. Cheap (one pass over the links), so we verify after every
+        // run in debug/test builds.
+        #[cfg(any(debug_assertions, test))]
+        for link in &self.core.links {
+            link.assert_conservation();
         }
         processed
     }
@@ -501,6 +507,42 @@ mod tests {
         let id = eng.add_agent(Box::new(Stopper));
         assert!(eng.agent_mut::<Sink>(id).is_none());
         assert!(eng.agent_mut::<Stopper>(id).is_some());
+    }
+
+    #[test]
+    fn lossy_link_conserves_packets() {
+        // injected = delivered + dropped, per link, after the queue drains.
+        let (mut eng, _sink, _rec) = build(11, 0.25, 2000);
+        eng.run_until_idle();
+        let link = eng.link(LinkId::from_raw(0));
+        assert_eq!(link.offered, 2000);
+        assert_eq!(link.offered, link.delivered + link.channel_drops + link.overflow_drops);
+        assert!(link.channel_drops > 0, "loss process never fired");
+        assert_eq!(link.deliver_pending, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "packet conservation violated")]
+    fn conservation_check_fires_on_injected_violation() {
+        let (mut eng, _sink, _rec) = build(1, 0.0, 5);
+        eng.run_until_idle();
+        eng.link_mut(LinkId::from_raw(0)).inject_conservation_violation();
+        // Any subsequent run re-checks the ledger and must refuse it.
+        eng.run_until_idle();
+    }
+
+    #[test]
+    fn delivery_reports_real_link_to_observers() {
+        let (mut eng, _sink, rec) = build(2, 0.0, 3);
+        eng.run_until_idle();
+        let delivered: Vec<_> = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, crate::observer::PacketEventKind::Delivered))
+            .map(|e| (e.link, e.link_label.clone()))
+            .collect();
+        assert_eq!(delivered.len(), 3);
+        assert!(delivered.iter().all(|(l, lbl)| *l == 0 && lbl == "wire"));
     }
 
     #[test]

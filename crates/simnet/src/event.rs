@@ -30,7 +30,13 @@ impl EventId {
 #[derive(Debug, Clone, PartialEq)]
 pub enum EventKind {
     /// A packet finished traversing a link and arrives at the agent.
-    Deliver(crate::packet::Packet),
+    Deliver {
+        /// The arriving packet.
+        packet: crate::packet::Packet,
+        /// The link it traversed — used for observer reporting and for the
+        /// per-link packet-conservation invariant.
+        link: crate::link::LinkId,
+    },
     /// A timer set by the agent expired.
     Timer {
         /// Agent-defined tag passed back verbatim.
@@ -88,6 +94,13 @@ pub struct EventQueue {
     live: HashMap<EventId, Event>,
     next_id: u64,
     next_seq: u64,
+    /// Firing time of the most recently popped event. Simulated time must
+    /// never run backwards: every pop checks the invariant in debug/test
+    /// builds. A violation means someone scheduled an event in the past
+    /// (relative to events already fired) — a logic bug that would silently
+    /// corrupt every downstream timing statistic if allowed through.
+    #[cfg(any(debug_assertions, test))]
+    last_popped: SimTime,
 }
 
 impl EventQueue {
@@ -138,10 +151,27 @@ impl EventQueue {
     }
 
     /// Pops the next live event.
+    ///
+    /// # Panics
+    ///
+    /// In debug/test builds, panics if the popped event fires earlier than
+    /// a previously popped one (time monotonicity violation — an event was
+    /// scheduled in the simulated past).
     pub fn pop(&mut self) -> Option<(EventId, Event)> {
         loop {
             let entry = self.heap.pop()?;
             if let Entry::Occupied(occ) = self.live.entry(entry.id) {
+                #[cfg(any(debug_assertions, test))]
+                {
+                    assert!(
+                        entry.at >= self.last_popped,
+                        "event-queue time monotonicity violated: popping event at {:?} \
+                         after already firing one at {:?}",
+                        entry.at,
+                        self.last_popped,
+                    );
+                    self.last_popped = entry.at;
+                }
                 return Some((entry.id, occ.remove()));
             }
             // Dead (cancelled) entry: skip.
@@ -218,6 +248,29 @@ mod tests {
         q.schedule(ev(20, 2));
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(20)));
+    }
+
+    #[test]
+    #[should_panic(expected = "time monotonicity")]
+    fn scheduling_into_the_fired_past_trips_the_invariant() {
+        // Violation injection: fire an event at t=10, then schedule one at
+        // t=5. The queue itself cannot reorder history, so the monotonicity
+        // check must refuse to pop it.
+        let mut q = EventQueue::new();
+        q.schedule(ev(10, 1));
+        q.pop().unwrap();
+        q.schedule(ev(5, 2));
+        q.pop();
+    }
+
+    #[test]
+    fn monotonicity_allows_equal_times() {
+        // Back-to-back events at the same instant are legal (FIFO order).
+        let mut q = EventQueue::new();
+        q.schedule(ev(10, 1));
+        q.pop().unwrap();
+        q.schedule(ev(10, 2));
+        assert!(q.pop().is_some());
     }
 
     #[test]

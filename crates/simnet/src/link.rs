@@ -134,6 +134,15 @@ pub struct Link {
     in_flight: Option<Packet>,
     /// Packets dropped due to queue overflow.
     pub overflow_drops: u64,
+    /// Packets offered to this link (accepted, queued or dropped alike).
+    pub offered: u64,
+    /// Packets destroyed by the channel loss process.
+    pub channel_drops: u64,
+    /// Packets handed to the destination agent.
+    pub delivered: u64,
+    /// Packets that finished transmission and are propagating (a `Deliver`
+    /// event is scheduled but has not fired yet).
+    pub deliver_pending: u64,
     /// Delivery time of the most recently delivered packet; used to keep
     /// the link FIFO under jitter (packets never overtake each other).
     pub last_delivery: SimTime,
@@ -154,6 +163,10 @@ impl Link {
             queue: VecDeque::new(),
             in_flight: None,
             overflow_drops: 0,
+            offered: 0,
+            channel_drops: 0,
+            delivered: 0,
+            deliver_pending: 0,
             last_delivery: SimTime::ZERO,
         }
     }
@@ -175,6 +188,7 @@ impl Link {
     /// transmission (the packet is stored as in-flight); `Queued` stores it
     /// in the queue; `DroppedOverflow` discards it.
     pub fn offer(&mut self, packet: Packet) -> Accept {
+        self.offered += 1;
         if self.in_flight.is_none() {
             self.in_flight = Some(packet);
             Accept::StartTx
@@ -210,6 +224,42 @@ impl Link {
     /// Number of packets waiting behind the in-flight one.
     pub fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Checks the packet-conservation invariant: every packet offered to
+    /// the link is exactly one of delivered, dropped (overflow or channel)
+    /// or still in transit (queued, transmitting, or propagating). The
+    /// engine calls this after every run in debug/test builds; a violation
+    /// means the engine lost or duplicated a packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the accounts do not balance.
+    #[cfg(any(debug_assertions, test))]
+    pub fn assert_conservation(&self) {
+        let in_transit = self.queue.len() as u64
+            + u64::from(self.in_flight.is_some())
+            + self.deliver_pending;
+        let accounted = self.delivered + self.overflow_drops + self.channel_drops + in_transit;
+        assert!(
+            self.offered == accounted,
+            "packet conservation violated on link '{}': offered {} != \
+             delivered {} + overflow {} + channel {} + in-transit {}",
+            self.label,
+            self.offered,
+            self.delivered,
+            self.overflow_drops,
+            self.channel_drops,
+            in_transit,
+        );
+    }
+
+    /// Corrupts the conservation ledger so tests can prove the invariant
+    /// actually fires. Test-only by design.
+    #[cfg(any(debug_assertions, test))]
+    #[doc(hidden)]
+    pub fn inject_conservation_violation(&mut self) {
+        self.offered += 1;
     }
 
     /// Samples the delivery latency for one packet leaving the link at

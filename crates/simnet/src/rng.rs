@@ -8,25 +8,59 @@
 //! a new consumer does not perturb the draws seen by existing consumers —
 //! the classic "common random numbers" discipline for comparable
 //! experiments (e.g. the Fig. 12 TCP-vs-MPTCP pairing).
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is an inline xoshiro256++ (the same family `rand`'s
+//! `SmallRng` uses on 64-bit targets) seeded through SplitMix64, so the
+//! crate carries no external RNG dependency and the streams are identical
+//! on every platform.
 
 /// A seedable, splittable RNG stream used across the simulator.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a stream directly from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng { inner: SmallRng::seed_from_u64(seed) }
+        let mut s = seed;
+        SimRng {
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+        }
     }
 
-    /// Uniform draw in `[0, 1)`.
+    /// Next raw 64 random bits (xoshiro256++ step).
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
@@ -36,7 +70,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
@@ -45,7 +79,13 @@ impl SimRng {
         if hi <= lo {
             lo
         } else {
-            self.inner.gen_range(lo..hi)
+            let x = lo + (hi - lo) * self.unit();
+            // `unit() < 1` but the scaling can round up to `hi`.
+            if x >= hi {
+                lo
+            } else {
+                x
+            }
         }
     }
 
@@ -54,8 +94,13 @@ impl SimRng {
         if hi <= lo {
             lo
         } else {
-            self.inner.gen_range(lo..hi)
+            lo + self.next_u64() % (hi - lo)
         }
+    }
+
+    /// Uniform draw in `(0, 1]`, for logarithms.
+    fn unit_open_low(&mut self) -> f64 {
+        1.0 - self.unit()
     }
 
     /// Exponentially distributed draw with the given mean.
@@ -65,14 +110,13 @@ impl SimRng {
     /// Panics if `mean` is not finite or not positive.
     pub fn exponential(&mut self, mean: f64) -> f64 {
         assert!(mean.is_finite() && mean > 0.0, "invalid exponential mean: {mean}");
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        -mean * u.ln()
+        -mean * self.unit_open_low().ln()
     }
 
     /// Standard-normal draw via Box–Muller.
     pub fn standard_normal(&mut self) -> f64 {
-        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1 = self.unit_open_low();
+        let u2 = self.unit();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
@@ -84,7 +128,7 @@ impl SimRng {
 
     /// Derives an independent child stream.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from_u64(self.inner.next_u64())
+        SimRng::seed_from_u64(self.next_u64())
     }
 }
 
@@ -200,5 +244,14 @@ mod tests {
         assert_eq!(r.range_u64(5, 5), 5);
         let v = r.range_u64(1, 10);
         assert!((1..10).contains(&v));
+    }
+
+    #[test]
+    fn unit_stays_in_half_open_interval() {
+        let mut r = SimRng::seed_from_u64(77);
+        for _ in 0..100_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u), "unit draw {u}");
+        }
     }
 }

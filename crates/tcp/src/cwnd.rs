@@ -207,6 +207,50 @@ impl Cwnd {
         self.cwnd = 1.0;
         self.phase = Phase::SlowStart;
     }
+
+    /// Checks the controller's structural invariants: the window never
+    /// collapses below one segment, never escapes its `2·W_m` ceiling, and
+    /// both `cwnd` and `ssthresh` stay finite and positive. The sender
+    /// re-checks after every state transition in debug/test builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an invariant is violated.
+    #[cfg(any(debug_assertions, test))]
+    pub fn assert_invariants(&self) {
+        assert!(
+            self.cwnd.is_finite() && self.cwnd >= 1.0,
+            "cwnd invariant violated: cwnd = {} (must be finite and >= 1)",
+            self.cwnd,
+        );
+        assert!(
+            self.ssthresh.is_finite() && self.ssthresh >= 1.0,
+            "ssthresh invariant violated: ssthresh = {} (must be finite and >= 1)",
+            self.ssthresh,
+        );
+        // ACK-driven growth is clamped at 2*W_m (see on_new_ack), and
+        // fast-recovery inflation adds at most one segment per duplicate
+        // ACK — at most one window's worth, twice over when a backup path
+        // mirrors ACKs — on top of ssthresh + 3. Anything above that is a
+        // runaway window.
+        let ceiling = self.w_m.max(1.0) * 3.0 + 4.0;
+        assert!(self.cwnd <= ceiling, "cwnd {} escaped its {} ceiling", self.cwnd, ceiling);
+        let w = self.window();
+        assert!(
+            (1..=self.w_m as u64).contains(&w),
+            "effective window {} outside [1, W_m = {}]",
+            w,
+            self.w_m,
+        );
+    }
+
+    /// Corrupts the window so tests can prove the invariant check fires.
+    /// Test-only by design.
+    #[cfg(any(debug_assertions, test))]
+    #[doc(hidden)]
+    pub fn inject_invariant_violation(&mut self) {
+        self.cwnd = 0.0;
+    }
 }
 
 #[cfg(test)]
@@ -388,6 +432,36 @@ mod tests {
         c.observe_rtt(0.500);
         c.enter_fast_recovery(20);
         assert_eq!(c.ssthresh(), 10.0);
+    }
+
+    #[test]
+    fn invariants_hold_through_a_full_lifecycle() {
+        let mut c = Cwnd::new(16);
+        c.assert_invariants();
+        for _ in 0..40 {
+            c.on_new_ack(1);
+            c.assert_invariants();
+        }
+        c.enter_fast_recovery(16);
+        c.assert_invariants();
+        for _ in 0..16 {
+            c.on_dup_ack_in_recovery();
+            c.assert_invariants();
+        }
+        c.on_partial_ack(5);
+        c.assert_invariants();
+        c.exit_fast_recovery();
+        c.assert_invariants();
+        c.on_timeout(16);
+        c.assert_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "cwnd invariant violated")]
+    fn invariant_check_fires_on_injected_violation() {
+        let mut c = Cwnd::new(16);
+        c.inject_invariant_violation();
+        c.assert_invariants();
     }
 
     #[test]

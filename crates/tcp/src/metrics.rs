@@ -61,6 +61,42 @@ impl SenderMetrics {
     pub fn timeout_count(&self) -> usize {
         self.timeouts.len()
     }
+
+    /// Checks the cross-counter invariants of the metrics ledger:
+    /// retransmissions are a subset of sends, duplicate ACKs a subset of
+    /// ACKs, spurious (undone) timeouts a subset of timeouts, and the
+    /// timeout/RTO logs move in lockstep. The sender re-checks after every
+    /// ACK and timeout in debug/test builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ledger is inconsistent.
+    #[cfg(any(debug_assertions, test))]
+    pub fn assert_invariants(&self) {
+        assert!(
+            self.retransmissions <= self.segments_sent,
+            "metrics invariant violated: {} retransmissions > {} segments sent",
+            self.retransmissions,
+            self.segments_sent,
+        );
+        assert!(
+            self.dup_acks_received <= self.acks_received,
+            "metrics invariant violated: {} dup ACKs > {} ACKs received",
+            self.dup_acks_received,
+            self.acks_received,
+        );
+        assert!(
+            self.spurious_rto_undone <= self.timeouts.len() as u64,
+            "metrics invariant violated: {} spurious timeouts > {} timeouts",
+            self.spurious_rto_undone,
+            self.timeouts.len(),
+        );
+        assert_eq!(
+            self.timeouts.len(),
+            self.rto_at_timeout.len(),
+            "metrics invariant violated: timeout and RTO logs out of lockstep",
+        );
+    }
 }
 
 /// Receiver-side ground truth.
@@ -90,6 +126,29 @@ mod tests {
         assert_eq!(m.cwnd_log.len(), 2);
         assert_eq!(m.timeout_count(), 1);
         assert_eq!(m.cwnd_log[1].window, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "spurious timeouts")]
+    fn spurious_exceeding_timeouts_trips_the_invariant() {
+        // Violation injection: claim a spurious timeout that never
+        // happened. The ledger check must refuse it.
+        let mut m = SenderMetrics::default();
+        m.spurious_rto_undone = 1;
+        m.assert_invariants();
+    }
+
+    #[test]
+    fn consistent_ledger_passes_the_invariant() {
+        let mut m = SenderMetrics::default();
+        m.segments_sent = 10;
+        m.retransmissions = 2;
+        m.acks_received = 8;
+        m.dup_acks_received = 3;
+        m.timeouts.push(SimTime::from_secs(1));
+        m.rto_at_timeout.push(1.0);
+        m.spurious_rto_undone = 1;
+        m.assert_invariants();
     }
 
     #[test]

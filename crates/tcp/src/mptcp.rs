@@ -175,13 +175,19 @@ pub fn run_with_backup_path(
     let tx = eng.add_agent(Box::new(RenoSender::new(flow, placeholder, cfg.sender)));
     let rx = eng.add_agent(Box::new(Receiver::new(flow, placeholder, cfg.receiver)));
     let (down, up) = build_path(&mut eng, primary, rx, tx, "primary");
-    let (backup_down, _backup_up) = build_path(&mut eng, backup, rx, tx, "backup");
+    let (backup_down, backup_up) = build_path(&mut eng, backup, rx, tx, "backup");
     {
         let sender = eng.agent_mut::<RenoSender>(tx).expect("sender");
         sender.data_link = down;
         sender.backup_link = Some(backup_down);
     }
-    eng.agent_mut::<Receiver>(rx).expect("receiver").uplink = up;
+    {
+        let receiver = eng.agent_mut::<Receiver>(rx).expect("receiver");
+        receiver.uplink = up;
+        // Recovery-phase ACKs are mirrored over the backup carrier: the
+        // redundant exchange must survive whenever *either* path works.
+        receiver.backup_uplink = Some(backup_up);
+    }
     // Mobility impairs only the primary path; the backup is assumed to be
     // a different carrier, modelled by its own PathSpec losses.
     let chan = mobility.map(|m| {

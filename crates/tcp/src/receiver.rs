@@ -78,6 +78,12 @@ pub struct Receiver {
     flow: FlowId,
     /// The link carrying ACKs back to the sender. Set by the wiring code.
     pub uplink: LinkId,
+    /// Optional backup uplink (MPTCP backup mode, §V-B). ACKs elicited by
+    /// retransmitted data are mirrored over it: the backup path duplicates
+    /// the whole recovery exchange, not just the data direction — otherwise
+    /// a redundantly delivered retransmission still stalls for a full
+    /// backoff rung whenever its ACK dies on the impaired primary uplink.
+    pub backup_uplink: Option<LinkId>,
     cfg: ReceiverConfig,
     next_expected: SeqNo,
     ooo: BTreeSet<u64>,
@@ -104,6 +110,7 @@ impl Receiver {
         Receiver {
             flow,
             uplink,
+            backup_uplink: None,
             cfg,
             next_expected: SeqNo::ZERO,
             ooo: BTreeSet::new(),
@@ -146,7 +153,19 @@ impl Receiver {
     }
 
     fn send_ack(&mut self, ctx: &mut Ctx<'_>, acked_count: u32) {
+        self.send_ack_inner(ctx, acked_count, false);
+    }
+
+    /// `mirror` — also send a copy over the backup uplink (recovery-phase
+    /// ACKs in MPTCP backup mode).
+    fn send_ack_inner(&mut self, ctx: &mut Ctx<'_>, acked_count: u32, mirror: bool) {
         let ack = Packet::ack(self.flow, self.next_expected, acked_count);
+        if mirror {
+            if let Some(backup) = self.backup_uplink {
+                ctx.send(backup, ack.clone().with_tag(1));
+                self.metrics.acks_sent += 1;
+            }
+        }
         ctx.send(self.uplink, ack);
         self.metrics.acks_sent += 1;
         self.pending_acks = 0;
@@ -178,7 +197,7 @@ impl Receiver {
 
 impl Agent for Receiver {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
-        let PacketKind::Data { seq, .. } = packet.kind else {
+        let PacketKind::Data { seq, retransmit } = packet.kind else {
             return; // Receivers only consume data.
         };
         self.metrics.segments_received += 1;
@@ -190,7 +209,7 @@ impl Agent for Receiver {
             // that caused this retransmission was spurious.
             self.metrics.duplicate_payloads += 1;
             self.on_disorder();
-            self.send_ack(ctx, 0);
+            self.send_ack_inner(ctx, 0, retransmit);
             return;
         }
         self.mark_seen(s);
@@ -209,10 +228,10 @@ impl Agent for Receiver {
             if !self.ooo.is_empty() {
                 // Still a hole above: ACK immediately (RFC 5681).
                 let count = self.pending_acks;
-                self.send_ack(ctx, count);
+                self.send_ack_inner(ctx, count, retransmit);
             } else if self.pending_acks >= self.current_b {
                 let count = self.pending_acks;
-                self.send_ack(ctx, count);
+                self.send_ack_inner(ctx, count, retransmit);
             } else if self.delack_timer.is_none() {
                 self.delack_timer = Some(ctx.schedule_in(self.cfg.delack_timeout, TAG_DELACK));
             }
@@ -220,7 +239,7 @@ impl Agent for Receiver {
             // Out of order: buffer and emit an immediate duplicate ACK.
             self.ooo.insert(s);
             self.on_disorder();
-            self.send_ack(ctx, 0);
+            self.send_ack_inner(ctx, 0, retransmit);
         }
     }
 

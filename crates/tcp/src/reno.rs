@@ -207,6 +207,15 @@ impl RenoSender {
             self.metrics.segments_sent += 1;
             if is_resend {
                 self.metrics.retransmissions += 1;
+                // Backup mode duplicates the whole recovery phase: every
+                // go-back-N resend below the recover point rides the backup
+                // path too, not just the RTO-triggered segment (§V-B).
+                if seq < self.recover {
+                    if let Some(backup) = self.backup_link {
+                        ctx.send(backup, Packet::data(self.flow, SeqNo(seq), true).with_tag(1));
+                        self.metrics.segments_sent += 1;
+                    }
+                }
                 if self.timing.is_some_and(|(t_seq, _)| t_seq == seq) {
                     self.timing = None; // Karn
                 }
@@ -238,6 +247,35 @@ impl RenoSender {
         if self.timing.is_some_and(|(t_seq, _)| t_seq == seq) {
             self.timing = None;
         }
+    }
+
+    /// Cross-layer invariant sweep, run after every ACK and timeout in
+    /// debug/test builds: sequence pointers stay ordered (`snd_una` ≤
+    /// `snd_nxt` ≤ `high_water`, `recover` never beyond data actually
+    /// sent), the congestion window stays in bounds, and the metrics
+    /// ledger stays consistent.
+    #[cfg(any(debug_assertions, test))]
+    fn assert_invariants(&self) {
+        assert!(
+            self.snd_una <= self.snd_nxt,
+            "sequence invariant violated: snd_una {} > snd_nxt {}",
+            self.snd_una,
+            self.snd_nxt,
+        );
+        assert!(
+            self.snd_nxt <= self.high_water,
+            "sequence invariant violated: snd_nxt {} > high_water {}",
+            self.snd_nxt,
+            self.high_water,
+        );
+        assert!(
+            self.recover <= self.high_water,
+            "sequence invariant violated: recover {} > high_water {}",
+            self.recover,
+            self.high_water,
+        );
+        self.cwnd.assert_invariants();
+        self.metrics.assert_invariants();
     }
 
     fn on_ack(&mut self, ctx: &mut Ctx<'_>, cum: u64) {
@@ -299,7 +337,12 @@ impl RenoSender {
                     self.cwnd.on_dup_ack_in_recovery();
                     self.send_available(ctx);
                 }
-                _ if self.dup_acks == 3 => {
+                // RFC 6582 "avoiding multiple fast retransmits": duplicate
+                // ACKs below `recover` are echoes of the go-back-N resends
+                // after a timeout (or of redundant backup-path copies), not
+                // evidence of a new loss — entering fast recovery on them
+                // halves cwnd spuriously.
+                _ if self.dup_acks == 3 && cum >= self.recover => {
                     self.recover = self.high_water;
                     let flight = self.flight();
                     self.cwnd.enter_fast_recovery(flight);
@@ -313,6 +356,8 @@ impl RenoSender {
             }
         }
         // cum < snd_una: stale/reordered ACK; ignore.
+        #[cfg(any(debug_assertions, test))]
+        self.assert_invariants();
     }
 
     fn on_rto(&mut self, ctx: &mut Ctx<'_>) {
@@ -343,6 +388,8 @@ impl RenoSender {
         self.snd_nxt = seq + 1;
         self.arm_rto(ctx);
         self.log(ctx.now());
+        #[cfg(any(debug_assertions, test))]
+        self.assert_invariants();
     }
 }
 

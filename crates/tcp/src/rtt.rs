@@ -86,7 +86,10 @@ impl RttEstimator {
 /// behaviour), after which it stays there.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct Backoff {
-    exponent: u32,
+    /// Consecutive timeouts since the last reset. Tracked separately from
+    /// the factor cap: the multiplier saturates at 64× but ladder lengths
+    /// (the paper's Table-III-style `R` statistics) must keep counting.
+    count: u32,
 }
 
 impl Backoff {
@@ -100,7 +103,7 @@ impl Backoff {
 
     /// The current multiplier (1, 2, 4, …, 64).
     pub fn factor(&self) -> u64 {
-        1u64 << self.exponent.min(6)
+        1u64 << self.count.min(6)
     }
 
     /// Applies the backoff to a base RTO.
@@ -108,21 +111,20 @@ impl Backoff {
         base * self.factor()
     }
 
-    /// Doubles the timer (saturating at 64×).
+    /// Doubles the timer (the factor saturates at 64×; the count does
+    /// not).
     pub fn on_timeout(&mut self) {
-        if self.exponent < 6 {
-            self.exponent += 1;
-        }
+        self.count = self.count.saturating_add(1);
     }
 
     /// Resets after an ACK for new data.
     pub fn reset(&mut self) {
-        self.exponent = 0;
+        self.count = 0;
     }
 
-    /// Consecutive timeouts so far.
+    /// Consecutive timeouts so far — unbounded, unlike the factor.
     pub fn consecutive_timeouts(&self) -> u32 {
-        self.exponent
+        self.count
     }
 }
 
@@ -187,6 +189,8 @@ mod tests {
         }
         assert_eq!(factors, vec![1, 2, 4, 8, 16, 32, 64, 64, 64]);
         assert_eq!(b.apply(base), SimDuration::from_secs(32));
+        // The count keeps going past the factor cap (ladder length > 6).
+        assert_eq!(b.consecutive_timeouts(), 9);
         b.reset();
         assert_eq!(b.factor(), 1);
         assert_eq!(b.consecutive_timeouts(), 0);

@@ -58,10 +58,15 @@ pub struct TimeoutSequence {
     /// Retransmissions sent during the sequence that were lost.
     pub retrans_lost: u32,
     /// End of the preceding congestion-avoidance phase (send time of the
-    /// last pre-sequence data packet).
+    /// last pre-sequence *new-data* packet).
     pub ca_end: SimTime,
+    /// Last transmission of any kind before the first timeout — the point
+    /// from which the expired retransmission timer's silence ran. Equal to
+    /// `ca_end` unless recovery traffic (fast retransmissions, go-back-N
+    /// resends) intervened between the CA phase and the ladder.
+    pub silence_start: SimTime,
     /// Send time of the first retransmission of the sequence; the gap from
-    /// `ca_end` estimates the retransmission timer `T`.
+    /// `silence_start` estimates the retransmission timer `T`.
     pub first_retx_at: SimTime,
     /// Start of the post-recovery slow-start phase (send time of the first
     /// new data packet after the sequence), or the trace end if the flow
@@ -95,11 +100,11 @@ impl TimeoutSequence {
         self.events.first().is_some_and(|e| e.spurious)
     }
 
-    /// Estimate of the retransmission timer `T` that fired first: the gap
-    /// between the end of congestion avoidance and the first
-    /// retransmission.
+    /// Estimate of the retransmission timer `T` that fired first: the
+    /// send-silence the expiry ended, i.e. the gap between the last
+    /// transmission before the ladder and the first retransmission.
     pub fn first_rto(&self) -> SimDuration {
-        self.first_retx_at.saturating_since(self.ca_end)
+        self.first_retx_at.saturating_since(self.silence_start)
     }
 }
 
@@ -170,6 +175,22 @@ impl TimeoutAnalysis {
         Some(SimDuration::from_micros(total_us / self.sequences.len() as u64))
     }
 
+    /// Median first-RTO estimate across sequences — the robust choice for
+    /// the model's `T`. First-RTO samples are heavy-tailed: one sequence
+    /// that fires after a long RTT spike inflated the timer (the paper's
+    /// tens-of-seconds RTO observations) can dominate the arithmetic mean,
+    /// while the model needs the *typical* timer value at ladder start.
+    pub fn median_first_rto(&self) -> Option<SimDuration> {
+        if self.sequences.is_empty() {
+            return None;
+        }
+        let mut us: Vec<u64> = self.sequences.iter().map(|s| s.first_rto().as_micros()).collect();
+        us.sort_unstable();
+        let n = us.len();
+        let median = if n % 2 == 1 { us[n / 2] } else { (us[n / 2 - 1] + us[n / 2]) / 2 };
+        Some(SimDuration::from_micros(median))
+    }
+
     /// Recovery durations in seconds (for the Fig. 3-style CDFs).
     pub fn recovery_durations_s(&self) -> Vec<f64> {
         self.sequences
@@ -204,9 +225,7 @@ pub fn analyze_timeouts(trace: &FlowTrace, cfg: &TimeoutConfig) -> TimeoutAnalys
             .map(|p| rec.sent_at.saturating_since(p) >= cfg.silence_threshold)
             .unwrap_or(false);
         // An RTO retransmission is a retransmission that follows a long
-        // send-silence (the timer had to expire). Retransmissions sent
-        // back-to-back right after a recovery ACK (go-back-N slow start)
-        // are recovery traffic, not timeouts — they close the sequence.
+        // send-silence (the timer had to expire).
         let is_rto_retx = rec.retransmit && silent;
 
         if is_rto_retx {
@@ -218,6 +237,7 @@ pub fn analyze_timeouts(trace: &FlowTrace, cfg: &TimeoutConfig) -> TimeoutAnalys
                 events: Vec::new(),
                 retrans_lost: 0,
                 ca_end: last_data_send.unwrap_or(rec.sent_at),
+                silence_start: prev_send.unwrap_or(rec.sent_at),
                 first_retx_at: rec.sent_at,
                 recovery_end: rec.sent_at,
             });
@@ -225,11 +245,15 @@ pub fn analyze_timeouts(trace: &FlowTrace, cfg: &TimeoutConfig) -> TimeoutAnalys
             if rec.lost() {
                 seq.retrans_lost += 1;
             }
-        } else {
-            // Any non-silent send (new data, or go-back-N resends right
-            // after the recovering ACK) means slow start began: close any
-            // open sequence. Fast retransmissions outside a sequence are
-            // ignored — they belong to a CA phase, not a timeout.
+        } else if !rec.retransmit {
+            // The recovery phase runs until the first *new-data*
+            // transmission (paper §III): only that closes the sequence.
+            // Non-silent retransmissions (go-back-N resends, fast
+            // retransmits) are recovery traffic — if a ladder chains into
+            // another through them with no new data in between, it is one
+            // recovery phase, not two overlapping ones. Fast
+            // retransmissions outside a sequence are ignored — they belong
+            // to a CA phase, not a timeout.
             if let Some(mut seq) = current.take() {
                 seq.recovery_end = rec.sent_at;
                 analysis.sequences.push(seq);

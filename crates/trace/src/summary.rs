@@ -42,7 +42,7 @@ pub struct FlowSummary {
     pub timeout_sequences: u32,
     /// Mean timeout-recovery duration, seconds (0 when none occurred).
     pub mean_recovery_s: f64,
-    /// Mean first-RTO estimate, seconds — the model's `T` (0 when no
+    /// Median first-RTO estimate, seconds — the model's `T` (0 when no
     /// timeouts occurred; callers should fall back to `4 * rtt_s`).
     pub t_rto_s: f64,
     /// Number of loss indications (timeout sequences + fast
@@ -175,8 +175,11 @@ pub fn analyze_flow(trace: &FlowTrace, cfg: &TimeoutConfig) -> FlowAnalysis {
             .mean_recovery()
             .map(|d| d.as_secs_f64())
             .unwrap_or(0.0),
+        // Median, not mean: first-RTO samples are heavy-tailed (a single
+        // post-RTT-spike timer can be 10× the rest) and `T` must be the
+        // typical timer at ladder start.
         t_rto_s: timeouts
-            .mean_first_rto()
+            .median_first_rto()
             .map(|d| d.as_secs_f64())
             .unwrap_or(0.0),
         loss_indications: timeouts.sequences.len() as u32 + fast_rtx,
@@ -187,6 +190,14 @@ pub fn analyze_flow(trace: &FlowTrace, cfg: &TimeoutConfig) -> FlowAnalysis {
         goodput_sps: tp.goodput_segments_per_sec(),
         duration_s: tp.duration_s,
     };
+    // A spurious timeout is a *kind* of timeout; the classifier can never
+    // find more of them than timeouts total.
+    debug_assert!(
+        summary.spurious_timeouts <= summary.timeouts,
+        "metrics invariant violated: {} spurious timeouts > {} timeouts",
+        summary.spurious_timeouts,
+        summary.timeouts,
+    );
     FlowAnalysis { summary, losses, timeouts, ack_bursts, throughput: tp }
 }
 

@@ -48,6 +48,36 @@ fn dataset_generation_is_deterministic_despite_parallelism() {
 }
 
 #[test]
+fn flow_summaries_bit_identical_across_worker_counts() {
+    // The determinism contract of the parallel dataset generator: the
+    // worker count is a throughput knob, never a results knob. Fixed seed
+    // + fixed config must produce bit-identical `FlowSummary` values for
+    // 1, 2 and 8 workers — verified both structurally (PartialEq) and on
+    // the serialized bytes, so even a sign-of-zero or NaN-payload
+    // difference would fail.
+    let cfg = DatasetConfig {
+        scale: 0.02,
+        flow_duration: SimDuration::from_secs(10),
+        ..Default::default()
+    };
+    let summarize = |workers: usize| -> Vec<String> {
+        generate_dataset_with_workers(&cfg, workers)
+            .iter()
+            .map(|f| {
+                let analysis = analyze_flow(&f.outcome.outcome.trace, &TimeoutConfig::default());
+                serde_json::to_string(&analysis.summary).expect("summary serializes")
+            })
+            .collect()
+    };
+    let one = summarize(1);
+    let two = summarize(2);
+    let eight = summarize(8);
+    assert!(!one.is_empty());
+    assert_eq!(one, two, "2 workers diverged from serial");
+    assert_eq!(one, eight, "8 workers diverged from serial");
+}
+
+#[test]
 fn trace_json_round_trip_preserves_analysis() {
     let trace = one_flow(55);
     let json = trace.to_json().expect("serialize");

@@ -129,3 +129,88 @@ proptest! {
         prop_assert!(pa_more <= pa + 1e-12);
     }
 }
+
+/// Explicit replays of the minimal counterexamples recorded in
+/// `proptests.proptest-regressions`. The regression file makes proptest
+/// itself re-run them, but these hard-coded tests keep the cases alive
+/// even if that file is lost or the proptest harness changes, and they
+/// document *which* property each case once broke.
+mod regression_replays {
+    use super::*;
+
+    /// Shrunk counterexample `a440b70a`: `b = 4` with lossless recovery
+    /// (`q = 0`, `P_a = 0`). Two historical failure modes meet here: the
+    /// as-published `E[W] = (b/2)E[X] − 2` slip inverts the b-dependence
+    /// away from `b = 2` (why `enhanced_never_exceeds_padhye_at_paper_b`
+    /// pins `b = 2`), and an unfloored `q < p_d` priced timeout recovery
+    /// cheaper than Padhye's.
+    const REGRESSION_B4: ModelParams = ModelParams {
+        rtt_s: 0.2901429431962392,
+        t_rto_s: 0.2,
+        p_d: 0.016783206476965122,
+        p_a_burst: 0.0,
+        q: 0.0,
+        b: 4.0,
+        w_m: 152.6617023863769,
+    };
+
+    /// Shrunk counterexample `cfeed97d`: heavy loss (`p_d ≈ 0.19`) with a
+    /// tiny advertised window (`W_m = 4`) — the degenerate-window corner
+    /// outside the round-based models' regime, which the Padhye-bound
+    /// properties now exclude via `w_m.max(8.0)` / `p_d.min(0.08)`.
+    const REGRESSION_TINY_WINDOW: ModelParams = ModelParams {
+        rtt_s: 0.02,
+        t_rto_s: 0.2,
+        p_d: 0.1887137656191421,
+        p_a_burst: 0.0,
+        q: 0.0,
+        b: 1.0,
+        w_m: 4.0,
+    };
+
+    fn assert_total_and_bounded(params: &ModelParams) {
+        for model in [EnhancedModel::as_published(), EnhancedModel::rederived()] {
+            let bd = model.breakdown(params).unwrap();
+            assert!(bd.throughput_sps.is_finite() && bd.throughput_sps >= 0.0);
+            assert!(bd.e_x > 0.0);
+            assert!((0.0..=1.0).contains(&bd.q_timeout));
+            assert!(bd.throughput_sps <= params.w_m / params.rtt_s * 2.0);
+        }
+    }
+
+    #[test]
+    fn replay_b4_case_is_total_and_bounded() {
+        assert_total_and_bounded(&REGRESSION_B4);
+    }
+
+    #[test]
+    fn replay_b4_case_respects_padhye_bound_after_q_floor() {
+        // The q-floor fix (timeout_sequence_terms lifts q to p_d) is what
+        // keeps this case below Padhye today; replay it exactly as the
+        // property would evaluate it.
+        let params = REGRESSION_B4
+            .with_b(2.0)
+            .with_p_d(REGRESSION_B4.p_d.min(0.08))
+            .with_w_m(REGRESSION_B4.w_m.max(8.0));
+        let enhanced = EnhancedModel::as_published().throughput(&params).unwrap();
+        let padhye = padhye_full(&params).unwrap();
+        assert!(enhanced <= padhye * 1.05, "enhanced {enhanced} padhye {padhye}");
+        let rederived = EnhancedModel::rederived().throughput(&params).unwrap();
+        assert!(rederived <= padhye * 1.05, "rederived {rederived} padhye {padhye}");
+    }
+
+    #[test]
+    fn replay_tiny_window_case_is_total_and_bounded() {
+        assert_total_and_bounded(&REGRESSION_TINY_WINDOW);
+    }
+
+    #[test]
+    fn replay_tiny_window_case_respects_padhye_bound_in_regime() {
+        let params = REGRESSION_TINY_WINDOW
+            .with_p_d(REGRESSION_TINY_WINDOW.p_d.min(0.08))
+            .with_w_m(REGRESSION_TINY_WINDOW.w_m.max(8.0));
+        let enhanced = EnhancedModel::rederived().throughput(&params).unwrap();
+        let padhye = padhye_full(&params).unwrap();
+        assert!(enhanced <= padhye * 1.05, "enhanced {enhanced} padhye {padhye}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-declaration surface the workspace uses
+//! ([`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`black_box`],
+//! `criterion_group!` / `criterion_main!`) over a plain wall-clock timing
+//! loop: per bench it warms up once, times `sample_size` batches, and
+//! prints the mean time per iteration. No statistics, plots or baselines.
+
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement marker types (only wall time is supported).
+pub mod measurement {
+    /// Wall-clock measurement marker.
+    pub struct WallTime;
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benches.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            _criterion: self,
+            _measurement: PhantomData,
+        }
+    }
+}
+
+/// A group of benches sharing tuning parameters.
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of timed samples per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub warms up exactly once.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Upper bound on total timed duration for one bench.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one named bench.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher { samples: Vec::new() };
+        let deadline = Instant::now() + self.measurement_time;
+        f(&mut bencher); // warm-up sample (discarded)
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        let iters: u64 = bencher.samples.iter().map(|s| s.iters).sum();
+        let total: Duration = bencher.samples.iter().map(|s| s.elapsed).sum();
+        let per_iter = if iters > 0 { total.as_nanos() / u128::from(iters) } else { 0 };
+        println!("bench {}/{id}: {per_iter} ns/iter ({iters} iters)", self.name);
+        self
+    }
+
+    /// Ends the group (no-op beyond dropping it).
+    pub fn finish(self) {}
+}
+
+struct Sample {
+    iters: u64,
+    elapsed: Duration,
+}
+
+/// Timing handle passed to each bench closure.
+pub struct Bencher {
+    samples: Vec<Sample>,
+}
+
+impl Bencher {
+    /// Times one batch of calls to `routine`.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(Sample { iters: 1, elapsed: start.elapsed() });
+    }
+
+    /// Like [`iter`](Bencher::iter) but drops the output outside the
+    /// timed region.
+    pub fn iter_with_large_drop<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        let out = routine();
+        let elapsed = start.elapsed();
+        self.samples.push(Sample { iters: 1, elapsed });
+        drop(out);
+    }
+}
+
+/// Bundles bench functions under one group symbol.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        let mut calls = 0u32;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            });
+        });
+        g.finish();
+        // warm-up + up to sample_size timed batches
+        assert!(calls >= 2);
+    }
+}

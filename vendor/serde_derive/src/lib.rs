@@ -1,0 +1,437 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the value-model traits of the sibling `serde` stub, by walking the raw
+//! `proc_macro::TokenStream` (the real syn/quote stack is unavailable in
+//! this build environment).
+//!
+//! Supported shapes — exactly what the workspace uses:
+//!
+//! * structs with named fields (including `#[serde(default)]` fields and
+//!   `Option<T>` fields, which tolerate being absent);
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays);
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   serde's default representation).
+//!
+//! Generics are not supported; none of the workspace's serialized types
+//! need them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    has_default: bool,
+    is_option: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// True if an attribute token group is `serde(default)` (possibly among
+/// other serde options; only `default` is honoured).
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes; returns whether any was `serde(default)`.
+fn skip_attrs(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut has_default = false;
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next();
+        // Outer attribute: `#` is followed by exactly one bracket group.
+        if let Some(TokenTree::Group(g)) = iter.peek() {
+            if attr_is_serde_default(g) {
+                has_default = true;
+            }
+            iter.next();
+        }
+    }
+    has_default
+}
+
+/// Consumes an optional `pub` / `pub(crate)` visibility.
+fn skip_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+/// Parses the fields of a `{ ... }` group into names + per-field flags.
+fn parse_named_fields(group: proc_macro::Group) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = group.stream().into_iter().peekable();
+    loop {
+        let has_default = skip_attrs(&mut iter);
+        skip_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            Some(other) => panic!("serde stub derive: unexpected token in fields: {other}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // The first type token tells us whether the field is an Option.
+        let is_option =
+            matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "Option");
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tok in iter.by_ref() {
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, has_default, is_option });
+    }
+    fields
+}
+
+/// Counts the fields of a `( ... )` tuple group.
+fn tuple_arity(group: proc_macro::Group) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut since_comma = false;
+    for tok in group.stream() {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        since_comma = true;
+    }
+    commas + usize::from(since_comma)
+}
+
+fn parse_variants(group: proc_macro::Group) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = group.stream().into_iter().peekable();
+    loop {
+        skip_attrs(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            Some(other) => panic!("serde stub derive: unexpected token in enum: {other}"),
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match iter.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                Shape::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = match iter.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                Shape::Tuple(tuple_arity(g))
+            }
+            _ => Shape::Unit,
+        };
+        // Consume the trailing comma, if any.
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs(&mut iter);
+    skip_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde stub derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde stub derive: expected type name, got {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct { name, shape: Shape::Named(parse_named_fields(g)) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::Struct { name, shape: Shape::Tuple(tuple_arity(g)) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Item::Struct { name, shape: Shape::Unit }
+            }
+            other => panic!("serde stub derive: malformed struct `{name}`: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g) }
+            }
+            other => panic!("serde stub derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then reparsed)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize_fields_named(fields: &[Field], access: &str) -> String {
+    let pushes: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value({access}{n})),",
+                n = f.name
+            )
+        })
+        .collect();
+    format!("::serde::Value::Obj(::std::vec![{}])", pushes.join(""))
+}
+
+fn serialize_impl(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => gen_serialize_fields_named(fields, "&self."),
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> =
+                        (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+                    format!("::serde::Value::Arr(::std::vec![{}])", elems.join(","))
+                }
+                Shape::Unit => "::serde::Value::Null".to_string(),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Obj(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Obj(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Arr(::std::vec![{elems}]))]),",
+                                binds = binds.join(","),
+                                elems = elems.join(",")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let inner = gen_serialize_fields_named(fields, "");
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Obj(::std::vec![(::std::string::String::from(\"{vn}\"), {inner})]),",
+                                binds = binds.join(",")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join("")))
+        }
+    };
+    format!(
+        "#[automatically_derived] #[allow(warnings, clippy::all, clippy::pedantic)] \
+         impl ::serde::Serialize for {name} {{ \
+             fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+/// Generates the struct-literal field initializers for named fields read
+/// out of `obj` (a `&[(String, Value)]` binding in scope).
+fn gen_deserialize_fields_named(fields: &[Field], type_label: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let n = &f.name;
+            let fallback = if f.has_default {
+                "::std::default::Default::default()".to_string()
+            } else if f.is_option {
+                "::std::option::Option::None".to_string()
+            } else {
+                format!(
+                    "return ::std::result::Result::Err(::serde::DeError::custom(\
+                     \"missing field `{n}` in {type_label}\"))"
+                )
+            };
+            format!(
+                "{n}: match ::serde::get_field(obj, \"{n}\") {{ \
+                     ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?, \
+                     ::std::option::Option::None => {fallback}, \
+                 }},"
+            )
+        })
+        .collect()
+}
+
+fn deserialize_impl(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    let inits = gen_deserialize_fields_named(fields, name);
+                    format!(
+                        "let obj = v.as_obj().ok_or_else(|| ::serde::DeError::expected(\"object ({name})\", v))?; \
+                         ::std::result::Result::Ok({name} {{ {inits} }})"
+                    )
+                }
+                Shape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Shape::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let items = v.as_arr().ok_or_else(|| ::serde::DeError::expected(\"array ({name})\", v))?; \
+                         if items.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::custom(\"wrong arity for {name}\")); }} \
+                         ::std::result::Result::Ok({name}({inits}))",
+                        inits = inits.join(",")
+                    )
+                }
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        Shape::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ \
+                                     let items = inner.as_arr().ok_or_else(|| ::serde::DeError::expected(\"array ({name}::{vn})\", inner))?; \
+                                     if items.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::custom(\"wrong arity for {name}::{vn}\")); }} \
+                                     ::std::result::Result::Ok({name}::{vn}({inits})) \
+                                 }},",
+                                inits = inits.join(",")
+                            ))
+                        }
+                        Shape::Named(fields) => {
+                            let inits = gen_deserialize_fields_named(fields, &format!("{name}::{vn}"));
+                            Some(format!(
+                                "\"{vn}\" => {{ \
+                                     let obj = inner.as_obj().ok_or_else(|| ::serde::DeError::expected(\"object ({name}::{vn})\", inner))?; \
+                                     ::std::result::Result::Ok({name}::{vn} {{ {inits} }}) \
+                                 }},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let body = format!(
+                "match v {{ \
+                     ::serde::Value::Str(s) => match s.as_str() {{ \
+                         {units} \
+                         other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             ::std::format!(\"unknown {name} variant `{{other}}`\"))), \
+                     }}, \
+                     ::serde::Value::Obj(pairs) if pairs.len() == 1 => {{ \
+                         let (tag, inner) = (&pairs[0].0, &pairs[0].1); \
+                         match tag.as_str() {{ \
+                             {datas} \
+                             other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 ::std::format!(\"unknown {name} variant `{{other}}`\"))), \
+                         }} \
+                     }}, \
+                     other => ::std::result::Result::Err(::serde::DeError::expected(\"{name} variant\", other)), \
+                 }}",
+                units = unit_arms.join(""),
+                datas = data_arms.join("")
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived] #[allow(warnings, clippy::all, clippy::pedantic)] \
+         impl ::serde::Deserialize for {name} {{ \
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}
+
+/// Derives `serde::Serialize` (value-model flavour; see crate docs).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    serialize_impl(&item).parse().expect("serde stub derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (value-model flavour; see crate docs).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    deserialize_impl(&item).parse().expect("serde stub derive: generated invalid Deserialize impl")
+}

@@ -6,3 +6,4 @@ cd "$(dirname "$0")"
 cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+cargo doc --no-deps --workspace

@@ -10,8 +10,42 @@
 //! ```
 
 use hsm_bench::{Ctx, Scale, EXPERIMENTS};
+use hsm_runtime::cache::{CacheConfig, FlowCache};
+use hsm_runtime::engine::{Campaign, CampaignReport};
+use serde::Serialize;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Cold-vs-warm engine telemetry written as `BENCH_campaign.json` so the
+/// performance trajectory of the campaign engine accumulates over time.
+#[derive(Debug, Serialize)]
+struct CampaignBench {
+    scale: String,
+    cold: CampaignReport,
+    warm: CampaignReport,
+}
+
+/// Runs the scale's dataset twice through the campaign engine against one
+/// shared cache — the first pass simulates, the second must be served
+/// entirely from memoized flows — and writes both reports.
+fn write_campaign_bench(scale: Scale) -> Result<(), String> {
+    let campaign = Campaign::builder()
+        .dataset(&scale.dataset_config())
+        .cache(CacheConfig::memory_only())
+        .build()
+        .map_err(|e| e.to_string())?;
+    let cache = FlowCache::new(CacheConfig::memory_only());
+    let cold = campaign.run_with_cache(&cache).map_err(|e| e.to_string())?;
+    let warm = campaign.run_with_cache(&cache).map_err(|e| e.to_string())?;
+    let bench = CampaignBench {
+        scale: format!("{scale:?}"),
+        cold: cold.report,
+        warm: warm.report,
+    };
+    let json = serde_json::to_string(&bench).map_err(|e| e.to_string())?;
+    std::fs::write("BENCH_campaign.json", json).map_err(|e| e.to_string())?;
+    Ok(())
+}
 
 fn usage() {
     println!("usage: repro [all | <id>...] [--smoke | --full] [--csv DIR]\n");
@@ -76,6 +110,13 @@ fn main() -> ExitCode {
                 eprintln!("failed to write CSVs for {}: {err}", result.id);
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    match write_campaign_bench(scale) {
+        Ok(()) => println!("wrote BENCH_campaign.json"),
+        Err(err) => {
+            eprintln!("failed to write BENCH_campaign.json: {err}");
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS

@@ -1,10 +1,13 @@
 //! Shared experiment context: scale presets and lazily generated, cached
 //! datasets (several figures consume the same 255-flow dataset; generate
 //! it once per process).
+//!
+//! Dataset generation runs through the `hsm-runtime` campaign engine
+//! (sharded workers + telemetry); the resulting [`CampaignReport`]s are
+//! kept so `repro` can fold them into `BENCH_campaign.json`.
 
-use hsm_scenario::dataset::{
-    generate_dataset, generate_stationary_baseline, DatasetConfig, DatasetFlow,
-};
+use hsm_runtime::engine::{run_dataset, run_stationary_baseline, CampaignReport};
+use hsm_scenario::dataset::{DatasetConfig, DatasetFlow};
 use hsm_simnet::time::SimDuration;
 use std::cell::OnceCell;
 
@@ -70,8 +73,8 @@ impl Scale {
 pub struct Ctx {
     /// The scale everything runs at.
     pub scale: Scale,
-    high_speed: OnceCell<Vec<DatasetFlow>>,
-    stationary: OnceCell<Vec<DatasetFlow>>,
+    high_speed: OnceCell<(Vec<DatasetFlow>, CampaignReport)>,
+    stationary: OnceCell<(Vec<DatasetFlow>, CampaignReport)>,
 }
 
 impl Ctx {
@@ -80,17 +83,37 @@ impl Ctx {
         Ctx { scale, ..Default::default() }
     }
 
+    fn high_speed_cell(&self) -> &(Vec<DatasetFlow>, CampaignReport) {
+        self.high_speed.get_or_init(|| {
+            run_dataset(&self.scale.dataset_config()).expect("dataset campaign runs")
+        })
+    }
+
+    fn stationary_cell(&self) -> &(Vec<DatasetFlow>, CampaignReport) {
+        self.stationary.get_or_init(|| {
+            run_stationary_baseline(&self.scale.dataset_config(), self.scale.stationary_flows())
+                .expect("stationary campaign runs")
+        })
+    }
+
     /// The high-speed dataset (generated on first use, cached after).
     pub fn high_speed(&self) -> &[DatasetFlow] {
-        self.high_speed
-            .get_or_init(|| generate_dataset(&self.scale.dataset_config()))
+        &self.high_speed_cell().0
     }
 
     /// The stationary baseline (generated on first use, cached after).
     pub fn stationary(&self) -> &[DatasetFlow] {
-        self.stationary.get_or_init(|| {
-            generate_stationary_baseline(&self.scale.dataset_config(), self.scale.stationary_flows())
-        })
+        &self.stationary_cell().0
+    }
+
+    /// Campaign telemetry of the high-speed dataset generation.
+    pub fn high_speed_report(&self) -> &CampaignReport {
+        &self.high_speed_cell().1
+    }
+
+    /// Campaign telemetry of the stationary baseline generation.
+    pub fn stationary_report(&self) -> &CampaignReport {
+        &self.stationary_cell().1
     }
 }
 
@@ -108,7 +131,7 @@ mod tests {
     }
 
     #[test]
-    fn ctx_caches_dataset() {
+    fn ctx_caches_dataset_and_reports_telemetry() {
         let ctx = Ctx::new(Scale::Smoke);
         let a = ctx.high_speed().len();
         let b = ctx.high_speed().len();
@@ -116,5 +139,9 @@ mod tests {
         assert!(a >= 4);
         let st = ctx.stationary();
         assert_eq!(st.len(), 3);
+        let report = ctx.high_speed_report();
+        assert_eq!(report.flows, a);
+        assert_eq!(report.cache_hits, 0, "keep-outcomes campaigns never hit the cache");
+        assert!(report.events_processed > 0);
     }
 }

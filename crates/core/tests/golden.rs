@@ -47,7 +47,7 @@ fn padhye_full_unlimited_branch_pinned() {
         b: 1.0,
         w_m: 100.0,
     };
-    assert_pinned(padhye::full(&params).unwrap(), 1.716_568_737_710_900, "padhye::full (unlimited)");
+    assert_pinned(padhye::full(&params).unwrap(), 1.716_568_737_710_9, "padhye::full (unlimited)");
     assert_pinned(padhye::expected_window(0.5, 1.0), 2.914_854_215_512_68, "expected_window(0.5, 1)");
     assert_pinned(padhye::f_backoff(0.5), 4.0, "f_backoff(0.5)");
 }

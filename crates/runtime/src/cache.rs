@@ -1,0 +1,381 @@
+//! Content-addressed memoization of completed flows.
+//!
+//! A flow is a pure function of its [`ScenarioConfig`] and the engine
+//! version, so its [`FlowSummary`] can be cached under a content hash of
+//! exactly those inputs. The cache has two tiers:
+//!
+//! * an in-memory LRU tier bounded by entry count, and
+//! * an optional on-disk JSON tier (one file per flow) that survives the
+//!   process and powers warm `repro` reruns.
+//!
+//! Disk entries carry a hash of their own payload; a corrupted entry
+//! fails the hash check, is counted, and is transparently re-simulated —
+//! the cache can never silently alter campaign results. Because the
+//! summary's JSON encoding round-trips floats exactly (shortest
+//! round-trip formatting), a cache hit is *bit-identical* to a fresh
+//! simulation.
+
+use crate::error::CacheError;
+use hsm_scenario::runner::ScenarioConfig;
+use hsm_trace::summary::FlowSummary;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Version tag mixed into every cache key.
+///
+/// Bump whenever simulation or analysis semantics change: old cached
+/// flows then miss instead of resurfacing stale results.
+pub const ENGINE_VERSION: &str = "hsm-runtime/1";
+
+/// 64-bit FNV-1a hash — stable across runs, platforms and Rust versions
+/// (unlike `DefaultHasher`, which is randomly keyed per process).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Content hash identifying one (configuration, engine-version) flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey(pub u64);
+
+impl CacheKey {
+    /// Computes the key for a scenario configuration under the current
+    /// [`ENGINE_VERSION`].
+    pub fn of(config: &ScenarioConfig) -> CacheKey {
+        let encoded = serde_json::to_string(config)
+            .expect("ScenarioConfig serialization is infallible");
+        let mut bytes = encoded.into_bytes();
+        bytes.extend_from_slice(ENGINE_VERSION.as_bytes());
+        CacheKey(fnv1a(&bytes))
+    }
+
+    /// The disk-tier file name for this key.
+    fn file_name(self) -> String {
+        format!("flow-{:016x}.json", self.0)
+    }
+}
+
+/// Cache sizing and placement.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CacheConfig {
+    /// Maximum entries held by the in-memory LRU tier (`0` disables the
+    /// memory tier entirely).
+    pub memory_entries: usize,
+    /// Directory of the on-disk JSON tier (`None` disables it).
+    pub disk_dir: Option<PathBuf>,
+}
+
+impl CacheConfig {
+    /// A memory-only cache big enough for the full 255-flow dataset plus
+    /// sweeps.
+    pub fn memory_only() -> CacheConfig {
+        CacheConfig { memory_entries: 4096, disk_dir: None }
+    }
+
+    /// A two-tier cache persisting under `dir`.
+    pub fn with_disk(dir: impl Into<PathBuf>) -> CacheConfig {
+        CacheConfig { memory_entries: 4096, disk_dir: Some(dir.into()) }
+    }
+}
+
+/// Counters describing how the cache behaved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups served from the memory tier.
+    pub memory_hits: u64,
+    /// Lookups served from the disk tier.
+    pub disk_hits: u64,
+    /// Lookups that found nothing valid.
+    pub misses: u64,
+    /// Disk entries rejected by the payload-hash integrity check.
+    pub corrupt_entries: u64,
+    /// Entries evicted from the memory tier by the LRU policy.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total successful lookups across both tiers.
+    pub fn hits(&self) -> u64 {
+        self.memory_hits + self.disk_hits
+    }
+}
+
+/// One record of the disk tier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct DiskEntry {
+    /// The cache key, echoed for self-description.
+    key: u64,
+    /// Engine version that produced the payload.
+    engine_version: String,
+    /// FNV-1a hash of the canonical JSON encoding of `summary`.
+    payload_hash: u64,
+    /// The memoized flow summary.
+    summary: FlowSummary,
+}
+
+struct CacheInner {
+    map: HashMap<u64, FlowSummary>,
+    /// LRU order, least-recent first. Entry count stays small (thousands),
+    /// so the O(len) reorder on hit is noise next to a flow simulation.
+    order: Vec<u64>,
+    stats: CacheStats,
+}
+
+/// The two-tier memoization cache shared by campaign workers.
+pub struct FlowCache {
+    inner: Mutex<CacheInner>,
+    config: CacheConfig,
+}
+
+impl std::fmt::Debug for FlowCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowCache")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl FlowCache {
+    /// Creates an empty cache with the given configuration.
+    pub fn new(config: CacheConfig) -> FlowCache {
+        FlowCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: Vec::new(),
+                stats: CacheStats::default(),
+            }),
+            config,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// A snapshot of the behaviour counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("cache lock").stats
+    }
+
+    /// Number of entries currently in the memory tier.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// True when the memory tier holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks a flow up, consulting the memory tier then the disk tier.
+    ///
+    /// Disk hits are promoted into the memory tier. Corrupt disk entries
+    /// (bad JSON, wrong key/version, payload-hash mismatch) count as
+    /// misses and bump `corrupt_entries`.
+    pub fn lookup(&self, key: CacheKey) -> Option<FlowSummary> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        if let Some(summary) = inner.map.get(&key.0).cloned() {
+            inner.stats.memory_hits += 1;
+            // Move-to-back keeps hot entries resident.
+            if let Some(pos) = inner.order.iter().position(|k| *k == key.0) {
+                inner.order.remove(pos);
+                inner.order.push(key.0);
+            }
+            return Some(summary);
+        }
+        match self.disk_lookup(key) {
+            DiskLookup::Hit(summary) => {
+                inner.stats.disk_hits += 1;
+                Self::insert_memory(&mut inner, &self.config, key, summary.clone());
+                Some(summary)
+            }
+            DiskLookup::Corrupt => {
+                inner.stats.corrupt_entries += 1;
+                inner.stats.misses += 1;
+                None
+            }
+            DiskLookup::Absent => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Memoizes a completed flow in both tiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when the disk tier cannot be written; the
+    /// memory tier is updated regardless.
+    pub fn insert(&self, key: CacheKey, summary: &FlowSummary) -> Result<(), CacheError> {
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            Self::insert_memory(&mut inner, &self.config, key, summary.clone());
+        }
+        if let Some(dir) = &self.config.disk_dir {
+            self.disk_insert(dir, key, summary)?;
+        }
+        Ok(())
+    }
+
+    fn insert_memory(inner: &mut CacheInner, config: &CacheConfig, key: CacheKey, summary: FlowSummary) {
+        if config.memory_entries == 0 {
+            return;
+        }
+        if inner.map.insert(key.0, summary).is_none() {
+            inner.order.push(key.0);
+            while inner.map.len() > config.memory_entries {
+                let oldest = inner.order.remove(0);
+                inner.map.remove(&oldest);
+                inner.stats.evictions += 1;
+            }
+        }
+    }
+
+    fn disk_path(&self, key: CacheKey) -> Option<PathBuf> {
+        self.config.disk_dir.as_ref().map(|d| d.join(key.file_name()))
+    }
+
+    fn disk_lookup(&self, key: CacheKey) -> DiskLookup {
+        let Some(path) = self.disk_path(key) else {
+            return DiskLookup::Absent;
+        };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return DiskLookup::Absent;
+        };
+        match verify_disk_entry(&text, key) {
+            Some(summary) => DiskLookup::Hit(summary),
+            None => DiskLookup::Corrupt,
+        }
+    }
+
+    fn disk_insert(&self, dir: &Path, key: CacheKey, summary: &FlowSummary) -> Result<(), CacheError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CacheError::Io { path: dir.to_path_buf(), message: e.to_string() })?;
+        let payload = serde_json::to_string(summary).map_err(|e| CacheError::Encode(e.to_string()))?;
+        let entry = DiskEntry {
+            key: key.0,
+            engine_version: ENGINE_VERSION.to_owned(),
+            payload_hash: fnv1a(payload.as_bytes()),
+            summary: summary.clone(),
+        };
+        let text = serde_json::to_string(&entry).map_err(|e| CacheError::Encode(e.to_string()))?;
+        let path = dir.join(key.file_name());
+        std::fs::write(&path, text)
+            .map_err(|e| CacheError::Io { path: path.clone(), message: e.to_string() })
+    }
+}
+
+enum DiskLookup {
+    Hit(FlowSummary),
+    Corrupt,
+    Absent,
+}
+
+/// Parses and integrity-checks one disk-tier entry; `None` = corrupt.
+fn verify_disk_entry(text: &str, key: CacheKey) -> Option<FlowSummary> {
+    let entry: DiskEntry = serde_json::from_str(text).ok()?;
+    if entry.key != key.0 || entry.engine_version != ENGINE_VERSION {
+        return None;
+    }
+    let payload = serde_json::to_string(&entry.summary).ok()?;
+    if fnv1a(payload.as_bytes()) != entry.payload_hash {
+        return None;
+    }
+    Some(entry.summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(flow: u32) -> FlowSummary {
+        FlowSummary {
+            flow,
+            provider: "China Mobile".into(),
+            scenario: "high-speed".into(),
+            rtt_s: 0.065,
+            p_d: 0.0075,
+            data_sent: 1000,
+            p_a: 0.006,
+            p_a_burst: 0.05,
+            acks_per_round: 12.0,
+            q_hat: 0.27,
+            timeouts: 4,
+            spurious_timeouts: 2,
+            timeout_sequences: 3,
+            mean_recovery_s: 5.0,
+            t_rto_s: 0.8,
+            loss_indications: 5,
+            fast_retransmissions: 2,
+            w_m: 48,
+            b: 2,
+            throughput_sps: 321.5,
+            goodput_sps: 300.25,
+            duration_s: 120.0,
+        }
+    }
+
+    #[test]
+    fn keys_are_stable_and_content_addressed() {
+        let a = ScenarioConfig::default();
+        let b = ScenarioConfig { seed: 2, ..Default::default() };
+        assert_eq!(CacheKey::of(&a), CacheKey::of(&a));
+        assert_ne!(CacheKey::of(&a), CacheKey::of(&b));
+    }
+
+    #[test]
+    fn memory_tier_hits_and_evicts_lru() {
+        let cache = FlowCache::new(CacheConfig { memory_entries: 2, disk_dir: None });
+        let (k1, k2, k3) = (CacheKey(1), CacheKey(2), CacheKey(3));
+        cache.insert(k1, &summary(1)).unwrap();
+        cache.insert(k2, &summary(2)).unwrap();
+        assert_eq!(cache.lookup(k1).unwrap().flow, 1); // k1 now most-recent
+        cache.insert(k3, &summary(3)).unwrap(); // evicts k2, the LRU entry
+        assert!(cache.lookup(k2).is_none());
+        assert_eq!(cache.lookup(k1).unwrap().flow, 1);
+        assert_eq!(cache.lookup(k3).unwrap().flow, 3);
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.memory_hits, 3);
+    }
+
+    #[test]
+    fn disk_tier_round_trips_and_detects_corruption() {
+        let dir = std::env::temp_dir().join(format!("hsm_cache_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = FlowCache::new(CacheConfig { memory_entries: 0, disk_dir: Some(dir.clone()) });
+        let key = CacheKey(0xabcd);
+        let s = summary(9);
+        cache.insert(key, &s).unwrap();
+        assert_eq!(cache.lookup(key).as_ref(), Some(&s));
+
+        // Corrupt the payload while keeping the JSON valid: only the
+        // integrity hash can catch this.
+        let path = dir.join(key.file_name());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let bad = text.replace("\"provider\":\"China Mobile\"", "\"provider\":\"China Mobbed\"");
+        assert_ne!(bad, text, "corruption must change the payload");
+        std::fs::write(&path, bad).unwrap();
+        assert!(cache.lookup(key).is_none());
+        assert_eq!(cache.stats().corrupt_entries, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_capacity_disables_memory_tier() {
+        let cache = FlowCache::new(CacheConfig { memory_entries: 0, disk_dir: None });
+        cache.insert(CacheKey(5), &summary(5)).unwrap();
+        assert!(cache.is_empty());
+        assert!(cache.lookup(CacheKey(5)).is_none());
+    }
+}

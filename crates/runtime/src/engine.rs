@@ -1,0 +1,493 @@
+//! The sharded, memoizing campaign engine.
+//!
+//! A [`Campaign`] is an ordered set of [`ScenarioConfig`]s executed across
+//! a self-scheduling worker pool: workers pull the next flow index from a
+//! shared atomic counter (idle workers automatically take over remaining
+//! work), stream each flow through `run_scenario`/`analyze_flow`, and drop
+//! the raw `FlowTrace` immediately — only the compact [`FlowSummary`]
+//! crosses the channel — so campaigns of tens of thousands of flows run in
+//! near-constant memory. Opting into [`CampaignBuilder::keep_outcomes`]
+//! retains the full [`ScenarioOutcome`] for figure generators that need
+//! the packet records.
+//!
+//! Completed flows are memoized in a [`FlowCache`]; results are merged in
+//! index order, so the summary stream is **bit-identical** for any worker
+//! count and any cache state (cold, warm memory, warm disk). Wall-clock
+//! and utilization telemetry lives only in the [`CampaignReport`], never
+//! in the result stream.
+
+use crate::cache::{CacheConfig, CacheKey, FlowCache, ENGINE_VERSION};
+use crate::error::EngineError;
+use hsm_scenario::dataset::{plan_dataset, plan_stationary_baseline, DatasetConfig, DatasetFlow};
+use hsm_scenario::runner::{run_scenario, ScenarioConfig, ScenarioOutcome};
+use hsm_trace::summary::FlowSummary;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Instant;
+
+/// One executed (or cache-served) flow of a campaign.
+#[derive(Debug, Clone)]
+pub struct FlowRun {
+    /// The configuration that produced it.
+    pub config: ScenarioConfig,
+    /// The model-ready summary (identical whether simulated or cached).
+    pub summary: FlowSummary,
+    /// True when the flow was served from the cache without simulating.
+    pub cache_hit: bool,
+    /// Wall-clock seconds spent simulating (0 for cache hits).
+    pub sim_wall_s: f64,
+    /// Simulator events processed (0 for cache hits).
+    pub events: u64,
+    /// Index of the worker that handled the flow.
+    pub worker: usize,
+    /// The full outcome, retained only under `keep_outcomes`.
+    pub outcome: Option<Box<ScenarioOutcome>>,
+}
+
+/// Structured per-campaign telemetry, serialized by `repro` as
+/// `BENCH_campaign.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Engine version that executed the campaign.
+    pub engine_version: String,
+    /// Flows in the campaign.
+    pub flows: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Flows served from the cache (memory or disk tier).
+    pub cache_hits: usize,
+    /// Flows that had to be simulated.
+    pub cache_misses: usize,
+    /// Cache hits served by the disk tier specifically.
+    pub disk_hits: u64,
+    /// Disk entries rejected by the integrity check (then re-simulated).
+    pub corrupt_entries: u64,
+    /// Total simulator events processed across all simulated flows.
+    pub events_processed: u64,
+    /// End-to-end campaign wall-clock, seconds.
+    pub wall_clock_s: f64,
+    /// Summed per-flow simulation wall-clock, seconds.
+    pub sim_wall_s: f64,
+    /// Flows handled per worker.
+    pub worker_flows: Vec<usize>,
+    /// Busy seconds per worker.
+    pub worker_busy_s: Vec<f64>,
+}
+
+impl CampaignReport {
+    /// Mean fraction of the campaign wall-clock each worker spent busy
+    /// (1.0 = perfectly utilized pool).
+    pub fn worker_utilization(&self) -> f64 {
+        if self.wall_clock_s <= 0.0 || self.worker_busy_s.is_empty() {
+            return 0.0;
+        }
+        let busy: f64 = self.worker_busy_s.iter().sum();
+        busy / (self.wall_clock_s * self.worker_busy_s.len() as f64)
+    }
+
+    /// Simulator events processed per second of campaign wall-clock.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_clock_s <= 0.0 {
+            0.0
+        } else {
+            self.events_processed as f64 / self.wall_clock_s
+        }
+    }
+}
+
+/// Everything a campaign run produces.
+#[derive(Debug, Clone)]
+pub struct CampaignOutput {
+    /// Per-flow results, in campaign (index) order.
+    pub runs: Vec<FlowRun>,
+    /// Aggregate telemetry.
+    pub report: CampaignReport,
+}
+
+impl CampaignOutput {
+    /// The deterministic summary stream, in campaign order.
+    pub fn summaries(&self) -> impl Iterator<Item = &FlowSummary> {
+        self.runs.iter().map(|r| &r.summary)
+    }
+}
+
+/// Validated step-by-step construction of a [`Campaign`].
+#[derive(Debug, Clone, Default)]
+pub struct CampaignBuilder {
+    configs: Vec<ScenarioConfig>,
+    workers: Option<usize>,
+    cache: Option<CacheConfig>,
+    keep_outcomes: bool,
+}
+
+impl CampaignBuilder {
+    /// Appends one scenario.
+    pub fn config(mut self, config: ScenarioConfig) -> Self {
+        self.configs.push(config);
+        self
+    }
+
+    /// Appends any number of scenarios.
+    pub fn configs(mut self, configs: impl IntoIterator<Item = ScenarioConfig>) -> Self {
+        self.configs.extend(configs);
+        self
+    }
+
+    /// Appends the full Table-I dataset plan for `cfg`.
+    pub fn dataset(mut self, cfg: &DatasetConfig) -> Self {
+        self.configs.extend(plan_dataset(cfg).into_iter().map(|(_, c)| c));
+        self
+    }
+
+    /// Sets the worker count (defaults to the machine's parallelism).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Sets the cache configuration (defaults to
+    /// [`CacheConfig::memory_only`]).
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Retains the full [`ScenarioOutcome`] (trace included) per flow.
+    ///
+    /// This trades the engine's near-constant memory for raw packet
+    /// records, and bypasses the cache — outcomes are never memoized,
+    /// only summaries are.
+    pub fn keep_outcomes(mut self, keep: bool) -> Self {
+        self.keep_outcomes = keep;
+        self
+    }
+
+    /// Validates every configuration and the worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidConfig`] for the first scenario that
+    /// fails validation, or [`EngineError::ZeroWorkers`] for an explicit
+    /// worker count of 0.
+    pub fn build(self) -> Result<Campaign, EngineError> {
+        if self.workers == Some(0) {
+            return Err(EngineError::ZeroWorkers);
+        }
+        for (index, config) in self.configs.iter().enumerate() {
+            config
+                .validate()
+                .map_err(|source| EngineError::InvalidConfig { index, source })?;
+        }
+        let workers = self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|w| w.get()).unwrap_or(4)
+        });
+        Ok(Campaign {
+            configs: self.configs,
+            workers,
+            cache: self.cache.unwrap_or_else(CacheConfig::memory_only),
+            keep_outcomes: self.keep_outcomes,
+        })
+    }
+}
+
+/// A validated, executable set of scenarios.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    configs: Vec<ScenarioConfig>,
+    workers: usize,
+    cache: CacheConfig,
+    keep_outcomes: bool,
+}
+
+impl Campaign {
+    /// Starts a builder.
+    pub fn builder() -> CampaignBuilder {
+        CampaignBuilder::default()
+    }
+
+    /// The scenarios, in campaign order.
+    pub fn configs(&self) -> &[ScenarioConfig] {
+        &self.configs
+    }
+
+    /// The worker count the campaign will use.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs the campaign against a fresh cache built from the campaign's
+    /// own [`CacheConfig`] (a disk tier still makes reruns warm).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError`] from workers or the cache's disk tier.
+    pub fn run(&self) -> Result<CampaignOutput, EngineError> {
+        self.run_with_cache(&FlowCache::new(self.cache.clone()))
+    }
+
+    /// Runs the campaign against a caller-owned cache, so repeated runs
+    /// (or several campaigns sharing flows) stay warm in memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError`] from workers or the cache's disk tier.
+    pub fn run_with_cache(&self, cache: &FlowCache) -> Result<CampaignOutput, EngineError> {
+        let started = Instant::now();
+        let stats_before = cache.stats();
+        let n = self.configs.len();
+        let workers = self.workers.clamp(1, n.max(1));
+        let next = AtomicUsize::new(0);
+        let worker_stats: Mutex<Vec<(usize, f64)>> = Mutex::new(vec![(0, 0.0); workers]);
+        let (tx, rx) = mpsc::channel::<Result<(usize, FlowRun), EngineError>>();
+
+        std::thread::scope(|scope| {
+            let configs = &self.configs;
+            let next = &next;
+            let worker_stats = &worker_stats;
+            for worker in 0..workers {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    let mut flows = 0usize;
+                    let mut busy = 0.0f64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let t0 = Instant::now();
+                        let run = self.execute_one(i, worker, configs, cache);
+                        busy += t0.elapsed().as_secs_f64();
+                        flows += 1;
+                        // A closed channel means the collector is gone;
+                        // stop quietly — the length check reports it.
+                        if tx.send(run.map(|r| (i, r))).is_err() {
+                            break;
+                        }
+                    }
+                    let mut stats = worker_stats.lock().expect("worker stats lock");
+                    stats[worker] = (flows, busy);
+                });
+            }
+            drop(tx);
+        });
+
+        let mut indexed: Vec<(usize, FlowRun)> = Vec::with_capacity(n);
+        for item in rx {
+            indexed.push(item?);
+        }
+        if indexed.len() != n {
+            return Err(EngineError::WorkerLost);
+        }
+        indexed.sort_by_key(|(i, _)| *i);
+        let runs: Vec<FlowRun> = indexed.into_iter().map(|(_, r)| r).collect();
+
+        let stats_after = cache.stats();
+        let worker_stats = worker_stats.into_inner().expect("worker stats lock");
+        let cache_hits = runs.iter().filter(|r| r.cache_hit).count();
+        let report = CampaignReport {
+            engine_version: ENGINE_VERSION.to_owned(),
+            flows: n,
+            workers,
+            cache_hits,
+            cache_misses: n - cache_hits,
+            disk_hits: stats_after.disk_hits - stats_before.disk_hits,
+            corrupt_entries: stats_after.corrupt_entries - stats_before.corrupt_entries,
+            events_processed: runs.iter().map(|r| r.events).sum(),
+            wall_clock_s: started.elapsed().as_secs_f64(),
+            sim_wall_s: runs.iter().map(|r| r.sim_wall_s).sum(),
+            worker_flows: worker_stats.iter().map(|(f, _)| *f).collect(),
+            worker_busy_s: worker_stats.iter().map(|(_, b)| *b).collect(),
+        };
+        Ok(CampaignOutput { runs, report })
+    }
+
+    /// Executes (or serves from cache) flow `i`.
+    fn execute_one(
+        &self,
+        i: usize,
+        worker: usize,
+        configs: &[ScenarioConfig],
+        cache: &FlowCache,
+    ) -> Result<FlowRun, EngineError> {
+        let config = &configs[i];
+        let key = CacheKey::of(config);
+        if !self.keep_outcomes {
+            if let Some(summary) = cache.lookup(key) {
+                return Ok(FlowRun {
+                    config: config.clone(),
+                    summary,
+                    cache_hit: true,
+                    sim_wall_s: 0.0,
+                    events: 0,
+                    worker,
+                    outcome: None,
+                });
+            }
+        }
+        let t0 = Instant::now();
+        let outcome = run_scenario(config);
+        let sim_wall_s = t0.elapsed().as_secs_f64();
+        let summary = outcome.analysis.summary.clone();
+        let events = outcome.outcome.events_processed;
+        if !self.keep_outcomes {
+            cache.insert(key, &summary)?;
+        }
+        Ok(FlowRun {
+            config: config.clone(),
+            summary,
+            cache_hit: false,
+            sim_wall_s,
+            events,
+            worker,
+            // The trace is dropped right here unless the caller asked to
+            // keep it — this is what bounds campaign memory.
+            outcome: self.keep_outcomes.then(|| Box::new(outcome)),
+        })
+    }
+}
+
+/// Generates the Table-I dataset through the engine, retaining full
+/// outcomes (the experiment harness needs raw traces).
+///
+/// The campaign-index tags of [`plan_dataset`] are re-attached to the
+/// engine's index-ordered output, so this is a drop-in replacement for
+/// `hsm_scenario::dataset::generate_dataset` with telemetry on top.
+///
+/// # Errors
+///
+/// Propagates [`EngineError`] from the engine.
+pub fn run_dataset(cfg: &DatasetConfig) -> Result<(Vec<DatasetFlow>, CampaignReport), EngineError> {
+    let plans = plan_dataset(cfg);
+    let campaigns: Vec<usize> = plans.iter().map(|(c, _)| *c).collect();
+    let campaign = Campaign::builder()
+        .configs(plans.into_iter().map(|(_, c)| c))
+        .keep_outcomes(true)
+        .build()?;
+    let output = campaign.run()?;
+    let report = output.report.clone();
+    let flows = campaigns
+        .into_iter()
+        .zip(output.runs)
+        .map(|(campaign, run)| DatasetFlow {
+            campaign,
+            outcome: *run.outcome.expect("keep_outcomes retains every outcome"),
+        })
+        .collect();
+    Ok((flows, report))
+}
+
+/// Generates the stationary baseline through the engine, retaining full
+/// outcomes.
+///
+/// # Errors
+///
+/// Propagates [`EngineError`] from the engine.
+pub fn run_stationary_baseline(
+    cfg: &DatasetConfig,
+    n: u32,
+) -> Result<(Vec<DatasetFlow>, CampaignReport), EngineError> {
+    let campaign = Campaign::builder()
+        .configs(plan_stationary_baseline(cfg, n))
+        .keep_outcomes(true)
+        .build()?;
+    let output = campaign.run()?;
+    let report = output.report.clone();
+    let flows = output
+        .runs
+        .into_iter()
+        .map(|run| DatasetFlow {
+            campaign: usize::MAX,
+            outcome: *run.outcome.expect("keep_outcomes retains every outcome"),
+        })
+        .collect();
+    Ok((flows, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsm_scenario::runner::{Motion, ScenarioError};
+    use hsm_simnet::time::SimDuration;
+
+    fn short(seed: u64) -> ScenarioConfig {
+        ScenarioConfig::builder()
+            .motion(Motion::Stationary)
+            .seed(seed)
+            .duration(SimDuration::from_secs(5))
+            .flow(seed as u32)
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn builder_rejects_bad_campaigns() {
+        let err = Campaign::builder()
+            .config(ScenarioConfig { w_m: 0, ..Default::default() })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, EngineError::InvalidConfig { index: 0, source: ScenarioError::ZeroWindow });
+        assert_eq!(Campaign::builder().workers(0).build().unwrap_err(), EngineError::ZeroWorkers);
+    }
+
+    #[test]
+    fn campaign_runs_and_memoizes() {
+        let campaign = Campaign::builder()
+            .configs([short(1), short(2)])
+            .workers(2)
+            .build()
+            .unwrap();
+        let cache = FlowCache::new(CacheConfig::memory_only());
+        let cold = campaign.run_with_cache(&cache).unwrap();
+        assert_eq!(cold.report.cache_hits, 0);
+        assert_eq!(cold.report.cache_misses, 2);
+        assert!(cold.report.events_processed > 0);
+        assert_eq!(cold.runs.len(), 2);
+        assert!(cold.runs[0].outcome.is_none(), "traces dropped by default");
+
+        let warm = campaign.run_with_cache(&cache).unwrap();
+        assert_eq!(warm.report.cache_hits, 2, "warm rerun must not re-simulate");
+        assert_eq!(warm.report.cache_misses, 0);
+        assert_eq!(warm.report.events_processed, 0);
+        for (a, b) in cold.summaries().zip(warm.summaries()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn keep_outcomes_retains_traces_and_bypasses_cache() {
+        let campaign = Campaign::builder()
+            .config(short(3))
+            .keep_outcomes(true)
+            .workers(1)
+            .build()
+            .unwrap();
+        let cache = FlowCache::new(CacheConfig::memory_only());
+        let out = campaign.run_with_cache(&cache).unwrap();
+        let outcome = out.runs[0].outcome.as_ref().expect("outcome kept");
+        assert!(!outcome.outcome.trace.records.is_empty());
+        assert!(cache.is_empty(), "keep_outcomes never memoizes");
+        let again = campaign.run_with_cache(&cache).unwrap();
+        assert_eq!(again.report.cache_hits, 0);
+    }
+
+    #[test]
+    fn report_telemetry_is_consistent() {
+        let campaign = Campaign::builder()
+            .configs((0..4).map(short))
+            .workers(2)
+            .build()
+            .unwrap();
+        let out = campaign.run().unwrap();
+        let r = &out.report;
+        assert_eq!(r.flows, 4);
+        assert_eq!(r.workers, 2);
+        assert_eq!(r.worker_flows.iter().sum::<usize>(), 4);
+        assert!(r.wall_clock_s > 0.0);
+        assert!(r.worker_utilization() > 0.0 && r.worker_utilization() <= 1.0 + 1e-9);
+        assert!(r.events_per_sec() > 0.0);
+        let json = serde_json::to_string(r).expect("report serializes");
+        let back: CampaignReport = serde_json::from_str(&json).expect("report round-trips");
+        assert_eq!(&back, r);
+    }
+}

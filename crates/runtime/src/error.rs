@@ -1,0 +1,99 @@
+//! Failure surface of the campaign engine.
+
+use hsm_scenario::runner::ScenarioError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Failures of the flow cache's disk tier.
+///
+/// Corrupt entries are *not* errors: the engine detects them via the
+/// payload hash, counts them in the [`CampaignReport`](crate::engine::CampaignReport)
+/// and re-simulates — only real I/O and encoding failures surface here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// Reading or writing a disk-tier entry failed.
+    Io {
+        /// The entry path involved.
+        path: PathBuf,
+        /// The underlying I/O error, stringified.
+        message: String,
+    },
+    /// A summary could not be encoded for the disk tier.
+    Encode(String),
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::Io { path, message } => {
+                write!(f, "cache I/O failure at {}: {message}", path.display())
+            }
+            CacheError::Encode(msg) => write!(f, "cache encoding failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// Failures of campaign construction or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A scenario configuration in the campaign failed validation.
+    InvalidConfig {
+        /// Index of the offending configuration within the campaign.
+        index: usize,
+        /// The validation failure.
+        source: ScenarioError,
+    },
+    /// The campaign was built with a zero worker count.
+    ZeroWorkers,
+    /// A worker thread stopped before delivering all of its results.
+    WorkerLost,
+    /// The cache's disk tier failed.
+    Cache(CacheError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidConfig { index, source } => {
+                write!(f, "campaign config #{index} is invalid: {source}")
+            }
+            EngineError::ZeroWorkers => write!(f, "campaign worker count must be >= 1"),
+            EngineError::WorkerLost => {
+                write!(f, "a campaign worker exited before delivering its results")
+            }
+            EngineError::Cache(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::InvalidConfig { source, .. } => Some(source),
+            EngineError::Cache(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CacheError> for EngineError {
+    fn from(e: CacheError) -> Self {
+        EngineError::Cache(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = EngineError::InvalidConfig { index: 3, source: ScenarioError::ZeroWindow };
+        assert!(e.to_string().contains("#3"));
+        assert!(e.to_string().contains("w_m"));
+        let c = CacheError::Io { path: PathBuf::from("/tmp/x"), message: "denied".into() };
+        assert!(EngineError::from(c).to_string().contains("denied"));
+    }
+}

@@ -1,0 +1,65 @@
+//! # hsm-runtime — the campaign-execution engine
+//!
+//! Production-scale orchestration for the simulation substrate: the paper's
+//! results are averages over hundreds of flows, and everything above the
+//! per-flow layer — Table III, Fig. 10/12 sweeps, calibration, the
+//! 255-flow Table-I dataset — is a *campaign* of independent, deterministic
+//! flows. This crate runs those campaigns as fast as the hardware allows:
+//!
+//! * [`engine`] — [`Campaign`]: shards scenarios across a self-scheduling
+//!   worker pool, streams each flow through analysis and drops raw traces
+//!   immediately (near-constant memory), merges results in index order so
+//!   output is bit-identical for any worker count;
+//! * [`cache`] — [`FlowCache`]: content-addressed memoization of completed
+//!   flows (key = config + engine version) with an in-memory LRU tier and
+//!   an integrity-checked on-disk JSON tier, so repeated experiments stop
+//!   re-simulating identical flows;
+//! * [`parallel`] — index-ordered parallel map/mean with a fixed-shape
+//!   pairwise reduction (promoted from `hsm-bench`);
+//! * [`error`] — the engine/cache failure surface.
+//!
+//! ```
+//! use hsm_runtime::prelude::*;
+//! use hsm_scenario::prelude::*;
+//! use hsm_simnet::time::SimDuration;
+//!
+//! let cfg = ScenarioConfig::builder()
+//!     .motion(Motion::Stationary)
+//!     .duration(SimDuration::from_secs(5))
+//!     .build()?;
+//! let campaign = Campaign::builder().config(cfg).workers(2).build()?;
+//! let cache = FlowCache::new(CacheConfig::memory_only());
+//! let cold = campaign.run_with_cache(&cache)?;
+//! let warm = campaign.run_with_cache(&cache)?;
+//! assert_eq!(warm.report.cache_hits, 1); // no re-simulation
+//! assert!(cold.summaries().eq(warm.summaries())); // bit-identical
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod parallel;
+
+pub use cache::{CacheConfig, CacheKey, CacheStats, FlowCache, ENGINE_VERSION};
+pub use engine::{
+    run_dataset, run_stationary_baseline, Campaign, CampaignBuilder, CampaignOutput,
+    CampaignReport, FlowRun,
+};
+pub use error::{CacheError, EngineError};
+
+/// Convenient glob-import surface: `use hsm_runtime::prelude::*;`.
+pub mod prelude {
+    pub use crate::cache::{CacheConfig, CacheKey, CacheStats, FlowCache, ENGINE_VERSION};
+    pub use crate::engine::{
+        run_dataset, run_stationary_baseline, Campaign, CampaignBuilder, CampaignOutput,
+        CampaignReport, FlowRun,
+    };
+    pub use crate::error::{CacheError, EngineError};
+    pub use crate::parallel::{
+        pairwise_sum, par_map, par_map_workers, par_mean, par_mean_workers, try_par_map_workers,
+    };
+}

@@ -1,4 +1,4 @@
-//! Parallel repetition helper.
+//! Parallel repetition helpers (promoted from `hsm-bench`).
 //!
 //! Repetition-based experiments (Fig. 12, the extension ablations) average
 //! over many independent simulated rides; this fans the rides out over CPU
@@ -6,6 +6,8 @@
 //! index, results are re-assembled in index order, and means are reduced
 //! with a fixed-shape pairwise sum — so the numbers are bit-identical for
 //! any worker count).
+
+use crate::error::EngineError;
 
 /// Maps `f` over `0..n` in parallel, returning results in index order.
 pub fn par_map<T: Send>(n: u64, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
@@ -15,7 +17,28 @@ pub fn par_map<T: Send>(n: u64, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
 
 /// [`par_map`] with an explicit worker count (≥ 1); the result is the same
 /// for every worker count, only the wall-clock changes.
+///
+/// # Panics
+///
+/// Panics in the *calling* thread when a worker is lost (see
+/// [`try_par_map_workers`] for the fallible twin — workers themselves
+/// never panic on a closed channel).
 pub fn par_map_workers<T: Send>(n: u64, workers: usize, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
+    try_par_map_workers(n, workers, f).unwrap_or_else(|e| panic!("parallel map failed: {e}"))
+}
+
+/// Fallible [`par_map_workers`]: lost workers surface as an error at the
+/// call site instead of a panic inside the worker thread.
+///
+/// # Errors
+///
+/// Returns [`EngineError::WorkerLost`] when fewer than `n` results arrive
+/// — a worker stopped sending because the receiving side went away.
+pub fn try_par_map_workers<T: Send>(
+    n: u64,
+    workers: usize,
+    f: impl Fn(u64) -> T + Sync,
+) -> Result<Vec<T>, EngineError> {
     let workers = workers.clamp(1, n.max(1) as usize);
     let next = std::sync::atomic::AtomicU64::new(0);
     let (tx, rx) = std::sync::mpsc::channel();
@@ -29,14 +52,21 @@ pub fn par_map_workers<T: Send>(n: u64, workers: usize, f: impl Fn(u64) -> T + S
                 if i >= n {
                     break;
                 }
-                tx.send((i, f(i))).expect("parallel map channel closed");
+                // A closed channel means the caller is gone; stop quietly
+                // and let the caller-side length check report the loss.
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
             });
         }
         drop(tx);
     });
     let mut results: Vec<(u64, T)> = rx.into_iter().collect();
+    if results.len() as u64 != n {
+        return Err(EngineError::WorkerLost);
+    }
     results.sort_by_key(|(i, _)| *i);
-    results.into_iter().map(|(_, v)| v).collect()
+    Ok(results.into_iter().map(|(_, v)| v).collect())
 }
 
 /// Sums in index order with a balanced pairwise tree.
@@ -89,6 +119,12 @@ mod tests {
     }
 
     #[test]
+    fn fallible_twin_succeeds_on_the_happy_path() {
+        let out = try_par_map_workers(10, 3, |i| i + 1).expect("no worker loss");
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn mean_of_constants() {
         assert!((par_mean(64, |_| 2.5) - 2.5).abs() < 1e-12);
         assert_eq!(par_mean(0, |_| 1.0), 0.0);
@@ -106,7 +142,7 @@ mod tests {
         // Values whose naive accumulation order visibly changes the
         // rounding: alternating magnitudes spanning ~16 decimal digits.
         let f = |i: u64| {
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 1e16
             } else {
                 (i as f64).mul_add(1e-3, 3.7)
@@ -124,7 +160,7 @@ mod tests {
         // 1e16 + many small terms: the naive fold loses them one by one;
         // the pairwise tree sums the small terms together first.
         let mut xs = vec![1e16];
-        xs.extend(std::iter::repeat(1.0).take(4096));
+        xs.extend(std::iter::repeat_n(1.0, 4096));
         let naive: f64 = xs.iter().sum();
         let exact = 1e16 + 4096.0;
         let pair = pairwise_sum(&xs);

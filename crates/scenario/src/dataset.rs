@@ -157,26 +157,33 @@ fn default_workers() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }
 
-/// Generates `n` stationary baseline flows (for the Fig. 3/6 comparisons),
-/// spread across providers.
-pub fn generate_stationary_baseline(cfg: &DatasetConfig, n: u32) -> Vec<DatasetFlow> {
-    let plans: Vec<(usize, ScenarioConfig)> = (0..n)
+/// Plans `n` stationary baseline flows (for the Fig. 3/6 comparisons),
+/// spread across providers, without running them.
+pub fn plan_stationary_baseline(cfg: &DatasetConfig, n: u32) -> Vec<ScenarioConfig> {
+    (0..n)
         .map(|i| {
             let provider = Provider::ALL[(i as usize) % Provider::ALL.len()];
-            (
-                usize::MAX,
-                ScenarioConfig {
-                    provider,
-                    motion: Motion::Stationary,
-                    seed: cfg.seed ^ 0x5747_a717 ^ u64::from(i),
-                    duration: cfg.flow_duration,
-                    w_m: cfg.w_m,
-                    b: cfg.b,
-                    flow: 10_000 + i,
-                },
-            )
+            ScenarioConfig {
+                provider,
+                motion: Motion::Stationary,
+                seed: cfg.seed ^ 0x5747_a717 ^ u64::from(i),
+                duration: cfg.flow_duration,
+                w_m: cfg.w_m,
+                b: cfg.b,
+                flow: 10_000 + i,
+            }
         })
-        .collect();
+        .collect()
+}
+
+/// Generates `n` stationary baseline flows by running
+/// [`plan_stationary_baseline`] directly on this process's cores.
+///
+/// Campaign-scale callers should prefer feeding the plan to the
+/// `hsm-runtime` engine, which adds memoization and telemetry on top of
+/// the same per-flow execution.
+pub fn generate_stationary_baseline(cfg: &DatasetConfig, n: u32) -> Vec<DatasetFlow> {
+    let plans = plan_stationary_baseline(cfg, n).into_iter().map(|c| (usize::MAX, c)).collect();
     run_plans(plans, default_workers())
 }
 

@@ -42,11 +42,12 @@ pub mod prelude {
     };
     pub use crate::dataset::{
         generate_dataset, generate_dataset_with_workers, generate_stationary_baseline,
-        plan_dataset, table1_total_flows, CampaignSpec, DatasetConfig, DatasetFlow, TABLE1,
+        plan_dataset, plan_stationary_baseline, table1_total_flows, CampaignSpec, DatasetConfig,
+        DatasetFlow, TABLE1,
     };
     pub use crate::provider::Provider;
     pub use crate::runner::{
-        run_scenario, Motion, ScenarioConfig, ScenarioOutcome, SCENARIO_HIGH_SPEED,
-        SCENARIO_STATIONARY,
+        run_scenario, try_run_scenario, Motion, ScenarioConfig, ScenarioConfigBuilder,
+        ScenarioError, ScenarioOutcome, SCENARIO_HIGH_SPEED, SCENARIO_STATIONARY,
     };
 }

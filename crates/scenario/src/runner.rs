@@ -12,6 +12,7 @@ use hsm_tcp::reno::SenderConfig;
 use hsm_trace::analysis::timeout::TimeoutConfig;
 use hsm_trace::summary::{analyze_flow, FlowAnalysis, FlowSummary};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Scenario label used in traces for 300 km/h runs.
 pub const SCENARIO_HIGH_SPEED: &str = "high-speed";
@@ -37,8 +38,36 @@ impl Motion {
     }
 }
 
+/// A configuration the runner refuses to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The advertised window `w_m` was 0 — the receiver could never open
+    /// the flow.
+    ZeroWindow,
+    /// The delayed-ACK factor `b` was 0 — no ACK would ever be generated.
+    ZeroDelayedAck,
+    /// The flow duration was zero — nothing would be transmitted.
+    ZeroDuration,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::ZeroWindow => write!(f, "advertised window w_m must be >= 1 segment"),
+            ScenarioError::ZeroDelayedAck => write!(f, "delayed-ACK factor b must be >= 1"),
+            ScenarioError::ZeroDuration => write!(f, "flow duration must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
 /// Full description of one measured flow.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The blessed way to construct one is [`ScenarioConfig::builder`], which
+/// validates the parameters; the fields remain `pub` for one release to
+/// keep struct-literal call sites compiling.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ScenarioConfig {
     /// Which ISP carries the flow.
     pub provider: Provider,
@@ -70,7 +99,105 @@ impl Default for ScenarioConfig {
     }
 }
 
+/// Validated step-by-step construction of a [`ScenarioConfig`].
+///
+/// ```
+/// use hsm_scenario::prelude::*;
+///
+/// let cfg = ScenarioConfig::builder()
+///     .provider(Provider::ChinaUnicom)
+///     .motion(Motion::Stationary)
+///     .seed(3)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(cfg.seed, 3);
+/// assert!(ScenarioConfig::builder().w_m(0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioConfigBuilder {
+    inner: ScenarioConfig,
+}
+
+impl ScenarioConfigBuilder {
+    /// Sets the ISP carrying the flow.
+    pub fn provider(mut self, provider: Provider) -> Self {
+        self.inner.provider = provider;
+        self
+    }
+
+    /// Sets whether the phone rides the train or sits on a desk.
+    pub fn motion(mut self, motion: Motion) -> Self {
+        self.inner.motion = motion;
+        self
+    }
+
+    /// Sets the master seed (one flow ↔ one seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner.seed = seed;
+        self
+    }
+
+    /// Sets how long the sender keeps transmitting.
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.inner.duration = duration;
+        self
+    }
+
+    /// Sets the receiver-advertised window in segments.
+    pub fn w_m(mut self, w_m: u32) -> Self {
+        self.inner.w_m = w_m;
+        self
+    }
+
+    /// Sets the delayed-ACK factor.
+    pub fn b(mut self, b: u32) -> Self {
+        self.inner.b = b;
+        self
+    }
+
+    /// Sets the flow id recorded in packets/traces.
+    pub fn flow(mut self, flow: u32) -> Self {
+        self.inner.flow = flow;
+        self
+    }
+
+    /// Validates the accumulated configuration and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] when `w_m == 0`, `b == 0` or the duration
+    /// is zero.
+    pub fn build(self) -> Result<ScenarioConfig, ScenarioError> {
+        self.inner.validate()?;
+        Ok(self.inner)
+    }
+}
+
 impl ScenarioConfig {
+    /// Starts a validated builder, pre-loaded with [`Default`] values.
+    pub fn builder() -> ScenarioConfigBuilder {
+        ScenarioConfigBuilder::default()
+    }
+
+    /// Checks the configuration against the runner's preconditions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] when `w_m == 0`, `b == 0` or the duration
+    /// is zero.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.w_m == 0 {
+            return Err(ScenarioError::ZeroWindow);
+        }
+        if self.b == 0 {
+            return Err(ScenarioError::ZeroDelayedAck);
+        }
+        if self.duration == SimDuration::ZERO {
+            return Err(ScenarioError::ZeroDuration);
+        }
+        Ok(())
+    }
+
     /// The path spec this scenario runs over.
     pub fn path(&self) -> PathSpec {
         match self.motion {
@@ -136,6 +263,10 @@ impl ScenarioOutcome {
 }
 
 /// Runs one scenario end to end.
+///
+/// Infallible twin of [`try_run_scenario`]: an invalid configuration
+/// (zero window, zero delayed-ACK factor, zero duration) produces a
+/// degenerate but well-defined flow rather than an error.
 pub fn run_scenario(config: &ScenarioConfig) -> ScenarioOutcome {
     let path = config.path();
     let mobility = config.mobility();
@@ -143,6 +274,17 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioOutcome {
     let outcome = run_connection(config.seed, &path, mobility.as_ref(), &conn);
     let analysis = analyze_flow(&outcome.trace, &TimeoutConfig::default());
     ScenarioOutcome { config: config.clone(), outcome, analysis }
+}
+
+/// Fallible twin of [`run_scenario`]: validates the configuration first.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError`] when the configuration fails
+/// [`ScenarioConfig::validate`]; the simulation itself cannot fail.
+pub fn try_run_scenario(config: &ScenarioConfig) -> Result<ScenarioOutcome, ScenarioError> {
+    config.validate()?;
+    Ok(run_scenario(config))
 }
 
 #[cfg(test)]
@@ -186,6 +328,53 @@ mod tests {
             st.summary().throughput_sps
         );
         assert!(hs.summary().p_a > st.summary().p_a * 0.9, "ACK loss must rise on the train");
+    }
+
+    #[test]
+    fn builder_validates_and_builds() {
+        let cfg = ScenarioConfig::builder()
+            .provider(Provider::ChinaUnicom)
+            .motion(Motion::Stationary)
+            .seed(3)
+            .duration(SimDuration::from_secs(9))
+            .w_m(24)
+            .b(1)
+            .flow(7)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.provider, Provider::ChinaUnicom);
+        assert_eq!(cfg.seed, 3);
+        assert_eq!(cfg.w_m, 24);
+        assert_eq!(cfg.flow, 7);
+
+        assert_eq!(ScenarioConfig::builder().w_m(0).build(), Err(ScenarioError::ZeroWindow));
+        assert_eq!(ScenarioConfig::builder().b(0).build(), Err(ScenarioError::ZeroDelayedAck));
+        assert_eq!(
+            ScenarioConfig::builder().duration(SimDuration::ZERO).build(),
+            Err(ScenarioError::ZeroDuration)
+        );
+    }
+
+    #[test]
+    fn try_run_scenario_rejects_invalid_and_matches_run() {
+        let bad = ScenarioConfig { w_m: 0, ..Default::default() };
+        assert_eq!(try_run_scenario(&bad).unwrap_err(), ScenarioError::ZeroWindow);
+        let good = ScenarioConfig::builder()
+            .motion(Motion::Stationary)
+            .duration(SimDuration::from_secs(5))
+            .build()
+            .unwrap();
+        let a = try_run_scenario(&good).expect("valid config runs");
+        let b = run_scenario(&good);
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn config_serializes_round_trip() {
+        let cfg = ScenarioConfig { seed: 77, w_m: 31, ..Default::default() };
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        let back: ScenarioConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, cfg);
     }
 
     #[test]

@@ -175,6 +175,9 @@ pub struct ConnectionOutcome {
     pub channel: Option<ChannelStats>,
     /// Simulated time at the end of the run.
     pub finished_at: SimTime,
+    /// Discrete events the simulator processed for this run (campaign
+    /// telemetry).
+    pub events_processed: u64,
 }
 
 /// Builds, runs and harvests a single TCP flow.
@@ -237,7 +240,14 @@ pub fn run_connection(
     let sender = eng.agent_mut::<RenoSender>(tx).expect("sender").metrics.clone();
     let receiver = eng.agent_mut::<Receiver>(rx).expect("receiver").metrics;
     let channel = channel_agent.map(|id| eng.agent_mut::<ChannelProcess>(id).expect("channel").stats);
-    ConnectionOutcome { trace, sender, receiver, channel, finished_at: eng.now() }
+    ConnectionOutcome {
+        trace,
+        sender,
+        receiver,
+        channel,
+        finished_at: eng.now(),
+        events_processed: eng.events_processed(),
+    }
 }
 
 #[cfg(test)]

@@ -133,18 +133,19 @@ mod tests {
     fn spurious_exceeding_timeouts_trips_the_invariant() {
         // Violation injection: claim a spurious timeout that never
         // happened. The ledger check must refuse it.
-        let mut m = SenderMetrics::default();
-        m.spurious_rto_undone = 1;
+        let m = SenderMetrics { spurious_rto_undone: 1, ..Default::default() };
         m.assert_invariants();
     }
 
     #[test]
     fn consistent_ledger_passes_the_invariant() {
-        let mut m = SenderMetrics::default();
-        m.segments_sent = 10;
-        m.retransmissions = 2;
-        m.acks_received = 8;
-        m.dup_acks_received = 3;
+        let mut m = SenderMetrics {
+            segments_sent: 10,
+            retransmissions: 2,
+            acks_received: 8,
+            dup_acks_received: 3,
+            ..Default::default()
+        };
         m.timeouts.push(SimTime::from_secs(1));
         m.rto_at_timeout.push(1.0);
         m.spurious_rto_undone = 1;

@@ -218,6 +218,7 @@ pub fn run_with_backup_path(
         receiver: eng.agent_mut::<Receiver>(rx).expect("receiver").metrics,
         channel: chan.map(|c| eng.agent_mut::<ChannelProcess>(c).expect("channel").stats),
         finished_at: eng.now(),
+        events_processed: eng.events_processed(),
     }
 }
 

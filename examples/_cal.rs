@@ -1,9 +1,11 @@
-fn main() {
-    use hsm_scenario::prelude::*;
+fn main() -> Result<(), hsm::Error> {
     use hsm_core::prelude::*;
+    use hsm_runtime::engine::run_dataset;
+    use hsm_scenario::prelude::*;
     use hsm_simnet::time::SimDuration;
     let cfg = DatasetConfig { scale: 0.3, flow_duration: SimDuration::from_secs(120), ..Default::default() };
-    let flows = generate_dataset(&cfg);
+    let (flows, report) = run_dataset(&cfg)?;
+    println!("campaign: {} flows, {} workers, {:.0} events/s", report.flows, report.workers, report.events_per_sec());
     let hs = aggregate(&flows);
     for row in calibration_report(&hs, None) {
         println!("{:45} paper={:<10.5} ours={:<10.5} ratio={:.2}", row.metric, row.paper, row.measured, row.ratio());
@@ -20,4 +22,5 @@ fn main() {
         let pr: f64 = of.iter().map(|e| e.padhye_sps/e.measured_sps).sum::<f64>()/n;
         println!("{:14} n={:3} D_enh={:.3} D_pad={:.3} enh/meas={:.2} pad/meas={:.2}", prov, of.len(), de, dp, er, pr);
     }
+    Ok(())
 }

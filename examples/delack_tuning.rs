@@ -7,23 +7,23 @@
 //! ```
 
 use hsm::model::prelude::*;
-use hsm::scenario::prelude::*;
+use hsm::prelude::*;
 use hsm::simnet::time::SimDuration;
 
-fn main() {
+fn main() -> Result<(), hsm::Error> {
     println!("Simulating the same high-speed ride with b = 1, 2, 4 ...\n");
     println!("{:>3}  {:>11}  {:>9}  {:>9}  {:>10}  {:>13}", "b", "TP (seg/s)", "timeouts", "spurious", "ACK loss", "mean P_a obs");
     for b in [1u32, 2, 4] {
         let (mut tp, mut to, mut sp, mut pa, mut burst) = (0.0, 0u32, 0u32, 0.0, 0.0);
         let reps = 4;
         for seed in 0..reps {
-            let out = run_scenario(&ScenarioConfig {
-                provider: Provider::ChinaMobile,
-                b,
-                seed: 777 + seed,
-                duration: SimDuration::from_secs(45),
-                ..Default::default()
-            });
+            let config = ScenarioConfig::builder()
+                .provider(Provider::ChinaMobile)
+                .b(b)
+                .seed(777 + seed)
+                .duration(SimDuration::from_secs(45))
+                .build()?;
+            let out = try_run_scenario(&config)?;
             let s = out.summary();
             tp += s.throughput_sps;
             to += s.timeouts;
@@ -53,4 +53,5 @@ fn main() {
     }
     println!("\nEach extra segment folded into one ACK removes a chance for the");
     println!("round to survive — ACKs are \"precious\" in high-speed mobility.");
+    Ok(())
 }

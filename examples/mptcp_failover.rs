@@ -6,20 +6,18 @@
 //! cargo run --release --example mptcp_failover
 //! ```
 
-use hsm::scenario::prelude::*;
+use hsm::prelude::*;
 use hsm::simnet::time::SimDuration;
 use hsm::tcp::prelude::*;
 use hsm::trace::prelude::*;
 
-fn main() {
+fn main() -> Result<(), hsm::Error> {
     let provider = Provider::ChinaTelecom; // the paper's biggest MPTCP win
-    let duration = SimDuration::from_secs(60);
-    let sc = ScenarioConfig {
-        provider,
-        duration,
-        seed: 99,
-        ..Default::default()
-    };
+    let sc = ScenarioConfig::builder()
+        .provider(provider)
+        .duration(SimDuration::from_secs(60))
+        .seed(99)
+        .build()?;
     let path = sc.path();
     let mobility = sc.mobility();
     let conn = sc.connection();
@@ -55,4 +53,5 @@ fn main() {
     println!("\nDuplex mode doubles the pipes; backup mode keeps one pipe but");
     println!("makes timeout recovery reliable — the paper's point is that the");
     println!("*retransmission* path is the throughput bottleneck at 300 km/h.");
+    Ok(())
 }

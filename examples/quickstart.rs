@@ -7,19 +7,18 @@
 //! ```
 
 use hsm::model::prelude::*;
-use hsm::scenario::prelude::*;
+use hsm::prelude::*;
 use hsm::simnet::time::SimDuration;
 
-fn main() {
+fn main() -> Result<(), hsm::Error> {
     // 1. One flow on the Beijing–Tianjin line, China Mobile LTE, 40 s.
-    let config = ScenarioConfig {
-        provider: Provider::ChinaMobile,
-        motion: Motion::HighSpeed,
-        seed: 42,
-        duration: SimDuration::from_secs(40),
-        ..Default::default()
-    };
-    let outcome = run_scenario(&config);
+    let config = ScenarioConfig::builder()
+        .provider(Provider::ChinaMobile)
+        .motion(Motion::HighSpeed)
+        .seed(42)
+        .duration(SimDuration::from_secs(40))
+        .build()?;
+    let outcome = try_run_scenario(&config)?;
     let s = outcome.summary();
 
     println!("— measured on the (synthetic) train —");
@@ -48,4 +47,5 @@ fn main() {
     println!("\nThe Padhye model assumes ACKs never vanish and retransmissions");
     println!("are lost like ordinary packets; at 300 km/h neither holds, which");
     println!("is exactly what the enhanced model's P_a and q capture.");
+    Ok(())
 }

@@ -7,19 +7,22 @@
 //! ```
 
 use hsm::model::prelude::*;
+use hsm::runtime::engine::run_dataset;
 use hsm::scenario::prelude::*;
 use hsm::simnet::time::SimDuration;
 use hsm::trace::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Generate a small dataset (one flow per Table-I campaign).
+    // 1. Generate a small dataset (one flow per Table-I campaign) through
+    //    the campaign engine.
     let cfg = DatasetConfig {
         scale: 0.03,
         flow_duration: SimDuration::from_secs(45),
         ..Default::default()
     };
     println!("generating dataset ({} planned flows)...", plan_dataset(&cfg).len());
-    let flows = generate_dataset(&cfg);
+    let (flows, report) = run_dataset(&cfg).map_err(hsm::Error::from)?;
+    println!("engine: {} workers, {:.0} sim events/s", report.workers, report.events_per_sec());
 
     // 2. Persist to JSON-lines and reload — the archive round trip.
     let path = std::env::temp_dir().join("hsm_trace_lab.jsonl");

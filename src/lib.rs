@@ -15,20 +15,41 @@
 //! * [`model`] — the enhanced throughput model (the paper's contribution)
 //!   and the Padhye baseline;
 //! * [`scenario`] — Beijing–Tianjin railway scenarios, provider profiles
-//!   and synthetic dataset generation.
+//!   and synthetic dataset generation;
+//! * [`runtime`] — the sharded campaign engine with its memoizing flow
+//!   cache and structured telemetry.
+//!
+//! The [`prelude`] curates the types most programs need, and [`Error`]
+//! unifies the fallible surface of every layer.
 //!
 //! # Quickstart
 //!
-//! ```
-//! use hsm::tcp::prelude::*;
+//! Configs are built with validating builders; single flows run through
+//! [`scenario::runner::run_scenario`], anything bigger through a
+//! [`runtime::engine::Campaign`]:
 //!
-//! // Stream 100 segments over a healthy LTE-ish path.
-//! let cfg = ConnectionConfig {
-//!     sender: SenderConfig { max_segments: Some(100), ..Default::default() },
-//!     ..Default::default()
-//! };
-//! let out = run_connection(7, &PathSpec::default(), None, &cfg);
-//! assert_eq!(out.receiver.next_expected, 100);
+//! ```
+//! use hsm::prelude::*;
+//! use hsm_simnet::time::SimDuration;
+//!
+//! # fn main() -> Result<(), hsm::Error> {
+//! let config = ScenarioConfig::builder()
+//!     .provider(Provider::ChinaMobile)
+//!     .motion(Motion::HighSpeed)
+//!     .seed(7)
+//!     .duration(SimDuration::from_secs(30))
+//!     .build()?;
+//!
+//! // One flow, one summary.
+//! let outcome = try_run_scenario(&config)?;
+//! assert!(outcome.summary().rtt_s > 0.0);
+//!
+//! // The same flow as a (memoized, sharded) campaign of one.
+//! let campaign = Campaign::builder().config(config).workers(2).build()?;
+//! let output = campaign.run()?;
+//! assert_eq!(output.report.flows, 1);
+//! # Ok(())
+//! # }
 //! ```
 //!
 //! See `examples/` for end-to-end scenarios and `crates/bench` for the
@@ -38,7 +59,31 @@
 #![warn(missing_docs)]
 
 pub use hsm_core as model;
+pub use hsm_runtime as runtime;
 pub use hsm_scenario as scenario;
 pub use hsm_simnet as simnet;
 pub use hsm_tcp as tcp;
 pub use hsm_trace as trace;
+
+mod error;
+pub use error::Error;
+
+/// The types most programs need, in one import.
+///
+/// ```
+/// use hsm::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::Error;
+    pub use hsm_core::enhanced::EnhancedModel;
+    pub use hsm_core::params::ModelParams;
+    pub use hsm_runtime::cache::{CacheConfig, FlowCache};
+    pub use hsm_runtime::engine::{Campaign, CampaignBuilder, CampaignOutput, CampaignReport};
+    pub use hsm_runtime::error::{CacheError, EngineError};
+    pub use hsm_scenario::provider::Provider;
+    pub use hsm_scenario::runner::{
+        run_scenario, try_run_scenario, Motion, ScenarioConfig, ScenarioConfigBuilder,
+        ScenarioError, ScenarioOutcome,
+    };
+    pub use hsm_trace::summary::{analyze_flow, FlowSummary};
+}

@@ -18,14 +18,9 @@ pub mod measurement {
 }
 
 /// Top-level benchmark context.
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Criterion {
-        Criterion { _private: () }
-    }
 }
 
 impl Criterion {

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 gate (see ROADMAP.md): release build, full test suite, strict lints.
+# Tier-1 gate (see ROADMAP.md): formatting, release build, full test
+# suite, strict lints, docs, and the simnet throughput gate.
 set -euo pipefail
 cd "$(dirname "$0")"
 
+cargo fmt --all -- --check
 cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo doc --no-deps --workspace
+./tools/bench_gate.sh

@@ -14,8 +14,8 @@ fn tune(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measureme
     g
 }
 use hsm_core::enhanced::EnhancedModel;
-use hsm_core::params::ModelParams;
 use hsm_core::padhye;
+use hsm_core::params::ModelParams;
 use hsm_scenario::runner::{run_scenario, Motion, ScenarioConfig};
 use hsm_simnet::loss::{GilbertElliott, LossModel};
 use hsm_simnet::prelude::*;
@@ -34,6 +34,81 @@ fn bench_engine(c: &mut Criterion) {
             }
             eng.run_until_idle();
             black_box(eng.events_processed())
+        });
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    use hsm_simnet::event::{Event, EventKind, EventQueue};
+    let mut c = tune(c);
+    // Schedule/pop churn at a steady queue depth — the engine's future
+    // event list under load. Times mix so same-time FIFO paths get hit.
+    c.bench_function("queue/schedule_pop_64k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let dst = AgentId::from_raw(0);
+            for i in 0..1024u64 {
+                q.schedule(Event {
+                    at: SimTime::from_micros(i % 97),
+                    dst,
+                    kind: EventKind::Timer { tag: i },
+                });
+            }
+            let mut popped = 0u64;
+            for i in 0..64 * 1024u64 {
+                let (_, ev) = q.pop().expect("queue kept full");
+                popped += 1;
+                q.schedule(Event {
+                    at: ev.at + SimDuration::from_micros(i % 89),
+                    dst,
+                    kind: EventKind::Timer { tag: i },
+                });
+            }
+            black_box(popped)
+        });
+    });
+    // Schedule + cancel: the retransmission-timer pattern (most timers
+    // never fire).
+    c.bench_function("queue/schedule_cancel_64k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let dst = AgentId::from_raw(0);
+            let mut cancelled = 0u64;
+            for i in 0..64 * 1024u64 {
+                let id = q.schedule(Event {
+                    at: SimTime::from_micros(i),
+                    dst,
+                    kind: EventKind::Timer { tag: i },
+                });
+                if q.cancel(id) {
+                    cancelled += 1;
+                }
+            }
+            black_box(cancelled)
+        });
+    });
+}
+
+fn bench_link_offer(c: &mut Criterion) {
+    use hsm_simnet::link::Link;
+    let mut c = tune(c);
+    // offer → complete_tx churn: the by-value packet hand-off on a
+    // saturated link (one in flight, one queued).
+    c.bench_function("link/offer_complete_64k", |b| {
+        b.iter(|| {
+            let mut link = Link::from_spec(
+                LinkSpec::new(AgentId::from_raw(0), "wire")
+                    .bandwidth_bps(12_000_000)
+                    .queue_capacity(32),
+            );
+            let mut delivered = 0u64;
+            for seq in 0..64 * 1024u64 {
+                link.offer(Packet::data(FlowId(0), SeqNo(seq), false));
+                if let Some((_done, _next)) = link.try_complete_tx() {
+                    delivered += 1;
+                }
+            }
+            black_box(delivered)
         });
     });
 }
@@ -107,6 +182,8 @@ fn bench_loss_models(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_engine,
+    bench_event_queue,
+    bench_link_offer,
     bench_tcp_flow,
     bench_analysis,
     bench_models,

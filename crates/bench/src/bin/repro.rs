@@ -47,12 +47,23 @@ fn write_campaign_bench(scale: Scale) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs one cold campaign at `scale` and writes the simulator-throughput
+/// sample as `BENCH_simnet.json` (the CI bench gate's input).
+fn write_simnet_bench(scale: Scale) -> Result<(), String> {
+    let bench = hsm_bench::simnet_bench::measure(scale)?;
+    let json = serde_json::to_string(&bench).map_err(|e| e.to_string())?;
+    std::fs::write("BENCH_simnet.json", json).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
 fn usage() {
-    println!("usage: repro [all | <id>...] [--smoke | --full] [--csv DIR]\n");
+    println!("usage: repro [all | bench | <id>...] [--smoke | --full] [--csv DIR]\n");
     println!("experiments:");
     for e in EXPERIMENTS {
         println!("  {:10} {}", e.id, e.about);
     }
+    println!("\n`repro bench` runs no experiments: it only regenerates the");
+    println!("BENCH_campaign.json / BENCH_simnet.json telemetry files.");
 }
 
 fn main() -> ExitCode {
@@ -84,8 +95,11 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    let bench_only = ids.iter().all(|i| i == "bench") && ids.iter().any(|i| i == "bench");
     let run_all = ids.iter().any(|i| i == "all");
-    let selected: Vec<_> = if run_all {
+    let selected: Vec<_> = if bench_only {
+        Vec::new()
+    } else if run_all {
         EXPERIMENTS.iter().collect()
     } else {
         let mut sel = Vec::new();
@@ -116,6 +130,13 @@ fn main() -> ExitCode {
         Ok(()) => println!("wrote BENCH_campaign.json"),
         Err(err) => {
             eprintln!("failed to write BENCH_campaign.json: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match write_simnet_bench(scale) {
+        Ok(()) => println!("wrote BENCH_simnet.json"),
+        Err(err) => {
+            eprintln!("failed to write BENCH_simnet.json: {err}");
             return ExitCode::FAILURE;
         }
     }

@@ -37,7 +37,11 @@ impl Scale {
                 flow_duration: SimDuration::from_secs(120),
                 ..Default::default()
             },
-            Scale::Full => DatasetConfig { scale: 1.0, flow_duration: SimDuration::from_secs(120), ..Default::default() },
+            Scale::Full => DatasetConfig {
+                scale: 1.0,
+                flow_duration: SimDuration::from_secs(120),
+                ..Default::default()
+            },
         }
     }
 
@@ -80,7 +84,10 @@ pub struct Ctx {
 impl Ctx {
     /// Creates a context at the given scale.
     pub fn new(scale: Scale) -> Ctx {
-        Ctx { scale, ..Default::default() }
+        Ctx {
+            scale,
+            ..Default::default()
+        }
     }
 
     fn high_speed_cell(&self) -> &(Vec<DatasetFlow>, CampaignReport) {
@@ -141,7 +148,10 @@ mod tests {
         assert_eq!(st.len(), 3);
         let report = ctx.high_speed_report();
         assert_eq!(report.flows, a);
-        assert_eq!(report.cache_hits, 0, "keep-outcomes campaigns never hit the cache");
+        assert_eq!(
+            report.cache_hits, 0,
+            "keep-outcomes campaigns never hit the cache"
+        );
         assert!(report.events_processed > 0);
     }
 }

@@ -21,8 +21,17 @@ use hsm_trace::analysis::timeout::TimeoutConfig;
 use hsm_trace::export::{fnum, fpct, Table};
 use hsm_trace::summary::analyze_flow;
 
-fn base_scenario(duration: hsm_simnet::time::SimDuration, provider: Provider, seed: u64) -> ScenarioConfig {
-    ScenarioConfig { provider, seed, duration, ..Default::default() }
+fn base_scenario(
+    duration: hsm_simnet::time::SimDuration,
+    provider: Provider,
+    seed: u64,
+) -> ScenarioConfig {
+    ScenarioConfig {
+        provider,
+        seed,
+        duration,
+        ..Default::default()
+    }
 }
 
 /// `ext_cc`: Reno vs NewReno vs Veno on the high-speed channel.
@@ -51,7 +60,12 @@ pub fn run_cc(ctx: &Ctx) -> ExperimentResult {
             let tp: f64 = results.iter().map(|r| r.0).sum();
             let to: f64 = results.iter().map(|r| r.1).sum();
             let n = reps as f64;
-            t.push_row(vec![provider.name().to_owned(), name.to_owned(), fnum(tp / n), fnum(to / n)]);
+            t.push_row(vec![
+                provider.name().to_owned(),
+                name.to_owned(),
+                fnum(tp / n),
+                fnum(to / n),
+            ]);
         }
     }
     ExperimentResult::new("ext_cc", "Congestion-control ablation (extension)")
@@ -65,13 +79,22 @@ pub fn run_delack(ctx: &Ctx) -> ExperimentResult {
     let duration = ctx.scale.flow_duration();
     let mut t = Table::new(
         "Delayed-ACK policies on the 300 km/h channel (China Mobile)",
-        &["policy", "mean TP (seg/s)", "mean timeouts", "mean spurious fraction"],
+        &[
+            "policy",
+            "mean TP (seg/s)",
+            "mean timeouts",
+            "mean spurious fraction",
+        ],
     );
     let policies: [(&str, u32, Option<AdaptiveDelAck>); 4] = [
         ("fixed b=1", 1, None),
         ("fixed b=2", 2, None),
         ("fixed b=4", 4, None),
-        ("adaptive (TCP-DCA style)", 1, Some(AdaptiveDelAck::default())),
+        (
+            "adaptive (TCP-DCA style)",
+            1,
+            Some(AdaptiveDelAck::default()),
+        ),
     ];
     for (name, b, adaptive) in policies {
         let results = crate::parallel::par_map(reps, |rep| {
@@ -81,13 +104,22 @@ pub fn run_delack(ctx: &Ctx) -> ExperimentResult {
             conn.receiver.adaptive = adaptive;
             let out = run_connection(sc.seed, &sc.path(), sc.mobility().as_ref(), &conn);
             let s = analyze_flow(&out.trace, &TimeoutConfig::default()).summary;
-            (s.throughput_sps, f64::from(s.timeouts), s.spurious_fraction())
+            (
+                s.throughput_sps,
+                f64::from(s.timeouts),
+                s.spurious_fraction(),
+            )
         });
         let tp: f64 = results.iter().map(|r| r.0).sum();
         let to: f64 = results.iter().map(|r| r.1).sum();
         let sf: f64 = results.iter().map(|r| r.2).sum();
         let n = reps as f64;
-        t.push_row(vec![name.to_owned(), fnum(tp / n), fnum(to / n), fpct(sf / n)]);
+        t.push_row(vec![
+            name.to_owned(),
+            fnum(tp / n),
+            fnum(to / n),
+            fpct(sf / n),
+        ]);
     }
     ExperimentResult::new("ext_delack", "Adaptive delayed ACKs (§V-A future work)")
         .with_table(t)
@@ -135,7 +167,12 @@ pub fn run_mptcp_variants(ctx: &Ctx) -> ExperimentResult {
     let duration = ctx.scale.flow_duration();
     let mut t = Table::new(
         "MPTCP wiring ablation (mean seg/s over rides)",
-        &["Provider", "single TCP", "shared radio duplex", "disjoint carriers duplex"],
+        &[
+            "Provider",
+            "single TCP",
+            "shared radio duplex",
+            "disjoint carriers duplex",
+        ],
     );
     for provider in Provider::ALL {
         let results = crate::parallel::par_map(reps, |rep| {
@@ -143,11 +180,16 @@ pub fn run_mptcp_variants(ctx: &Ctx) -> ExperimentResult {
             let single = run_scenario(&sc).summary().throughput_sps;
             let path = sc.path();
             let conn = sc.connection();
-            let shared = run_mptcp_shared_radio(sc.seed ^ 0x1111, &path, sc.mobility().as_ref(), &conn)
-                .aggregate_throughput_sps();
-            let disjoint =
-                run_mptcp_duplex(sc.seed ^ 0x2222, [&path, &path], sc.mobility().as_ref(), &conn)
+            let shared =
+                run_mptcp_shared_radio(sc.seed ^ 0x1111, &path, sc.mobility().as_ref(), &conn)
                     .aggregate_throughput_sps();
+            let disjoint = run_mptcp_duplex(
+                sc.seed ^ 0x2222,
+                [&path, &path],
+                sc.mobility().as_ref(),
+                &conn,
+            )
+            .aggregate_throughput_sps();
             (single, shared, disjoint)
         });
         let single: f64 = results.iter().map(|r| r.0).sum();

@@ -27,7 +27,11 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
         scatter.push_row(vec![
             fnum(p.sent_s),
             fnum(p.delay_s),
-            if p.is_ack { "ack".into() } else { "data".into() },
+            if p.is_ack {
+                "ack".into()
+            } else {
+                "data".into()
+            },
         ]);
     }
 
@@ -36,7 +40,11 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
         marks.push_row(vec![(i + 1).to_string(), fnum(t.as_secs_f64())]);
     }
 
-    let delays: Vec<f64> = points.iter().filter(|p| p.delay_s >= 0.0).map(|p| p.delay_s).collect();
+    let delays: Vec<f64> = points
+        .iter()
+        .filter(|p| p.delay_s >= 0.0)
+        .map(|p| p.delay_s)
+        .collect();
     let typical = if delays.is_empty() {
         0.0
     } else {
@@ -54,21 +62,24 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
         thin.push_row(row.clone());
     }
 
-    ExperimentResult::new("fig1", "One-way delay scatter of one high-speed flow (Fig. 1)")
-        .with_table(thin)
-        .with_table(marks)
-        .with_table(scatter)
-        .note(format!(
-            "paper: most packets ≈ 30 ms one-way; ours: median {:.1} ms over {} packets ({} lost)",
-            typical * 1e3,
-            points.len(),
-            lost
-        ))
-        .note(format!(
-            "paper flow shows 10 timeout sequences; this flow has {} timeouts in {} sequences",
-            out.outcome.sender.timeouts.len(),
-            out.analysis.timeouts.sequences.len(),
-        ))
+    ExperimentResult::new(
+        "fig1",
+        "One-way delay scatter of one high-speed flow (Fig. 1)",
+    )
+    .with_table(thin)
+    .with_table(marks)
+    .with_table(scatter)
+    .note(format!(
+        "paper: most packets ≈ 30 ms one-way; ours: median {:.1} ms over {} packets ({} lost)",
+        typical * 1e3,
+        points.len(),
+        lost
+    ))
+    .note(format!(
+        "paper flow shows 10 timeout sequences; this flow has {} timeouts in {} sequences",
+        out.outcome.sender.timeouts.len(),
+        out.analysis.timeouts.sequences.len(),
+    ))
 }
 
 #[cfg(test)]
@@ -83,6 +94,9 @@ mod tests {
         assert!(full.rows.len() > 100);
         assert!(full.rows.iter().any(|row| row[2] == "ack"));
         assert!(full.rows.iter().any(|row| row[2] == "data"));
-        assert!(full.rows.iter().any(|row| row[1] == "-1.000"), "lost packets at -1");
+        assert!(
+            full.rows.iter().any(|row| row[1] == "-1.000"),
+            "lost packets at -1"
+        );
     }
 }

@@ -30,7 +30,14 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
 
     let mut ladder = Table::new(
         "Fig. 2 — retransmissions inside the recovery phase",
-        &["rung", "sent_s", "gap_since_prev_s", "seq#", "arrived", "spurious_timeout"],
+        &[
+            "rung",
+            "sent_s",
+            "gap_since_prev_s",
+            "seq#",
+            "arrived",
+            "spurious_timeout",
+        ],
     );
     let mut prev = seq.ca_end;
     for (i, ev) in seq.events.iter().enumerate() {
@@ -47,12 +54,27 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
     }
 
     let mut summary = Table::new("Recovery phase summary", &["quantity", "value"]);
-    summary.push_row(vec!["CA phase end (s)".into(), fnum(seq.ca_end.as_secs_f64())]);
-    summary.push_row(vec!["recovery end (s)".into(), fnum(seq.recovery_end.as_secs_f64())]);
-    summary.push_row(vec!["duration (s)".into(), fnum(seq.recovery_duration().as_secs_f64())]);
+    summary.push_row(vec![
+        "CA phase end (s)".into(),
+        fnum(seq.ca_end.as_secs_f64()),
+    ]);
+    summary.push_row(vec![
+        "recovery end (s)".into(),
+        fnum(seq.recovery_end.as_secs_f64()),
+    ]);
+    summary.push_row(vec![
+        "duration (s)".into(),
+        fnum(seq.recovery_duration().as_secs_f64()),
+    ]);
     summary.push_row(vec!["timeouts (R)".into(), seq.timeouts().to_string()]);
-    summary.push_row(vec!["first RTO estimate T (s)".into(), fnum(seq.first_rto().as_secs_f64())]);
-    summary.push_row(vec!["retransmission loss rate".into(), fnum(seq.retrans_loss_rate())]);
+    summary.push_row(vec![
+        "first RTO estimate T (s)".into(),
+        fnum(seq.first_rto().as_secs_f64()),
+    ]);
+    summary.push_row(vec![
+        "retransmission loss rate".into(),
+        fnum(seq.retrans_loss_rate()),
+    ]);
 
     ExperimentResult::new("fig2", "Timeout recovery detail (Fig. 2)")
         .with_table(ladder)
@@ -74,7 +96,11 @@ mod tests {
         let ladder = &r.tables[0];
         // Each rung's gap should not shrink by more than jitter allows
         // (the ladder doubles while the same sequence continues).
-        let gaps: Vec<f64> = ladder.rows.iter().map(|row| row[2].parse().unwrap()).collect();
+        let gaps: Vec<f64> = ladder
+            .rows
+            .iter()
+            .map(|row| row[2].parse().unwrap())
+            .collect();
         for pair in gaps.windows(2) {
             assert!(pair[1] > pair[0] * 1.5, "gaps {gaps:?}");
         }

@@ -57,7 +57,8 @@ mod tests {
                 .collect();
             v.iter().sum::<f64>() / v.len().max(1) as f64
         };
-        let mean_life: f64 = flows.iter().map(|f| f.outcome.summary().p_d).sum::<f64>() / flows.len() as f64;
+        let mean_life: f64 =
+            flows.iter().map(|f| f.outcome.summary().p_d).sum::<f64>() / flows.len() as f64;
         assert!(
             mean_rec > 5.0 * mean_life,
             "recovery {mean_rec} vs lifetime {mean_life}"

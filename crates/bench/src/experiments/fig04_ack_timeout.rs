@@ -26,23 +26,28 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
         let y = f64::from(s.timeouts) / s.data_sent as f64;
         xs.push(x);
         ys.push(y);
-        t.push_row(vec![s.flow.to_string(), s.provider.clone(), fnum(x), fnum(y)]);
+        t.push_row(vec![
+            s.flow.to_string(),
+            s.provider.clone(),
+            fnum(x),
+            fnum(y),
+        ]);
     }
     let corr = pearson(&xs, &ys);
     let fit = linear_fit(&xs, &ys);
 
-    let mut result = ExperimentResult::new(
-        "fig4",
-        "ACK loss rate vs timeout probability (Fig. 4)",
-    )
-    .with_table(t);
+    let mut result = ExperimentResult::new("fig4", "ACK loss rate vs timeout probability (Fig. 4)")
+        .with_table(t);
     if let Some(c) = corr {
         result = result.note(format!(
             "Pearson correlation = {c:.3} (paper: positive, \"although the correlation is not strong\")"
         ));
     }
     if let Some(f) = fit {
-        result = result.note(format!("least-squares slope = {:.4} (positive expected)", f.slope));
+        result = result.note(format!(
+            "least-squares slope = {:.4} (positive expected)",
+            f.slope
+        ));
     }
     result
 }
@@ -60,6 +65,10 @@ mod tests {
         let r = run(&ctx);
         assert!(!r.tables[0].is_empty());
         // The note exists whenever >= 2 flows were simulated.
-        assert!(r.notes.iter().any(|n| n.contains("Pearson")), "{:?}", r.notes);
+        assert!(
+            r.notes.iter().any(|n| n.contains("Pearson")),
+            "{:?}",
+            r.notes
+        );
     }
 }

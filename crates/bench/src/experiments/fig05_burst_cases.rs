@@ -26,8 +26,16 @@ struct CaseOutcome {
 fn run_case(w_m: u32, outage_ms: (u64, u64), segments: u64) -> CaseOutcome {
     let mut eng = Engine::new(5);
     let placeholder = LinkId::from_raw(u32::MAX);
-    let scfg = SenderConfig { w_m, max_segments: Some(segments), ..Default::default() };
-    let rcfg = ReceiverConfig { b: 1, delack_timeout: SimDuration::from_millis(100), adaptive: None };
+    let scfg = SenderConfig {
+        w_m,
+        max_segments: Some(segments),
+        ..Default::default()
+    };
+    let rcfg = ReceiverConfig {
+        b: 1,
+        delack_timeout: SimDuration::from_millis(100),
+        adaptive: None,
+    };
     let tx = eng.add_agent(Box::new(RenoSender::new(FlowId(0), placeholder, scfg)));
     let rx = eng.add_agent(Box::new(Receiver::new(FlowId(0), placeholder, rcfg)));
     let down = eng.add_link(
@@ -48,16 +56,27 @@ fn run_case(w_m: u32, outage_ms: (u64, u64), segments: u64) -> CaseOutcome {
         1.0,
     )));
     let rec = VecRecorder::new();
-    eng.add_observer(Box::new(rec.clone()));
+    eng.add_recorder(rec.clone());
     eng.run_until(SimTime::from_secs(60));
-    let timeouts = eng.agent_mut::<RenoSender>(tx).expect("sender").metrics.timeouts.len();
+    let timeouts = eng
+        .agent_mut::<RenoSender>(tx)
+        .expect("sender")
+        .metrics
+        .timeouts
+        .len();
     let rx_agent = eng.agent_mut::<Receiver>(rx).expect("receiver");
     let duplicate_payloads = rx_agent.metrics.duplicate_payloads;
     let delivered = rx_agent.next_expected().as_u64();
-    let data_lost = rec.events().iter().any(|e| {
-        matches!(e.kind, PacketEventKind::Dropped(_)) && e.packet.kind.is_data()
-    });
-    CaseOutcome { timeouts, duplicate_payloads, data_lost, delivered }
+    let data_lost = rec
+        .events()
+        .iter()
+        .any(|e| matches!(e.kind, PacketEventKind::Dropped(_)) && e.packet.kind.is_data());
+    CaseOutcome {
+        timeouts,
+        duplicate_payloads,
+        data_lost,
+        delivered,
+    }
 }
 
 /// Regenerates both Fig. 5 cases.
@@ -71,9 +90,18 @@ pub fn run(_ctx: &Ctx) -> ExperimentResult {
 
     let mut t = Table::new(
         "Fig. 5 — ACK burst loss triggers timeouts without any data loss",
-        &["case", "data_lost", "timeouts", "duplicate_payloads", "delivered"],
+        &[
+            "case",
+            "data_lost",
+            "timeouts",
+            "duplicate_payloads",
+            "delivered",
+        ],
     );
-    for (name, c) in [("(a) all ACKs of a round lost", &a), ("(b) single-ACK round lost", &b)] {
+    for (name, c) in [
+        ("(a) all ACKs of a round lost", &a),
+        ("(b) single-ACK round lost", &b),
+    ] {
         t.push_row(vec![
             name.to_owned(),
             c.data_lost.to_string(),
@@ -99,8 +127,14 @@ mod tests {
         let rows = &r.tables[0].rows;
         for row in rows {
             assert_eq!(row[1], "false", "no data loss allowed: {row:?}");
-            assert!(row[2].parse::<u32>().unwrap() >= 1, "case must time out: {row:?}");
-            assert!(row[3].parse::<u32>().unwrap() >= 1, "receiver must see duplicates: {row:?}");
+            assert!(
+                row[2].parse::<u32>().unwrap() >= 1,
+                "case must time out: {row:?}"
+            );
+            assert!(
+                row[3].parse::<u32>().unwrap() >= 1,
+                "receiver must see duplicates: {row:?}"
+            );
         }
         // Flows still complete.
         assert_eq!(rows[0][4], "2000");

@@ -7,8 +7,16 @@ use hsm_trace::stats::Cdf;
 
 /// Regenerates Fig. 6 from the two datasets.
 pub fn run(ctx: &Ctx) -> ExperimentResult {
-    let hs: Vec<f64> = ctx.high_speed().iter().map(|f| f.outcome.summary().p_a).collect();
-    let st: Vec<f64> = ctx.stationary().iter().map(|f| f.outcome.summary().p_a).collect();
+    let hs: Vec<f64> = ctx
+        .high_speed()
+        .iter()
+        .map(|f| f.outcome.summary().p_a)
+        .collect();
+    let st: Vec<f64> = ctx
+        .stationary()
+        .iter()
+        .map(|f| f.outcome.summary().p_a)
+        .collect();
     let cdf_hs = Cdf::from_samples(hs.iter().copied());
     let cdf_st = Cdf::from_samples(st.iter().copied());
 

@@ -41,7 +41,15 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
 
     let mut per_flow = Table::new(
         "Per-flow deviations (one point per flow, as in Fig. 10)",
-        &["flow", "provider", "measured_sps", "enhanced_sps", "padhye_sps", "D_enhanced", "D_padhye"],
+        &[
+            "flow",
+            "provider",
+            "measured_sps",
+            "enhanced_sps",
+            "padhye_sps",
+            "D_enhanced",
+            "D_padhye",
+        ],
     );
     for e in &evals {
         per_flow.push_row(vec![
@@ -57,7 +65,13 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
 
     let mut ablation = Table::new(
         "Ablation — estimator choices",
-        &["p_d source", "q source", "D(enhanced)", "D(Padhye)", "improvement (pp)"],
+        &[
+            "p_d source",
+            "q source",
+            "D(enhanced)",
+            "D(Padhye)",
+            "improvement (pp)",
+        ],
     );
     for (pd_name, pd) in [
         ("lifetime", PdSource::Lifetime),
@@ -70,7 +84,11 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
             ("sequence-length", QSource::SequenceLength),
             ("recovery-duration", QSource::RecoveryDuration),
         ] {
-            let cfg = EstimateConfig { pd_source: pd, q_source: q, ..Default::default() };
+            let cfg = EstimateConfig {
+                pd_source: pd,
+                q_source: q,
+                ..Default::default()
+            };
             let (_, r) = evaluate_dataset(&summaries, &cfg);
             ablation.push_row(vec![
                 pd_name.to_owned(),

@@ -19,8 +19,16 @@ struct CaseOutcome {
 fn run_case(up_loss_during_window: f64) -> CaseOutcome {
     let mut eng = Engine::new(9);
     let placeholder = LinkId::from_raw(u32::MAX);
-    let scfg = SenderConfig { w_m: 16, max_segments: Some(2_000), ..Default::default() };
-    let rcfg = ReceiverConfig { b: 1, delack_timeout: SimDuration::from_millis(100), adaptive: None };
+    let scfg = SenderConfig {
+        w_m: 16,
+        max_segments: Some(2_000),
+        ..Default::default()
+    };
+    let rcfg = ReceiverConfig {
+        b: 1,
+        delack_timeout: SimDuration::from_millis(100),
+        adaptive: None,
+    };
     let tx = eng.add_agent(Box::new(RenoSender::new(FlowId(0), placeholder, scfg)));
     let rx = eng.add_agent(Box::new(Receiver::new(FlowId(0), placeholder, rcfg)));
     let down = eng.add_link(
@@ -41,7 +49,12 @@ fn run_case(up_loss_during_window: f64) -> CaseOutcome {
         up_loss_during_window,
     )));
     eng.run_until(SimTime::from_secs(60));
-    let timeouts = eng.agent_mut::<RenoSender>(tx).expect("sender").metrics.timeouts.len();
+    let timeouts = eng
+        .agent_mut::<RenoSender>(tx)
+        .expect("sender")
+        .metrics
+        .timeouts
+        .len();
     let rx_agent = eng.agent_mut::<Receiver>(rx).expect("receiver");
     CaseOutcome {
         timeouts,
@@ -61,7 +74,12 @@ pub fn run(_ctx: &Ctx) -> ExperimentResult {
 
     let mut t = Table::new(
         "Fig. 11 — one surviving ACK prevents the spurious timeout",
-        &["uplink loss in window", "timeouts", "duplicate_payloads", "delivered"],
+        &[
+            "uplink loss in window",
+            "timeouts",
+            "duplicate_payloads",
+            "delivered",
+        ],
     );
     t.push_row(vec![
         "100% (burst loss)".into(),

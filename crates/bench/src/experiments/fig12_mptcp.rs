@@ -22,7 +22,12 @@ use hsm_tcp::mptcp::run_mptcp_shared_radio;
 use hsm_trace::export::{fnum, fpct, Table};
 
 fn scenario(provider: Provider, seed: u64, duration: SimDuration) -> ScenarioConfig {
-    ScenarioConfig { provider, seed, duration, ..Default::default() }
+    ScenarioConfig {
+        provider,
+        seed,
+        duration,
+        ..Default::default()
+    }
 }
 
 /// Regenerates Fig. 12.
@@ -33,7 +38,13 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
     let duration = ctx.scale.flow_duration();
     let mut t = Table::new(
         "Fig. 12 — MPTCP vs TCP throughput per provider",
-        &["Provider", "TCP (seg/s)", "MPTCP (seg/s)", "gain", "paper gain"],
+        &[
+            "Provider",
+            "TCP (seg/s)",
+            "MPTCP (seg/s)",
+            "gain",
+            "paper gain",
+        ],
     );
     for (i, provider) in Provider::ALL.iter().enumerate() {
         // Paired rides: the same seed drives the single-flow and the
@@ -42,13 +53,18 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
             let sc = scenario(*provider, 300 + rep, duration);
             let single = run_scenario(&sc).summary().throughput_sps;
             let path = sc.path();
-            let mptcp = run_mptcp_shared_radio(sc.seed, &path, sc.mobility().as_ref(), &sc.connection())
-                .aggregate_throughput_sps();
+            let mptcp =
+                run_mptcp_shared_radio(sc.seed, &path, sc.mobility().as_ref(), &sc.connection())
+                    .aggregate_throughput_sps();
             (single, mptcp)
         });
         let s_mean = pairs.iter().map(|p| p.0).sum::<f64>() / reps as f64;
         let m_mean = pairs.iter().map(|p| p.1).sum::<f64>() / reps as f64;
-        let gain = if s_mean > 0.0 { m_mean / s_mean - 1.0 } else { 0.0 };
+        let gain = if s_mean > 0.0 {
+            m_mean / s_mean - 1.0
+        } else {
+            0.0
+        };
         t.push_row(vec![
             provider.name().to_owned(),
             fnum(s_mean),

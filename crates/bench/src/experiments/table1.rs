@@ -33,7 +33,10 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
         let mean_tp = if in_campaign.is_empty() {
             0.0
         } else {
-            in_campaign.iter().map(|f| f.outcome.summary().throughput_sps).sum::<f64>()
+            in_campaign
+                .iter()
+                .map(|f| f.outcome.summary().throughput_sps)
+                .sum::<f64>()
                 / in_campaign.len() as f64
         };
         generated.push_row(vec![

@@ -23,7 +23,10 @@ fn monte_carlo(p_a: f64, xp: u32, trials: u32, rng: &mut SimRng) -> Vec<f64> {
         }
         counts[(rounds - 1) as usize] += 1;
     }
-    counts.iter().map(|&c| f64::from(c) / f64::from(trials)).collect()
+    counts
+        .iter()
+        .map(|&c| f64::from(c) / f64::from(trials))
+        .collect()
 }
 
 /// Regenerates Table III for a representative high-speed parameterization
@@ -48,14 +51,20 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
     let mut max_err = 0.0_f64;
     for (row, mc_p) in dist.iter().zip(&mc) {
         max_err = max_err.max((row.probability - mc_p).abs());
-        t.push_row(vec![row.rounds.to_string(), fnum(row.probability), fnum(*mc_p)]);
+        t.push_row(vec![
+            row.rounds.to_string(),
+            fnum(row.probability),
+            fnum(*mc_p),
+        ]);
     }
     let analytic_mean = e_x(p_a, xp);
     let mc_mean: f64 = mc.iter().enumerate().map(|(i, p)| (i + 1) as f64 * p).sum();
 
     ExperimentResult::new("table3", "Rounds in a CA phase (Table III)")
         .with_table(t)
-        .note(format!("E[X]: analytic (Eq. 2) = {analytic_mean:.4}, monte-carlo = {mc_mean:.4}"))
+        .note(format!(
+            "E[X]: analytic (Eq. 2) = {analytic_mean:.4}, monte-carlo = {mc_mean:.4}"
+        ))
         .note(format!("max per-row deviation = {max_err:.4}"))
 }
 

@@ -33,7 +33,12 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
     let duration = ctx.scale.flow_duration();
     let mut sim_t = Table::new(
         "§V-A simulation cross-check — spurious timeouts per b",
-        &["b", "mean TP (seg/s)", "mean timeouts", "mean spurious fraction"],
+        &[
+            "b",
+            "mean TP (seg/s)",
+            "mean timeouts",
+            "mean spurious fraction",
+        ],
     );
     for b in [1u32, 2, 4] {
         let results = crate::parallel::par_map(reps, |rep| {
@@ -53,7 +58,12 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
         let to: f64 = results.iter().map(|r| r.1).sum();
         let sf: f64 = results.iter().map(|r| r.2).sum();
         let n = reps as f64;
-        sim_t.push_row(vec![b.to_string(), fnum(tp / n), fnum(to / n), fpct(sf / n)]);
+        sim_t.push_row(vec![
+            b.to_string(),
+            fnum(tp / n),
+            fnum(to / n),
+            fpct(sf / n),
+        ]);
     }
 
     ExperimentResult::new("va_delack", "Delayed ACKs in high-speed mobility (§V-A)")
@@ -70,10 +80,18 @@ mod tests {
     #[test]
     fn model_pa_grows_with_b() {
         let r = run(&Ctx::new(Scale::Smoke));
-        let pa: Vec<f64> = r.tables[0].rows.iter().map(|row| row[2].parse().unwrap()).collect();
+        let pa: Vec<f64> = r.tables[0]
+            .rows
+            .iter()
+            .map(|row| row[2].parse().unwrap())
+            .collect();
         assert!(pa.windows(2).all(|w| w[1] >= w[0]), "{pa:?}");
         // The model's throughput at b=8 must fall below b=1.
-        let tp: Vec<f64> = r.tables[0].rows.iter().map(|row| row[3].parse().unwrap()).collect();
+        let tp: Vec<f64> = r.tables[0]
+            .rows
+            .iter()
+            .map(|row| row[3].parse().unwrap())
+            .collect();
         assert!(tp[3] < tp[0], "{tp:?}");
     }
 }

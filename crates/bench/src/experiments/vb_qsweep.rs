@@ -24,7 +24,13 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
     // qualities.
     let mut benefit_t = Table::new(
         "§V-B model — redundant retransmission benefit (q = 0.27 primary)",
-        &["q_backup", "effective q", "TP single", "TP redundant", "gain"],
+        &[
+            "q_backup",
+            "effective q",
+            "TP single",
+            "TP redundant",
+            "gain",
+        ],
     );
     for q2 in [0.0, 0.27, 0.5] {
         let b = redundant_retransmit_benefit(&base, q2).expect("valid params");
@@ -42,15 +48,29 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
     let reps = ctx.scale.repetitions();
     let duration = ctx.scale.flow_duration();
     let results = crate::parallel::par_map(reps, |rep| {
-        let sc = ScenarioConfig { seed: 5_000 + rep, duration, ..Default::default() };
+        let sc = ScenarioConfig {
+            seed: 5_000 + rep,
+            duration,
+            ..Default::default()
+        };
         let conn = sc.connection();
         let mob = sc.mobility();
         let plain = run_connection(sc.seed, &sc.path(), mob.as_ref(), &conn);
-        let with_backup =
-            run_with_backup_path(sc.seed, &sc.path(), &PathSpec::default(), mob.as_ref(), &conn);
+        let with_backup = run_with_backup_path(
+            sc.seed,
+            &sc.path(),
+            &PathSpec::default(),
+            mob.as_ref(),
+            &conn,
+        );
         let pa = hsm_trace::summary::analyze_flow(&plain.trace, &Default::default());
         let ba = hsm_trace::summary::analyze_flow(&with_backup.trace, &Default::default());
-        (pa.summary.q_hat, ba.summary.q_hat, pa.summary.mean_recovery_s, ba.summary.mean_recovery_s)
+        (
+            pa.summary.q_hat,
+            ba.summary.q_hat,
+            pa.summary.mean_recovery_s,
+            ba.summary.mean_recovery_s,
+        )
     });
     let plain_q: f64 = results.iter().map(|r| r.0).sum();
     let backup_q: f64 = results.iter().map(|r| r.1).sum();
@@ -61,8 +81,16 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
         "§V-B simulation — backup-path redundant retransmission",
         &["variant", "mean q̂", "mean recovery (s)"],
     );
-    sim_t.push_row(vec!["single path".into(), fnum(plain_q / n), fnum(plain_rec / n)]);
-    sim_t.push_row(vec!["with backup path".into(), fnum(backup_q / n), fnum(backup_rec / n)]);
+    sim_t.push_row(vec![
+        "single path".into(),
+        fnum(plain_q / n),
+        fnum(plain_rec / n),
+    ]);
+    sim_t.push_row(vec![
+        "with backup path".into(),
+        fnum(backup_q / n),
+        fnum(backup_rec / n),
+    ]);
 
     ExperimentResult::new("vb_qsweep", "Reliable retransmission / MPTCP backup mode (§V-B)")
         .with_table(sweep_t)
@@ -79,7 +107,11 @@ mod tests {
     #[test]
     fn model_throughput_decreases_with_q() {
         let r = run(&Ctx::new(Scale::Smoke));
-        let tps: Vec<f64> = r.tables[0].rows.iter().map(|row| row[1].parse().unwrap()).collect();
+        let tps: Vec<f64> = r.tables[0]
+            .rows
+            .iter()
+            .map(|row| row[1].parse().unwrap())
+            .collect();
         assert!(tps.windows(2).all(|w| w[1] <= w[0]), "{tps:?}");
     }
 
@@ -91,6 +123,9 @@ mod tests {
         let backup_rec: f64 = sim.rows[1][2].parse().unwrap();
         // The backup path should not make recovery longer (allow ties at
         // smoke scale where few timeouts occur).
-        assert!(backup_rec <= plain_rec * 1.2, "plain {plain_rec} backup {backup_rec}");
+        assert!(
+            backup_rec <= plain_rec * 1.2,
+            "plain {plain_rec} backup {backup_rec}"
+        );
     }
 }

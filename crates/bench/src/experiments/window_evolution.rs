@@ -70,7 +70,13 @@ pub fn run_fig8(ctx: &Ctx) -> ExperimentResult {
     });
     let mut cycles = Table::new(
         "Fig. 8 — cycles: timeout sequences delimiting CA sequences",
-        &["sequence#", "ca_end_s", "recovery_end_s", "timeouts", "spurious_start"],
+        &[
+            "sequence#",
+            "ca_end_s",
+            "recovery_end_s",
+            "timeouts",
+            "spurious_start",
+        ],
     );
     for (i, s) in out.analysis.timeouts.sequences.iter().enumerate() {
         cycles.push_row(vec![
@@ -82,7 +88,11 @@ pub fn run_fig8(ctx: &Ctx) -> ExperimentResult {
         ]);
     }
     ExperimentResult::new("fig8", "CA/timeout cycle structure (Fig. 8)")
-        .with_table(window_table("cwnd over time", out.outcome.sender.metrics_cwnd(), 60))
+        .with_table(window_table(
+            "cwnd over time",
+            out.outcome.sender.metrics_cwnd(),
+            60,
+        ))
         .with_table(cycles)
         .note("the model's Eq. (8) averages throughput over exactly these cycles")
 }

@@ -28,6 +28,7 @@ pub mod context;
 pub mod experiments;
 pub mod registry;
 pub mod report;
+pub mod simnet_bench;
 
 /// Parallel repetition helpers, promoted to `hsm-runtime`; re-exported
 /// here so `hsm_bench::parallel::par_map` call sites keep working.
@@ -36,3 +37,4 @@ pub use hsm_runtime::parallel;
 pub use context::{Ctx, Scale};
 pub use registry::{find, run_all, Experiment, EXPERIMENTS};
 pub use report::ExperimentResult;
+pub use simnet_bench::SimnetBench;

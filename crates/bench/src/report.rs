@@ -21,7 +21,12 @@ pub struct ExperimentResult {
 impl ExperimentResult {
     /// Creates an empty result.
     pub fn new(id: &'static str, title: impl Into<String>) -> Self {
-        ExperimentResult { id, title: title.into(), tables: Vec::new(), notes: Vec::new() }
+        ExperimentResult {
+            id,
+            title: title.into(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
     }
 
     /// Adds a table (builder style).

@@ -61,7 +61,11 @@ pub fn solve_p_a(params: &ModelParams, p_ack: f64) -> PaSolution {
         w = next_w;
         pa = next_pa;
     }
-    PaSolution { p_a_burst: pa, window: w, iterations }
+    PaSolution {
+        p_a_burst: pa,
+        window: w,
+        iterations,
+    }
 }
 
 fn initial_window(params: &ModelParams) -> f64 {

@@ -130,7 +130,10 @@ pub fn round_distribution(p_a: f64, x_p_rounds: f64) -> Vec<RoundProbability> {
             probability: (1.0 - p_a).powi(k as i32 - 1) * p_a,
         });
     }
-    out.push(RoundProbability { rounds: xp + 1, probability: (1.0 - p_a).powi(xp as i32) });
+    out.push(RoundProbability {
+        rounds: xp + 1,
+        probability: (1.0 - p_a).powi(xp as i32),
+    });
     out
 }
 
@@ -168,12 +171,16 @@ pub struct EnhancedModel {
 impl EnhancedModel {
     /// The paper's formulas verbatim (default).
     pub fn as_published() -> EnhancedModel {
-        EnhancedModel { variant: Variant::AsPublished }
+        EnhancedModel {
+            variant: Variant::AsPublished,
+        }
     }
 
     /// The internally consistent rederivation (see module docs).
     pub fn rederived() -> EnhancedModel {
-        EnhancedModel { variant: Variant::Rederived }
+        EnhancedModel {
+            variant: Variant::Rederived,
+        }
     }
 
     /// The variant in use.
@@ -198,7 +205,10 @@ impl EnhancedModel {
     ///
     /// Returns the parameter-validation error if `params` is out of
     /// domain.
-    pub fn breakdown(&self, params: &ModelParams) -> Result<EnhancedBreakdown, ValidateParamsError> {
+    pub fn breakdown(
+        &self,
+        params: &ModelParams,
+    ) -> Result<EnhancedBreakdown, ValidateParamsError> {
         params.validate()?;
         let (p_a, b, rtt, w_m) = (params.p_a_burst, params.b, params.rtt_s, params.w_m);
         let xp = x_p(params.p_d, b);
@@ -230,7 +240,8 @@ impl EnhancedModel {
         } else {
             // Window-limited branch (Section IV-D).
             let e_u = b * w_m / 2.0; // Eq. (16)
-            let v_p = ((1.0 - params.p_d) / (params.p_d * w_m) + 1.0 - 3.0 * b * w_m / 8.0).max(1.0); // Eq. (17)
+            let v_p =
+                ((1.0 - params.p_d) / (params.p_d * w_m) + 1.0 - 3.0 * b * w_m / 8.0).max(1.0); // Eq. (17)
             let ev = e_v(p_a, v_p); // Eq. (18)
             let ey = 3.0 * b * w_m * w_m / 8.0 + w_m * (ev - 0.5); // Eq. (19)
             let ex = e_u + ev; // Eq. (20)
@@ -273,16 +284,25 @@ mod tests {
         // when X_P is whole.
         for &(pa, xp) in &[(0.1, 7.0), (0.01, 25.0), (0.5, 3.0)] {
             let dist = round_distribution(pa, xp);
-            let mean: f64 = dist.iter().map(|r| f64::from(r.rounds) * r.probability).sum();
+            let mean: f64 = dist
+                .iter()
+                .map(|r| f64::from(r.rounds) * r.probability)
+                .sum();
             let formula = e_x(pa, xp);
-            assert!((mean - formula).abs() < 1e-9, "pa={pa} xp={xp}: {mean} vs {formula}");
+            assert!(
+                (mean - formula).abs() < 1e-9,
+                "pa={pa} xp={xp}: {mean} vs {formula}"
+            );
         }
     }
 
     #[test]
     fn round_distribution_sums_to_one() {
         for &(pa, xp) in &[(0.0, 5.0), (0.2, 10.0), (0.9, 2.0)] {
-            let total: f64 = round_distribution(pa, xp).iter().map(|r| r.probability).sum();
+            let total: f64 = round_distribution(pa, xp)
+                .iter()
+                .map(|r| r.probability)
+                .sum();
             assert!((total - 1.0).abs() < 1e-9, "pa={pa}: total {total}");
         }
     }
@@ -312,7 +332,9 @@ mod tests {
     fn timeout_terms_hand_computed() {
         // q = 0.5, P_a = 0: p = 0.5, E[R] = 2, E[Y^TO] = 0.25,
         // E[A^TO] = T*f(0.5)/0.5 = T*8.
-        let params = ModelParams::high_speed_example().with_q(0.5).with_p_a_burst(0.0);
+        let params = ModelParams::high_speed_example()
+            .with_q(0.5)
+            .with_p_a_burst(0.0);
         let to = timeout_sequence_terms(&params);
         assert!((to.p_fail - 0.5).abs() < 1e-12);
         assert!((to.e_r - 2.0).abs() < 1e-12);
@@ -322,7 +344,9 @@ mod tests {
 
     #[test]
     fn recovery_failure_combines_data_and_ack_loss() {
-        let params = ModelParams::high_speed_example().with_q(0.3).with_p_a_burst(0.1);
+        let params = ModelParams::high_speed_example()
+            .with_q(0.3)
+            .with_p_a_burst(0.1);
         let to = timeout_sequence_terms(&params);
         assert!((to.p_fail - (1.0 - 0.7 * 0.9)).abs() < 1e-12);
     }
@@ -332,10 +356,15 @@ mod tests {
         // With b = 2 the E[W] forms coincide; the remaining difference is
         // the ±1 constant, so throughputs should be within a percent for
         // realistic E[X].
-        let params = ModelParams::high_speed_example().with_b(2.0).with_w_m(10_000.0);
+        let params = ModelParams::high_speed_example()
+            .with_b(2.0)
+            .with_w_m(10_000.0);
         let a = EnhancedModel::as_published().throughput(&params).unwrap();
         let r = EnhancedModel::rederived().throughput(&params).unwrap();
-        assert!((a - r).abs() / r < 0.05, "as-published {a} vs rederived {r}");
+        assert!(
+            (a - r).abs() / r < 0.05,
+            "as-published {a} vs rederived {r}"
+        );
     }
 
     #[test]
@@ -398,7 +427,9 @@ mod tests {
         // The interaction the paper highlights: P_a matters more when q is
         // large (each spurious timeout costs a long recovery).
         let model = EnhancedModel::as_published();
-        let cheap_recovery = ModelParams::high_speed_example().with_q(0.05).with_w_m(10_000.0);
+        let cheap_recovery = ModelParams::high_speed_example()
+            .with_q(0.05)
+            .with_w_m(10_000.0);
         let costly_recovery = cheap_recovery.with_q(0.5);
         let drop = |base: &ModelParams| {
             let low = model.throughput(&base.with_p_a_burst(0.0)).unwrap();

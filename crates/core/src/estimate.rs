@@ -125,10 +125,18 @@ impl Default for EstimateConfig {
 /// needs `p_d > 0`), and degenerate RTT/T estimates fall back to sane
 /// defaults.
 pub fn estimate_params(summary: &FlowSummary, cfg: &EstimateConfig) -> ModelParams {
-    let rtt_s = if summary.rtt_s > 1e-6 { summary.rtt_s } else { 0.06 };
+    let rtt_s = if summary.rtt_s > 1e-6 {
+        summary.rtt_s
+    } else {
+        0.06
+    };
     // T: measured mean first RTO; fall back to a Jacobson-flavoured
     // multiple of the RTT, floored at the usual 200 ms minimum.
-    let t_rto_s = if summary.t_rto_s > 1e-6 { summary.t_rto_s } else { (4.0 * rtt_s).max(0.2) };
+    let t_rto_s = if summary.t_rto_s > 1e-6 {
+        summary.t_rto_s
+    } else {
+        (4.0 * rtt_s).max(0.2)
+    };
     let p_d_raw = match cfg.pd_source {
         PdSource::Lifetime => summary.p_d,
         PdSource::LossEvents => summary.p_d_indications(),
@@ -165,7 +173,8 @@ pub fn estimate_params(summary: &FlowSummary, cfg: &EstimateConfig) -> ModelPara
         }
         QSource::SequenceLength => {
             if summary.timeout_sequences > 0 && summary.timeouts >= summary.timeout_sequences {
-                let p_fail = 1.0 - f64::from(summary.timeout_sequences) / f64::from(summary.timeouts);
+                let p_fail =
+                    1.0 - f64::from(summary.timeout_sequences) / f64::from(summary.timeouts);
                 q_from_p_fail(p_fail, params.p_a_burst)
             } else {
                 ModelParams::DEFAULT_Q
@@ -238,19 +247,33 @@ mod tests {
         s.q_hat = 0.9;
         s.timeouts = 2;
         let small = estimate_params(&s, &EstimateConfig::default());
-        assert!(small.q < 0.45, "2 observations barely move the prior: {}", small.q);
+        assert!(
+            small.q < 0.45,
+            "2 observations barely move the prior: {}",
+            small.q
+        );
         s.timeouts = 2_000;
         let large = estimate_params(&s, &EstimateConfig::default());
-        assert!((large.q - 0.9).abs() < 0.01, "2000 observations dominate: {}", large.q);
+        assert!(
+            (large.q - 0.9).abs() < 0.01,
+            "2000 observations dominate: {}",
+            large.q
+        );
     }
 
     #[test]
     fn alternative_pd_sources() {
-        let events = EstimateConfig { pd_source: PdSource::LossEvents, ..Default::default() };
+        let events = EstimateConfig {
+            pd_source: PdSource::LossEvents,
+            ..Default::default()
+        };
         let p = estimate_params(&summary(), &events);
         // (12 timeouts + 12 fast retransmissions) / 20_000 packets.
         assert!((p.p_d - 24.0 / 20_000.0).abs() < 1e-12);
-        let inds = EstimateConfig { pd_source: PdSource::LossIndications, ..Default::default() };
+        let inds = EstimateConfig {
+            pd_source: PdSource::LossIndications,
+            ..Default::default()
+        };
         let p = estimate_params(&summary(), &inds);
         // 20 loss indications / 20_000 packets.
         assert!((p.p_d - 0.001).abs() < 1e-12);
@@ -260,13 +283,19 @@ mod tests {
     fn q_inversion_sources() {
         // SequenceLength: 12 timeouts over 8 sequences -> E[R] = 1.5,
         // p = 1/3, q = 1 - (2/3)/(1-P_a).
-        let cfg = EstimateConfig { q_source: QSource::SequenceLength, ..Default::default() };
+        let cfg = EstimateConfig {
+            q_source: QSource::SequenceLength,
+            ..Default::default()
+        };
         let p = estimate_params(&summary(), &cfg);
         let expect = 1.0 - (2.0 / 3.0) / (1.0 - p.p_a_burst);
         assert!((p.q - expect).abs() < 1e-9, "{} vs {expect}", p.q);
 
         // RecoveryDuration: solve T*f(p)/(1-p) = 5.0 with T = 0.55.
-        let cfg = EstimateConfig { q_source: QSource::RecoveryDuration, ..Default::default() };
+        let cfg = EstimateConfig {
+            q_source: QSource::RecoveryDuration,
+            ..Default::default()
+        };
         let p = estimate_params(&summary(), &cfg);
         assert!(p.q > 0.0 && p.q < 0.95);
         // Verify the inversion round-trips: f(p_fail)/(1-p_fail) == 5/0.55.
@@ -281,7 +310,10 @@ mod tests {
         s.timeout_sequences = 0;
         s.timeouts = 0;
         for source in [QSource::SequenceLength, QSource::RecoveryDuration] {
-            let cfg = EstimateConfig { q_source: source, ..Default::default() };
+            let cfg = EstimateConfig {
+                q_source: source,
+                ..Default::default()
+            };
             assert_eq!(estimate_params(&s, &cfg).q, ModelParams::DEFAULT_Q);
         }
     }
@@ -298,11 +330,20 @@ mod tests {
     #[test]
     fn q_sources() {
         let s = summary();
-        let fixed = estimate_params(&s, &EstimateConfig { q_source: QSource::Fixed(0.4), ..Default::default() });
+        let fixed = estimate_params(
+            &s,
+            &EstimateConfig {
+                q_source: QSource::Fixed(0.4),
+                ..Default::default()
+            },
+        );
         assert_eq!(fixed.q, 0.4);
         let rec = estimate_params(
             &s,
-            &EstimateConfig { q_source: QSource::RecommendedDefault, ..Default::default() },
+            &EstimateConfig {
+                q_source: QSource::RecommendedDefault,
+                ..Default::default()
+            },
         );
         assert_eq!(rec.q, ModelParams::DEFAULT_Q);
     }

@@ -84,8 +84,14 @@ pub fn evaluate_flow(summary: &FlowSummary, cfg: &EstimateConfig) -> Option<Flow
 }
 
 /// Evaluates a whole dataset and aggregates the accuracy report.
-pub fn evaluate_dataset(summaries: &[FlowSummary], cfg: &EstimateConfig) -> (Vec<FlowEval>, AccuracyReport) {
-    let evals: Vec<FlowEval> = summaries.iter().filter_map(|s| evaluate_flow(s, cfg)).collect();
+pub fn evaluate_dataset(
+    summaries: &[FlowSummary],
+    cfg: &EstimateConfig,
+) -> (Vec<FlowEval>, AccuracyReport) {
+    let evals: Vec<FlowEval> = summaries
+        .iter()
+        .filter_map(|s| evaluate_flow(s, cfg))
+        .collect();
     let finite: Vec<&FlowEval> = evals
         .iter()
         .filter(|e| e.d_enhanced.is_finite() && e.d_padhye.is_finite())
@@ -163,7 +169,10 @@ mod tests {
         // Use each flow's enhanced prediction as its "measured" value for
         // one of them -> its d_enhanced is 0 and the mean reflects it.
         let probe = evaluate_flow(&summary(0, 100.0), &EstimateConfig::default()).unwrap();
-        let flows = vec![summary(0, probe.enhanced_sps), summary(1, probe.enhanced_sps * 1.1)];
+        let flows = vec![
+            summary(0, probe.enhanced_sps),
+            summary(1, probe.enhanced_sps * 1.1),
+        ];
         let (evals, report) = evaluate_dataset(&flows, &EstimateConfig::default());
         assert_eq!(evals.len(), 2);
         assert_eq!(report.flows, 2);

@@ -54,7 +54,10 @@ pub struct FitResult {
 /// `q` and a `P_a` scale.
 pub fn score(summaries: &[FlowSummary], q: f64, p_a_scale: f64) -> Option<(f64, usize)> {
     let model = EnhancedModel::as_published();
-    let cfg = EstimateConfig { q_source: QSource::Fixed(q), ..Default::default() };
+    let cfg = EstimateConfig {
+        q_source: QSource::Fixed(q),
+        ..Default::default()
+    };
     let mut total = 0.0;
     let mut n = 0;
     for s in summaries {
@@ -63,7 +66,9 @@ pub fn score(summaries: &[FlowSummary], q: f64, p_a_scale: f64) -> Option<(f64, 
         }
         let mut params = estimate_params(s, &cfg);
         params.p_a_burst = (params.p_a_burst * p_a_scale).min(0.999);
-        let Ok(tp) = model.throughput(&params) else { continue };
+        let Ok(tp) = model.throughput(&params) else {
+            continue;
+        };
         let d = deviation(tp, s.throughput_sps);
         if d.is_finite() {
             total += d;
@@ -87,9 +92,16 @@ pub fn fit_global(summaries: &[FlowSummary], cfg: &FitConfig) -> Option<FitResul
     for i in 0..steps {
         let q = lo + (hi - lo) * i as f64 / (steps - 1) as f64;
         for &scale in &cfg.p_a_scales {
-            let Some((mean_d, flows)) = score(summaries, q, scale) else { continue };
+            let Some((mean_d, flows)) = score(summaries, q, scale) else {
+                continue;
+            };
             if best.as_ref().is_none_or(|b| mean_d < b.mean_d) {
-                best = Some(FitResult { q, p_a_scale: scale, mean_d, flows });
+                best = Some(FitResult {
+                    q,
+                    p_a_scale: scale,
+                    mean_d,
+                    flows,
+                });
             }
         }
     }
@@ -153,7 +165,11 @@ mod tests {
         let fit = fit_global(&data, &FitConfig::default()).unwrap();
         assert_eq!(fit.flows, 8);
         assert!((fit.q - 0.3).abs() < 0.05, "fitted q = {}", fit.q);
-        assert!((fit.p_a_scale - 1.0).abs() < 1e-9, "scale = {}", fit.p_a_scale);
+        assert!(
+            (fit.p_a_scale - 1.0).abs() < 1e-9,
+            "scale = {}",
+            fit.p_a_scale
+        );
         assert!(fit.mean_d < 0.02, "residual D = {}", fit.mean_d);
     }
 

@@ -93,13 +93,18 @@ pub fn simple(params: &ModelParams) -> Result<f64, crate::params::ValidateParams
 /// Returns the parameter-validation error if `params` is out of domain.
 pub fn full(params: &ModelParams) -> Result<f64, crate::params::ValidateParamsError> {
     params.validate()?;
-    let (p, b, rtt, t, w_m) = (params.p_d, params.b, params.rtt_s, params.t_rto_s, params.w_m);
+    let (p, b, rtt, t, w_m) = (
+        params.p_d,
+        params.b,
+        params.rtt_s,
+        params.t_rto_s,
+        params.w_m,
+    );
     let ew = expected_window(p, b);
     let fp = f_backoff(p);
     let tp = if ew < w_m {
         let q = q_p(ew);
-        ((1.0 - p) / p + ew + q / (1.0 - p))
-            / (rtt * (b / 2.0 * ew + 1.0) + q * t * fp / (1.0 - p))
+        ((1.0 - p) / p + ew + q / (1.0 - p)) / (rtt * (b / 2.0 * ew + 1.0) + q * t * fp / (1.0 - p))
     } else {
         let q = q_p(w_m);
         ((1.0 - p) / p + w_m + q / (1.0 - p))
@@ -156,7 +161,11 @@ mod tests {
         // p -> 0 converges to the 3/w approximation.
         for w in [8.0, 16.0, 40.0] {
             let exact = q_p_exact(1e-9, w);
-            assert!((exact - q_p(w)).abs() < 1e-3, "w={w}: {exact} vs {}", q_p(w));
+            assert!(
+                (exact - q_p(w)).abs() < 1e-3,
+                "w={w}: {exact} vs {}",
+                q_p(w)
+            );
         }
         // p -> 1: everything is a timeout.
         assert!((q_p_exact(0.999999, 20.0) - 1.0).abs() < 1e-3);
@@ -190,7 +199,9 @@ mod tests {
     #[test]
     fn simple_respects_window_cap() {
         // Tiny loss: the W_m/RTT cap binds.
-        let p = ModelParams::stationary_example().with_p_d(1e-7).with_w_m(10.0);
+        let p = ModelParams::stationary_example()
+            .with_p_d(1e-7)
+            .with_w_m(10.0);
         let tp = simple(&p).unwrap();
         assert!((tp - 10.0 / p.rtt_s).abs() < 1e-9);
     }
@@ -210,7 +221,9 @@ mod tests {
 
     #[test]
     fn full_window_limited_branch_engages() {
-        let unlimited = ModelParams::stationary_example().with_p_d(0.0005).with_w_m(10_000.0);
+        let unlimited = ModelParams::stationary_example()
+            .with_p_d(0.0005)
+            .with_w_m(10_000.0);
         let limited = unlimited.with_w_m(8.0);
         let tp_u = full(&unlimited).unwrap();
         let tp_l = full(&limited).unwrap();

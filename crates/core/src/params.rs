@@ -55,9 +55,24 @@ impl ModelParams {
     /// Returns the first violated requirement.
     pub fn validate(&self) -> Result<(), ValidateParamsError> {
         let checks: [(&'static str, f64, bool, &'static str); 7] = [
-            ("rtt_s", self.rtt_s, self.rtt_s.is_finite() && self.rtt_s > 0.0, "finite and > 0"),
-            ("t_rto_s", self.t_rto_s, self.t_rto_s.is_finite() && self.t_rto_s > 0.0, "finite and > 0"),
-            ("p_d", self.p_d, self.p_d > 0.0 && self.p_d < 1.0, "in (0, 1)"),
+            (
+                "rtt_s",
+                self.rtt_s,
+                self.rtt_s.is_finite() && self.rtt_s > 0.0,
+                "finite and > 0",
+            ),
+            (
+                "t_rto_s",
+                self.t_rto_s,
+                self.t_rto_s.is_finite() && self.t_rto_s > 0.0,
+                "finite and > 0",
+            ),
+            (
+                "p_d",
+                self.p_d,
+                self.p_d > 0.0 && self.p_d < 1.0,
+                "in (0, 1)",
+            ),
             (
                 "p_a_burst",
                 self.p_a_burst,
@@ -66,11 +81,20 @@ impl ModelParams {
             ),
             ("q", self.q, (0.0..1.0).contains(&self.q), "in [0, 1)"),
             ("b", self.b, self.b >= 1.0 && self.b.is_finite(), ">= 1"),
-            ("w_m", self.w_m, self.w_m >= 1.0 && self.w_m.is_finite(), ">= 1"),
+            (
+                "w_m",
+                self.w_m,
+                self.w_m >= 1.0 && self.w_m.is_finite(),
+                ">= 1",
+            ),
         ];
         for (field, value, ok, requirement) in checks {
             if !ok {
-                return Err(ValidateParamsError { field, value, requirement });
+                return Err(ValidateParamsError {
+                    field,
+                    value,
+                    requirement,
+                });
             }
         }
         Ok(())
@@ -166,7 +190,10 @@ mod tests {
 
     #[test]
     fn error_message_names_field() {
-        let err = ModelParams::stationary_example().with_q(2.0).validate().unwrap_err();
+        let err = ModelParams::stationary_example()
+            .with_q(2.0)
+            .validate()
+            .unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains('q'), "{msg}");
         assert!(msg.contains("[0, 1)"), "{msg}");

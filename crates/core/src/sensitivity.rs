@@ -23,12 +23,19 @@ pub struct SweepPoint {
     pub throughput_sps: f64,
 }
 
-fn sweep(base: &ModelParams, xs: &[f64], set: impl Fn(&ModelParams, f64) -> ModelParams) -> Vec<SweepPoint> {
+fn sweep(
+    base: &ModelParams,
+    xs: &[f64],
+    set: impl Fn(&ModelParams, f64) -> ModelParams,
+) -> Vec<SweepPoint> {
     let model = EnhancedModel::as_published();
     xs.iter()
         .filter_map(|&x| {
             let p = set(base, x);
-            model.throughput(&p).ok().map(|tp| SweepPoint { x, throughput_sps: tp })
+            model.throughput(&p).ok().map(|tp| SweepPoint {
+                x,
+                throughput_sps: tp,
+            })
         })
         .collect()
 }
@@ -76,7 +83,12 @@ pub struct DelayedAckPoint {
 /// published Eq. (4)/(7) slip (`b/2` vs `2/b` in `E[W]`) inverts the
 /// `b`-dependence — so it uses the [`EnhancedModel::rederived`] variant
 /// (the variants coincide at the paper's own evaluation setting `b = 2`).
-pub fn delayed_ack_analysis(base: &ModelParams, window: f64, p_ack: f64, bs: &[f64]) -> Vec<DelayedAckPoint> {
+pub fn delayed_ack_analysis(
+    base: &ModelParams,
+    window: f64,
+    p_ack: f64,
+    bs: &[f64],
+) -> Vec<DelayedAckPoint> {
     let model = EnhancedModel::rederived();
     bs.iter()
         .filter_map(|&b| {
@@ -151,11 +163,17 @@ mod tests {
     fn sweeps_are_monotone_where_theory_says_so() {
         let b = base();
         let pa = sweep_p_a(&b, &[0.0, 0.05, 0.1, 0.2]);
-        assert!(pa.windows(2).all(|w| w[1].throughput_sps <= w[0].throughput_sps));
+        assert!(pa
+            .windows(2)
+            .all(|w| w[1].throughput_sps <= w[0].throughput_sps));
         let q = sweep_q(&b, &[0.0, 0.2, 0.4, 0.6]);
-        assert!(q.windows(2).all(|w| w[1].throughput_sps <= w[0].throughput_sps));
+        assert!(q
+            .windows(2)
+            .all(|w| w[1].throughput_sps <= w[0].throughput_sps));
         let pd = sweep_p_d(&b, &[0.001, 0.005, 0.02, 0.08]);
-        assert!(pd.windows(2).all(|w| w[1].throughput_sps <= w[0].throughput_sps));
+        assert!(pd
+            .windows(2)
+            .all(|w| w[1].throughput_sps <= w[0].throughput_sps));
     }
 
     #[test]
@@ -199,7 +217,11 @@ mod tests {
     fn redundant_benefit_small_in_stationary_conditions() {
         let b = ModelParams::stationary_example();
         let benefit = redundant_retransmit_benefit(&b, 0.01).unwrap();
-        assert!(benefit.gain() < 0.05, "stationary gain should be small: {}", benefit.gain());
+        assert!(
+            benefit.gain() < 0.05,
+            "stationary gain should be small: {}",
+            benefit.gain()
+        );
     }
 
     #[test]

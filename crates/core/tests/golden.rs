@@ -47,8 +47,16 @@ fn padhye_full_unlimited_branch_pinned() {
         b: 1.0,
         w_m: 100.0,
     };
-    assert_pinned(padhye::full(&params).unwrap(), 1.716_568_737_710_9, "padhye::full (unlimited)");
-    assert_pinned(padhye::expected_window(0.5, 1.0), 2.914_854_215_512_68, "expected_window(0.5, 1)");
+    assert_pinned(
+        padhye::full(&params).unwrap(),
+        1.716_568_737_710_9,
+        "padhye::full (unlimited)",
+    );
+    assert_pinned(
+        padhye::expected_window(0.5, 1.0),
+        2.914_854_215_512_68,
+        "expected_window(0.5, 1)",
+    );
     assert_pinned(padhye::f_backoff(0.5), 4.0, "f_backoff(0.5)");
 }
 
@@ -70,7 +78,11 @@ fn padhye_full_window_limited_branch_pinned() {
         b: 1.0,
         w_m: 2.0,
     };
-    assert_pinned(padhye::full(&params).unwrap(), 5.0 / 3.475, "padhye::full (window-limited)");
+    assert_pinned(
+        padhye::full(&params).unwrap(),
+        5.0 / 3.475,
+        "padhye::full (window-limited)",
+    );
 }
 
 /// Timeout-sequence terms (Eqs. 11–14) at `q = 0.2`, `P_a = 0.25`,
@@ -171,11 +183,19 @@ fn enhanced_model_both_variants_pinned() {
     assert_pinned(published.e_y, 17.151_186_561_915_6, "E[Y] (as published)");
     assert_pinned(published.to.e_a_to, 1.737_617_822_450_79, "E[A^TO]");
     assert!(!published.window_limited);
-    assert_pinned(published.throughput_sps, 8.176_555_388_429_08, "TP (as published)");
+    assert_pinned(
+        published.throughput_sps,
+        8.176_555_388_429_08,
+        "TP (as published)",
+    );
 
     let rederived = EnhancedModel::rederived().breakdown(&params).unwrap();
     assert_pinned(rederived.e_y, 19.151_186_561_915_6, "E[Y] (rederived)");
-    assert_pinned(rederived.throughput_sps, 9.103_276_910_986_66, "TP (rederived)");
+    assert_pinned(
+        rederived.throughput_sps,
+        9.103_276_910_986_66,
+        "TP (rederived)",
+    );
     // Same E[W] for b = 2 — the two printed forms of Eq. (4) coincide.
     assert_pinned(rederived.e_w, 4.430_328_512_880_98, "E[W] (rederived)");
 }

@@ -48,8 +48,8 @@ impl CacheKey {
     /// Computes the key for a scenario configuration under the current
     /// [`ENGINE_VERSION`].
     pub fn of(config: &ScenarioConfig) -> CacheKey {
-        let encoded = serde_json::to_string(config)
-            .expect("ScenarioConfig serialization is infallible");
+        let encoded =
+            serde_json::to_string(config).expect("ScenarioConfig serialization is infallible");
         let mut bytes = encoded.into_bytes();
         bytes.extend_from_slice(ENGINE_VERSION.as_bytes());
         CacheKey(fnv1a(&bytes))
@@ -75,12 +75,18 @@ impl CacheConfig {
     /// A memory-only cache big enough for the full 255-flow dataset plus
     /// sweeps.
     pub fn memory_only() -> CacheConfig {
-        CacheConfig { memory_entries: 4096, disk_dir: None }
+        CacheConfig {
+            memory_entries: 4096,
+            disk_dir: None,
+        }
     }
 
     /// A two-tier cache persisting under `dir`.
     pub fn with_disk(dir: impl Into<PathBuf>) -> CacheConfig {
-        CacheConfig { memory_entries: 4096, disk_dir: Some(dir.into()) }
+        CacheConfig {
+            memory_entries: 4096,
+            disk_dir: Some(dir.into()),
+        }
     }
 }
 
@@ -226,7 +232,12 @@ impl FlowCache {
         Ok(())
     }
 
-    fn insert_memory(inner: &mut CacheInner, config: &CacheConfig, key: CacheKey, summary: FlowSummary) {
+    fn insert_memory(
+        inner: &mut CacheInner,
+        config: &CacheConfig,
+        key: CacheKey,
+        summary: FlowSummary,
+    ) {
         if config.memory_entries == 0 {
             return;
         }
@@ -241,7 +252,10 @@ impl FlowCache {
     }
 
     fn disk_path(&self, key: CacheKey) -> Option<PathBuf> {
-        self.config.disk_dir.as_ref().map(|d| d.join(key.file_name()))
+        self.config
+            .disk_dir
+            .as_ref()
+            .map(|d| d.join(key.file_name()))
     }
 
     fn disk_lookup(&self, key: CacheKey) -> DiskLookup {
@@ -257,10 +271,18 @@ impl FlowCache {
         }
     }
 
-    fn disk_insert(&self, dir: &Path, key: CacheKey, summary: &FlowSummary) -> Result<(), CacheError> {
-        std::fs::create_dir_all(dir)
-            .map_err(|e| CacheError::Io { path: dir.to_path_buf(), message: e.to_string() })?;
-        let payload = serde_json::to_string(summary).map_err(|e| CacheError::Encode(e.to_string()))?;
+    fn disk_insert(
+        &self,
+        dir: &Path,
+        key: CacheKey,
+        summary: &FlowSummary,
+    ) -> Result<(), CacheError> {
+        std::fs::create_dir_all(dir).map_err(|e| CacheError::Io {
+            path: dir.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        let payload =
+            serde_json::to_string(summary).map_err(|e| CacheError::Encode(e.to_string()))?;
         let entry = DiskEntry {
             key: key.0,
             engine_version: ENGINE_VERSION.to_owned(),
@@ -269,8 +291,10 @@ impl FlowCache {
         };
         let text = serde_json::to_string(&entry).map_err(|e| CacheError::Encode(e.to_string()))?;
         let path = dir.join(key.file_name());
-        std::fs::write(&path, text)
-            .map_err(|e| CacheError::Io { path: path.clone(), message: e.to_string() })
+        std::fs::write(&path, text).map_err(|e| CacheError::Io {
+            path: path.clone(),
+            message: e.to_string(),
+        })
     }
 }
 
@@ -327,14 +351,20 @@ mod tests {
     #[test]
     fn keys_are_stable_and_content_addressed() {
         let a = ScenarioConfig::default();
-        let b = ScenarioConfig { seed: 2, ..Default::default() };
+        let b = ScenarioConfig {
+            seed: 2,
+            ..Default::default()
+        };
         assert_eq!(CacheKey::of(&a), CacheKey::of(&a));
         assert_ne!(CacheKey::of(&a), CacheKey::of(&b));
     }
 
     #[test]
     fn memory_tier_hits_and_evicts_lru() {
-        let cache = FlowCache::new(CacheConfig { memory_entries: 2, disk_dir: None });
+        let cache = FlowCache::new(CacheConfig {
+            memory_entries: 2,
+            disk_dir: None,
+        });
         let (k1, k2, k3) = (CacheKey(1), CacheKey(2), CacheKey(3));
         cache.insert(k1, &summary(1)).unwrap();
         cache.insert(k2, &summary(2)).unwrap();
@@ -353,7 +383,10 @@ mod tests {
     fn disk_tier_round_trips_and_detects_corruption() {
         let dir = std::env::temp_dir().join(format!("hsm_cache_test_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let cache = FlowCache::new(CacheConfig { memory_entries: 0, disk_dir: Some(dir.clone()) });
+        let cache = FlowCache::new(CacheConfig {
+            memory_entries: 0,
+            disk_dir: Some(dir.clone()),
+        });
         let key = CacheKey(0xabcd);
         let s = summary(9);
         cache.insert(key, &s).unwrap();
@@ -363,7 +396,10 @@ mod tests {
         // integrity hash can catch this.
         let path = dir.join(key.file_name());
         let text = std::fs::read_to_string(&path).unwrap();
-        let bad = text.replace("\"provider\":\"China Mobile\"", "\"provider\":\"China Mobbed\"");
+        let bad = text.replace(
+            "\"provider\":\"China Mobile\"",
+            "\"provider\":\"China Mobbed\"",
+        );
         assert_ne!(bad, text, "corruption must change the payload");
         std::fs::write(&path, bad).unwrap();
         assert!(cache.lookup(key).is_none());
@@ -373,7 +409,10 @@ mod tests {
 
     #[test]
     fn zero_capacity_disables_memory_tier() {
-        let cache = FlowCache::new(CacheConfig { memory_entries: 0, disk_dir: None });
+        let cache = FlowCache::new(CacheConfig {
+            memory_entries: 0,
+            disk_dir: None,
+        });
         cache.insert(CacheKey(5), &summary(5)).unwrap();
         assert!(cache.is_empty());
         assert!(cache.lookup(CacheKey(5)).is_none());

@@ -19,7 +19,7 @@
 use crate::cache::{CacheConfig, CacheKey, FlowCache, ENGINE_VERSION};
 use crate::error::EngineError;
 use hsm_scenario::dataset::{plan_dataset, plan_stationary_baseline, DatasetConfig, DatasetFlow};
-use hsm_scenario::runner::{run_scenario, ScenarioConfig, ScenarioOutcome};
+use hsm_scenario::runner::{try_run_scenario, ScenarioConfig, ScenarioOutcome};
 use hsm_trace::summary::FlowSummary;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -136,7 +136,8 @@ impl CampaignBuilder {
 
     /// Appends the full Table-I dataset plan for `cfg`.
     pub fn dataset(mut self, cfg: &DatasetConfig) -> Self {
-        self.configs.extend(plan_dataset(cfg).into_iter().map(|(_, c)| c));
+        self.configs
+            .extend(plan_dataset(cfg).into_iter().map(|(_, c)| c));
         self
     }
 
@@ -180,7 +181,9 @@ impl CampaignBuilder {
                 .map_err(|source| EngineError::InvalidConfig { index, source })?;
         }
         let workers = self.workers.unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|w| w.get()).unwrap_or(4)
+            std::thread::available_parallelism()
+                .map(|w| w.get())
+                .unwrap_or(4)
         });
         Ok(Campaign {
             configs: self.configs,
@@ -326,7 +329,8 @@ impl Campaign {
             }
         }
         let t0 = Instant::now();
-        let outcome = run_scenario(config);
+        let outcome = try_run_scenario(config)
+            .map_err(|source| EngineError::FlowFailed { index: i, source })?;
         let sim_wall_s = t0.elapsed().as_secs_f64();
         let summary = outcome.analysis.summary.clone();
         let events = outcome.outcome.events_processed;
@@ -423,11 +427,23 @@ mod tests {
     #[test]
     fn builder_rejects_bad_campaigns() {
         let err = Campaign::builder()
-            .config(ScenarioConfig { w_m: 0, ..Default::default() })
+            .config(ScenarioConfig {
+                w_m: 0,
+                ..Default::default()
+            })
             .build()
             .unwrap_err();
-        assert_eq!(err, EngineError::InvalidConfig { index: 0, source: ScenarioError::ZeroWindow });
-        assert_eq!(Campaign::builder().workers(0).build().unwrap_err(), EngineError::ZeroWorkers);
+        assert_eq!(
+            err,
+            EngineError::InvalidConfig {
+                index: 0,
+                source: ScenarioError::ZeroWindow
+            }
+        );
+        assert_eq!(
+            Campaign::builder().workers(0).build().unwrap_err(),
+            EngineError::ZeroWorkers
+        );
     }
 
     #[test]

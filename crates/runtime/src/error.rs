@@ -45,6 +45,14 @@ pub enum EngineError {
         /// The validation failure.
         source: ScenarioError,
     },
+    /// A flow aborted mid-simulation — the engine reported internal
+    /// bookkeeping corruption for that run.
+    FlowFailed {
+        /// Index of the flow within the campaign.
+        index: usize,
+        /// The underlying scenario/engine failure.
+        source: ScenarioError,
+    },
     /// The campaign was built with a zero worker count.
     ZeroWorkers,
     /// A worker thread stopped before delivering all of its results.
@@ -59,6 +67,9 @@ impl fmt::Display for EngineError {
             EngineError::InvalidConfig { index, source } => {
                 write!(f, "campaign config #{index} is invalid: {source}")
             }
+            EngineError::FlowFailed { index, source } => {
+                write!(f, "campaign flow #{index} aborted: {source}")
+            }
             EngineError::ZeroWorkers => write!(f, "campaign worker count must be >= 1"),
             EngineError::WorkerLost => {
                 write!(f, "a campaign worker exited before delivering its results")
@@ -72,6 +83,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::InvalidConfig { source, .. } => Some(source),
+            EngineError::FlowFailed { source, .. } => Some(source),
             EngineError::Cache(e) => Some(e),
             _ => None,
         }
@@ -90,10 +102,16 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = EngineError::InvalidConfig { index: 3, source: ScenarioError::ZeroWindow };
+        let e = EngineError::InvalidConfig {
+            index: 3,
+            source: ScenarioError::ZeroWindow,
+        };
         assert!(e.to_string().contains("#3"));
         assert!(e.to_string().contains("w_m"));
-        let c = CacheError::Io { path: PathBuf::from("/tmp/x"), message: "denied".into() };
+        let c = CacheError::Io {
+            path: PathBuf::from("/tmp/x"),
+            message: "denied".into(),
+        };
         assert!(EngineError::from(c).to_string().contains("denied"));
     }
 }

@@ -11,7 +11,9 @@ use crate::error::EngineError;
 
 /// Maps `f` over `0..n` in parallel, returning results in index order.
 pub fn par_map<T: Send>(n: u64, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
-    let workers = std::thread::available_parallelism().map(|w| w.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|w| w.get())
+        .unwrap_or(4);
     par_map_workers(n, workers, f)
 }
 
@@ -91,7 +93,9 @@ pub fn pairwise_sum(xs: &[f64]) -> f64 {
 pub fn par_mean(n: u64, f: impl Fn(u64) -> f64 + Sync) -> f64 {
     par_mean_workers(
         n,
-        std::thread::available_parallelism().map(|w| w.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|w| w.get())
+            .unwrap_or(4),
         f,
     )
 }
@@ -165,6 +169,10 @@ mod tests {
         let exact = 1e16 + 4096.0;
         let pair = pairwise_sum(&xs);
         assert!((pair - exact).abs() <= (naive - exact).abs());
-        assert!((pair - exact).abs() < 1.0, "pairwise error {}", pair - exact);
+        assert!(
+            (pair - exact).abs() < 1.0,
+            "pairwise error {}",
+            pair - exact
+        );
     }
 }

@@ -104,11 +104,17 @@ pub fn aggregate(flows: &[DatasetFlow]) -> DatasetAggregates {
     let summaries: Vec<_> = flows.iter().map(|f| f.outcome.summary()).collect();
     let p_d: Vec<f64> = summaries.iter().map(|s| s.p_d).collect();
     let p_a: Vec<f64> = summaries.iter().map(|s| s.p_a).collect();
-    let with_to: Vec<_> = summaries.iter().filter(|s| s.timeout_sequences > 0).collect();
+    let with_to: Vec<_> = summaries
+        .iter()
+        .filter(|s| s.timeout_sequences > 0)
+        .collect();
     let q: Vec<f64> = with_to.iter().map(|s| s.q_hat).collect();
     let rec: Vec<f64> = with_to.iter().map(|s| s.mean_recovery_s).collect();
     let total_timeouts: u64 = summaries.iter().map(|s| u64::from(s.timeouts)).sum();
-    let total_spurious: u64 = summaries.iter().map(|s| u64::from(s.spurious_timeouts)).sum();
+    let total_spurious: u64 = summaries
+        .iter()
+        .map(|s| u64::from(s.spurious_timeouts))
+        .sum();
     DatasetAggregates {
         mean_p_d: mean(&p_d).unwrap_or(0.0),
         mean_p_a: mean(&p_a).unwrap_or(0.0),
@@ -189,11 +195,19 @@ mod tests {
 
     #[test]
     fn row_ratio_and_band() {
-        let row = CalibrationRow { metric: "x".into(), paper: 2.0, measured: 3.0 };
+        let row = CalibrationRow {
+            metric: "x".into(),
+            paper: 2.0,
+            measured: 3.0,
+        };
         assert!((row.ratio() - 1.5).abs() < 1e-12);
         assert!(row.within_factor(2.0));
         assert!(!row.within_factor(1.2));
-        let zero = CalibrationRow { metric: "z".into(), paper: 0.0, measured: 1.0 };
+        let zero = CalibrationRow {
+            metric: "z".into(),
+            paper: 0.0,
+            measured: 1.0,
+        };
         assert!(!zero.within_factor(10.0));
     }
 
@@ -221,7 +235,12 @@ mod tests {
             p_d_row.paper
         );
         let q_row = &report[2];
-        assert!(q_row.within_factor(4.0), "q {} vs paper {}", q_row.measured, q_row.paper);
+        assert!(
+            q_row.within_factor(4.0),
+            "q {} vs paper {}",
+            q_row.measured,
+            q_row.paper
+        );
         // Spurious timeouts must be a substantial fraction, as in the
         // paper (49%): require at least 10%.
         assert!(
@@ -242,7 +261,12 @@ mod tests {
         let st = aggregate(&generate_stationary_baseline(&cfg, 6));
         // The defining contrast of the paper: recovery at speed is much
         // slower, ACK loss much higher.
-        assert!(hs.mean_p_a > st.mean_p_a, "hs {} st {}", hs.mean_p_a, st.mean_p_a);
+        assert!(
+            hs.mean_p_a > st.mean_p_a,
+            "hs {} st {}",
+            hs.mean_p_a,
+            st.mean_p_a
+        );
         if st.total_timeouts > 0 {
             assert!(hs.mean_recovery_s > st.mean_recovery_s);
         }

@@ -154,7 +154,9 @@ pub fn generate_dataset_with_workers(cfg: &DatasetConfig, workers: usize) -> Vec
 }
 
 fn default_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// Plans `n` stationary baseline flows (for the Fig. 3/6 comparisons),
@@ -183,7 +185,10 @@ pub fn plan_stationary_baseline(cfg: &DatasetConfig, n: u32) -> Vec<ScenarioConf
 /// `hsm-runtime` engine, which adds memoization and telemetry on top of
 /// the same per-flow execution.
 pub fn generate_stationary_baseline(cfg: &DatasetConfig, n: u32) -> Vec<DatasetFlow> {
-    let plans = plan_stationary_baseline(cfg, n).into_iter().map(|c| (usize::MAX, c)).collect();
+    let plans = plan_stationary_baseline(cfg, n)
+        .into_iter()
+        .map(|c| (usize::MAX, c))
+        .collect();
     run_plans(plans, default_workers())
 }
 
@@ -202,7 +207,10 @@ fn run_plans(plans: Vec<(usize, ScenarioConfig)>, workers: usize) -> Vec<Dataset
                     break;
                 }
                 let (campaign, config) = &plans[i];
-                let flow = DatasetFlow { campaign: *campaign, outcome: run_scenario(config) };
+                let flow = DatasetFlow {
+                    campaign: *campaign,
+                    outcome: run_scenario(config),
+                };
                 tx.send((i, flow)).expect("result channel closed early");
             });
         }
@@ -222,14 +230,24 @@ mod tests {
         assert_eq!(table1_total_flows(), 255);
         assert_eq!(TABLE1.len(), 4);
         let total_gb: f64 = TABLE1.iter().map(|c| c.trace_gb).sum();
-        assert!((total_gb - 40.47).abs() < 0.01, "paper total 40.47 GB, got {total_gb}");
+        assert!(
+            (total_gb - 40.47).abs() < 0.01,
+            "paper total 40.47 GB, got {total_gb}"
+        );
         assert_eq!(TABLE1[0].date, "January 2015");
-        assert_eq!(TABLE1[0].flows + TABLE1[1].flows, 125, "China Mobile flows across campaigns");
+        assert_eq!(
+            TABLE1[0].flows + TABLE1[1].flows,
+            125,
+            "China Mobile flows across campaigns"
+        );
     }
 
     #[test]
     fn plan_scales_flow_counts() {
-        let cfg = DatasetConfig { scale: 0.1, ..Default::default() };
+        let cfg = DatasetConfig {
+            scale: 0.1,
+            ..Default::default()
+        };
         let plans = plan_dataset(&cfg);
         // 5 + 7 + 7 + 7 (rounding 5.2, 7.3, 6.5, 6.5) with max(1) floors.
         assert!(plans.len() >= 20 && plans.len() <= 30, "{}", plans.len());
@@ -262,7 +280,10 @@ mod tests {
 
     #[test]
     fn stationary_baseline_flows() {
-        let cfg = DatasetConfig { flow_duration: SimDuration::from_secs(8), ..Default::default() };
+        let cfg = DatasetConfig {
+            flow_duration: SimDuration::from_secs(8),
+            ..Default::default()
+        };
         let flows = generate_stationary_baseline(&cfg, 3);
         assert_eq!(flows.len(), 3);
         for f in &flows {

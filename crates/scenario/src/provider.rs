@@ -30,7 +30,11 @@ pub enum Provider {
 
 impl Provider {
     /// All providers, in the dataset's order.
-    pub const ALL: [Provider; 3] = [Provider::ChinaMobile, Provider::ChinaUnicom, Provider::ChinaTelecom];
+    pub const ALL: [Provider; 3] = [
+        Provider::ChinaMobile,
+        Provider::ChinaUnicom,
+        Provider::ChinaTelecom,
+    ];
 
     /// Human-readable name as used in the paper's figures.
     pub fn name(&self) -> &'static str {
@@ -59,8 +63,18 @@ impl Provider {
                 up_delay: SimDuration::from_millis(26),
                 jitter_sd: SimDuration::from_millis(3),
                 queue_capacity: 128,
-                down_loss: LossSpec::GilbertElliott { p_good: 0.00015, p_bad: 0.25, g2b: 0.00015, b2g: 0.05 },
-                up_loss: LossSpec::GilbertElliott { p_good: 0.0001, p_bad: 0.92, g2b: 0.0004, b2g: 0.08 },
+                down_loss: LossSpec::GilbertElliott {
+                    p_good: 0.00015,
+                    p_bad: 0.25,
+                    g2b: 0.00015,
+                    b2g: 0.05,
+                },
+                up_loss: LossSpec::GilbertElliott {
+                    p_good: 0.0001,
+                    p_bad: 0.92,
+                    g2b: 0.0004,
+                    b2g: 0.08,
+                },
             },
             Provider::ChinaUnicom => PathSpec {
                 down_bandwidth_bps: 9_000_000,
@@ -69,8 +83,18 @@ impl Provider {
                 up_delay: SimDuration::from_millis(36),
                 jitter_sd: SimDuration::from_millis(5),
                 queue_capacity: 96,
-                down_loss: LossSpec::GilbertElliott { p_good: 0.0002, p_bad: 0.3, g2b: 0.0002, b2g: 0.045 },
-                up_loss: LossSpec::GilbertElliott { p_good: 0.00012, p_bad: 0.93, g2b: 0.0005, b2g: 0.07 },
+                down_loss: LossSpec::GilbertElliott {
+                    p_good: 0.0002,
+                    p_bad: 0.3,
+                    g2b: 0.0002,
+                    b2g: 0.045,
+                },
+                up_loss: LossSpec::GilbertElliott {
+                    p_good: 0.00012,
+                    p_bad: 0.93,
+                    g2b: 0.0005,
+                    b2g: 0.07,
+                },
             },
             Provider::ChinaTelecom => PathSpec {
                 down_bandwidth_bps: 6_000_000,
@@ -79,8 +103,18 @@ impl Provider {
                 up_delay: SimDuration::from_millis(42),
                 jitter_sd: SimDuration::from_millis(6),
                 queue_capacity: 96,
-                down_loss: LossSpec::GilbertElliott { p_good: 0.0003, p_bad: 0.35, g2b: 0.0003, b2g: 0.04 },
-                up_loss: LossSpec::GilbertElliott { p_good: 0.00015, p_bad: 0.94, g2b: 0.0005, b2g: 0.065 },
+                down_loss: LossSpec::GilbertElliott {
+                    p_good: 0.0003,
+                    p_bad: 0.35,
+                    g2b: 0.0003,
+                    b2g: 0.04,
+                },
+                up_loss: LossSpec::GilbertElliott {
+                    p_good: 0.00015,
+                    p_bad: 0.94,
+                    g2b: 0.0005,
+                    b2g: 0.065,
+                },
             },
         }
     }
@@ -103,9 +137,21 @@ impl Provider {
             Provider::ChinaTelecom => CellLayout::rail_corridor(1_400.0, 0.004)
                 // The corridor sits at the edge of Telecom's 3G coverage:
                 // recurring holes along the route.
-                .with_hole(CoverageHole { from_m: 20_000.0, to_m: 28_000.0, extra_loss: 0.06 })
-                .with_hole(CoverageHole { from_m: 55_000.0, to_m: 66_000.0, extra_loss: 0.08 })
-                .with_hole(CoverageHole { from_m: 88_000.0, to_m: 101_000.0, extra_loss: 0.07 }),
+                .with_hole(CoverageHole {
+                    from_m: 20_000.0,
+                    to_m: 28_000.0,
+                    extra_loss: 0.06,
+                })
+                .with_hole(CoverageHole {
+                    from_m: 55_000.0,
+                    to_m: 66_000.0,
+                    extra_loss: 0.08,
+                })
+                .with_hole(CoverageHole {
+                    from_m: 88_000.0,
+                    to_m: 101_000.0,
+                    extra_loss: 0.07,
+                }),
         }
     }
 

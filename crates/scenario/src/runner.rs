@@ -2,10 +2,12 @@
 //! trace, analysis and model-ready summary.
 
 use crate::provider::Provider;
+use hsm_simnet::error::SimError;
 use hsm_simnet::mobility::Trajectory;
 use hsm_simnet::time::{SimDuration, SimTime};
 use hsm_tcp::connection::{
-    run_connection, ConnectionConfig, ConnectionOutcome, MobilityScenario, PathSpec,
+    run_connection, try_run_connection, ConnectionConfig, ConnectionOutcome, MobilityScenario,
+    PathSpec,
 };
 use hsm_tcp::receiver::ReceiverConfig;
 use hsm_tcp::reno::SenderConfig;
@@ -38,7 +40,8 @@ impl Motion {
     }
 }
 
-/// A configuration the runner refuses to execute.
+/// A configuration the runner refuses to execute, or a simulation run the
+/// engine refused to finish.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScenarioError {
     /// The advertised window `w_m` was 0 — the receiver could never open
@@ -48,6 +51,9 @@ pub enum ScenarioError {
     ZeroDelayedAck,
     /// The flow duration was zero — nothing would be transmitted.
     ZeroDuration,
+    /// The simulation engine detected internal bookkeeping corruption and
+    /// aborted the run (see [`SimError`]).
+    Engine(SimError),
 }
 
 impl fmt::Display for ScenarioError {
@@ -56,11 +62,25 @@ impl fmt::Display for ScenarioError {
             ScenarioError::ZeroWindow => write!(f, "advertised window w_m must be >= 1 segment"),
             ScenarioError::ZeroDelayedAck => write!(f, "delayed-ACK factor b must be >= 1"),
             ScenarioError::ZeroDuration => write!(f, "flow duration must be non-zero"),
+            ScenarioError::Engine(e) => write!(f, "simulation engine failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for ScenarioError {}
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ScenarioError {
+    fn from(e: SimError) -> Self {
+        ScenarioError::Engine(e)
+    }
+}
 
 /// Full description of one measured flow.
 ///
@@ -216,7 +236,8 @@ impl ScenarioConfig {
                 // at a seed-determined point of the line, so a dataset of
                 // flows samples the whole corridor (including any
                 // provider's coverage holes), as the paper's captures did.
-                let km = (self.duration.as_secs_f64() * 83.4 / 1000.0 + 2.0).min(crate::btr::ROUTE_KM);
+                let km =
+                    (self.duration.as_secs_f64() * 83.4 / 1000.0 + 2.0).min(crate::btr::ROUTE_KM);
                 let max_start = (crate::btr::ROUTE_KM - km).max(0.0);
                 let start_km =
                     max_start * (self.seed.wrapping_mul(2_654_435_761) % 1_000) as f64 / 1_000.0;
@@ -234,8 +255,15 @@ impl ScenarioConfig {
     pub fn connection(&self) -> ConnectionConfig {
         ConnectionConfig {
             flow: self.flow,
-            sender: SenderConfig { w_m: self.w_m, stop_after: Some(self.duration), ..Default::default() },
-            receiver: ReceiverConfig { b: self.b, ..Default::default() },
+            sender: SenderConfig {
+                w_m: self.w_m,
+                stop_after: Some(self.duration),
+                ..Default::default()
+            },
+            receiver: ReceiverConfig {
+                b: self.b,
+                ..Default::default()
+            },
             provider: self.provider.name().to_owned(),
             scenario: self.motion.label().to_owned(),
             mss_bytes: 1460,
@@ -273,18 +301,33 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioOutcome {
     let conn = config.connection();
     let outcome = run_connection(config.seed, &path, mobility.as_ref(), &conn);
     let analysis = analyze_flow(&outcome.trace, &TimeoutConfig::default());
-    ScenarioOutcome { config: config.clone(), outcome, analysis }
+    ScenarioOutcome {
+        config: config.clone(),
+        outcome,
+        analysis,
+    }
 }
 
-/// Fallible twin of [`run_scenario`]: validates the configuration first.
+/// Fallible twin of [`run_scenario`]: validates the configuration first
+/// and surfaces engine corruption as an error instead of a panic.
 ///
 /// # Errors
 ///
 /// Returns [`ScenarioError`] when the configuration fails
-/// [`ScenarioConfig::validate`]; the simulation itself cannot fail.
+/// [`ScenarioConfig::validate`], or [`ScenarioError::Engine`] when the
+/// simulation engine reports internal bookkeeping corruption.
 pub fn try_run_scenario(config: &ScenarioConfig) -> Result<ScenarioOutcome, ScenarioError> {
     config.validate()?;
-    Ok(run_scenario(config))
+    let path = config.path();
+    let mobility = config.mobility();
+    let conn = config.connection();
+    let outcome = try_run_connection(config.seed, &path, mobility.as_ref(), &conn)?;
+    let analysis = analyze_flow(&outcome.trace, &TimeoutConfig::default());
+    Ok(ScenarioOutcome {
+        config: config.clone(),
+        outcome,
+        analysis,
+    })
 }
 
 #[cfg(test)]
@@ -327,7 +370,10 @@ mod tests {
             hs.summary().throughput_sps,
             st.summary().throughput_sps
         );
-        assert!(hs.summary().p_a > st.summary().p_a * 0.9, "ACK loss must rise on the train");
+        assert!(
+            hs.summary().p_a > st.summary().p_a * 0.9,
+            "ACK loss must rise on the train"
+        );
     }
 
     #[test]
@@ -347,18 +393,32 @@ mod tests {
         assert_eq!(cfg.w_m, 24);
         assert_eq!(cfg.flow, 7);
 
-        assert_eq!(ScenarioConfig::builder().w_m(0).build(), Err(ScenarioError::ZeroWindow));
-        assert_eq!(ScenarioConfig::builder().b(0).build(), Err(ScenarioError::ZeroDelayedAck));
         assert_eq!(
-            ScenarioConfig::builder().duration(SimDuration::ZERO).build(),
+            ScenarioConfig::builder().w_m(0).build(),
+            Err(ScenarioError::ZeroWindow)
+        );
+        assert_eq!(
+            ScenarioConfig::builder().b(0).build(),
+            Err(ScenarioError::ZeroDelayedAck)
+        );
+        assert_eq!(
+            ScenarioConfig::builder()
+                .duration(SimDuration::ZERO)
+                .build(),
             Err(ScenarioError::ZeroDuration)
         );
     }
 
     #[test]
     fn try_run_scenario_rejects_invalid_and_matches_run() {
-        let bad = ScenarioConfig { w_m: 0, ..Default::default() };
-        assert_eq!(try_run_scenario(&bad).unwrap_err(), ScenarioError::ZeroWindow);
+        let bad = ScenarioConfig {
+            w_m: 0,
+            ..Default::default()
+        };
+        assert_eq!(
+            try_run_scenario(&bad).unwrap_err(),
+            ScenarioError::ZeroWindow
+        );
         let good = ScenarioConfig::builder()
             .motion(Motion::Stationary)
             .duration(SimDuration::from_secs(5))
@@ -371,7 +431,11 @@ mod tests {
 
     #[test]
     fn config_serializes_round_trip() {
-        let cfg = ScenarioConfig { seed: 77, w_m: 31, ..Default::default() };
+        let cfg = ScenarioConfig {
+            seed: 77,
+            w_m: 31,
+            ..Default::default()
+        };
         let json = serde_json::to_string(&cfg).expect("serialize");
         let back: ScenarioConfig = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back, cfg);
@@ -379,7 +443,12 @@ mod tests {
 
     #[test]
     fn config_plumbs_labels_and_windows() {
-        let cfg = ScenarioConfig { w_m: 24, b: 1, flow: 9, ..Default::default() };
+        let cfg = ScenarioConfig {
+            w_m: 24,
+            b: 1,
+            flow: 9,
+            ..Default::default()
+        };
         let conn = cfg.connection();
         assert_eq!(conn.sender.w_m, 24);
         assert_eq!(conn.receiver.b, 1);

@@ -57,7 +57,12 @@ impl CellLayout {
     /// A typical LTE rail corridor: cells every 2 km, mild edge effect.
     pub fn rail_corridor(spacing_m: f64, edge_extra_loss: f64) -> CellLayout {
         assert!(spacing_m > 0.0, "cell spacing must be positive");
-        CellLayout { spacing_m, offset_m: spacing_m / 2.0, edge_extra_loss, holes: Vec::new() }
+        CellLayout {
+            spacing_m,
+            offset_m: spacing_m / 2.0,
+            edge_extra_loss,
+            holes: Vec::new(),
+        }
     }
 
     /// Adds a coverage hole (builder style).
@@ -191,7 +196,11 @@ impl ChannelProcess {
         self.stats.handoffs += 1;
         let until = now + SimDuration::from_secs_f64(dur);
         self.outage_until = until;
-        let (dl, ul, delay) = (self.handoff.down_loss, self.handoff.up_loss, self.handoff.extra_delay);
+        let (dl, ul, delay) = (
+            self.handoff.down_loss,
+            self.handoff.up_loss,
+            self.handoff.extra_delay,
+        );
         {
             let link = ctx.link_mut(self.downlink);
             link.loss.set_outage(Some(Outage::new(now, until, dl)));
@@ -286,8 +295,11 @@ mod tests {
 
     #[test]
     fn coverage_holes_add_loss() {
-        let layout = CellLayout::rail_corridor(2_000.0, 0.0)
-            .with_hole(CoverageHole { from_m: 100.0, to_m: 200.0, extra_loss: 0.4 });
+        let layout = CellLayout::rail_corridor(2_000.0, 0.0).with_hole(CoverageHole {
+            from_m: 100.0,
+            to_m: 200.0,
+            extra_loss: 0.4,
+        });
         assert_eq!(layout.extra_loss_at(150.0), 0.4);
         assert_eq!(layout.extra_loss_at(250.0), 0.0);
         assert!(layout.holes[0].contains(100.0));
@@ -329,15 +341,15 @@ mod tests {
         let layout = CellLayout::rail_corridor(1_000.0, 0.0);
         let mut params = HandoffParams::lte_rail();
         params.failure_prob = 0.0;
-        eng.add_agent(Box::new(ChannelProcess::new(down, up, traj, layout, params)));
+        eng.add_agent(Box::new(ChannelProcess::new(
+            down, up, traj, layout, params,
+        )));
         eng.run_until_idle();
         // After the trip everything must be back to normal.
-        assert!(eng.link(down).loss.outage().is_none() || !eng
-            .link(down)
-            .loss
-            .outage()
-            .unwrap()
-            .active_at(eng.now()));
+        assert!(
+            eng.link(down).loss.outage().is_none()
+                || !eng.link(down).loss.outage().unwrap().active_at(eng.now())
+        );
         assert_eq!(eng.link(down).extra_delay, SimDuration::ZERO);
         assert_eq!(eng.link(up).extra_delay, SimDuration::ZERO);
     }

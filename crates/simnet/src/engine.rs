@@ -1,11 +1,36 @@
 //! The discrete-event engine.
 //!
 //! [`Engine`] owns the clock, the future event list, all [`Link`]s, all
-//! [`Agent`]s and all [`Observer`]s. Agents interact with the world through
+//! [`Agent`]s and all observers. Agents interact with the world through
 //! the [`Ctx`] passed to their callbacks: sending packets onto links,
 //! scheduling/cancelling timers, drawing random numbers and adjusting link
 //! impairments (the channel process uses the latter to impose handoff
 //! outages).
+//!
+//! # Hot path
+//!
+//! The per-event loop is engineered to avoid allocation entirely:
+//!
+//! * packets move **by value** — [`Link::offer`](crate::link::Link::offer)
+//!   stores the packet instead of cloning it, and a queue-overflow drop
+//!   hands it back for observer reporting;
+//! * link labels are interned as `Arc<str>` at registration, so observer
+//!   callbacks and recorded events share one allocation per link;
+//! * observers live in an enum-dispatched
+//!   [`ObserverSet`]: with no observer the
+//!   engine skips event materialization altogether, and the single-
+//!   recorder case is a direct (non-virtual) call;
+//! * the [`EventQueue`] is a slab-indexed heap —
+//!   no hash map on the schedule/pop path.
+//!
+//! # Failure model
+//!
+//! Internal bookkeeping corruption (a vanished queue entry, a ready link
+//! with nothing in flight, a delivery with none pending) surfaces as a
+//! structured [`SimError`] from [`Engine::try_run_until`] instead of
+//! panicking, so campaign runners can fail one flow and keep the process
+//! alive. The infallible [`Engine::run_until`] wrapper panics on those
+//! errors and is fine for tests and examples.
 //!
 //! # Examples
 //!
@@ -27,9 +52,12 @@
 //! ```
 
 use crate::agent::{Agent, AgentId};
+use crate::error::SimError;
 use crate::event::{Event, EventId, EventKind, EventQueue};
 use crate::link::{Accept, Link, LinkId, LinkSpec};
-use crate::observer::{DropCause, Observer};
+use crate::observer::{
+    AnyObserver, DropCause, Observer, ObserverSet, PacketEventKind, VecRecorder,
+};
 use crate::packet::{Packet, PacketId};
 use crate::rng::{RngFactory, SimRng};
 use crate::time::{SimDuration, SimTime};
@@ -62,7 +90,11 @@ impl<'a> Ctx<'a> {
     /// verbatim in [`Agent::on_timer`].
     pub fn schedule_in(&mut self, after: SimDuration, tag: u64) -> EventId {
         let at = self.core.now + after;
-        self.core.queue.schedule(Event { at, dst: self.id, kind: EventKind::Timer { tag } })
+        self.core.queue.schedule(Event {
+            at,
+            dst: self.id,
+            kind: EventKind::Timer { tag },
+        })
     }
 
     /// Schedules a timer for this agent at an absolute instant.
@@ -72,7 +104,11 @@ impl<'a> Ctx<'a> {
     /// Panics if `at` is in the past.
     pub fn schedule_at(&mut self, at: SimTime, tag: u64) -> EventId {
         assert!(at >= self.core.now, "scheduling into the past");
-        self.core.queue.schedule(Event { at, dst: self.id, kind: EventKind::Timer { tag } })
+        self.core.queue.schedule(Event {
+            at,
+            dst: self.id,
+            kind: EventKind::Timer { tag },
+        })
     }
 
     /// Cancels a pending timer. Returns `false` if it already fired or was
@@ -107,7 +143,7 @@ struct Core {
     now: SimTime,
     queue: EventQueue,
     links: Vec<Link>,
-    observers: Vec<Box<dyn Observer>>,
+    observers: ObserverSet,
     agent_rngs: Vec<SimRng>,
     link_rngs: Vec<SimRng>,
     rng_factory: RngFactory,
@@ -122,58 +158,78 @@ impl Core {
         self.next_packet_id += 1;
         packet.sent_at = self.now;
         let id = packet.id;
-        let label = self.links[link_id.as_usize()].label.clone();
-        for obs in &mut self.observers {
-            obs.on_sent(self.now, link_id, &label, &packet);
+        let idx = link_id.as_usize();
+        if !self.observers.is_none() {
+            self.observers.emit(
+                PacketEventKind::Sent,
+                self.now,
+                link_id,
+                &self.links[idx].label,
+                &packet,
+            );
         }
-        let link = &mut self.links[link_id.as_usize()];
-        match link.offer(packet.clone()) {
+        let size = packet.size_bytes;
+        let link = &mut self.links[idx];
+        match link.offer(packet) {
             Accept::StartTx => {
-                let at = self.now + link.tx_time(packet.size_bytes);
+                let at = self.now + link.tx_time(size);
+                let dst = link.to;
                 self.queue.schedule(Event {
                     at,
-                    dst: link.to,
+                    dst,
                     kind: EventKind::LinkReady(link_id),
                 });
             }
             Accept::Queued => {}
-            Accept::DroppedOverflow => {
-                for obs in &mut self.observers {
-                    obs.on_dropped(self.now, link_id, &label, &packet, DropCause::QueueOverflow);
+            Accept::DroppedOverflow(packet) => {
+                if !self.observers.is_none() {
+                    self.observers.emit(
+                        PacketEventKind::Dropped(DropCause::QueueOverflow),
+                        self.now,
+                        link_id,
+                        &self.links[idx].label,
+                        &packet,
+                    );
                 }
             }
         }
         id
     }
 
-    fn link_ready(&mut self, link_id: LinkId) {
+    fn link_ready(&mut self, link_id: LinkId) -> Result<(), SimError> {
         let idx = link_id.as_usize();
-        let (done, next_size) = {
-            let link = &mut self.links[idx];
-            let (done, next) = link.complete_tx();
-            (done, next.map(|p| p.size_bytes))
+        let link = &mut self.links[idx];
+        let Some((done, next)) = link.try_complete_tx() else {
+            return Err(SimError::LinkIdle { link: link_id });
         };
+        let next_size = next.map(|p| p.size_bytes);
         // Chain the next transmission, if any.
         if let Some(size) = next_size {
-            let link = &self.links[idx];
+            let at = self.now + link.tx_time(size);
+            let dst = link.to;
             self.queue.schedule(Event {
-                at: self.now + link.tx_time(size),
-                dst: link.to,
+                at,
+                dst,
                 kind: EventKind::LinkReady(link_id),
             });
         }
         // Decide the fate of the completed packet.
-        let label = self.links[idx].label.clone();
         let lost = {
             let rng = &mut self.link_rngs[idx];
             self.links[idx].loss.is_lost(self.now, rng)
         };
         if lost {
             self.links[idx].channel_drops += 1;
-            for obs in &mut self.observers {
-                obs.on_dropped(self.now, link_id, &label, &done, DropCause::Channel);
+            if !self.observers.is_none() {
+                self.observers.emit(
+                    PacketEventKind::Dropped(DropCause::Channel),
+                    self.now,
+                    link_id,
+                    &self.links[idx].label,
+                    &done,
+                );
             }
-            return;
+            return Ok(());
         }
         let latency = {
             let rng = &mut self.link_rngs[idx];
@@ -183,15 +239,16 @@ impl Core {
         let at = (self.now + latency).max(self.links[idx].last_delivery);
         self.links[idx].last_delivery = at;
         self.links[idx].deliver_pending += 1;
-        let link_to = self.links[idx].to;
-        self.queue.schedule(Event { at, dst: link_to, kind: EventKind::Deliver { packet: done, link: link_id } });
-    }
-
-    fn deliver_observed(&mut self, link_id: LinkId, packet: &Packet) {
-        let label = self.links[link_id.as_usize()].label.clone();
-        for obs in &mut self.observers {
-            obs.on_delivered(self.now, link_id, &label, packet);
-        }
+        let dst = self.links[idx].to;
+        self.queue.schedule(Event {
+            at,
+            dst,
+            kind: EventKind::Deliver {
+                packet: done,
+                link: link_id,
+            },
+        });
+        Ok(())
     }
 }
 
@@ -211,7 +268,7 @@ impl Engine {
                 now: SimTime::ZERO,
                 queue: EventQueue::new(),
                 links: Vec::new(),
-                observers: Vec::new(),
+                observers: ObserverSet::default(),
                 agent_rngs: Vec::new(),
                 link_rngs: Vec::new(),
                 rng_factory: RngFactory::new(master_seed),
@@ -228,23 +285,37 @@ impl Engine {
     pub fn add_agent(&mut self, agent: Box<dyn Agent>) -> AgentId {
         let id = AgentId::from_raw(self.agents.len() as u32);
         let label = format!("agent.{}", id.as_usize());
-        self.core.agent_rngs.push(self.core.rng_factory.stream(&label));
+        self.core
+            .agent_rngs
+            .push(self.core.rng_factory.stream(&label));
         self.agents.push(Some(agent));
         id
     }
 
-    /// Registers a link and returns its id.
+    /// Registers a link and returns its id. The spec's label is interned
+    /// here; per-event uses share the allocation.
     pub fn add_link(&mut self, spec: LinkSpec) -> LinkId {
         let id = LinkId::from_raw(self.core.links.len() as u32);
         let label = format!("link.{}", id.as_usize());
-        self.core.link_rngs.push(self.core.rng_factory.stream(&label));
+        self.core
+            .link_rngs
+            .push(self.core.rng_factory.stream(&label));
         self.core.links.push(Link::from_spec(spec));
         id
     }
 
-    /// Registers a packet-event observer.
+    /// Registers a boxed packet-event observer (dynamic dispatch).
+    ///
+    /// For a [`VecRecorder`], prefer [`Engine::add_recorder`] — it takes
+    /// the allocation-free fast path.
     pub fn add_observer(&mut self, obs: Box<dyn Observer>) {
-        self.core.observers.push(obs);
+        self.core.observers.push(AnyObserver::Dyn(obs));
+    }
+
+    /// Registers a [`VecRecorder`] on the non-virtual fast path. The
+    /// recorder's clone-shared storage keeps the caller's handle live.
+    pub fn add_recorder(&mut self, rec: VecRecorder) {
+        self.core.observers.push(AnyObserver::Recorder(rec));
     }
 
     /// Injects a packet onto a link from outside any agent (used by tests
@@ -286,31 +357,53 @@ impl Engine {
     /// Runs until the event queue drains, `deadline` passes, or an agent
     /// calls [`Ctx::stop`]. Returns the number of events processed by this
     /// call.
-    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the engine's internal bookkeeping is
+    /// corrupt (see the module docs). The run must then be discarded.
+    pub fn try_run_until(&mut self, deadline: SimTime) -> Result<u64, SimError> {
         let mut processed = 0;
         if !self.started {
             self.started = true;
             for idx in 0..self.agents.len() {
-                self.with_agent(AgentId::from_raw(idx as u32), |agent, ctx| agent.on_start(ctx));
+                self.with_agent(AgentId::from_raw(idx as u32), |agent, ctx| {
+                    agent.on_start(ctx)
+                });
             }
         }
         while !self.core.stop_requested {
-            let Some(at) = self.core.queue.peek_time() else { break };
+            let Some(at) = self.core.queue.peek_time() else {
+                break;
+            };
             if at > deadline {
                 break;
             }
-            let (_id, event) = self.core.queue.pop().expect("peeked event vanished");
+            let Some((_id, event)) = self.core.queue.pop() else {
+                return Err(SimError::QueueInconsistent { at });
+            };
             debug_assert!(event.at >= self.core.now, "event in the past");
             self.core.now = event.at;
             self.core.events_processed += 1;
             processed += 1;
             match event.kind {
-                EventKind::LinkReady(link) => self.core.link_ready(link),
+                EventKind::LinkReady(link) => self.core.link_ready(link)?,
                 EventKind::Deliver { packet, link } => {
                     let l = &mut self.core.links[link.as_usize()];
-                    l.deliver_pending -= 1;
+                    l.deliver_pending = l
+                        .deliver_pending
+                        .checked_sub(1)
+                        .ok_or(SimError::DeliverUnderflow { link })?;
                     l.delivered += 1;
-                    self.core.deliver_observed(link, &packet);
+                    if !self.core.observers.is_none() {
+                        self.core.observers.emit(
+                            PacketEventKind::Delivered,
+                            self.core.now,
+                            link,
+                            &self.core.links[link.as_usize()].label,
+                            &packet,
+                        );
+                    }
                     self.with_agent(event.dst, |agent, ctx| agent.on_packet(ctx, packet));
                 }
                 EventKind::Timer { tag } => {
@@ -325,10 +418,37 @@ impl Engine {
         for link in &self.core.links {
             link.assert_conservation();
         }
-        processed
+        Ok(processed)
+    }
+
+    /// Infallible twin of [`Engine::try_run_until`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine reports a [`SimError`] — campaign runners that
+    /// must survive a corrupt run use the fallible twin instead.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        match self.try_run_until(deadline) {
+            Ok(processed) => processed,
+            Err(e) => panic!("simulation engine invariant violated: {e}"),
+        }
     }
 
     /// Runs until the event queue drains or an agent stops the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the engine's internal bookkeeping is
+    /// corrupt (see the module docs).
+    pub fn try_run_until_idle(&mut self) -> Result<u64, SimError> {
+        self.try_run_until(SimTime::MAX)
+    }
+
+    /// Infallible twin of [`Engine::try_run_until_idle`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine reports a [`SimError`].
     pub fn run_until_idle(&mut self) -> u64 {
         self.run_until(SimTime::MAX)
     }
@@ -339,9 +459,14 @@ impl Engine {
     }
 
     fn with_agent(&mut self, id: AgentId, f: impl FnOnce(&mut dyn Agent, &mut Ctx<'_>)) {
-        let Some(slot) = self.agents.get_mut(id.as_usize()) else { return };
+        let Some(slot) = self.agents.get_mut(id.as_usize()) else {
+            return;
+        };
         let Some(mut agent) = slot.take() else { return };
-        let mut ctx = Ctx { core: &mut self.core, id };
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            id,
+        };
         f(agent.as_mut(), &mut ctx);
         self.agents[id.as_usize()] = Some(agent);
     }
@@ -397,17 +522,23 @@ mod tests {
 
     fn build(seed: u64, loss_p: f64, count: u64) -> (Engine, AgentId, VecRecorder) {
         let mut eng = Engine::new(seed);
-        let sink = eng.add_agent(Box::new(Sink { deliveries: Vec::new() }));
+        let sink = eng.add_agent(Box::new(Sink {
+            deliveries: Vec::new(),
+        }));
         let link = eng.add_link(
             LinkSpec::new(sink, "wire")
                 .bandwidth_bps(12_000_000)
                 .prop_delay(SimDuration::from_millis(10))
                 .loss(ChannelLoss::new(Box::new(Bernoulli::new(loss_p)))),
         );
-        let pinger = eng.add_agent(Box::new(Pinger { link, count, sent: 0 }));
+        let pinger = eng.add_agent(Box::new(Pinger {
+            link,
+            count,
+            sent: 0,
+        }));
         let _ = pinger;
         let rec = VecRecorder::new();
-        eng.add_observer(Box::new(rec.clone()));
+        eng.add_recorder(rec.clone());
         (eng, sink, rec)
     }
 
@@ -445,6 +576,38 @@ mod tests {
         };
         assert_eq!(trace(99), trace(99));
         assert_ne!(trace(99), trace(100));
+    }
+
+    #[test]
+    fn boxed_observer_and_recorder_fast_path_agree() {
+        // The same run, observed through the dyn path and the fast path,
+        // must record the same events in the same order.
+        let run = |fast: bool| {
+            let mut eng = Engine::new(5);
+            let sink = eng.add_agent(Box::new(Sink {
+                deliveries: Vec::new(),
+            }));
+            let link = eng.add_link(
+                LinkSpec::new(sink, "wire")
+                    .bandwidth_bps(12_000_000)
+                    .prop_delay(SimDuration::from_millis(10))
+                    .loss(ChannelLoss::new(Box::new(Bernoulli::new(0.2)))),
+            );
+            eng.add_agent(Box::new(Pinger {
+                link,
+                count: 200,
+                sent: 0,
+            }));
+            let rec = VecRecorder::new();
+            if fast {
+                eng.add_recorder(rec.clone());
+            } else {
+                eng.add_observer(Box::new(rec.clone()));
+            }
+            eng.run_until_idle();
+            rec.take_events()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]
@@ -516,7 +679,10 @@ mod tests {
         eng.run_until_idle();
         let link = eng.link(LinkId::from_raw(0));
         assert_eq!(link.offered, 2000);
-        assert_eq!(link.offered, link.delivered + link.channel_drops + link.overflow_drops);
+        assert_eq!(
+            link.offered,
+            link.delivered + link.channel_drops + link.overflow_drops
+        );
         assert!(link.channel_drops > 0, "loss process never fired");
         assert_eq!(link.deliver_pending, 0);
     }
@@ -526,9 +692,43 @@ mod tests {
     fn conservation_check_fires_on_injected_violation() {
         let (mut eng, _sink, _rec) = build(1, 0.0, 5);
         eng.run_until_idle();
-        eng.link_mut(LinkId::from_raw(0)).inject_conservation_violation();
+        eng.link_mut(LinkId::from_raw(0))
+            .inject_conservation_violation();
         // Any subsequent run re-checks the ledger and must refuse it.
         eng.run_until_idle();
+    }
+
+    #[test]
+    fn corrupt_delivery_ledger_is_a_structured_error() {
+        // Violation injection for the fallible path: force deliver_pending
+        // to underflow and check the engine reports DeliverUnderflow
+        // instead of panicking.
+        struct Corruptor {
+            link: LinkId,
+        }
+        impl Agent for Corruptor {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send(self.link, Packet::data(FlowId(0), SeqNo(0), false));
+                ctx.schedule_in(SimDuration::from_millis(5), 0);
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: Packet) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+                // The packet is propagating: a Deliver event is scheduled.
+                // Zeroing the counter makes its arrival underflow.
+                let link = ctx.link_mut(self.link);
+                link.deliver_pending = 0;
+                link.offered -= 1; // keep the conservation ledger quiet
+            }
+        }
+        let mut eng = Engine::new(0);
+        let sink = eng.add_agent(Box::new(Sink {
+            deliveries: Vec::new(),
+        }));
+        let link =
+            eng.add_link(LinkSpec::new(sink, "wire").prop_delay(SimDuration::from_millis(50)));
+        eng.add_agent(Box::new(Corruptor { link }));
+        let err = eng.try_run_until_idle().unwrap_err();
+        assert_eq!(err, SimError::DeliverUnderflow { link });
     }
 
     #[test]
@@ -542,7 +742,7 @@ mod tests {
             .map(|e| (e.link, e.link_label.clone()))
             .collect();
         assert_eq!(delivered.len(), 3);
-        assert!(delivered.iter().all(|(l, lbl)| *l == 0 && lbl == "wire"));
+        assert!(delivered.iter().all(|(l, lbl)| *l == 0 && &**lbl == "wire"));
     }
 
     #[test]
@@ -550,7 +750,9 @@ mod tests {
         // Two back-to-back packets on a slow link: second arrives one full
         // tx time after the first.
         let mut eng = Engine::new(3);
-        let sink = eng.add_agent(Box::new(Sink { deliveries: Vec::new() }));
+        let sink = eng.add_agent(Box::new(Sink {
+            deliveries: Vec::new(),
+        }));
         let link = eng.add_link(
             LinkSpec::new(sink, "slow")
                 .bandwidth_bps(1_200_000) // 1500B -> 10 ms tx

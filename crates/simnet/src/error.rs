@@ -1,0 +1,88 @@
+//! Structured engine failures.
+//!
+//! The engine's internal bookkeeping invariants (event-queue consistency,
+//! link transmit state, delivery counters) were historically enforced by
+//! `expect`/panic. A panic inside a campaign worker tears the whole
+//! process down; [`SimError`] instead surfaces the corruption as a value
+//! so `hsm-runtime` can fail the one campaign and report it through
+//! `hsm::Error`.
+
+use crate::link::LinkId;
+use crate::time::SimTime;
+use std::fmt;
+
+/// An engine-internal invariant violation detected while stepping the
+/// simulation.
+///
+/// Any of these means the engine's own bookkeeping is corrupt — they are
+/// never caused by agent behaviour, and a run that returns one must be
+/// discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// The event queue reported a next firing time but produced no event
+    /// when popped.
+    QueueInconsistent {
+        /// The firing time the queue advertised.
+        at: SimTime,
+    },
+    /// A `LinkReady` event fired for a link with no in-flight packet.
+    LinkIdle {
+        /// The link whose transmit state is corrupt.
+        link: LinkId,
+    },
+    /// A `Deliver` event fired for a link with no deliveries pending.
+    DeliverUnderflow {
+        /// The link whose delivery ledger is corrupt.
+        link: LinkId,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::QueueInconsistent { at } => {
+                write!(
+                    f,
+                    "event queue inconsistent: peeked firing time {at:?} but no event popped"
+                )
+            }
+            SimError::LinkIdle { link } => {
+                write!(
+                    f,
+                    "link {} signalled ready with no in-flight packet",
+                    link.as_usize()
+                )
+            }
+            SimError::DeliverUnderflow { link } => {
+                write!(
+                    f,
+                    "link {} delivered a packet with no delivery pending",
+                    link.as_usize()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_link() {
+        let e = SimError::LinkIdle {
+            link: LinkId::from_raw(3),
+        };
+        assert!(e.to_string().contains('3'));
+        let e = SimError::DeliverUnderflow {
+            link: LinkId::from_raw(7),
+        };
+        assert!(e.to_string().contains('7'));
+        let e = SimError::QueueInconsistent {
+            at: SimTime::from_millis(5),
+        };
+        assert!(e.to_string().contains("event queue"));
+    }
+}

@@ -1,21 +1,34 @@
 //! Future event list.
 //!
-//! A classic discrete-event simulation core: events are kept in a binary
-//! heap ordered by firing time, with a monotonically increasing sequence
-//! number breaking ties so that events scheduled earlier fire earlier
-//! (FIFO among simultaneous events — crucial for determinism).
+//! A classic discrete-event simulation core, reworked for throughput: the
+//! queue is a slab-indexed binary min-heap. Event payloads live in a slab
+//! of reusable slots addressed by a `(slot, generation)` pair packed into
+//! the [`EventId`]; the heap itself holds only compact 24-byte entries
+//! `(time, sequence, slot, generation)`. Scheduling and popping therefore
+//! never touch a hash map — the slab lookup is a single indexed read.
 //!
-//! Cancellation is implemented by lazy deletion: [`EventQueue::cancel`]
-//! marks the event id dead, and dead entries are skipped on pop. This keeps
-//! both scheduling and cancellation `O(log n)`/`O(1)`.
+//! # Ordering contract
+//!
+//! Events fire strictly ordered by `(firing time, insertion sequence)`:
+//! earlier times first, and among events scheduled for the **same
+//! instant**, strictly in the order `schedule` was called (FIFO). The
+//! insertion sequence is a queue-global monotonic counter, so this
+//! ordering is total, deterministic, and independent of cancellation
+//! history — the property every bit-identical-replay test in the
+//! workspace leans on.
+//!
+//! Cancellation is implemented by generation check: [`EventQueue::cancel`]
+//! frees the slot and bumps its generation, so the stale heap entry is
+//! recognized and skipped on pop. Scheduling and cancellation stay
+//! `O(log n)` / `O(1)`.
 
 use crate::agent::AgentId;
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::hash_map::Entry;
-use std::collections::{BinaryHeap, HashMap};
 
 /// Unique handle of a scheduled event, usable for cancellation.
+///
+/// Internally packs the slab slot index and its generation; the raw value
+/// is only meaningful for debugging/logging.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
@@ -23,6 +36,18 @@ impl EventId {
     /// Raw numeric value (mostly for debugging/logging).
     pub fn as_u64(self) -> u64 {
         self.0
+    }
+
+    fn new(slot: u32, gen: u32) -> EventId {
+        EventId((u64::from(slot) << 32) | u64::from(gen))
+    }
+
+    fn slot(self) -> usize {
+        (self.0 >> 32) as usize
+    }
+
+    fn gen(self) -> u32 {
+        self.0 as u32
     }
 }
 
@@ -57,42 +82,38 @@ pub struct Event {
     pub kind: EventKind,
 }
 
-#[derive(Debug)]
+/// Compact heap entry: the ordering key plus the slab address.
+#[derive(Debug, Clone, Copy)]
 struct HeapEntry {
     at: SimTime,
     seq: u64,
-    id: EventId,
+    slot: u32,
+    gen: u32,
 }
 
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl HeapEntry {
+    /// Strict total order: earlier time first, then insertion sequence.
+    #[inline]
+    fn before(&self, other: &HeapEntry) -> bool {
+        (self.at, self.seq) < (other.at, other.seq)
     }
 }
-impl Eq for HeapEntry {}
 
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+/// One slab slot: the event payload plus the generation that validates
+/// heap entries pointing at it.
+#[derive(Debug)]
+struct Slot {
+    gen: u32,
+    event: Option<Event>,
 }
 
 /// The future event list.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<HeapEntry>,
-    live: HashMap<EventId, Event>,
-    next_id: u64,
+    heap: Vec<HeapEntry>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
     next_seq: u64,
     /// Firing time of the most recently popped event. Simulated time must
     /// never run backwards: every pop checks the invariant in debug/test
@@ -111,43 +132,69 @@ impl EventQueue {
 
     /// Number of live (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.live
     }
 
     /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.live.is_empty()
+        self.live == 0
     }
 
     /// Schedules `event` and returns its cancellation handle.
     pub fn schedule(&mut self, event: Event) -> EventId {
-        let id = EventId(self.next_id);
-        self.next_id += 1;
+        let at = event.at;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize].event = Some(event);
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    gen: 0,
+                    event: Some(event),
+                });
+                slot
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(HeapEntry { at: event.at, seq, id });
-        self.live.insert(id, event);
-        id
+        self.live += 1;
+        self.push_heap(HeapEntry { at, seq, slot, gen });
+        EventId::new(slot, gen)
     }
 
     /// Cancels a previously scheduled event.
     ///
     /// Returns `true` if the event was still pending, `false` if it already
-    /// fired or was already cancelled.
+    /// fired or was already cancelled. The heap entry is left behind and
+    /// skipped lazily when it reaches the top.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.live.remove(&id).is_some()
+        match self.slots.get_mut(id.slot()) {
+            Some(slot) if slot.gen == id.gen() && slot.event.is_some() => {
+                slot.event = None;
+                slot.gen = slot.gen.wrapping_add(1);
+                self.free.push(id.slot() as u32);
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// True if `id` has been scheduled and has neither fired nor been
     /// cancelled.
     pub fn is_pending(&self, id: EventId) -> bool {
-        self.live.contains_key(&id)
+        self.slots
+            .get(id.slot())
+            .is_some_and(|s| s.gen == id.gen() && s.event.is_some())
     }
 
     /// Firing time of the next live event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.skip_dead();
-        self.heap.peek().map(|e| e.at)
+        self.skip_stale();
+        self.heap.first().map(|e| e.at)
     }
 
     /// Pops the next live event.
@@ -159,31 +206,83 @@ impl EventQueue {
     /// scheduled in the simulated past).
     pub fn pop(&mut self) -> Option<(EventId, Event)> {
         loop {
-            let entry = self.heap.pop()?;
-            if let Entry::Occupied(occ) = self.live.entry(entry.id) {
-                #[cfg(any(debug_assertions, test))]
-                {
-                    assert!(
-                        entry.at >= self.last_popped,
-                        "event-queue time monotonicity violated: popping event at {:?} \
-                         after already firing one at {:?}",
-                        entry.at,
-                        self.last_popped,
-                    );
-                    self.last_popped = entry.at;
-                }
-                return Some((entry.id, occ.remove()));
+            let entry = *self.heap.first()?;
+            self.pop_heap();
+            let slot = &mut self.slots[entry.slot as usize];
+            if slot.gen != entry.gen {
+                // Stale (cancelled) entry: skip.
+                continue;
             }
-            // Dead (cancelled) entry: skip.
+            let Some(event) = slot.event.take() else {
+                continue;
+            };
+            slot.gen = slot.gen.wrapping_add(1);
+            self.free.push(entry.slot);
+            self.live -= 1;
+            #[cfg(any(debug_assertions, test))]
+            {
+                assert!(
+                    entry.at >= self.last_popped,
+                    "event-queue time monotonicity violated: popping event at {:?} \
+                     after already firing one at {:?}",
+                    entry.at,
+                    self.last_popped,
+                );
+                self.last_popped = entry.at;
+            }
+            return Some((EventId::new(entry.slot, entry.gen), event));
         }
     }
 
-    fn skip_dead(&mut self) {
-        while let Some(top) = self.heap.peek() {
-            if self.live.contains_key(&top.id) {
+    /// Drops stale (cancelled) entries off the top of the heap.
+    fn skip_stale(&mut self) {
+        while let Some(top) = self.heap.first() {
+            let slot = &self.slots[top.slot as usize];
+            if slot.gen == top.gen && slot.event.is_some() {
                 return;
             }
-            self.heap.pop();
+            self.pop_heap();
+        }
+    }
+
+    /// Standard binary-heap sift-up insertion.
+    fn push_heap(&mut self, entry: HeapEntry) {
+        let mut i = self.heap.len();
+        self.heap.push(entry);
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].before(&self.heap[parent]) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Removes the heap root (swap-remove + sift-down).
+    fn pop_heap(&mut self) {
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        self.heap.truncate(last);
+        let len = self.heap.len();
+        let mut i = 0;
+        loop {
+            let l = 2 * i + 1;
+            if l >= len {
+                break;
+            }
+            let r = l + 1;
+            let mut child = l;
+            if r < len && self.heap[r].before(&self.heap[l]) {
+                child = r;
+            }
+            if self.heap[child].before(&self.heap[i]) {
+                self.heap.swap(i, child);
+                i = child;
+            } else {
+                break;
+            }
         }
     }
 }
@@ -213,7 +312,9 @@ mod tests {
         q.schedule(ev(30, 3));
         q.schedule(ev(10, 1));
         q.schedule(ev(20, 2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| tag_of(&e)).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| tag_of(&e))
+            .collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
 
@@ -223,7 +324,9 @@ mod tests {
         for tag in 0..100 {
             q.schedule(ev(500, tag));
         }
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| tag_of(&e)).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| tag_of(&e))
+            .collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
@@ -248,6 +351,33 @@ mod tests {
         q.schedule(ev(20, 2));
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(20)));
+    }
+
+    #[test]
+    fn slot_reuse_does_not_resurrect_cancelled_events() {
+        // Cancel an event, then schedule new ones until the freed slot is
+        // reused: the stale heap entry must not fire the new occupant, and
+        // the old id must stay dead.
+        let mut q = EventQueue::new();
+        let dead = q.schedule(ev(10, 1));
+        assert!(q.cancel(dead));
+        let alive = q.schedule(ev(20, 2)); // reuses the freed slot
+        assert!(!q.is_pending(dead));
+        assert!(q.is_pending(alive));
+        assert!(!q.cancel(dead), "stale id must not cancel the reused slot");
+        let (popped, e) = q.pop().unwrap();
+        assert_eq!(tag_of(&e), 2);
+        assert_eq!(popped, alive);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fired_ids_are_not_pending_and_not_cancellable() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(ev(10, 1));
+        q.pop().unwrap();
+        assert!(!q.is_pending(a));
+        assert!(!q.cancel(a), "fired event must not cancel");
     }
 
     #[test]
@@ -284,5 +414,26 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_same_time_schedules_and_cancels_keep_fifo() {
+        // FIFO among same-instant events must survive arbitrary cancel
+        // patterns and slot reuse.
+        let mut q = EventQueue::new();
+        let ids: Vec<EventId> = (0..50).map(|tag| q.schedule(ev(100, tag))).collect();
+        for (i, id) in ids.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(q.cancel(*id));
+            }
+        }
+        for tag in 50..80 {
+            q.schedule(ev(100, tag)); // reuses freed slots
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| tag_of(&e))
+            .collect();
+        let expected: Vec<u64> = (0..50u64).filter(|t| t % 3 != 0).chain(50..80).collect();
+        assert_eq!(order, expected);
     }
 }

@@ -46,6 +46,7 @@
 pub mod agent;
 pub mod cellular;
 pub mod engine;
+pub mod error;
 pub mod event;
 pub mod link;
 pub mod loss;
@@ -61,12 +62,15 @@ pub mod prelude {
     pub use crate::agent::{Agent, AgentId, NullAgent, RelayAgent};
     pub use crate::cellular::{CellLayout, ChannelProcess, CoverageHole, HandoffParams};
     pub use crate::engine::{Ctx, Engine};
+    pub use crate::error::SimError;
     pub use crate::event::EventId;
     pub use crate::link::{LinkId, LinkSpec};
     pub use crate::loss::{Bernoulli, ChannelLoss, GilbertElliott, LossModel, Outage};
     pub use crate::loss_ext::{PeriodicOutage, Scripted, TraceDriven};
     pub use crate::mobility::Trajectory;
-    pub use crate::observer::{DropCause, Observer, PacketEvent, PacketEventKind, VecRecorder};
+    pub use crate::observer::{
+        AnyObserver, DropCause, Observer, ObserverSet, PacketEvent, PacketEventKind, VecRecorder,
+    };
     pub use crate::packet::{FlowId, Packet, PacketId, PacketKind, SeqNo};
     pub use crate::rng::{RngFactory, SimRng};
     pub use crate::time::{SimDuration, SimTime};

@@ -14,6 +14,7 @@ use crate::loss::ChannelLoss;
 use crate::packet::Packet;
 use crate::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Identity of a link within an engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -101,14 +102,19 @@ impl LinkSpec {
 }
 
 /// Outcome of offering a packet to a link.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Packets move **by value**: an accepted packet is stored inside the
+/// link (in-flight slot or queue) without cloning, and a rejected one is
+/// handed back inside [`Accept::DroppedOverflow`] so the caller can still
+/// report it to observers.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Accept {
     /// Link was idle; transmission starts now.
     StartTx,
     /// Link busy; packet queued.
     Queued,
-    /// Queue full; packet dropped at the queue.
-    DroppedOverflow,
+    /// Queue full; the packet is returned to the caller, dropped.
+    DroppedOverflow(Packet),
 }
 
 /// Runtime state of a link.
@@ -127,8 +133,10 @@ pub struct Link {
     pub extra_delay: SimDuration,
     /// Channel loss behaviour.
     pub loss: ChannelLoss,
-    /// Trace label.
-    pub label: String,
+    /// Trace label, interned once at registration: every per-event use
+    /// (observer callbacks, recorded [`PacketEvent`](crate::observer::PacketEvent)s)
+    /// shares this allocation instead of cloning a `String`.
+    pub label: Arc<str>,
     queue_capacity: usize,
     queue: VecDeque<Packet>,
     in_flight: Option<Packet>,
@@ -158,7 +166,7 @@ impl Link {
             jitter_sd: spec.jitter_sd,
             extra_delay: SimDuration::ZERO,
             loss: spec.loss,
-            label: spec.label,
+            label: spec.label.into(),
             queue_capacity: spec.queue_capacity,
             queue: VecDeque::new(),
             in_flight: None,
@@ -184,9 +192,10 @@ impl Link {
         self.prop_delay + self.extra_delay
     }
 
-    /// Offers a packet. If `StartTx` is returned the engine must begin a
-    /// transmission (the packet is stored as in-flight); `Queued` stores it
-    /// in the queue; `DroppedOverflow` discards it.
+    /// Offers a packet by value. If `StartTx` is returned the engine must
+    /// begin a transmission (the packet is stored as in-flight); `Queued`
+    /// stores it in the queue; `DroppedOverflow` hands the packet back for
+    /// drop reporting.
     pub fn offer(&mut self, packet: Packet) -> Accept {
         self.offered += 1;
         if self.in_flight.is_none() {
@@ -197,7 +206,7 @@ impl Link {
             Accept::Queued
         } else {
             self.overflow_drops += 1;
-            Accept::DroppedOverflow
+            Accept::DroppedOverflow(packet)
         }
     }
 
@@ -207,13 +216,21 @@ impl Link {
     ///
     /// # Panics
     ///
-    /// Panics if nothing was in flight (engine bookkeeping bug).
+    /// Panics if nothing was in flight (engine bookkeeping bug). The
+    /// engine itself uses the non-panicking [`Link::try_complete_tx`] so a
+    /// corrupt transmit state fails the run as a structured error.
     pub fn complete_tx(&mut self) -> (Packet, Option<&Packet>) {
-        let done = self.in_flight.take().expect("complete_tx with idle link");
+        self.try_complete_tx().expect("complete_tx with idle link")
+    }
+
+    /// Non-panicking twin of [`Link::complete_tx`]: returns `None` when no
+    /// packet was in flight.
+    pub fn try_complete_tx(&mut self) -> Option<(Packet, Option<&Packet>)> {
+        let done = self.in_flight.take()?;
         if let Some(next) = self.queue.pop_front() {
             self.in_flight = Some(next);
         }
-        (done, self.in_flight.as_ref())
+        Some((done, self.in_flight.as_ref()))
     }
 
     /// True while a packet is being clocked onto the wire.
@@ -237,9 +254,8 @@ impl Link {
     /// Panics when the accounts do not balance.
     #[cfg(any(debug_assertions, test))]
     pub fn assert_conservation(&self) {
-        let in_transit = self.queue.len() as u64
-            + u64::from(self.in_flight.is_some())
-            + self.deliver_pending;
+        let in_transit =
+            self.queue.len() as u64 + u64::from(self.in_flight.is_some()) + self.deliver_pending;
         let accounted = self.delivered + self.overflow_drops + self.channel_drops + in_transit;
         assert!(
             self.offered == accounted,
@@ -299,7 +315,9 @@ mod tests {
         assert_eq!(l.tx_time(1500).as_micros(), 1500);
         assert_eq!(l.tx_time(40).as_micros(), 40);
         // Rounds up, minimum 1us.
-        let fast = Link::from_spec(LinkSpec::new(AgentId::from_raw(0), "fast").bandwidth_bps(u64::MAX / 16));
+        let fast = Link::from_spec(
+            LinkSpec::new(AgentId::from_raw(0), "fast").bandwidth_bps(u64::MAX / 16),
+        );
         assert_eq!(fast.tx_time(1).as_micros(), 1);
     }
 
@@ -310,7 +328,16 @@ mod tests {
         assert!(l.is_busy());
         assert_eq!(l.offer(pkt(1)), Accept::Queued);
         assert_eq!(l.queue_len(), 1);
-        assert_eq!(l.offer(pkt(2)), Accept::DroppedOverflow);
+        match l.offer(pkt(2)) {
+            Accept::DroppedOverflow(p) => {
+                assert_eq!(
+                    p.data_seq().unwrap().as_u64(),
+                    2,
+                    "dropped packet handed back"
+                )
+            }
+            other => panic!("expected overflow drop, got {other:?}"),
+        }
         assert_eq!(l.overflow_drops, 1);
     }
 
@@ -337,12 +364,26 @@ mod tests {
     }
 
     #[test]
+    fn try_complete_tx_on_idle_link_is_none() {
+        let mut l = link(1);
+        assert!(l.try_complete_tx().is_none());
+        l.offer(pkt(0));
+        assert!(l.try_complete_tx().is_some());
+    }
+
+    #[test]
     fn latency_includes_extra_delay() {
         let mut l = link(1);
         let mut rng = SimRng::seed_from_u64(1);
-        assert_eq!(l.sample_latency(SimTime::ZERO, &mut rng), SimDuration::from_millis(10));
+        assert_eq!(
+            l.sample_latency(SimTime::ZERO, &mut rng),
+            SimDuration::from_millis(10)
+        );
         l.extra_delay = SimDuration::from_millis(5);
-        assert_eq!(l.sample_latency(SimTime::ZERO, &mut rng), SimDuration::from_millis(15));
+        assert_eq!(
+            l.sample_latency(SimTime::ZERO, &mut rng),
+            SimDuration::from_millis(15)
+        );
     }
 
     #[test]
@@ -351,7 +392,9 @@ mod tests {
         l.jitter_sd = SimDuration::from_millis(2);
         let mut rng = SimRng::seed_from_u64(2);
         let base = l.current_delay();
-        let samples: Vec<SimDuration> = (0..64).map(|_| l.sample_latency(SimTime::ZERO, &mut rng)).collect();
+        let samples: Vec<SimDuration> = (0..64)
+            .map(|_| l.sample_latency(SimTime::ZERO, &mut rng))
+            .collect();
         assert!(samples.iter().all(|&s| s >= base));
         assert!(samples.windows(2).any(|w| w[0] != w[1]));
     }

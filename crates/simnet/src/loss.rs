@@ -43,7 +43,10 @@ impl Bernoulli {
     ///
     /// Panics if `p` is not within `[0, 1]`.
     pub fn new(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability out of range: {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability out of range: {p}"
+        );
         Bernoulli { p }
     }
 
@@ -90,10 +93,21 @@ impl GilbertElliott {
     ///
     /// Panics if any probability is outside `[0, 1]`.
     pub fn new(p_good: f64, p_bad: f64, g2b: f64, b2g: f64) -> Self {
-        for (name, v) in [("p_good", p_good), ("p_bad", p_bad), ("g2b", g2b), ("b2g", b2g)] {
+        for (name, v) in [
+            ("p_good", p_good),
+            ("p_bad", p_bad),
+            ("g2b", g2b),
+            ("b2g", b2g),
+        ] {
             assert!((0.0..=1.0).contains(&v), "{name} out of range: {v}");
         }
-        GilbertElliott { p_good, p_bad, g2b, b2g, in_bad: false }
+        GilbertElliott {
+            p_good,
+            p_bad,
+            g2b,
+            b2g,
+            in_bad: false,
+        }
     }
 
     /// True while the channel is in the bad (bursty) state.
@@ -152,9 +166,16 @@ impl Outage {
     ///
     /// Panics if `probability` is outside `[0, 1]` or the window is empty.
     pub fn new(from: SimTime, until: SimTime, probability: f64) -> Self {
-        assert!((0.0..=1.0).contains(&probability), "outage probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "outage probability out of range"
+        );
         assert!(until > from, "empty outage window");
-        Outage { from, until, probability }
+        Outage {
+            from,
+            until,
+            probability,
+        }
     }
 
     /// True if `now` falls inside the window.
@@ -182,7 +203,13 @@ pub struct ChannelLoss {
 impl ChannelLoss {
     /// Wraps a base loss model.
     pub fn new(base: Box<dyn LossModel>) -> Self {
-        ChannelLoss { base, overlay: None, extra: 0.0, offered: 0, lost: 0 }
+        ChannelLoss {
+            base,
+            overlay: None,
+            extra: 0.0,
+            offered: 0,
+            lost: 0,
+        }
     }
 
     /// A loss-free channel.
@@ -342,7 +369,11 @@ mod tests {
     fn channel_overlay_dominates_during_window() {
         let mut r = rng();
         let mut ch = ChannelLoss::lossless();
-        ch.set_outage(Some(Outage::new(SimTime::from_secs(1), SimTime::from_secs(2), 1.0)));
+        ch.set_outage(Some(Outage::new(
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+            1.0,
+        )));
         assert!(!ch.is_lost(SimTime::from_millis(500), &mut r));
         assert!(ch.is_lost(SimTime::from_millis(1500), &mut r));
         assert!(!ch.is_lost(SimTime::from_millis(2500), &mut r));
@@ -355,7 +386,11 @@ mod tests {
     fn channel_base_still_applies_outside_overlay() {
         let mut r = rng();
         let mut ch = ChannelLoss::new(Box::new(Bernoulli::new(1.0)));
-        ch.set_outage(Some(Outage::new(SimTime::from_secs(5), SimTime::from_secs(6), 0.0)));
+        ch.set_outage(Some(Outage::new(
+            SimTime::from_secs(5),
+            SimTime::from_secs(6),
+            0.0,
+        )));
         assert!(ch.is_lost(SimTime::ZERO, &mut r));
     }
 

@@ -27,7 +27,10 @@ pub struct Scripted {
 impl Scripted {
     /// Creates a scripted channel killing the listed packet indices.
     pub fn new(kill: impl IntoIterator<Item = u64>) -> Scripted {
-        Scripted { kill: kill.into_iter().collect(), seen: 0 }
+        Scripted {
+            kill: kill.into_iter().collect(),
+            seen: 0,
+        }
     }
 
     /// Kills a contiguous index range `[from, to)`.
@@ -61,7 +64,11 @@ pub struct TraceDriven {
 impl TraceDriven {
     /// Creates a replay channel (`true` = lost).
     pub fn new(pattern: Vec<bool>) -> TraceDriven {
-        TraceDriven { pattern, cursor: 0, cyclic: false }
+        TraceDriven {
+            pattern,
+            cursor: 0,
+            cyclic: false,
+        }
     }
 
     /// Makes the pattern repeat forever (builder style).
@@ -123,11 +130,21 @@ impl PeriodicOutage {
     ///
     /// Panics if `period` is zero, `outage > period`, or `loss_during` is
     /// outside `[0, 1]`.
-    pub fn new(period: SimDuration, outage: SimDuration, offset: SimDuration, loss_during: f64) -> Self {
+    pub fn new(
+        period: SimDuration,
+        outage: SimDuration,
+        offset: SimDuration,
+        loss_during: f64,
+    ) -> Self {
         assert!(!period.is_zero(), "period must be positive");
         assert!(outage <= period, "outage longer than period");
         assert!((0.0..=1.0).contains(&loss_during), "loss out of range");
-        PeriodicOutage { period, outage, offset, loss_during }
+        PeriodicOutage {
+            period,
+            outage,
+            offset,
+            loss_during,
+        }
     }
 
     /// True when `now` falls inside an outage window.
@@ -248,6 +265,11 @@ mod tests {
     #[test]
     #[should_panic]
     fn periodic_outage_validates() {
-        let _ = PeriodicOutage::new(SimDuration::from_secs(1), SimDuration::from_secs(2), SimDuration::ZERO, 1.0);
+        let _ = PeriodicOutage::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(2),
+            SimDuration::ZERO,
+            1.0,
+        );
     }
 }

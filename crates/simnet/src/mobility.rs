@@ -57,9 +57,18 @@ impl Trajectory {
     ///
     /// Panics if any argument is non-positive or not finite.
     pub fn new(route_km: f64, cruise_kmh: f64, accel_ms2: f64) -> Trajectory {
-        assert!(route_km.is_finite() && route_km > 0.0, "invalid route length");
-        assert!(cruise_kmh.is_finite() && cruise_kmh > 0.0, "invalid cruise speed");
-        assert!(accel_ms2.is_finite() && accel_ms2 > 0.0, "invalid acceleration");
+        assert!(
+            route_km.is_finite() && route_km > 0.0,
+            "invalid route length"
+        );
+        assert!(
+            cruise_kmh.is_finite() && cruise_kmh > 0.0,
+            "invalid cruise speed"
+        );
+        assert!(
+            accel_ms2.is_finite() && accel_ms2 > 0.0,
+            "invalid acceleration"
+        );
         let route_m = route_km * 1_000.0;
         let v = kmh_to_ms(cruise_kmh);
         let mut t_accel = v / accel_ms2;
@@ -76,7 +85,16 @@ impl Trajectory {
             peak_ms = accel_ms2 * t_accel;
             t_cruise = 0.0;
         }
-        Trajectory { route_m, cruise_ms: v, accel_ms2, start_m: 0.0, t_accel, d_accel, t_cruise, peak_ms }
+        Trajectory {
+            route_m,
+            cruise_ms: v,
+            accel_ms2,
+            start_m: 0.0,
+            t_accel,
+            d_accel,
+            t_cruise,
+            peak_ms,
+        }
     }
 
     /// Shifts the ride to start `km` into the line (builder style): every
@@ -199,7 +217,11 @@ mod tests {
             assert!(p <= t.route_m() + 1e-6);
             last = p;
         }
-        assert!((t.position_m(t.duration() + crate::time::SimDuration::from_secs(60)) - t.route_m()).abs() < 1.0);
+        assert!(
+            (t.position_m(t.duration() + crate::time::SimDuration::from_secs(60)) - t.route_m())
+                .abs()
+                < 1.0
+        );
     }
 
     #[test]

@@ -13,11 +13,15 @@ use std::fmt;
 pub struct PacketId(pub u64);
 
 /// Flow identity; one TCP connection (or MPTCP subflow) per flow id.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub struct FlowId(pub u32);
 
 /// Segment sequence number, in MSS units.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub struct SeqNo(pub u64);
 
 impl SeqNo {

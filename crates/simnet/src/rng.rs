@@ -109,7 +109,10 @@ impl SimRng {
     ///
     /// Panics if `mean` is not finite or not positive.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        assert!(mean.is_finite() && mean > 0.0, "invalid exponential mean: {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "invalid exponential mean: {mean}"
+        );
         -mean * self.unit_open_low().ln()
     }
 
@@ -142,7 +145,9 @@ pub struct RngFactory {
 impl RngFactory {
     /// Creates a factory for the given master seed.
     pub fn new(master_seed: u64) -> Self {
-        RngFactory { master: master_seed }
+        RngFactory {
+            master: master_seed,
+        }
     }
 
     /// The master seed this factory was created with.

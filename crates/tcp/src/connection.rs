@@ -11,6 +11,7 @@ use crate::metrics::{ReceiverMetrics, SenderMetrics};
 use crate::receiver::{Receiver, ReceiverConfig};
 use crate::reno::{RenoSender, SenderConfig};
 use hsm_simnet::cellular::{CellLayout, ChannelProcess, ChannelStats, HandoffParams};
+use hsm_simnet::error::SimError;
 use hsm_simnet::link::{LinkId, LinkSpec};
 use hsm_simnet::loss::{Bernoulli, ChannelLoss, GilbertElliott};
 use hsm_simnet::mobility::Trajectory;
@@ -60,17 +61,23 @@ impl LossSpec {
         match *self {
             LossSpec::Lossless => ChannelLoss::lossless(),
             LossSpec::Bernoulli(p) => ChannelLoss::new(Box::new(Bernoulli::new(p))),
-            LossSpec::GilbertElliott { p_good, p_bad, g2b, b2g } => {
-                ChannelLoss::new(Box::new(GilbertElliott::new(p_good, p_bad, g2b, b2g)))
-            }
-            LossSpec::PeriodicOutage { period_s, outage_s, offset_s, loss } => {
-                ChannelLoss::new(Box::new(hsm_simnet::loss_ext::PeriodicOutage::new(
-                    SimDuration::from_secs_f64(period_s),
-                    SimDuration::from_secs_f64(outage_s),
-                    SimDuration::from_secs_f64(offset_s),
-                    loss,
-                )))
-            }
+            LossSpec::GilbertElliott {
+                p_good,
+                p_bad,
+                g2b,
+                b2g,
+            } => ChannelLoss::new(Box::new(GilbertElliott::new(p_good, p_bad, g2b, b2g))),
+            LossSpec::PeriodicOutage {
+                period_s,
+                outage_s,
+                offset_s,
+                loss,
+            } => ChannelLoss::new(Box::new(hsm_simnet::loss_ext::PeriodicOutage::new(
+                SimDuration::from_secs_f64(period_s),
+                SimDuration::from_secs_f64(outage_s),
+                SimDuration::from_secs_f64(offset_s),
+                loss,
+            ))),
         }
     }
 
@@ -191,10 +198,37 @@ pub fn run_connection(
     mobility: Option<&MobilityScenario>,
     cfg: &ConnectionConfig,
 ) -> ConnectionOutcome {
+    match try_run_connection(seed, path, mobility, cfg) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("simulation engine invariant violated: {e}"),
+    }
+}
+
+/// Fallible twin of [`run_connection`]: engine bookkeeping corruption
+/// surfaces as a [`SimError`] instead of panicking, so campaign runners
+/// can fail one flow and keep the process alive.
+///
+/// # Errors
+///
+/// Returns the [`SimError`] reported by [`Engine::try_run_until`].
+pub fn try_run_connection(
+    seed: u64,
+    path: &PathSpec,
+    mobility: Option<&MobilityScenario>,
+    cfg: &ConnectionConfig,
+) -> Result<ConnectionOutcome, SimError> {
     let mut eng = Engine::new(seed);
     let placeholder = LinkId::from_raw(u32::MAX);
-    let tx = eng.add_agent(Box::new(RenoSender::new(FlowId(cfg.flow), placeholder, cfg.sender)));
-    let rx = eng.add_agent(Box::new(Receiver::new(FlowId(cfg.flow), placeholder, cfg.receiver)));
+    let tx = eng.add_agent(Box::new(RenoSender::new(
+        FlowId(cfg.flow),
+        placeholder,
+        cfg.sender,
+    )));
+    let rx = eng.add_agent(Box::new(Receiver::new(
+        FlowId(cfg.flow),
+        placeholder,
+        cfg.receiver,
+    )));
     let down = eng.add_link(
         LinkSpec::new(rx, "downlink")
             .bandwidth_bps(path.down_bandwidth_bps)
@@ -225,8 +259,8 @@ pub fn run_connection(
     });
 
     let recorder = VecRecorder::new();
-    eng.add_observer(Box::new(recorder.clone()));
-    eng.run_until(cfg.deadline);
+    eng.add_recorder(recorder.clone());
+    eng.try_run_until(cfg.deadline)?;
 
     let meta = FlowMeta {
         provider: cfg.provider.clone(),
@@ -235,19 +269,24 @@ pub fn run_connection(
         b: cfg.receiver.b,
         mss_bytes: cfg.mss_bytes,
     };
-    let trace = single_flow_trace(&recorder.events(), cfg.flow, meta.clone())
+    let trace = single_flow_trace(&recorder.take_events(), cfg.flow, meta.clone())
         .unwrap_or_else(|| FlowTrace::new(cfg.flow, meta));
-    let sender = eng.agent_mut::<RenoSender>(tx).expect("sender").metrics.clone();
+    let sender = eng
+        .agent_mut::<RenoSender>(tx)
+        .expect("sender")
+        .metrics
+        .clone();
     let receiver = eng.agent_mut::<Receiver>(rx).expect("receiver").metrics;
-    let channel = channel_agent.map(|id| eng.agent_mut::<ChannelProcess>(id).expect("channel").stats);
-    ConnectionOutcome {
+    let channel =
+        channel_agent.map(|id| eng.agent_mut::<ChannelProcess>(id).expect("channel").stats);
+    Ok(ConnectionOutcome {
         trace,
         sender,
         receiver,
         channel,
         finished_at: eng.now(),
         events_processed: eng.events_processed(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -258,7 +297,10 @@ mod tests {
     #[test]
     fn lossless_run_produces_clean_trace() {
         let cfg = ConnectionConfig {
-            sender: SenderConfig { max_segments: Some(300), ..Default::default() },
+            sender: SenderConfig {
+                max_segments: Some(300),
+                ..Default::default()
+            },
             ..Default::default()
         };
         let out = run_connection(1, &PathSpec::default(), None, &cfg);
@@ -269,17 +311,29 @@ mod tests {
         assert_eq!(a.summary.timeouts, 0);
         assert!(a.summary.throughput_sps > 0.0);
         // RTT estimate close to configured 54 ms + tx times.
-        assert!((a.summary.rtt_s - 0.055).abs() < 0.02, "rtt {}", a.summary.rtt_s);
+        assert!(
+            (a.summary.rtt_s - 0.055).abs() < 0.02,
+            "rtt {}",
+            a.summary.rtt_s
+        );
     }
 
     #[test]
     fn lossy_run_trace_matches_internal_ground_truth() {
         let cfg = ConnectionConfig {
-            sender: SenderConfig { stop_after: Some(SimDuration::from_secs(60)), ..Default::default() },
+            sender: SenderConfig {
+                stop_after: Some(SimDuration::from_secs(60)),
+                ..Default::default()
+            },
             ..Default::default()
         };
         let path = PathSpec {
-            down_loss: LossSpec::GilbertElliott { p_good: 0.002, p_bad: 0.7, g2b: 0.003, b2g: 0.08 },
+            down_loss: LossSpec::GilbertElliott {
+                p_good: 0.002,
+                p_bad: 0.7,
+                g2b: 0.003,
+                b2g: 0.08,
+            },
             up_loss: LossSpec::Bernoulli(0.004),
             ..Default::default()
         };
@@ -299,7 +353,10 @@ mod tests {
     #[test]
     fn mobility_scenario_attaches_channel_stats() {
         let cfg = ConnectionConfig {
-            sender: SenderConfig { stop_after: Some(SimDuration::from_secs(120)), ..Default::default() },
+            sender: SenderConfig {
+                stop_after: Some(SimDuration::from_secs(120)),
+                ..Default::default()
+            },
             scenario: "high-speed".into(),
             ..Default::default()
         };
@@ -329,7 +386,12 @@ mod tests {
     fn loss_spec_steady_state() {
         assert_eq!(LossSpec::Lossless.steady_state(), 0.0);
         assert!((LossSpec::Bernoulli(0.25).steady_state() - 0.25).abs() < 1e-12);
-        let ge = LossSpec::GilbertElliott { p_good: 0.0, p_bad: 1.0, g2b: 0.1, b2g: 0.3 };
+        let ge = LossSpec::GilbertElliott {
+            p_good: 0.0,
+            p_bad: 1.0,
+            g2b: 0.1,
+            b2g: 0.3,
+        };
         assert!((ge.steady_state() - 0.25).abs() < 1e-12);
     }
 }

@@ -154,7 +154,8 @@ impl Cwnd {
                 // ACKs (fewer ACKs per round) growth slows to 1 per b
                 // rounds, matching the model's Eq. (3). Veno halves the
                 // growth once the backlog estimate exceeds beta.
-                let congested = matches!(self.algo, Algorithm::Veno { .. }) && !self.random_loss_suspected();
+                let congested =
+                    matches!(self.algo, Algorithm::Veno { .. }) && !self.random_loss_suspected();
                 let step = if congested { 0.5 } else { 1.0 };
                 self.cwnd += step / self.cwnd.max(1.0);
             }
@@ -171,7 +172,11 @@ impl Cwnd {
     /// Reno halves the window; Veno, when its backlog estimate indicates a
     /// *random* (wireless) loss, only takes a 1/5 cut.
     pub fn enter_fast_recovery(&mut self, flight: u64) {
-        let factor = if self.random_loss_suspected() { 0.8 } else { 0.5 };
+        let factor = if self.random_loss_suspected() {
+            0.8
+        } else {
+            0.5
+        };
         self.ssthresh = (flight as f64 * factor).max(2.0);
         self.cwnd = self.ssthresh + 3.0;
         self.phase = Phase::FastRecovery;
@@ -234,7 +239,12 @@ impl Cwnd {
         // mirrors ACKs — on top of ssthresh + 3. Anything above that is a
         // runaway window.
         let ceiling = self.w_m.max(1.0) * 3.0 + 4.0;
-        assert!(self.cwnd <= ceiling, "cwnd {} escaped its {} ceiling", self.cwnd, ceiling);
+        assert!(
+            self.cwnd <= ceiling,
+            "cwnd {} escaped its {} ceiling",
+            self.cwnd,
+            ceiling
+        );
         let w = self.window();
         assert!(
             (1..=self.w_m as u64).contains(&w),
@@ -281,7 +291,10 @@ mod tests {
         assert_eq!(c.phase(), Phase::CongestionAvoidance);
         let w = c.cwnd();
         c.on_new_ack(1);
-        assert!((c.cwnd() - (w + 1.0 / w)).abs() < 1e-12, "additive increase");
+        assert!(
+            (c.cwnd() - (w + 1.0 / w)).abs() < 1e-12,
+            "additive increase"
+        );
     }
 
     #[test]
@@ -298,7 +311,12 @@ mod tests {
         for _ in 0..acks {
             c.on_new_ack(1);
         }
-        assert!((c.cwnd() - (start + 1.0)).abs() < 0.1, "{} -> {}", start, c.cwnd());
+        assert!(
+            (c.cwnd() - (start + 1.0)).abs() < 0.1,
+            "{} -> {}",
+            start,
+            c.cwnd()
+        );
     }
 
     #[test]

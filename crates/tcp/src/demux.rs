@@ -56,8 +56,10 @@ mod tests {
         let sink_b = eng.add_agent(Box::new(NullAgent::new()));
         let demux_id = eng.add_agent(Box::new(Demux::new()));
         let shared = eng.add_link(LinkSpec::new(demux_id, "shared"));
-        let to_a = eng.add_link(LinkSpec::new(sink_a, "internal.a").prop_delay(SimDuration::from_micros(1)));
-        let to_b = eng.add_link(LinkSpec::new(sink_b, "internal.b").prop_delay(SimDuration::from_micros(1)));
+        let to_a = eng
+            .add_link(LinkSpec::new(sink_a, "internal.a").prop_delay(SimDuration::from_micros(1)));
+        let to_b = eng
+            .add_link(LinkSpec::new(sink_b, "internal.b").prop_delay(SimDuration::from_micros(1)));
         {
             let demux = eng.agent_mut::<Demux>(demux_id).unwrap();
             demux.add_route(0, to_a);

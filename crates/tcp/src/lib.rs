@@ -50,8 +50,8 @@ pub mod prelude {
         run_connection, ConnectionConfig, ConnectionOutcome, LossSpec, MobilityScenario, PathSpec,
     };
     pub use crate::cwnd::{Algorithm, Cwnd, Phase};
-    pub use crate::metrics::{CwndSample, ReceiverMetrics, SenderMetrics};
     pub use crate::demux::Demux;
+    pub use crate::metrics::{CwndSample, ReceiverMetrics, SenderMetrics};
     pub use crate::mptcp::{
         run_mptcp_duplex, run_mptcp_shared_radio, run_with_backup_path, MptcpOutcome,
     };

@@ -54,7 +54,12 @@ pub struct SenderMetrics {
 impl SenderMetrics {
     /// Records a window sample.
     pub fn log_cwnd(&mut self, at: SimTime, cwnd: f64, window: u64, phase: Phase) {
-        self.cwnd_log.push(CwndSample { at, cwnd, window, phase });
+        self.cwnd_log.push(CwndSample {
+            at,
+            cwnd,
+            window,
+            phase,
+        });
     }
 
     /// Number of timeout events.
@@ -133,7 +138,10 @@ mod tests {
     fn spurious_exceeding_timeouts_trips_the_invariant() {
         // Violation injection: claim a spurious timeout that never
         // happened. The ledger check must refuse it.
-        let m = SenderMetrics { spurious_rto_undone: 1, ..Default::default() };
+        let m = SenderMetrics {
+            spurious_rto_undone: 1,
+            ..Default::default()
+        };
         m.assert_invariants();
     }
 

@@ -131,7 +131,7 @@ pub fn run_mptcp_duplex(
         rxs.push(rx);
     }
     let recorder = VecRecorder::new();
-    eng.add_observer(Box::new(recorder.clone()));
+    eng.add_recorder(recorder.clone());
     eng.run_until(cfg.deadline);
 
     let base_meta = FlowMeta {
@@ -141,10 +141,15 @@ pub fn run_mptcp_duplex(
         b: cfg.receiver.b,
         mss_bytes: cfg.mss_bytes,
     };
-    let subflows = traces_from_events(&recorder.events(), |_| base_meta.clone());
+    let subflows = traces_from_events(&recorder.take_events(), |_| base_meta.clone());
     let senders = txs
         .iter()
-        .map(|&t| eng.agent_mut::<RenoSender>(t).expect("sender").metrics.clone())
+        .map(|&t| {
+            eng.agent_mut::<RenoSender>(t)
+                .expect("sender")
+                .metrics
+                .clone()
+        })
         .collect();
     let receivers = rxs
         .iter()
@@ -154,7 +159,12 @@ pub fn run_mptcp_duplex(
         .iter()
         .map(|&c| eng.agent_mut::<ChannelProcess>(c).expect("channel").stats)
         .collect();
-    MptcpOutcome { subflows, senders, receivers, channels }
+    MptcpOutcome {
+        subflows,
+        senders,
+        receivers,
+        channels,
+    }
 }
 
 /// Runs a single flow whose timeout retransmissions are duplicated over a
@@ -200,7 +210,7 @@ pub fn run_with_backup_path(
         )))
     });
     let recorder = VecRecorder::new();
-    eng.add_observer(Box::new(recorder.clone()));
+    eng.add_recorder(recorder.clone());
     eng.run_until(cfg.deadline);
 
     let meta = FlowMeta {
@@ -210,11 +220,16 @@ pub fn run_with_backup_path(
         b: cfg.receiver.b,
         mss_bytes: cfg.mss_bytes,
     };
-    let trace = hsm_trace::capture::single_flow_trace(&recorder.events(), cfg.flow, meta.clone())
-        .unwrap_or_else(|| FlowTrace::new(cfg.flow, meta));
+    let trace =
+        hsm_trace::capture::single_flow_trace(&recorder.take_events(), cfg.flow, meta.clone())
+            .unwrap_or_else(|| FlowTrace::new(cfg.flow, meta));
     crate::connection::ConnectionOutcome {
         trace,
-        sender: eng.agent_mut::<RenoSender>(tx).expect("sender").metrics.clone(),
+        sender: eng
+            .agent_mut::<RenoSender>(tx)
+            .expect("sender")
+            .metrics
+            .clone(),
         receiver: eng.agent_mut::<Receiver>(rx).expect("receiver").metrics,
         channel: chan.map(|c| eng.agent_mut::<ChannelProcess>(c).expect("channel").stats),
         finished_at: eng.now(),
@@ -242,11 +257,23 @@ pub fn run_mptcp_shared_radio(
     let flows = [cfg.flow, cfg.flow + 1];
     let txs: Vec<_> = flows
         .iter()
-        .map(|&f| eng.add_agent(Box::new(RenoSender::new(FlowId(f), placeholder, cfg.sender))))
+        .map(|&f| {
+            eng.add_agent(Box::new(RenoSender::new(
+                FlowId(f),
+                placeholder,
+                cfg.sender,
+            )))
+        })
         .collect();
     let rxs: Vec<_> = flows
         .iter()
-        .map(|&f| eng.add_agent(Box::new(Receiver::new(FlowId(f), placeholder, cfg.receiver))))
+        .map(|&f| {
+            eng.add_agent(Box::new(Receiver::new(
+                FlowId(f),
+                placeholder,
+                cfg.receiver,
+            )))
+        })
         .collect();
     let demux_down = eng.add_agent(Box::new(Demux::new()));
     let demux_up = eng.add_agent(Box::new(Demux::new()));
@@ -280,8 +307,12 @@ pub fn run_mptcp_shared_radio(
     for (i, (&tx, &rx)) in txs.iter().zip(&rxs).enumerate() {
         let to_rx = internal(&mut eng, rx, format!("internal.rx{i}"));
         let to_tx = internal(&mut eng, tx, format!("internal.tx{i}"));
-        eng.agent_mut::<Demux>(demux_down).expect("demux").add_route(flows[i], to_rx);
-        eng.agent_mut::<Demux>(demux_up).expect("demux").add_route(flows[i], to_tx);
+        eng.agent_mut::<Demux>(demux_down)
+            .expect("demux")
+            .add_route(flows[i], to_rx);
+        eng.agent_mut::<Demux>(demux_up)
+            .expect("demux")
+            .add_route(flows[i], to_tx);
         {
             let sender = eng.agent_mut::<RenoSender>(tx).expect("sender");
             sender.data_link = down;
@@ -299,7 +330,7 @@ pub fn run_mptcp_shared_radio(
         )))
     });
     let recorder = VecRecorder::new();
-    eng.add_observer(Box::new(recorder.clone()));
+    eng.add_recorder(recorder.clone());
     let deadline = cfg.deadline;
     eng.run_until(deadline);
 
@@ -310,13 +341,21 @@ pub fn run_mptcp_shared_radio(
         b: cfg.receiver.b,
         mss_bytes: cfg.mss_bytes,
     };
-    let subflows =
-        traces_from_events_filtered(&recorder.events(), |_| base_meta.clone(), Some("internal"));
+    let subflows = traces_from_events_filtered(
+        &recorder.take_events(),
+        |_| base_meta.clone(),
+        Some("internal"),
+    );
     MptcpOutcome {
         subflows,
         senders: txs
             .iter()
-            .map(|&t| eng.agent_mut::<RenoSender>(t).expect("sender").metrics.clone())
+            .map(|&t| {
+                eng.agent_mut::<RenoSender>(t)
+                    .expect("sender")
+                    .metrics
+                    .clone()
+            })
             .collect(),
         receivers: rxs
             .iter()
@@ -337,15 +376,28 @@ mod tests {
 
     fn lossy_path() -> PathSpec {
         PathSpec {
-            down_loss: LossSpec::GilbertElliott { p_good: 0.003, p_bad: 0.8, g2b: 0.004, b2g: 0.05 },
-            up_loss: LossSpec::GilbertElliott { p_good: 0.003, p_bad: 0.8, g2b: 0.004, b2g: 0.05 },
+            down_loss: LossSpec::GilbertElliott {
+                p_good: 0.003,
+                p_bad: 0.8,
+                g2b: 0.004,
+                b2g: 0.05,
+            },
+            up_loss: LossSpec::GilbertElliott {
+                p_good: 0.003,
+                p_bad: 0.8,
+                g2b: 0.004,
+                b2g: 0.05,
+            },
             ..Default::default()
         }
     }
 
     fn timed_cfg(secs: u64) -> ConnectionConfig {
         ConnectionConfig {
-            sender: SenderConfig { stop_after: Some(SimDuration::from_secs(secs)), ..Default::default() },
+            sender: SenderConfig {
+                stop_after: Some(SimDuration::from_secs(secs)),
+                ..Default::default()
+            },
             deadline: SimTime::from_secs(secs),
             ..Default::default()
         }
@@ -398,7 +450,10 @@ mod tests {
             // radio (latency >= the configured propagation delay).
             for r in t.records.iter().take(200) {
                 if let Some(lat) = r.latency() {
-                    assert!(lat >= SimDuration::from_millis(20), "internal hop leaked: {r:?}");
+                    assert!(
+                        lat >= SimDuration::from_millis(20),
+                        "internal hop leaked: {r:?}"
+                    );
                 }
             }
         }
@@ -426,7 +481,10 @@ mod tests {
             agg < single_tp * 1.5,
             "shared radio cannot double capacity: {agg} vs single {single_tp}"
         );
-        assert!(agg > single_tp * 0.7, "sharing should not collapse: {agg} vs {single_tp}");
+        assert!(
+            agg > single_tp * 0.7,
+            "sharing should not collapse: {agg} vs {single_tp}"
+        );
     }
 
     #[test]

@@ -30,12 +30,19 @@ mod tests {
     fn run_newreno(seed: u64, multi_loss: bool) -> (u64, usize, usize) {
         let mut eng = Engine::new(seed);
         let placeholder = LinkId::from_raw(u32::MAX);
-        let cfg = SenderConfig { max_segments: Some(600), ..Default::default() };
+        let cfg = SenderConfig {
+            max_segments: Some(600),
+            ..Default::default()
+        };
         let tx = eng.add_agent(Box::new(new_reno_sender(FlowId(0), placeholder, cfg)));
         let rx = eng.add_agent(Box::new(Receiver::new(
             FlowId(0),
             placeholder,
-            ReceiverConfig { b: 1, delack_timeout: SimDuration::from_millis(100), adaptive: None },
+            ReceiverConfig {
+                b: 1,
+                delack_timeout: SimDuration::from_millis(100),
+                adaptive: None,
+            },
         )));
         let down = eng.add_link(
             LinkSpec::new(rx, "downlink")
@@ -60,7 +67,10 @@ mod tests {
         }
         eng.run_until_idle();
         let sender = eng.agent_mut::<RenoSender>(tx).unwrap();
-        let (timeouts, fast) = (sender.metrics.timeouts.len(), sender.metrics.fast_retransmits.len());
+        let (timeouts, fast) = (
+            sender.metrics.timeouts.len(),
+            sender.metrics.fast_retransmits.len(),
+        );
         let rx_agent = eng.agent_mut::<Receiver>(rx).unwrap();
         (rx_agent.next_expected().as_u64(), timeouts, fast)
     }

@@ -45,7 +45,11 @@ impl Default for AdaptiveDelAck {
     /// windows amplify ACK-burst loss, so the default never grows past
     /// the standard `b = 2`.
     fn default() -> Self {
-        AdaptiveDelAck { b_min: 1, b_max: 2, grow_after: 64 }
+        AdaptiveDelAck {
+            b_min: 1,
+            b_max: 2,
+            grow_after: 64,
+        }
     }
 }
 
@@ -65,7 +69,11 @@ impl Default for ReceiverConfig {
     fn default() -> Self {
         // The paper's traces show delayed ACKs in use; b = 2 with the
         // usual 100 ms deadline hold.
-        ReceiverConfig { b: 2, delack_timeout: SimDuration::from_millis(100), adaptive: None }
+        ReceiverConfig {
+            b: 2,
+            delack_timeout: SimDuration::from_millis(100),
+            adaptive: None,
+        }
     }
 }
 
@@ -103,7 +111,10 @@ impl Receiver {
     pub fn new(flow: FlowId, uplink: LinkId, cfg: ReceiverConfig) -> Receiver {
         assert!(cfg.b >= 1, "delayed-ACK factor must be at least 1");
         if let Some(a) = cfg.adaptive {
-            assert!(a.b_min >= 1 && a.b_max >= a.b_min, "invalid adaptive delack bounds");
+            assert!(
+                a.b_min >= 1 && a.b_max >= a.b_min,
+                "invalid adaptive delack bounds"
+            );
             assert!(a.grow_after >= 1, "grow_after must be positive");
         }
         let current_b = cfg.adaptive.map(|a| a.b_min).unwrap_or(cfg.b);
@@ -271,12 +282,19 @@ mod tests {
     fn harness(cfg: ReceiverConfig) -> Harness {
         let mut eng = Engine::new(11);
         let sink = eng.add_agent(Box::new(NullAgent::new())); // stands in for the sender
-        let uplink = eng.add_link(LinkSpec::new(sink, "uplink").prop_delay(SimDuration::from_millis(5)));
+        let uplink =
+            eng.add_link(LinkSpec::new(sink, "uplink").prop_delay(SimDuration::from_millis(5)));
         let rx = eng.add_agent(Box::new(Receiver::new(FlowId(0), uplink, cfg)));
-        let downlink = eng.add_link(LinkSpec::new(rx, "downlink").prop_delay(SimDuration::from_millis(5)));
+        let downlink =
+            eng.add_link(LinkSpec::new(rx, "downlink").prop_delay(SimDuration::from_millis(5)));
         let rec = VecRecorder::new();
-        eng.add_observer(Box::new(rec.clone()));
-        Harness { eng, rx, downlink, rec }
+        eng.add_recorder(rec.clone());
+        Harness {
+            eng,
+            rx,
+            downlink,
+            rec,
+        }
     }
 
     fn acks_sent(rec: &VecRecorder) -> Vec<(u64, u32)> {
@@ -294,7 +312,8 @@ mod tests {
     fn delayed_ack_coalesces_pairs() {
         let mut h = harness(ReceiverConfig::default());
         for seq in 0..4 {
-            h.eng.inject(h.downlink, Packet::data(FlowId(0), SeqNo(seq), false));
+            h.eng
+                .inject(h.downlink, Packet::data(FlowId(0), SeqNo(seq), false));
         }
         h.eng.run_until_idle();
         let acks = acks_sent(&h.rec);
@@ -308,7 +327,8 @@ mod tests {
     #[test]
     fn delack_deadline_flushes_odd_segment() {
         let mut h = harness(ReceiverConfig::default());
-        h.eng.inject(h.downlink, Packet::data(FlowId(0), SeqNo(0), false));
+        h.eng
+            .inject(h.downlink, Packet::data(FlowId(0), SeqNo(0), false));
         h.eng.run_until_idle();
         let acks = acks_sent(&h.rec);
         assert_eq!(acks, vec![(1, 1)], "flushed by the 100 ms delack timer");
@@ -318,10 +338,15 @@ mod tests {
 
     #[test]
     fn out_of_order_triggers_immediate_dup_acks() {
-        let mut h = harness(ReceiverConfig { b: 2, delack_timeout: SimDuration::from_millis(100), adaptive: None });
+        let mut h = harness(ReceiverConfig {
+            b: 2,
+            delack_timeout: SimDuration::from_millis(100),
+            adaptive: None,
+        });
         // seq 0 arrives, then 2, 3, 4 (1 missing): expect dup ACKs cum=1.
         for seq in [0u64, 2, 3, 4] {
-            h.eng.inject(h.downlink, Packet::data(FlowId(0), SeqNo(seq), false));
+            h.eng
+                .inject(h.downlink, Packet::data(FlowId(0), SeqNo(seq), false));
         }
         h.eng.run_until_idle();
         let acks = acks_sent(&h.rec);
@@ -333,24 +358,40 @@ mod tests {
 
     #[test]
     fn hole_fill_acks_cumulatively() {
-        let mut h = harness(ReceiverConfig { b: 2, delack_timeout: SimDuration::from_millis(100), adaptive: None });
+        let mut h = harness(ReceiverConfig {
+            b: 2,
+            delack_timeout: SimDuration::from_millis(100),
+            adaptive: None,
+        });
         for seq in [0u64, 2, 3] {
-            h.eng.inject(h.downlink, Packet::data(FlowId(0), SeqNo(seq), false));
+            h.eng
+                .inject(h.downlink, Packet::data(FlowId(0), SeqNo(seq), false));
         }
         h.eng.run_until(SimTime::from_millis(50));
         // Fill the hole.
-        h.eng.inject(h.downlink, Packet::data(FlowId(0), SeqNo(1), false));
+        h.eng
+            .inject(h.downlink, Packet::data(FlowId(0), SeqNo(1), false));
         h.eng.run_until_idle();
         let acks = acks_sent(&h.rec);
-        assert_eq!(acks.last().unwrap().0, 4, "cumulative ACK jumps over the filled hole");
+        assert_eq!(
+            acks.last().unwrap().0,
+            4,
+            "cumulative ACK jumps over the filled hole"
+        );
     }
 
     #[test]
     fn duplicate_payload_is_counted_and_acked() {
-        let mut h = harness(ReceiverConfig { b: 1, delack_timeout: SimDuration::from_millis(100), adaptive: None });
-        h.eng.inject(h.downlink, Packet::data(FlowId(0), SeqNo(0), false));
+        let mut h = harness(ReceiverConfig {
+            b: 1,
+            delack_timeout: SimDuration::from_millis(100),
+            adaptive: None,
+        });
+        h.eng
+            .inject(h.downlink, Packet::data(FlowId(0), SeqNo(0), false));
         h.eng.run_until(SimTime::from_millis(50));
-        h.eng.inject(h.downlink, Packet::data(FlowId(0), SeqNo(0), true)); // spurious retx
+        h.eng
+            .inject(h.downlink, Packet::data(FlowId(0), SeqNo(0), true)); // spurious retx
         h.eng.run_until_idle();
         let rx = h.eng.agent_mut::<Receiver>(h.rx).unwrap();
         assert_eq!(rx.metrics.duplicate_payloads, 1);
@@ -361,9 +402,14 @@ mod tests {
 
     #[test]
     fn b_equals_one_acks_every_segment() {
-        let mut h = harness(ReceiverConfig { b: 1, delack_timeout: SimDuration::from_millis(100), adaptive: None });
+        let mut h = harness(ReceiverConfig {
+            b: 1,
+            delack_timeout: SimDuration::from_millis(100),
+            adaptive: None,
+        });
         for seq in 0..5 {
-            h.eng.inject(h.downlink, Packet::data(FlowId(0), SeqNo(seq), false));
+            h.eng
+                .inject(h.downlink, Packet::data(FlowId(0), SeqNo(seq), false));
         }
         h.eng.run_until_idle();
         assert_eq!(acks_sent(&h.rec).len(), 5);
@@ -372,33 +418,48 @@ mod tests {
     #[test]
     fn adaptive_delack_grows_on_healthy_stream() {
         let cfg = ReceiverConfig {
-            adaptive: Some(AdaptiveDelAck { b_min: 1, b_max: 4, grow_after: 8 }),
+            adaptive: Some(AdaptiveDelAck {
+                b_min: 1,
+                b_max: 4,
+                grow_after: 8,
+            }),
             ..Default::default()
         };
         let mut h = harness(cfg);
         for seq in 0..40 {
-            h.eng.inject(h.downlink, Packet::data(FlowId(0), SeqNo(seq), false));
+            h.eng
+                .inject(h.downlink, Packet::data(FlowId(0), SeqNo(seq), false));
         }
         h.eng.run_until_idle();
         let rx = h.eng.agent_mut::<Receiver>(h.rx).unwrap();
-        assert_eq!(rx.current_b(), 4, "40 clean segments at grow_after=8 saturate b_max");
+        assert_eq!(
+            rx.current_b(),
+            4,
+            "40 clean segments at grow_after=8 saturate b_max"
+        );
         assert_eq!(rx.next_expected(), SeqNo(40));
     }
 
     #[test]
     fn adaptive_delack_collapses_on_disorder() {
         let cfg = ReceiverConfig {
-            adaptive: Some(AdaptiveDelAck { b_min: 1, b_max: 4, grow_after: 4 }),
+            adaptive: Some(AdaptiveDelAck {
+                b_min: 1,
+                b_max: 4,
+                grow_after: 4,
+            }),
             ..Default::default()
         };
         let mut h = harness(cfg);
         for seq in 0..16 {
-            h.eng.inject(h.downlink, Packet::data(FlowId(0), SeqNo(seq), false));
+            h.eng
+                .inject(h.downlink, Packet::data(FlowId(0), SeqNo(seq), false));
         }
         h.eng.run_until(SimTime::from_secs(2));
         assert!(h.eng.agent_mut::<Receiver>(h.rx).unwrap().current_b() > 1);
         // A gap (seq 17 before 16... inject 18 to create disorder).
-        h.eng.inject(h.downlink, Packet::data(FlowId(0), SeqNo(18), false));
+        h.eng
+            .inject(h.downlink, Packet::data(FlowId(0), SeqNo(18), false));
         h.eng.run_until_idle();
         let rx = h.eng.agent_mut::<Receiver>(h.rx).unwrap();
         assert_eq!(rx.current_b(), 1, "disorder resets the delayed window");

@@ -203,7 +203,10 @@ impl RenoSender {
                 break;
             }
             let seq = self.snd_nxt;
-            ctx.send(self.data_link, Packet::data(self.flow, SeqNo(seq), is_resend));
+            ctx.send(
+                self.data_link,
+                Packet::data(self.flow, SeqNo(seq), is_resend),
+            );
             self.metrics.segments_sent += 1;
             if is_resend {
                 self.metrics.retransmissions += 1;
@@ -212,7 +215,10 @@ impl RenoSender {
                 // path too, not just the RTO-triggered segment (§V-B).
                 if seq < self.recover {
                     if let Some(backup) = self.backup_link {
-                        ctx.send(backup, Packet::data(self.flow, SeqNo(seq), true).with_tag(1));
+                        ctx.send(
+                            backup,
+                            Packet::data(self.flow, SeqNo(seq), true).with_tag(1),
+                        );
                         self.metrics.segments_sent += 1;
                     }
                 }
@@ -239,7 +245,10 @@ impl RenoSender {
         self.metrics.retransmissions += 1;
         if redundant {
             if let Some(backup) = self.backup_link {
-                ctx.send(backup, Packet::data(self.flow, SeqNo(seq), true).with_tag(1));
+                ctx.send(
+                    backup,
+                    Packet::data(self.flow, SeqNo(seq), true).with_tag(1),
+                );
                 self.metrics.segments_sent += 1;
             }
         }
@@ -372,7 +381,10 @@ impl RenoSender {
         // window is the pre-collapse one; it is consumed (fired or
         // discarded) by the first new ACK either way.
         if self.cfg.spurious_rto_undo && self.undo.is_none() {
-            self.undo = Some(RtoUndo { cwnd: self.cwnd, armed_snd_una: self.snd_una });
+            self.undo = Some(RtoUndo {
+                cwnd: self.cwnd,
+                armed_snd_una: self.snd_una,
+            });
         }
         let flight = self.flight();
         self.cwnd.on_timeout(flight);
@@ -440,10 +452,24 @@ mod tests {
         rec: VecRecorder,
     }
 
-    fn world(seed: u64, scfg: SenderConfig, rcfg: ReceiverConfig, down_loss: f64, up_loss: f64) -> World {
+    fn world(
+        seed: u64,
+        scfg: SenderConfig,
+        rcfg: ReceiverConfig,
+        down_loss: f64,
+        up_loss: f64,
+    ) -> World {
         let mut eng = Engine::new(seed);
-        let tx = eng.add_agent(Box::new(RenoSender::new(FlowId(0), LinkId::from_raw(0), scfg)));
-        let rx = eng.add_agent(Box::new(Receiver::new(FlowId(0), LinkId::from_raw(0), rcfg)));
+        let tx = eng.add_agent(Box::new(RenoSender::new(
+            FlowId(0),
+            LinkId::from_raw(0),
+            scfg,
+        )));
+        let rx = eng.add_agent(Box::new(Receiver::new(
+            FlowId(0),
+            LinkId::from_raw(0),
+            rcfg,
+        )));
         let down = eng.add_link(
             LinkSpec::new(rx, "downlink")
                 .bandwidth_bps(50_000_000)
@@ -459,15 +485,25 @@ mod tests {
         eng.agent_mut::<RenoSender>(tx).unwrap().data_link = down;
         eng.agent_mut::<Receiver>(rx).unwrap().uplink = up;
         let rec = VecRecorder::new();
-        eng.add_observer(Box::new(rec.clone()));
-        World { eng, tx, rx, down, up, rec }
+        eng.add_recorder(rec.clone());
+        World {
+            eng,
+            tx,
+            rx,
+            down,
+            up,
+            rec,
+        }
     }
 
     #[test]
     fn lossless_flow_delivers_everything_in_order() {
         let mut w = world(
             1,
-            SenderConfig { max_segments: Some(200), ..Default::default() },
+            SenderConfig {
+                max_segments: Some(200),
+                ..Default::default()
+            },
             ReceiverConfig::default(),
             0.0,
             0.0,
@@ -486,8 +522,15 @@ mod tests {
     fn slow_start_grows_window_exponentially() {
         let mut w = world(
             2,
-            SenderConfig { max_segments: Some(1000), ..Default::default() },
-            ReceiverConfig { b: 1, delack_timeout: SimDuration::from_millis(100), adaptive: None },
+            SenderConfig {
+                max_segments: Some(1000),
+                ..Default::default()
+            },
+            ReceiverConfig {
+                b: 1,
+                delack_timeout: SimDuration::from_millis(100),
+                adaptive: None,
+            },
             0.0,
             0.0,
         );
@@ -503,20 +546,24 @@ mod tests {
     fn single_data_loss_triggers_fast_retransmit_not_timeout() {
         let mut w = world(
             3,
-            SenderConfig { max_segments: Some(400), ..Default::default() },
-            ReceiverConfig { b: 1, delack_timeout: SimDuration::from_millis(100), adaptive: None },
+            SenderConfig {
+                max_segments: Some(400),
+                ..Default::default()
+            },
+            ReceiverConfig {
+                b: 1,
+                delack_timeout: SimDuration::from_millis(100),
+                adaptive: None,
+            },
             0.0,
             0.0,
         );
         // Kill exactly one data packet mid-flow with a surgical outage.
-        w.eng
-            .link_mut(w.down)
-            .loss
-            .set_outage(Some(Outage::new(
-                SimTime::from_millis(300),
-                SimTime::from_millis(302),
-                1.0,
-            )));
+        w.eng.link_mut(w.down).loss.set_outage(Some(Outage::new(
+            SimTime::from_millis(300),
+            SimTime::from_millis(302),
+            1.0,
+        )));
         w.eng.run_until_idle();
         let tx = w.eng.agent_mut::<RenoSender>(w.tx).unwrap();
         assert!(tx.metrics.retransmissions >= 1);
@@ -533,7 +580,10 @@ mod tests {
     fn full_window_loss_causes_timeout_and_backoff() {
         let mut w = world(
             4,
-            SenderConfig { max_segments: Some(400), ..Default::default() },
+            SenderConfig {
+                max_segments: Some(400),
+                ..Default::default()
+            },
             ReceiverConfig::default(),
             0.0,
             0.0,
@@ -546,7 +596,11 @@ mod tests {
         )));
         w.eng.run_until_idle();
         let tx = w.eng.agent_mut::<RenoSender>(w.tx).unwrap();
-        assert!(tx.metrics.timeout_count() >= 1, "timeouts: {:?}", tx.metrics.timeouts);
+        assert!(
+            tx.metrics.timeout_count() >= 1,
+            "timeouts: {:?}",
+            tx.metrics.timeouts
+        );
         // Recovery finished: all 400 segments delivered.
         let rx = w.eng.agent_mut::<Receiver>(w.rx).unwrap();
         assert_eq!(rx.next_expected(), SeqNo(400));
@@ -556,7 +610,10 @@ mod tests {
     fn consecutive_timeouts_double_the_timer() {
         let mut w = world(
             5,
-            SenderConfig { max_segments: Some(50), ..Default::default() },
+            SenderConfig {
+                max_segments: Some(50),
+                ..Default::default()
+            },
             ReceiverConfig::default(),
             0.0,
             0.0,
@@ -572,10 +629,7 @@ mod tests {
         let rtos = &tx.metrics.rto_at_timeout;
         assert!(rtos.len() >= 3, "rtos: {rtos:?}");
         for pair in rtos.windows(2) {
-            assert!(
-                pair[1] >= pair[0] * 1.9,
-                "backoff not doubling: {rtos:?}"
-            );
+            assert!(pair[1] >= pair[0] * 1.9, "backoff not doubling: {rtos:?}");
         }
     }
 
@@ -586,7 +640,10 @@ mod tests {
         // duplicate payloads (paper Fig. 5).
         let mut w = world(
             6,
-            SenderConfig { max_segments: Some(300), ..Default::default() },
+            SenderConfig {
+                max_segments: Some(300),
+                ..Default::default()
+            },
             ReceiverConfig::default(),
             0.0,
             0.0,
@@ -598,7 +655,10 @@ mod tests {
         )));
         w.eng.run_until_idle();
         let tx = w.eng.agent_mut::<RenoSender>(w.tx).unwrap();
-        assert!(tx.metrics.timeout_count() >= 1, "no timeout despite ACK burst loss");
+        assert!(
+            tx.metrics.timeout_count() >= 1,
+            "no timeout despite ACK burst loss"
+        );
         let rx = w.eng.agent_mut::<Receiver>(w.rx).unwrap();
         assert!(
             rx.metrics.duplicate_payloads >= 1,
@@ -611,21 +671,31 @@ mod tests {
     fn flow_survives_sustained_random_loss() {
         let mut w = world(
             7,
-            SenderConfig { max_segments: Some(2_000), ..Default::default() },
+            SenderConfig {
+                max_segments: Some(2_000),
+                ..Default::default()
+            },
             ReceiverConfig::default(),
             0.02,
             0.01,
         );
         w.eng.run_until(SimTime::from_secs(600));
         let rx = w.eng.agent_mut::<Receiver>(w.rx).unwrap();
-        assert_eq!(rx.next_expected(), SeqNo(2_000), "flow must complete under loss");
+        assert_eq!(
+            rx.next_expected(),
+            SeqNo(2_000),
+            "flow must complete under loss"
+        );
     }
 
     #[test]
     fn stop_after_halts_the_flow() {
         let mut w = world(
             8,
-            SenderConfig { stop_after: Some(SimDuration::from_secs(2)), ..Default::default() },
+            SenderConfig {
+                stop_after: Some(SimDuration::from_secs(2)),
+                ..Default::default()
+            },
             ReceiverConfig::default(),
             0.0,
             0.0,
@@ -641,7 +711,11 @@ mod tests {
     fn window_respects_advertised_limit() {
         let mut w = world(
             9,
-            SenderConfig { w_m: 4, max_segments: Some(500), ..Default::default() },
+            SenderConfig {
+                w_m: 4,
+                max_segments: Some(500),
+                ..Default::default()
+            },
             ReceiverConfig::default(),
             0.0,
             0.0,
@@ -684,7 +758,10 @@ mod tests {
         let (undone, retx_undo, finish_undo) = run(true);
         let (baseline_undone, retx_plain, finish_plain) = run(false);
         assert_eq!(baseline_undone, 0);
-        assert!(undone >= 1, "the blackout timeout must be detected as spurious");
+        assert!(
+            undone >= 1,
+            "the blackout timeout must be detected as spurious"
+        );
         assert!(
             retx_undo <= retx_plain,
             "undo must not add retransmissions ({retx_undo} vs {retx_plain})"
@@ -731,14 +808,21 @@ mod tests {
         let run = |seed| {
             let mut w = world(
                 seed,
-                SenderConfig { max_segments: Some(500), ..Default::default() },
+                SenderConfig {
+                    max_segments: Some(500),
+                    ..Default::default()
+                },
                 ReceiverConfig::default(),
                 0.01,
                 0.005,
             );
             w.eng.run_until_idle();
             let tx = w.eng.agent_mut::<RenoSender>(w.tx).unwrap();
-            (tx.metrics.segments_sent, tx.metrics.timeouts.clone(), w.rec.len())
+            (
+                tx.metrics.segments_sent,
+                tx.metrics.timeouts.clone(),
+                w.rec.len(),
+            )
         };
         assert_eq!(run(42), run(42));
     }

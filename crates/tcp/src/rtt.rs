@@ -27,10 +27,21 @@ impl RttEstimator {
     ///
     /// Panics if the bounds are inverted or non-positive.
     pub fn new(initial_rto: SimDuration, min_rto: SimDuration, max_rto: SimDuration) -> Self {
-        let (init, min, max) = (initial_rto.as_secs_f64(), min_rto.as_secs_f64(), max_rto.as_secs_f64());
+        let (init, min, max) = (
+            initial_rto.as_secs_f64(),
+            min_rto.as_secs_f64(),
+            max_rto.as_secs_f64(),
+        );
         assert!(min > 0.0 && max >= min, "invalid RTO bounds");
         assert!(init > 0.0, "invalid initial RTO");
-        RttEstimator { srtt: None, rttvar: 0.0, min_rto: min, max_rto: max, initial_rto: init, samples: 0 }
+        RttEstimator {
+            srtt: None,
+            rttvar: 0.0,
+            min_rto: min,
+            max_rto: max,
+            initial_rto: init,
+            samples: 0,
+        }
     }
 
     /// RFC 6298 defaults: initial RTO 1 s, bounds [200 ms, 60 s] (Linux's

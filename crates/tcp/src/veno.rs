@@ -22,7 +22,10 @@ pub fn veno_sender(flow: FlowId, data_link: LinkId, mut cfg: SenderConfig) -> Re
 
 /// A [`SenderConfig`] preset running Veno.
 pub fn veno_config(base: SenderConfig) -> SenderConfig {
-    SenderConfig { algorithm: Algorithm::veno(), ..base }
+    SenderConfig {
+        algorithm: Algorithm::veno(),
+        ..base
+    }
 }
 
 #[cfg(test)]
@@ -48,7 +51,9 @@ mod tests {
             ..Default::default()
         };
         let out = run_connection(seed, &path, None, &cfg);
-        analyze_flow(&out.trace, &Default::default()).summary.throughput_sps
+        analyze_flow(&out.trace, &Default::default())
+            .summary
+            .throughput_sps
     }
 
     #[test]

@@ -17,7 +17,9 @@ pub struct DelayPoint {
 
 /// Builds the Fig. 1 scatter from a trace.
 pub fn delay_scatter(trace: &FlowTrace) -> Vec<DelayPoint> {
-    let Some(start) = trace.start() else { return Vec::new() };
+    let Some(start) = trace.start() else {
+        return Vec::new();
+    };
     trace
         .records
         .iter()
@@ -33,12 +35,16 @@ pub fn delay_scatter(trace: &FlowTrace) -> Vec<DelayPoint> {
 }
 
 /// Median of a (possibly unsorted) list of durations.
+///
+/// Selection, not a full sort — same element a sort would put at
+/// `len / 2`, in O(n).
 fn median(mut xs: Vec<SimDuration>) -> Option<SimDuration> {
     if xs.is_empty() {
         return None;
     }
-    xs.sort();
-    Some(xs[xs.len() / 2])
+    let mid = xs.len() / 2;
+    let (_, m, _) = xs.select_nth_unstable(mid);
+    Some(*m)
 }
 
 /// Estimates the flow's base RTT as (median data one-way delay) + (median
@@ -68,8 +74,12 @@ pub fn delay_timeline(trace: &FlowTrace, window: SimDuration) -> Vec<DelayBin> {
     if window.is_zero() {
         return Vec::new();
     }
-    let Some(start) = trace.start() else { return Vec::new() };
-    let Some(end) = trace.end() else { return Vec::new() };
+    let Some(start) = trace.start() else {
+        return Vec::new();
+    };
+    let Some(end) = trace.end() else {
+        return Vec::new();
+    };
     let n_bins = (end.saturating_since(start).as_micros() / window.as_micros() + 1) as usize;
     let mut per_bin: Vec<Vec<f64>> = vec![Vec::new(); n_bins];
     for rec in trace.data() {
@@ -87,7 +97,11 @@ pub fn delay_timeline(trace: &FlowTrace, window: SimDuration) -> Vec<DelayBin> {
             xs.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
             DelayBin {
                 from_s: window.as_secs_f64() * i as f64,
-                median_delay_s: if xs.is_empty() { None } else { Some(xs[xs.len() / 2]) },
+                median_delay_s: if xs.is_empty() {
+                    None
+                } else {
+                    Some(xs[xs.len() / 2])
+                },
                 samples: xs.len(),
             }
         })
@@ -116,7 +130,11 @@ mod tests {
     #[test]
     fn scatter_marks_lost_at_minus_one() {
         let mut t = FlowTrace::new(0, FlowMeta::default());
-        t.records = vec![rec(100, Some(30), false), rec(200, None, false), rec(250, Some(28), true)];
+        t.records = vec![
+            rec(100, Some(30), false),
+            rec(200, None, false),
+            rec(250, Some(28), true),
+        ];
         let pts = delay_scatter(&t);
         assert_eq!(pts.len(), 3);
         assert!((pts[0].sent_s - 0.0).abs() < 1e-9);

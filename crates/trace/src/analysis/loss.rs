@@ -70,7 +70,11 @@ mod tests {
             acked_count: u32::from(is_ack),
             size_bytes: 1500,
             sent_at: SimTime::from_millis(seq),
-            arrived_at: if lost { None } else { Some(SimTime::from_millis(seq + 30)) },
+            arrived_at: if lost {
+                None
+            } else {
+                Some(SimTime::from_millis(seq + 30))
+            },
         }
     }
 

@@ -124,7 +124,11 @@ pub fn ack_burst_stats_excluding(
     let rounds = ack_rounds(trace, gap);
     let kept: Vec<&AckRound> = rounds
         .iter()
-        .filter(|r| !excluded.iter().any(|&(from, to)| r.start >= from && r.start < to))
+        .filter(|r| {
+            !excluded
+                .iter()
+                .any(|&(from, to)| r.start >= from && r.start < to)
+        })
         .collect();
     let total_acks: usize = kept.iter().map(|r| r.acks.len()).sum();
     let measurable: Vec<&&AckRound> = kept.iter().filter(|r| r.acks.len() >= 2).collect();
@@ -154,7 +158,11 @@ mod tests {
             acked_count: 1,
             size_bytes: 40,
             sent_at: SimTime::from_millis(sent_ms),
-            arrived_at: if lost { None } else { Some(SimTime::from_millis(sent_ms + 25)) },
+            arrived_at: if lost {
+                None
+            } else {
+                Some(SimTime::from_millis(sent_ms + 25))
+            },
         }
     }
 
@@ -167,7 +175,13 @@ mod tests {
     #[test]
     fn segments_by_gap() {
         // Two rounds: {0,2,4} ms and {100,102} ms with a 30 ms gap rule.
-        let t = trace(vec![ack(0, false), ack(2, false), ack(4, false), ack(100, true), ack(102, true)]);
+        let t = trace(vec![
+            ack(0, false),
+            ack(2, false),
+            ack(4, false),
+            ack(100, true),
+            ack(102, true),
+        ]);
         let rounds = ack_rounds(&t, SimDuration::from_millis(30));
         assert_eq!(rounds.len(), 2);
         assert_eq!(rounds[0].acks.len(), 3);
@@ -198,7 +212,12 @@ mod tests {
     #[test]
     fn single_surviving_ack_saves_the_round() {
         // Fig. 11: one ACK arriving is enough.
-        let t = trace(vec![ack(0, true), ack(1, true), ack(2, false), ack(3, true)]);
+        let t = trace(vec![
+            ack(0, true),
+            ack(1, true),
+            ack(2, false),
+            ack(3, true),
+        ]);
         let rounds = ack_rounds(&t, SimDuration::from_millis(30));
         assert_eq!(rounds.len(), 1);
         assert!(!rounds[0].burst_lost());
@@ -208,8 +227,8 @@ mod tests {
     fn exclusion_windows_drop_recovery_rounds() {
         let t = trace(vec![
             ack(0, true),
-            ack(2, true), // CA round, burst lost
-            ack(500, true), // inside the excluded recovery window
+            ack(2, true),    // CA round, burst lost
+            ack(500, true),  // inside the excluded recovery window
             ack(900, false), // after the window
         ]);
         let windows = [(SimTime::from_millis(400), SimTime::from_millis(800))];

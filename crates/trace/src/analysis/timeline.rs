@@ -45,8 +45,12 @@ pub fn throughput_timeline(trace: &FlowTrace, window: SimDuration) -> Vec<Timeli
     if window.is_zero() {
         return Vec::new();
     }
-    let Some(start) = trace.start() else { return Vec::new() };
-    let Some(end) = trace.end() else { return Vec::new() };
+    let Some(start) = trace.start() else {
+        return Vec::new();
+    };
+    let Some(end) = trace.end() else {
+        return Vec::new();
+    };
     let total = end.saturating_since(start);
     let n_bins = (total.as_micros() / window.as_micros() + 1) as usize;
     let mut bins: Vec<TimelineBin> = (0..n_bins)
@@ -97,13 +101,19 @@ pub fn detect_stalls(trace: &FlowTrace, min_gap: SimDuration) -> Vec<Stall> {
     let mut stalls = Vec::new();
     for pair in arrivals.windows(2) {
         if pair[1].saturating_since(pair[0]) >= min_gap {
-            stalls.push(Stall { from: pair[0], until: pair[1] });
+            stalls.push(Stall {
+                from: pair[0],
+                until: pair[1],
+            });
         }
     }
     // A trailing gap (flow died before the capture ended) also counts.
     if let (Some(&last), Some(end)) = (arrivals.last(), trace.end()) {
         if end.saturating_since(last) >= min_gap {
-            stalls.push(Stall { from: last, until: end });
+            stalls.push(Stall {
+                from: last,
+                until: end,
+            });
         }
     }
     stalls
@@ -205,8 +215,9 @@ mod tests {
 
     #[test]
     fn no_stalls_in_smooth_flow() {
-        let records: Vec<PacketRecord> =
-            (0..50).map(|i| data(i, i * 20, Some(i * 20 + 30), false)).collect();
+        let records: Vec<PacketRecord> = (0..50)
+            .map(|i| data(i, i * 20, Some(i * 20 + 30), false))
+            .collect();
         let t = trace(records);
         assert!(detect_stalls(&t, SimDuration::from_secs(1)).is_empty());
         assert_eq!(stall_time_fraction(&t, SimDuration::from_secs(1)), 0.0);

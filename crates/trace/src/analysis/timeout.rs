@@ -34,7 +34,9 @@ pub struct TimeoutConfig {
 
 impl Default for TimeoutConfig {
     fn default() -> Self {
-        TimeoutConfig { silence_threshold: SimDuration::from_millis(150) }
+        TimeoutConfig {
+            silence_threshold: SimDuration::from_millis(150),
+        }
     }
 }
 
@@ -163,7 +165,9 @@ impl TimeoutAnalysis {
             .iter()
             .map(|s| s.recovery_duration().as_micros())
             .sum();
-        Some(SimDuration::from_micros(total_us / self.sequences.len() as u64))
+        Some(SimDuration::from_micros(
+            total_us / self.sequences.len() as u64,
+        ))
     }
 
     /// Mean first-RTO estimate across sequences — the model's `T`.
@@ -171,8 +175,14 @@ impl TimeoutAnalysis {
         if self.sequences.is_empty() {
             return None;
         }
-        let total_us: u64 = self.sequences.iter().map(|s| s.first_rto().as_micros()).sum();
-        Some(SimDuration::from_micros(total_us / self.sequences.len() as u64))
+        let total_us: u64 = self
+            .sequences
+            .iter()
+            .map(|s| s.first_rto().as_micros())
+            .sum();
+        Some(SimDuration::from_micros(
+            total_us / self.sequences.len() as u64,
+        ))
     }
 
     /// Median first-RTO estimate across sequences — the robust choice for
@@ -184,10 +194,18 @@ impl TimeoutAnalysis {
         if self.sequences.is_empty() {
             return None;
         }
-        let mut us: Vec<u64> = self.sequences.iter().map(|s| s.first_rto().as_micros()).collect();
+        let mut us: Vec<u64> = self
+            .sequences
+            .iter()
+            .map(|s| s.first_rto().as_micros())
+            .collect();
         us.sort_unstable();
         let n = us.len();
-        let median = if n % 2 == 1 { us[n / 2] } else { (us[n / 2 - 1] + us[n / 2]) / 2 };
+        let median = if n % 2 == 1 {
+            us[n / 2]
+        } else {
+            (us[n / 2 - 1] + us[n / 2]) / 2
+        };
         Some(SimDuration::from_micros(median))
     }
 
@@ -202,25 +220,25 @@ impl TimeoutAnalysis {
 
 /// Runs the timeout analysis over a flow trace.
 pub fn analyze_timeouts(trace: &FlowTrace, cfg: &TimeoutConfig) -> TimeoutAnalysis {
-    // Indices of data records in send order (trace is kept send-sorted).
-    let data_idx: Vec<usize> = trace
-        .records
-        .iter()
-        .enumerate()
-        .filter(|(_, r)| !r.is_ack)
-        .map(|(i, _)| i)
-        .collect();
-
-    // Latest transmission index per seq, updated as we sweep.
-    let mut last_tx_of_seq: HashMap<u64, usize> = HashMap::new();
+    // Latest transmission index per seq, updated as we sweep. Sequence
+    // numbers count from zero, so this is a dense slab (sentinel
+    // `u32::MAX` = never sent) with a hash-map spillway for any
+    // pathological out-of-range seq.
+    const NO_TX: u32 = u32::MAX;
+    let dense_limit = (trace.records.len() as u64) * 4 + 1024;
+    let mut last_tx_dense: Vec<u32> = vec![NO_TX; dense_limit as usize];
+    let mut last_tx_sparse: HashMap<u64, usize> = HashMap::new();
 
     let mut analysis = TimeoutAnalysis::default();
     let mut current: Option<TimeoutSequence> = None;
     let mut prev_send: Option<SimTime> = None;
     let mut last_data_send: Option<SimTime> = None;
 
-    for &idx in &data_idx {
-        let rec = &trace.records[idx];
+    // Sweep data records in send order (the trace is kept send-sorted).
+    for (idx, rec) in trace.records.iter().enumerate() {
+        if rec.is_ack {
+            continue;
+        }
         let silent = prev_send
             .map(|p| rec.sent_at.saturating_since(p) >= cfg.silence_threshold)
             .unwrap_or(false);
@@ -229,9 +247,16 @@ pub fn analyze_timeouts(trace: &FlowTrace, cfg: &TimeoutConfig) -> TimeoutAnalys
         let is_rto_retx = rec.retransmit && silent;
 
         if is_rto_retx {
-            let spurious = last_tx_of_seq
-                .get(&rec.seq)
-                .map(|&prev_idx| trace.records[prev_idx].arrived_at.is_some())
+            let prev_tx = if rec.seq < dense_limit {
+                match last_tx_dense[rec.seq as usize] {
+                    NO_TX => None,
+                    i => Some(i as usize),
+                }
+            } else {
+                last_tx_sparse.get(&rec.seq).copied()
+            };
+            let spurious = prev_tx
+                .map(|prev_idx| trace.records[prev_idx].arrived_at.is_some())
                 .unwrap_or(false);
             let seq = current.get_or_insert_with(|| TimeoutSequence {
                 events: Vec::new(),
@@ -241,7 +266,10 @@ pub fn analyze_timeouts(trace: &FlowTrace, cfg: &TimeoutConfig) -> TimeoutAnalys
                 first_retx_at: rec.sent_at,
                 recovery_end: rec.sent_at,
             });
-            seq.events.push(TimeoutEvent { retx_idx: idx, spurious });
+            seq.events.push(TimeoutEvent {
+                retx_idx: idx,
+                spurious,
+            });
             if rec.lost() {
                 seq.retrans_lost += 1;
             }
@@ -260,7 +288,11 @@ pub fn analyze_timeouts(trace: &FlowTrace, cfg: &TimeoutConfig) -> TimeoutAnalys
             }
         }
 
-        last_tx_of_seq.insert(rec.seq, idx);
+        if rec.seq < dense_limit {
+            last_tx_dense[rec.seq as usize] = idx as u32;
+        } else {
+            last_tx_sparse.insert(rec.seq, idx);
+        }
         prev_send = Some(rec.sent_at);
         if !rec.retransmit {
             last_data_send = Some(rec.sent_at);
@@ -289,7 +321,11 @@ mod tests {
             acked_count: 0,
             size_bytes: 1500,
             sent_at: SimTime::from_millis(sent_ms),
-            arrived_at: if arrived { Some(SimTime::from_millis(sent_ms + 30)) } else { None },
+            arrived_at: if arrived {
+                Some(SimTime::from_millis(sent_ms + 30))
+            } else {
+                None
+            },
         }
     }
 
@@ -338,8 +374,8 @@ mod tests {
         let t = trace(vec![
             data(0, 0, true, false),
             data(1, 10, true, false),
-            data(2, 20, true, false),  // arrived!
-            data(2, 300, true, true),  // timeout retx => receiver sees dup
+            data(2, 20, true, false), // arrived!
+            data(2, 300, true, true), // timeout retx => receiver sees dup
             data(3, 340, true, false),
         ]);
         let a = analyze_timeouts(&t, &TimeoutConfig::default());
@@ -387,11 +423,11 @@ mod tests {
         let t = trace(vec![
             data(0, 0, true, false),
             data(1, 10, false, false),
-            data(1, 300, true, true),   // seq A: 1 timeout
-            data(2, 400, true, false),  // recovery A ends: 390ms
+            data(1, 300, true, true),  // seq A: 1 timeout
+            data(2, 400, true, false), // recovery A ends: 390ms
             data(3, 410, false, false),
-            data(3, 700, true, true),   // seq B: 1 timeout
-            data(4, 800, true, false),  // recovery B ends: 390ms
+            data(3, 700, true, true),  // seq B: 1 timeout
+            data(4, 800, true, false), // recovery B ends: 390ms
         ]);
         let a = analyze_timeouts(&t, &TimeoutConfig::default());
         assert_eq!(a.sequences.len(), 2);

@@ -34,23 +34,43 @@ pub fn traces_from_events_filtered(
     mut meta_for: impl FnMut(u32) -> FlowMeta,
     ignore_prefix: Option<&str>,
 ) -> Vec<FlowTrace> {
-    // Packet id -> (flow, pending record index within that flow).
-    let mut flows: HashMap<u32, FlowTrace> = HashMap::new();
-    let mut open: HashMap<u64, (u32, usize)> = HashMap::new();
+    // Engine-stamped packet ids are dense (a per-run counter), so the
+    // pending-record table is a slab indexed by packet id rather than a
+    // hash map — the fold does zero hashing per event in the single-flow
+    // case. Each slab entry packs (flow slot << 32 | record index);
+    // `OPEN_NONE` marks empty.
+    const OPEN_NONE: u64 = u64::MAX;
+    let mut flows: Vec<FlowTrace> = Vec::new();
+    let mut flow_slots: HashMap<u32, usize> = HashMap::new();
+    // One-entry cache: event streams are usually a single flow.
+    let mut last_slot: Option<(u32, usize)> = None;
+    let mut open: Vec<u64> = Vec::new();
 
     for ev in events {
         let flow_id = ev.packet.flow.0;
+        let pkt_id = ev.packet.id.0 as usize;
         match ev.kind {
             PacketEventKind::Sent => {
                 if ignore_prefix.is_some_and(|p| ev.link_label.starts_with(p)) {
                     continue;
                 }
-                let trace = flows
-                    .entry(flow_id)
-                    .or_insert_with(|| FlowTrace::new(flow_id, meta_for(flow_id)));
+                let slot = match last_slot {
+                    Some((f, s)) if f == flow_id => s,
+                    _ => {
+                        let s = *flow_slots.entry(flow_id).or_insert_with(|| {
+                            flows.push(FlowTrace::new(flow_id, meta_for(flow_id)));
+                            flows.len() - 1
+                        });
+                        last_slot = Some((flow_id, s));
+                        s
+                    }
+                };
+                let trace = &mut flows[slot];
                 let (seq, is_ack, retransmit, acked_count) = match ev.packet.kind {
                     PacketKind::Data { seq, retransmit } => (seq.as_u64(), false, retransmit, 0),
-                    PacketKind::Ack { cum, acked_count } => (cum.as_u64(), true, false, acked_count),
+                    PacketKind::Ack { cum, acked_count } => {
+                        (cum.as_u64(), true, false, acked_count)
+                    }
                 };
                 trace.records.push(PacketRecord {
                     id: ev.packet.id.0,
@@ -62,28 +82,34 @@ pub fn traces_from_events_filtered(
                     sent_at: ev.time,
                     arrived_at: None,
                 });
-                open.insert(ev.packet.id.0, (flow_id, trace.records.len() - 1));
+                if open.len() <= pkt_id {
+                    open.resize(pkt_id + 1, OPEN_NONE);
+                }
+                open[pkt_id] = (slot as u64) << 32 | (trace.records.len() - 1) as u64;
             }
             PacketEventKind::Delivered => {
-                if let Some((flow, idx)) = open.remove(&ev.packet.id.0) {
-                    if let Some(trace) = flows.get_mut(&flow) {
-                        trace.records[idx].arrived_at = Some(ev.time);
+                if let Some(entry) = open.get_mut(pkt_id) {
+                    let packed = std::mem::replace(entry, OPEN_NONE);
+                    if packed != OPEN_NONE {
+                        let (slot, idx) = ((packed >> 32) as usize, packed as u32 as usize);
+                        flows[slot].records[idx].arrived_at = Some(ev.time);
                     }
                 }
             }
             PacketEventKind::Dropped(_) => {
                 // Terminal: the record stays `arrived_at: None`.
-                open.remove(&ev.packet.id.0);
+                if let Some(entry) = open.get_mut(pkt_id) {
+                    *entry = OPEN_NONE;
+                }
             }
         }
     }
 
-    let mut out: Vec<FlowTrace> = flows.into_values().collect();
-    out.sort_by_key(|t| t.flow);
-    for t in &mut out {
+    flows.sort_by_key(|t| t.flow);
+    for t in &mut flows {
         t.sort_by_send_time();
     }
-    out
+    flows
 }
 
 /// Convenience wrapper for the single-flow case.
@@ -98,8 +124,8 @@ pub fn single_flow_trace(events: &[PacketEvent], flow: u32, meta: FlowMeta) -> O
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hsm_simnet::packet::{FlowId, Packet, PacketId, SeqNo};
     use hsm_simnet::observer::DropCause;
+    use hsm_simnet::packet::{FlowId, Packet, PacketId, SeqNo};
     use hsm_simnet::time::SimTime;
 
     fn ev(kind: PacketEventKind, time_ms: u64, id: u64, flow: u32, pkt: Packet) -> PacketEvent {
@@ -125,7 +151,13 @@ mod tests {
             ev(PacketEventKind::Delivered, 30, 1, 0, data.clone()),
             ev(PacketEventKind::Sent, 35, 2, 0, ack.clone()),
             ev(PacketEventKind::Dropped(DropCause::Channel), 36, 2, 0, ack),
-            ev(PacketEventKind::Sent, 40, 3, 0, Packet::data(FlowId(0), SeqNo(1), true)),
+            ev(
+                PacketEventKind::Sent,
+                40,
+                3,
+                0,
+                Packet::data(FlowId(0), SeqNo(1), true),
+            ),
         ];
         let traces = traces_from_events(&events, |_| FlowMeta::default());
         assert_eq!(traces.len(), 1);
@@ -134,7 +166,10 @@ mod tests {
         assert_eq!(t.records[0].arrived_at, Some(SimTime::from_millis(30)));
         assert!(t.records[1].is_ack && t.records[1].lost());
         assert!(t.records[2].retransmit);
-        assert!(t.records[2].lost(), "in-flight at end of capture counts as lost");
+        assert!(
+            t.records[2].lost(),
+            "in-flight at end of capture counts as lost"
+        );
     }
 
     #[test]
@@ -150,8 +185,13 @@ mod tests {
             internal,
             internal_done,
         ];
-        let traces = traces_from_events_filtered(&events, |_| FlowMeta::default(), Some("internal"));
-        assert_eq!(traces[0].records.len(), 1, "internal hop must not duplicate records");
+        let traces =
+            traces_from_events_filtered(&events, |_| FlowMeta::default(), Some("internal"));
+        assert_eq!(
+            traces[0].records.len(),
+            1,
+            "internal hop must not duplicate records"
+        );
         // Without the filter the internal copy shows up.
         let unfiltered = traces_from_events(&events, |_| FlowMeta::default());
         assert_eq!(unfiltered[0].records.len(), 2);
@@ -160,9 +200,27 @@ mod tests {
     #[test]
     fn separates_flows() {
         let events = vec![
-            ev(PacketEventKind::Sent, 0, 1, 0, Packet::data(FlowId(0), SeqNo(0), false)),
-            ev(PacketEventKind::Sent, 1, 2, 7, Packet::data(FlowId(7), SeqNo(0), false)),
-            ev(PacketEventKind::Delivered, 30, 2, 7, Packet::data(FlowId(7), SeqNo(0), false)),
+            ev(
+                PacketEventKind::Sent,
+                0,
+                1,
+                0,
+                Packet::data(FlowId(0), SeqNo(0), false),
+            ),
+            ev(
+                PacketEventKind::Sent,
+                1,
+                2,
+                7,
+                Packet::data(FlowId(7), SeqNo(0), false),
+            ),
+            ev(
+                PacketEventKind::Delivered,
+                30,
+                2,
+                7,
+                Packet::data(FlowId(7), SeqNo(0), false),
+            ),
         ];
         let traces = traces_from_events(&events, |f| FlowMeta {
             provider: format!("p{f}"),

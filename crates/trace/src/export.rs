@@ -37,7 +37,8 @@ impl Table {
 
     /// Appends a row of displayable values.
     pub fn row(&mut self, cells: &[&dyn std::fmt::Display]) {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Number of data rows.
@@ -77,7 +78,11 @@ impl Table {
         };
         if !self.headers.is_empty() {
             let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
-            let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+            let _ = writeln!(
+                out,
+                "{}",
+                "-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1)))
+            );
         }
         for row in &self.rows {
             let _ = writeln!(out, "{}", fmt_row(row, &widths));
@@ -96,9 +101,21 @@ impl Table {
             }
         }
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }

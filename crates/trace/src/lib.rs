@@ -53,11 +53,11 @@ pub mod prelude {
         analyze_timeouts, TimeoutAnalysis, TimeoutConfig, TimeoutEvent, TimeoutSequence,
     };
     pub use crate::capture::{single_flow_trace, traces_from_events, traces_from_events_filtered};
-    pub use crate::store::{load_traces, save_traces, ReadDatasetError};
     pub use crate::export::{fnum, fpct, Table};
     pub use crate::record::{FlowMeta, FlowTrace, PacketRecord};
     pub use crate::stats::{
         linear_fit, mean, mean_ci95, pearson, spearman, std_dev, Cdf, Histogram, LinearFit, MeanCi,
     };
+    pub use crate::store::{load_traces, save_traces, ReadDatasetError};
     pub use crate::summary::{analyze_flow, FlowAnalysis, FlowSummary};
 }

@@ -84,7 +84,11 @@ pub struct FlowTrace {
 impl FlowTrace {
     /// Creates an empty trace for a flow.
     pub fn new(flow: u32, meta: FlowMeta) -> FlowTrace {
-        FlowTrace { flow, meta, records: Vec::new() }
+        FlowTrace {
+            flow,
+            meta,
+            records: Vec::new(),
+        }
     }
 
     /// Iterator over data records, in send order.
@@ -202,7 +206,13 @@ mod tests {
 
     #[test]
     fn json_round_trip() {
-        let mut t = FlowTrace::new(3, FlowMeta { provider: "China Mobile".into(), ..Default::default() });
+        let mut t = FlowTrace::new(
+            3,
+            FlowMeta {
+                provider: "China Mobile".into(),
+                ..Default::default()
+            },
+        );
         t.records.push(rec(0, false, 0, Some(30)));
         let back = FlowTrace::from_json(&t.to_json().unwrap()).unwrap();
         assert_eq!(t, back);

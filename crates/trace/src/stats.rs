@@ -47,7 +47,8 @@ impl Cdf {
         if self.sorted.is_empty() {
             return None;
         }
-        let idx = ((p * (self.sorted.len() - 1) as f64).round() as usize).min(self.sorted.len() - 1);
+        let idx =
+            ((p * (self.sorted.len() - 1) as f64).round() as usize).min(self.sorted.len() - 1);
         Some(self.sorted[idx])
     }
 
@@ -145,7 +146,11 @@ pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
 /// Mid-ranks of a sample (ties get the average of their positions).
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut order: Vec<usize> = (0..xs.len()).collect();
-    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < order.len() {
@@ -183,7 +188,10 @@ pub fn mean_ci95(xs: &[f64]) -> Option<MeanCi> {
     // Sample (not population) deviation for the interval.
     let n = xs.len() as f64;
     let s = sd * (n / (n - 1.0)).sqrt();
-    Some(MeanCi { mean: m, half_width: 1.96 * s / n.sqrt() })
+    Some(MeanCi {
+        mean: m,
+        half_width: 1.96 * s / n.sqrt(),
+    })
 }
 
 /// A fixed-width histogram over `[lo, hi)`.
@@ -205,7 +213,12 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
         assert!(bins > 0, "need at least one bin");
         assert!(lo.is_finite() && hi.is_finite() && hi > lo, "invalid range");
-        Histogram { lo, hi, counts: vec![0; bins], out_of_range: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            out_of_range: 0,
+        }
     }
 
     /// Adds one sample.
@@ -262,7 +275,10 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
         return None;
     }
     let slope = cov / vx;
-    Some(LinearFit { slope, intercept: my - slope * mx })
+    Some(LinearFit {
+        slope,
+        intercept: my - slope * mx,
+    })
 }
 
 #[cfg(test)]

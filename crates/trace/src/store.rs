@@ -82,8 +82,10 @@ pub fn load_traces(path: &Path) -> Result<Vec<FlowTrace>, ReadDatasetError> {
         if line.trim().is_empty() {
             continue;
         }
-        let trace = serde_json::from_str(&line)
-            .map_err(|source| ReadDatasetError::Parse { line: idx + 1, source })?;
+        let trace = serde_json::from_str(&line).map_err(|source| ReadDatasetError::Parse {
+            line: idx + 1,
+            source,
+        })?;
         traces.push(trace);
     }
     Ok(traces)
@@ -96,7 +98,13 @@ mod tests {
     use hsm_simnet::time::SimTime;
 
     fn sample(flow: u32) -> FlowTrace {
-        let mut t = FlowTrace::new(flow, FlowMeta { provider: "China Mobile".into(), ..Default::default() });
+        let mut t = FlowTrace::new(
+            flow,
+            FlowMeta {
+                provider: "China Mobile".into(),
+                ..Default::default()
+            },
+        );
         t.records.push(PacketRecord {
             id: 1,
             seq: 0,

@@ -198,7 +198,13 @@ pub fn analyze_flow(trace: &FlowTrace, cfg: &TimeoutConfig) -> FlowAnalysis {
         summary.spurious_timeouts,
         summary.timeouts,
     );
-    FlowAnalysis { summary, losses, timeouts, ack_bursts, throughput: tp }
+    FlowAnalysis {
+        summary,
+        losses,
+        timeouts,
+        ack_bursts,
+        throughput: tp,
+    }
 }
 
 #[cfg(test)]
@@ -216,7 +222,11 @@ mod tests {
             acked_count: 0,
             size_bytes: 1500,
             sent_at: SimTime::from_millis(sent_ms),
-            arrived_at: if arrived { Some(SimTime::from_millis(sent_ms + 30)) } else { None },
+            arrived_at: if arrived {
+                Some(SimTime::from_millis(sent_ms + 30))
+            } else {
+                None
+            },
         }
     }
 
@@ -229,18 +239,25 @@ mod tests {
             acked_count: 1,
             size_bytes: 40,
             sent_at: SimTime::from_millis(sent_ms),
-            arrived_at: if arrived { Some(SimTime::from_millis(sent_ms + 28)) } else { None },
+            arrived_at: if arrived {
+                Some(SimTime::from_millis(sent_ms + 28))
+            } else {
+                None
+            },
         }
     }
 
     fn sample_trace() -> FlowTrace {
-        let mut t = FlowTrace::new(4, FlowMeta {
-            provider: "China Mobile".into(),
-            scenario: "high-speed".into(),
-            w_m: 32,
-            b: 2,
-            mss_bytes: 1460,
-        });
+        let mut t = FlowTrace::new(
+            4,
+            FlowMeta {
+                provider: "China Mobile".into(),
+                scenario: "high-speed".into(),
+                w_m: 32,
+                b: 2,
+                mss_bytes: 1460,
+            },
+        );
         t.records = vec![
             data(0, 0, true, false),
             ack(1, 31, true),

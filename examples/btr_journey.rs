@@ -80,11 +80,21 @@ fn main() {
     let analysis = analyze_flow(trace, &TimeoutConfig::default());
     let s = &analysis.summary;
     println!("\n— journey summary —");
-    println!("  delivered            {:.1} MB", s.goodput_sps * s.duration_s * 1460.0 / 1e6);
+    println!(
+        "  delivered            {:.1} MB",
+        s.goodput_sps * s.duration_s * 1460.0 / 1e6
+    );
     println!("  mean throughput      {:.1} segments/s", s.throughput_sps);
-    println!("  timeouts             {} ({:.0}% spurious)", s.timeouts, s.spurious_fraction() * 100.0);
+    println!(
+        "  timeouts             {} ({:.0}% spurious)",
+        s.timeouts,
+        s.spurious_fraction() * 100.0
+    );
     println!("  mean recovery phase  {:.2} s", s.mean_recovery_s);
     if let Some(ch) = out.channel {
-        println!("  handoffs             {} ({} failed)", ch.handoffs, ch.failed_handoffs);
+        println!(
+            "  handoffs             {} ({} failed)",
+            ch.handoffs, ch.failed_handoffs
+        );
     }
 }

@@ -12,7 +12,10 @@ use hsm::simnet::time::SimDuration;
 
 fn main() -> Result<(), hsm::Error> {
     println!("Simulating the same high-speed ride with b = 1, 2, 4 ...\n");
-    println!("{:>3}  {:>11}  {:>9}  {:>9}  {:>10}  {:>13}", "b", "TP (seg/s)", "timeouts", "spurious", "ACK loss", "mean P_a obs");
+    println!(
+        "{:>3}  {:>11}  {:>9}  {:>9}  {:>10}  {:>13}",
+        "b", "TP (seg/s)", "timeouts", "spurious", "ACK loss", "mean P_a obs"
+    );
     for b in [1u32, 2, 4] {
         let (mut tp, mut to, mut sp, mut pa, mut burst) = (0.0, 0u32, 0u32, 0.0, 0.0);
         let reps = 4;

@@ -28,10 +28,19 @@ fn main() {
     println!("  E[X] (Eq. 2)           {:.2} rounds", bd.e_x);
     println!("  E[W] (Eq. 4)           {:.2} segments", bd.e_w);
     println!("  Q (Eq. 10)             {:.3}", bd.q_timeout);
-    println!("  E[R] (Eq. 11)          {:.2} timeouts/sequence", bd.to.e_r);
-    println!("  E[A^TO] (Eq. 13)       {:.2} s per timeout sequence", bd.to.e_a_to);
+    println!(
+        "  E[R] (Eq. 11)          {:.2} timeouts/sequence",
+        bd.to.e_r
+    );
+    println!(
+        "  E[A^TO] (Eq. 13)       {:.2} s per timeout sequence",
+        bd.to.e_a_to
+    );
     println!("  window-limited branch  {}", bd.window_limited);
-    println!("  throughput             {:.1} segments/s", bd.throughput_sps);
+    println!(
+        "  throughput             {:.1} segments/s",
+        bd.throughput_sps
+    );
 
     print_sweep(
         "— throughput vs data loss p_d —",
@@ -52,7 +61,10 @@ fn main() {
 
     // The §V-A delayed-ACK story.
     println!("\n— delayed ACKs under 10% per-ACK loss (window 16) —");
-    println!("{:>4}  {:>11}  {:>9}  {:>12}", "b", "ACKs/round", "P_a", "TP (seg/s)");
+    println!(
+        "{:>4}  {:>11}  {:>9}  {:>12}",
+        "b", "ACKs/round", "P_a", "TP (seg/s)"
+    );
     for p in delayed_ack_analysis(&base, 16.0, 0.10, &[1.0, 2.0, 4.0, 8.0]) {
         println!(
             "{:>4.0}  {:>11.1}  {:>9.5}  {:>12.1}",

@@ -26,12 +26,18 @@ fn main() -> Result<(), hsm::Error> {
     println!("  RTT                 {:.1} ms", s.rtt_s * 1e3);
     println!("  data loss rate      {:.3}%", s.p_d * 100.0);
     println!("  ACK loss rate       {:.3}%", s.p_a * 100.0);
-    println!("  timeouts            {} ({} spurious)", s.timeouts, s.spurious_timeouts);
+    println!(
+        "  timeouts            {} ({} spurious)",
+        s.timeouts, s.spurious_timeouts
+    );
     println!("  recovery loss q̂     {:.1}%", s.q_hat * 100.0);
     println!("  mean recovery       {:.2} s", s.mean_recovery_s);
     println!("  throughput          {:.1} segments/s", s.throughput_sps);
     if let Some(ch) = outcome.outcome.channel {
-        println!("  handoffs            {} ({} failed)", ch.handoffs, ch.failed_handoffs);
+        println!(
+            "  handoffs            {} ({} failed)",
+            ch.handoffs, ch.failed_handoffs
+        );
     }
 
     // 2. Fit the model parameters from the trace and evaluate both models.
@@ -42,8 +48,16 @@ fn main() -> Result<(), hsm::Error> {
     let padhye = padhye_full(&params).expect("fitted parameters are valid");
 
     println!("\n— model predictions —");
-    println!("  enhanced model      {:.1} segments/s  (D = {:.1}%)", enhanced, deviation(enhanced, s.throughput_sps) * 100.0);
-    println!("  Padhye baseline     {:.1} segments/s  (D = {:.1}%)", padhye, deviation(padhye, s.throughput_sps) * 100.0);
+    println!(
+        "  enhanced model      {:.1} segments/s  (D = {:.1}%)",
+        enhanced,
+        deviation(enhanced, s.throughput_sps) * 100.0
+    );
+    println!(
+        "  Padhye baseline     {:.1} segments/s  (D = {:.1}%)",
+        padhye,
+        deviation(padhye, s.throughput_sps) * 100.0
+    );
     println!("\nThe Padhye model assumes ACKs never vanish and retransmissions");
     println!("are lost like ordinary packets; at 300 km/h neither holds, which");
     println!("is exactly what the enhanced model's P_a and q capture.");

@@ -20,9 +20,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         flow_duration: SimDuration::from_secs(45),
         ..Default::default()
     };
-    println!("generating dataset ({} planned flows)...", plan_dataset(&cfg).len());
+    println!(
+        "generating dataset ({} planned flows)...",
+        plan_dataset(&cfg).len()
+    );
     let (flows, report) = run_dataset(&cfg).map_err(hsm::Error::from)?;
-    println!("engine: {} workers, {:.0} sim events/s", report.workers, report.events_per_sec());
+    println!(
+        "engine: {} workers, {:.0} sim events/s",
+        report.workers,
+        report.events_per_sec()
+    );
 
     // 2. Persist to JSON-lines and reload — the archive round trip.
     let path = std::env::temp_dir().join("hsm_trace_lab.jsonl");
@@ -30,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     save_traces(&path, traces.iter().copied())?;
     let size_mb = std::fs::metadata(&path)?.len() as f64 / 1e6;
     let reloaded = load_traces(&path)?;
-    println!("archived {} traces ({size_mb:.1} MB) to {} and reloaded them\n", reloaded.len(), path.display());
+    println!(
+        "archived {} traces ({size_mb:.1} MB) to {} and reloaded them\n",
+        reloaded.len(),
+        path.display()
+    );
 
     // 3. Offline analysis of the reloaded archive.
     println!("flow  provider        TP(seg/s)  stalls>1s  dead-time  q̂      spurious");
@@ -67,11 +78,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. Windowed throughput of the roughest flow.
     if let Some(worst) = reloaded.iter().min_by(|a, b| {
-        let ta = analyze_flow(a, &TimeoutConfig::default()).summary.throughput_sps;
-        let tb = analyze_flow(b, &TimeoutConfig::default()).summary.throughput_sps;
+        let ta = analyze_flow(a, &TimeoutConfig::default())
+            .summary
+            .throughput_sps;
+        let tb = analyze_flow(b, &TimeoutConfig::default())
+            .summary
+            .throughput_sps;
         ta.partial_cmp(&tb).expect("finite")
     }) {
-        println!("\nper-5s throughput of the roughest flow (#{}):", worst.flow);
+        println!(
+            "\nper-5s throughput of the roughest flow (#{}):",
+            worst.flow
+        );
         for bin in throughput_timeline(worst, SimDuration::from_secs(5)) {
             let bar_len = (bin.throughput_sps() / 20.0) as usize;
             println!(

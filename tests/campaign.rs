@@ -68,8 +68,46 @@ fn results_are_bit_identical_across_workers_and_cache_states() -> Result<(), hsm
 }
 
 #[test]
+fn queue_swap_keeps_per_flow_event_streams_identical_across_workers() -> Result<(), hsm::Error> {
+    // Regression guard for the slab-indexed event queue: it must break
+    // same-instant ties by insertion sequence exactly like the old
+    // (heap + hash-map) queue did, no matter how flows are sharded over
+    // workers. If tie-breaking ever drifted, the per-flow simulator event
+    // counts — not just the summaries — would diverge between a serial
+    // and a parallel campaign.
+    let configs = campaign_configs();
+    let run = |workers: usize| -> Result<(Vec<u64>, Vec<String>), hsm::Error> {
+        let campaign = Campaign::builder()
+            .configs(configs.clone())
+            .workers(workers)
+            .build()?;
+        let output = campaign.run()?;
+        let events: Vec<u64> = output.runs.iter().map(|r| r.events).collect();
+        Ok((events, summary_bytes(&output)))
+    };
+    let (events_1, summaries_1) = run(1)?;
+    let (events_8, summaries_8) = run(8)?;
+    assert_eq!(
+        events_1, events_8,
+        "per-flow event counts diverged across worker counts"
+    );
+    assert_eq!(
+        summaries_1, summaries_8,
+        "serialized summaries diverged across worker counts"
+    );
+    assert!(
+        events_1.iter().all(|&e| e > 0),
+        "every flow must process events"
+    );
+    Ok(())
+}
+
+#[test]
 fn warm_rerun_is_served_entirely_from_the_cache() -> Result<(), hsm::Error> {
-    let campaign = Campaign::builder().configs(campaign_configs()).workers(2).build()?;
+    let campaign = Campaign::builder()
+        .configs(campaign_configs())
+        .workers(2)
+        .build()?;
     let cache = FlowCache::new(CacheConfig::memory_only());
 
     let cold = campaign.run_with_cache(&cache)?;
@@ -78,7 +116,10 @@ fn warm_rerun_is_served_entirely_from_the_cache() -> Result<(), hsm::Error> {
     assert!(cold.report.events_processed > 0);
 
     let warm = campaign.run_with_cache(&cache)?;
-    assert_eq!(warm.report.cache_hits, warm.report.flows, "zero re-simulations");
+    assert_eq!(
+        warm.report.cache_hits, warm.report.flows,
+        "zero re-simulations"
+    );
     assert_eq!(warm.report.cache_misses, 0);
     assert_eq!(warm.report.events_processed, 0);
     assert_eq!(summary_bytes(&cold), summary_bytes(&warm));
@@ -93,7 +134,10 @@ fn corrupt_disk_entries_are_detected_and_resimulated() -> Result<(), hsm::Error>
     let campaign = Campaign::builder().configs(configs).workers(2).build()?;
 
     // Populate the disk tier.
-    let disk = CacheConfig { memory_entries: 0, disk_dir: Some(dir.clone()) };
+    let disk = CacheConfig {
+        memory_entries: 0,
+        disk_dir: Some(dir.clone()),
+    };
     let cold = campaign.run_with_cache(&FlowCache::new(disk.clone()))?;
 
     // Corrupt one entry while keeping its JSON perfectly valid — only the
@@ -106,7 +150,9 @@ fn corrupt_disk_entries_are_detected_and_resimulated() -> Result<(), hsm::Error>
     assert_eq!(entries.len(), cold.report.flows);
     let victim = &entries[0];
     let text = std::fs::read_to_string(victim).expect("entry readable");
-    let pos = text.find("\"data_sent\":").expect("disk entry carries data_sent")
+    let pos = text
+        .find("\"data_sent\":")
+        .expect("disk entry carries data_sent")
         + "\"data_sent\":".len();
     let old = &text[pos..=pos];
     let new = if old == "9" { "1" } else { "9" };
@@ -130,14 +176,22 @@ fn corrupt_disk_entries_are_detected_and_resimulated() -> Result<(), hsm::Error>
 fn builder_failures_surface_through_the_unified_error() {
     let zero_window = ScenarioConfig::builder().w_m(0).build();
     let err: hsm::Error = zero_window.expect_err("w_m = 0 must be rejected").into();
-    assert!(matches!(err, hsm::Error::Scenario(ScenarioError::ZeroWindow)));
+    assert!(matches!(
+        err,
+        hsm::Error::Scenario(ScenarioError::ZeroWindow)
+    ));
 
-    let bad = ScenarioConfig { b: 0, ..Default::default() };
+    let bad = ScenarioConfig {
+        b: 0,
+        ..Default::default()
+    };
     let campaign = Campaign::builder()
         .config(ScenarioConfig::default())
         .config(bad)
         .build();
-    let err: hsm::Error = campaign.expect_err("invalid member must be rejected").into();
+    let err: hsm::Error = campaign
+        .expect_err("invalid member must be rejected")
+        .into();
     match err {
         hsm::Error::Engine(EngineError::InvalidConfig { index, source }) => {
             assert_eq!(index, 1);

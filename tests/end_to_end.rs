@@ -31,7 +31,9 @@ fn pipeline_produces_consistent_quantities() {
 
     // Parameter estimation stays in the model domain.
     let params = estimate_params(s, &EstimateConfig::default());
-    params.validate().expect("estimated parameters must validate");
+    params
+        .validate()
+        .expect("estimated parameters must validate");
 
     // Both models evaluate to finite positive throughputs.
     let enhanced = EnhancedModel::as_published().throughput(&params).unwrap();
@@ -40,7 +42,10 @@ fn pipeline_produces_consistent_quantities() {
     assert!(padhye.is_finite() && padhye > 0.0);
     // The enhanced model adds impairments Padhye ignores, so it never
     // predicts more.
-    assert!(enhanced <= padhye * 1.01, "enhanced {enhanced} vs padhye {padhye}");
+    assert!(
+        enhanced <= padhye * 1.01,
+        "enhanced {enhanced} vs padhye {padhye}"
+    );
 }
 
 #[test]
@@ -48,7 +53,12 @@ fn high_speed_is_strictly_harsher_than_stationary() {
     let hs = run(Motion::HighSpeed, 21);
     let st = run(Motion::Stationary, 21);
     let (h, s) = (hs.summary(), st.summary());
-    assert!(h.throughput_sps < s.throughput_sps, "hs {} st {}", h.throughput_sps, s.throughput_sps);
+    assert!(
+        h.throughput_sps < s.throughput_sps,
+        "hs {} st {}",
+        h.throughput_sps,
+        s.throughput_sps
+    );
     assert!(h.timeouts >= s.timeouts);
     assert!(h.p_a >= s.p_a);
     assert!(hs.outcome.channel.is_some());
@@ -82,6 +92,9 @@ fn every_provider_runs_the_full_pipeline() {
             ..Default::default()
         });
         assert_eq!(out.summary().provider, provider.name());
-        assert!(out.summary().throughput_sps > 0.0, "{provider:?} produced no throughput");
+        assert!(
+            out.summary().throughput_sps > 0.0,
+            "{provider:?} produced no throughput"
+        );
     }
 }

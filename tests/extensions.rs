@@ -9,7 +9,11 @@ use hsm::tcp::prelude::*;
 use hsm::trace::prelude::*;
 
 fn hsr_scenario(seed: u64) -> ScenarioConfig {
-    ScenarioConfig { seed, duration: SimDuration::from_secs(40), ..Default::default() }
+    ScenarioConfig {
+        seed,
+        duration: SimDuration::from_secs(40),
+        ..Default::default()
+    }
 }
 
 fn run_with(
@@ -45,7 +49,9 @@ fn adaptive_delack_stays_safe_on_the_train() {
     // fixed b = 2 receiver on the same ride.
     let sc = hsr_scenario(92);
     let (_, fixed) = run_with(&sc, |_| {});
-    let (_, adaptive) = run_with(&sc, |c| c.receiver.adaptive = Some(AdaptiveDelAck::default()));
+    let (_, adaptive) = run_with(&sc, |c| {
+        c.receiver.adaptive = Some(AdaptiveDelAck::default())
+    });
     assert!(adaptive.throughput_sps > 0.0);
     assert!(
         adaptive.throughput_sps > fixed.throughput_sps * 0.6,
@@ -61,7 +67,12 @@ fn spurious_rto_undo_is_a_net_positive_under_ack_outages() {
     // every timeout is spurious and data keeps flowing, so the Eifel
     // timing heuristic can catch them.
     let path = PathSpec {
-        up_loss: LossSpec::PeriodicOutage { period_s: 6.0, outage_s: 0.8, offset_s: 3.0, loss: 1.0 },
+        up_loss: LossSpec::PeriodicOutage {
+            period_s: 6.0,
+            outage_s: 0.8,
+            offset_s: 3.0,
+            loss: 1.0,
+        },
         jitter_sd: SimDuration::ZERO,
         ..Default::default()
     };
@@ -70,7 +81,10 @@ fn spurious_rto_undo_is_a_net_positive_under_ack_outages() {
     let mut total_undone = 0;
     for seed in 0..3 {
         let cfg = ConnectionConfig {
-            sender: SenderConfig { stop_after: Some(SimDuration::from_secs(40)), ..Default::default() },
+            sender: SenderConfig {
+                stop_after: Some(SimDuration::from_secs(40)),
+                ..Default::default()
+            },
             deadline: hsm::simnet::time::SimTime::from_secs(60),
             ..Default::default()
         };
@@ -78,11 +92,18 @@ fn spurious_rto_undo_is_a_net_positive_under_ack_outages() {
         let mut undo_cfg = cfg.clone();
         undo_cfg.sender.spurious_rto_undo = true;
         let undo = run_connection(930 + seed, &path, None, &undo_cfg);
-        with += analyze_flow(&undo.trace, &TimeoutConfig::default()).summary.throughput_sps;
-        without += analyze_flow(&base.trace, &TimeoutConfig::default()).summary.throughput_sps;
+        with += analyze_flow(&undo.trace, &TimeoutConfig::default())
+            .summary
+            .throughput_sps;
+        without += analyze_flow(&base.trace, &TimeoutConfig::default())
+            .summary
+            .throughput_sps;
         total_undone += undo.sender.spurious_rto_undone;
     }
-    assert!(total_undone > 0, "periodic ACK blackouts must trigger undos");
+    assert!(
+        total_undone > 0,
+        "periodic ACK blackouts must trigger undos"
+    );
     assert!(
         with > without * 0.95,
         "undo should not cost throughput: {with} vs {without}"
@@ -104,8 +125,12 @@ fn shared_radio_mptcp_fills_dead_time_without_doubling_capacity() {
             ..Default::default()
         };
         single_sum += run_scenario(&sc).summary().throughput_sps;
-        let shared =
-            run_mptcp_shared_radio(sc.seed, &sc.path(), sc.mobility().as_ref(), &sc.connection());
+        let shared = run_mptcp_shared_radio(
+            sc.seed,
+            &sc.path(),
+            sc.mobility().as_ref(),
+            &sc.connection(),
+        );
         shared_sum += shared.aggregate_throughput_sps();
     }
     assert!(
@@ -144,7 +169,10 @@ fn timeline_dead_time_tracks_timeouts() {
     let dead = stall_time_fraction(trace, SimDuration::from_secs(1));
     let stalls = detect_stalls(trace, SimDuration::from_secs(1));
     if out.summary().timeout_sequences > 0 {
-        assert!(!stalls.is_empty(), "timeout sequences must appear as stalls");
+        assert!(
+            !stalls.is_empty(),
+            "timeout sequences must appear as stalls"
+        );
         assert!(dead > 0.0);
     }
     // The timeline's total deliveries match the throughput analysis.

@@ -31,7 +31,10 @@ fn both_models_evaluate_on_every_flow() {
         // Enhanced never predicts above Padhye: it only adds impairments.
         assert!(e.enhanced_sps <= e.padhye_sps * 1.01, "{e:?}");
         // Predictions land within an order of magnitude of measurements.
-        assert!(e.enhanced_sps > e.measured_sps * 0.1 && e.enhanced_sps < e.measured_sps * 10.0, "{e:?}");
+        assert!(
+            e.enhanced_sps > e.measured_sps * 0.1 && e.enhanced_sps < e.measured_sps * 10.0,
+            "{e:?}"
+        );
     }
 }
 
@@ -39,20 +42,30 @@ fn both_models_evaluate_on_every_flow() {
 fn estimator_ablation_is_well_behaved() {
     use hsm::model::estimate::{PdSource, QSource};
     let summaries = small_dataset();
-    for pd in [PdSource::Lifetime, PdSource::LossEvents, PdSource::LossIndications] {
+    for pd in [
+        PdSource::Lifetime,
+        PdSource::LossEvents,
+        PdSource::LossIndications,
+    ] {
         for q in [
             QSource::MeasuredOrDefault,
             QSource::RecommendedDefault,
             QSource::SequenceLength,
             QSource::RecoveryDuration,
         ] {
-            let cfg = EstimateConfig { pd_source: pd, q_source: q, ..Default::default() };
+            let cfg = EstimateConfig {
+                pd_source: pd,
+                q_source: q,
+                ..Default::default()
+            };
             let (evals, report) = evaluate_dataset(&summaries, &cfg);
             assert!(!evals.is_empty());
             assert!(report.mean_d_enhanced.is_finite());
             assert!(report.mean_d_padhye.is_finite());
             for e in &evals {
-                e.params.validate().expect("every estimator yields valid params");
+                e.params
+                    .validate()
+                    .expect("every estimator yields valid params");
             }
         }
     }

@@ -19,7 +19,12 @@ fn scenario(provider: Provider, seed: u64) -> ScenarioConfig {
 fn duplex_aggregates_two_subflows() {
     let sc = scenario(Provider::ChinaTelecom, 8);
     let path = sc.path();
-    let out = run_mptcp_duplex(sc.seed, [&path, &path], sc.mobility().as_ref(), &sc.connection());
+    let out = run_mptcp_duplex(
+        sc.seed,
+        [&path, &path],
+        sc.mobility().as_ref(),
+        &sc.connection(),
+    );
     assert_eq!(out.subflows.len(), 2);
     assert_eq!(out.senders.len(), 2);
     assert_eq!(out.receivers.len(), 2);
@@ -40,7 +45,12 @@ fn duplex_beats_single_flow_on_the_worst_provider() {
         let single = run_scenario(&sc);
         single_sum += single.summary().throughput_sps;
         let path = sc.path();
-        let duplex = run_mptcp_duplex(sc.seed, [&path, &path], sc.mobility().as_ref(), &sc.connection());
+        let duplex = run_mptcp_duplex(
+            sc.seed,
+            [&path, &path],
+            sc.mobility().as_ref(),
+            &sc.connection(),
+        );
         duplex_sum += duplex.aggregate_throughput_sps();
     }
     assert!(
@@ -68,7 +78,13 @@ fn backup_path_never_hurts_delivery() {
         plain.receiver.next_expected
     );
     // Redundant copies are visible in the send count.
-    assert!(with_backup.sender.segments_sent >= plain.sender.segments_sent.min(with_backup.sender.max_seq_sent));
+    assert!(
+        with_backup.sender.segments_sent
+            >= plain
+                .sender
+                .segments_sent
+                .min(with_backup.sender.max_seq_sent)
+    );
 }
 
 #[test]

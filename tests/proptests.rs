@@ -6,13 +6,13 @@ use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = ModelParams> {
     (
-        0.02f64..0.3,     // rtt_s
-        0.2f64..2.0,      // t_rto_s
-        1e-4f64..0.2,     // p_d
-        0.0f64..0.5,      // p_a_burst
-        0.0f64..0.9,      // q
+        0.02f64..0.3, // rtt_s
+        0.2f64..2.0,  // t_rto_s
+        1e-4f64..0.2, // p_d
+        0.0f64..0.5,  // p_a_burst
+        0.0f64..0.9,  // q
         prop_oneof![Just(1.0f64), Just(2.0), Just(4.0)],
-        4.0f64..512.0,    // w_m
+        4.0f64..512.0, // w_m
     )
         .prop_map(|(rtt_s, t_rto_s, p_d, p_a_burst, q, b, w_m)| ModelParams {
             rtt_s,
@@ -128,6 +128,53 @@ proptest! {
         let pa_more = p_a_from_ack_loss(p, n + 1.0);
         prop_assert!(pa_more <= pa + 1e-12);
     }
+
+    /// The event queue's determinism contract: events sharing a firing
+    /// time dequeue in insertion order (FIFO), for ANY interleaving of
+    /// schedules across timestamps and any pattern of cancellations.
+    #[test]
+    fn event_queue_fifo_for_equal_times(
+        ops in prop::collection::vec((0u64..8, 0u64..2), 1..200)
+    ) {
+        use hsm::simnet::agent::AgentId;
+        use hsm::simnet::event::{Event, EventKind, EventQueue};
+        use hsm::simnet::time::SimTime;
+
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        let mut expected: Vec<(u64, u64)> = Vec::new(); // (at, tag) surviving
+        let mut cancelled = std::collections::HashSet::new();
+        for (tag, &(at_ms, cancel_one)) in ops.iter().enumerate() {
+            let tag = tag as u64;
+            let cancel_one = cancel_one == 1;
+            let id = q.schedule(Event {
+                at: SimTime::from_millis(at_ms),
+                dst: AgentId::from_raw(0),
+                kind: EventKind::Timer { tag },
+            });
+            ids.push((id, at_ms, tag));
+            if cancel_one && !ids.is_empty() {
+                // Cancel a pseudo-random earlier (or current) event.
+                let victim = ids[(tag as usize * 7 + 3) % ids.len()];
+                if q.cancel(victim.0) {
+                    cancelled.insert(victim.2);
+                }
+            }
+        }
+        for &(_, at_ms, tag) in &ids {
+            if !cancelled.contains(&tag) {
+                expected.push((at_ms, tag));
+            }
+        }
+        // Survivors must dequeue sorted by time, FIFO within a time.
+        expected.sort_by_key(|&(at, tag)| (at, tag));
+        let mut popped = Vec::new();
+        while let Some((_, ev)) = q.pop() {
+            let EventKind::Timer { tag } = ev.kind else { unreachable!() };
+            popped.push((ev.at.as_micros() / 1000, tag));
+        }
+        prop_assert_eq!(popped, expected);
+    }
 }
 
 /// Explicit replays of the minimal counterexamples recorded in
@@ -194,9 +241,15 @@ mod regression_replays {
             .with_w_m(REGRESSION_B4.w_m.max(8.0));
         let enhanced = EnhancedModel::as_published().throughput(&params).unwrap();
         let padhye = padhye_full(&params).unwrap();
-        assert!(enhanced <= padhye * 1.05, "enhanced {enhanced} padhye {padhye}");
+        assert!(
+            enhanced <= padhye * 1.05,
+            "enhanced {enhanced} padhye {padhye}"
+        );
         let rederived = EnhancedModel::rederived().throughput(&params).unwrap();
-        assert!(rederived <= padhye * 1.05, "rederived {rederived} padhye {padhye}");
+        assert!(
+            rederived <= padhye * 1.05,
+            "rederived {rederived} padhye {padhye}"
+        );
     }
 
     #[test]
@@ -211,6 +264,9 @@ mod regression_replays {
             .with_w_m(REGRESSION_TINY_WINDOW.w_m.max(8.0));
         let enhanced = EnhancedModel::rederived().throughput(&params).unwrap();
         let padhye = padhye_full(&params).unwrap();
-        assert!(enhanced <= padhye * 1.05, "enhanced {enhanced} padhye {padhye}");
+        assert!(
+            enhanced <= padhye * 1.05,
+            "enhanced {enhanced} padhye {padhye}"
+        );
     }
 }

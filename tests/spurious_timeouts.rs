@@ -11,9 +11,16 @@ use hsm::trace::prelude::*;
 fn run_with_uplink_blackout(window_ms: (u64, u64)) -> (FlowTrace, SenderMetrics, ReceiverMetrics) {
     let mut eng = Engine::new(17);
     let placeholder = LinkId::from_raw(u32::MAX);
-    let scfg = SenderConfig { max_segments: Some(1_500), ..Default::default() };
+    let scfg = SenderConfig {
+        max_segments: Some(1_500),
+        ..Default::default()
+    };
     let tx = eng.add_agent(Box::new(RenoSender::new(FlowId(0), placeholder, scfg)));
-    let rx = eng.add_agent(Box::new(Receiver::new(FlowId(0), placeholder, ReceiverConfig::default())));
+    let rx = eng.add_agent(Box::new(Receiver::new(
+        FlowId(0),
+        placeholder,
+        ReceiverConfig::default(),
+    )));
     let down = eng.add_link(
         LinkSpec::new(rx, "downlink")
             .bandwidth_bps(40_000_000)
@@ -32,7 +39,7 @@ fn run_with_uplink_blackout(window_ms: (u64, u64)) -> (FlowTrace, SenderMetrics,
         1.0,
     )));
     let rec = VecRecorder::new();
-    eng.add_observer(Box::new(rec.clone()));
+    eng.add_recorder(rec.clone());
     eng.run_until(SimTime::from_secs(120));
     let trace = single_flow_trace(&rec.events(), 0, FlowMeta::default()).expect("trace");
     let sender = eng.agent_mut::<RenoSender>(tx).unwrap().metrics.clone();
@@ -46,7 +53,10 @@ fn ack_blackout_produces_classified_spurious_timeouts() {
 
     // Ground truth: the sender timed out, the receiver saw duplicates.
     assert!(!sender.timeouts.is_empty(), "sender must time out");
-    assert!(receiver.duplicate_payloads > 0, "receiver must see duplicate payloads");
+    assert!(
+        receiver.duplicate_payloads > 0,
+        "receiver must see duplicate payloads"
+    );
 
     // No data was lost (only ACKs died).
     let data_lost = trace.data().filter(|r| r.lost()).count();
@@ -64,13 +74,19 @@ fn ack_blackout_produces_classified_spurious_timeouts() {
     // The ACK-round analysis sees the burst loss.
     let rtt = estimate_rtt(&trace).expect("both directions present");
     let bursts = ack_burst_stats(&trace, SimDuration::from_secs_f64(rtt.as_secs_f64() / 2.0));
-    assert!(bursts.burst_lost_rounds > 0, "burst-lost rounds must be observed");
+    assert!(
+        bursts.burst_lost_rounds > 0,
+        "burst-lost rounds must be observed"
+    );
 }
 
 #[test]
 fn flow_finishes_after_the_blackout() {
     let (trace, _, receiver) = run_with_uplink_blackout((800, 1_400));
-    assert_eq!(receiver.next_expected, 1_500, "all segments eventually delivered");
+    assert_eq!(
+        receiver.next_expected, 1_500,
+        "all segments eventually delivered"
+    );
     // Duplicate transmissions exist in the trace (spurious retransmissions).
     assert!(trace.data().any(|r| r.retransmit));
 }

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Simnet throughput gate: compares a fresh `repro bench` run against the
+# committed BENCH_simnet.json baseline and fails on a >20% events/sec
+# regression.
+#
+# Usage: tools/bench_gate.sh
+#   (expects `cargo build --release` to have produced target/release/repro;
+#   builds it if missing)
+#
+# Environment:
+#   BENCH_GATE_TOLERANCE  fractional regression allowed (default 0.20)
+#   BENCH_GATE_SKIP=1     skip the gate entirely (e.g. debug-only machines)
+#
+# Re-baselining: the committed baseline is machine-relative. After an
+# intentional perf change (or on new hardware), regenerate and commit it:
+#
+#   cargo build --release && (cd target && ../target/release/repro bench)
+#   cp target/BENCH_simnet.json BENCH_simnet.json   # then commit
+#
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${BENCH_GATE_SKIP:-0}" == "1" ]]; then
+    echo "bench gate: skipped (BENCH_GATE_SKIP=1)"
+    exit 0
+fi
+
+BASELINE=BENCH_simnet.json
+TOLERANCE="${BENCH_GATE_TOLERANCE:-0.20}"
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench gate: no committed $BASELINE baseline — failing."
+    echo "Generate one with: target/release/repro bench && cp BENCH_simnet.json <repo root>"
+    exit 1
+fi
+
+if [[ ! -x target/release/repro ]]; then
+    cargo build --release -p hsm-bench
+fi
+
+# repro writes BENCH_*.json into its working directory; run from a scratch
+# dir so the committed baseline is never clobbered.
+SCRATCH="$(mktemp -d "${TMPDIR:-/tmp}/bench_gate.XXXXXX")"
+trap 'rm -rf "$SCRATCH"' EXIT
+REPRO="$(pwd)/target/release/repro"
+(cd "$SCRATCH" && "$REPRO" bench >/dev/null)
+
+extract() {
+    # The bench files are single-line flat JSON; no jq dependency needed.
+    grep -o '"events_per_sec":[0-9.eE+-]*' "$1" | head -1 | cut -d: -f2
+}
+
+baseline_eps="$(extract "$BASELINE")"
+fresh_eps="$(extract "$SCRATCH/BENCH_simnet.json")"
+
+if [[ -z "$baseline_eps" || -z "$fresh_eps" ]]; then
+    echo "bench gate: could not parse events_per_sec (baseline='$baseline_eps' fresh='$fresh_eps')"
+    exit 1
+fi
+
+awk -v base="$baseline_eps" -v fresh="$fresh_eps" -v tol="$TOLERANCE" 'BEGIN {
+    floor = base * (1.0 - tol);
+    ratio = fresh / base;
+    printf "bench gate: baseline %.0f ev/s, fresh %.0f ev/s (%.2fx, floor %.0f)\n",
+           base, fresh, ratio, floor;
+    if (fresh < floor) {
+        printf "bench gate: REGRESSION — fresh throughput is more than %.0f%% below baseline\n", tol * 100;
+        printf "bench gate: if intentional (or new hardware), re-baseline per tools/bench_gate.sh header\n";
+        exit 1;
+    }
+    if (fresh > base * (1.0 + tol)) {
+        printf "bench gate: note — fresh is >%.0f%% above baseline; consider re-baselining\n", tol * 100;
+    }
+    exit 0;
+}'

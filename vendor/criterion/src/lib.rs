@@ -65,7 +65,9 @@ impl<M> BenchmarkGroup<'_, M> {
 
     /// Runs one named bench.
     pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
-        let mut bencher = Bencher { samples: Vec::new() };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+        };
         let deadline = Instant::now() + self.measurement_time;
         f(&mut bencher); // warm-up sample (discarded)
         bencher.samples.clear();
@@ -77,8 +79,15 @@ impl<M> BenchmarkGroup<'_, M> {
         }
         let iters: u64 = bencher.samples.iter().map(|s| s.iters).sum();
         let total: Duration = bencher.samples.iter().map(|s| s.elapsed).sum();
-        let per_iter = if iters > 0 { total.as_nanos() / u128::from(iters) } else { 0 };
-        println!("bench {}/{id}: {per_iter} ns/iter ({iters} iters)", self.name);
+        let per_iter = if iters > 0 {
+            total.as_nanos() / u128::from(iters)
+        } else {
+            0
+        };
+        println!(
+            "bench {}/{id}: {per_iter} ns/iter ({iters} iters)",
+            self.name
+        );
         self
     }
 
@@ -101,7 +110,10 @@ impl Bencher {
     pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
         let start = Instant::now();
         black_box(routine());
-        self.samples.push(Sample { iters: 1, elapsed: start.elapsed() });
+        self.samples.push(Sample {
+            iters: 1,
+            elapsed: start.elapsed(),
+        });
     }
 
     /// Like [`iter`](Bencher::iter) but drops the output outside the

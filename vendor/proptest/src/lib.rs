@@ -142,7 +142,10 @@ pub struct Union<T> {
 impl<T: Debug> Union<T> {
     /// Wraps the alternatives; panics if empty.
     pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
-        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
         Union { options }
     }
 }

@@ -37,8 +37,14 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, shape: Shape },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// True if an attribute token group is `serde(default)` (possibly among
@@ -117,7 +123,11 @@ fn parse_named_fields(group: proc_macro::Group) -> Vec<Field> {
                 _ => {}
             }
         }
-        fields.push(Field { name, has_default, is_option });
+        fields.push(Field {
+            name,
+            has_default,
+            is_option,
+        });
     }
     fields
 }
@@ -196,21 +206,25 @@ fn parse_item(input: TokenStream) -> Item {
     }
     match kind.as_str() {
         "struct" => match iter.next() {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Item::Struct { name, shape: Shape::Named(parse_named_fields(g)) }
-            }
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                Item::Struct { name, shape: Shape::Tuple(tuple_arity(g)) }
-            }
-            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
-                Item::Struct { name, shape: Shape::Unit }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                shape: Shape::Named(parse_named_fields(g)),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                shape: Shape::Tuple(tuple_arity(g)),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct {
+                name,
+                shape: Shape::Unit,
+            },
             other => panic!("serde stub derive: malformed struct `{name}`: {other:?}"),
         },
         "enum" => match iter.next() {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Item::Enum { name, variants: parse_variants(g) }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g),
+            },
             other => panic!("serde stub derive: malformed enum `{name}`: {other:?}"),
         },
         other => panic!("serde stub derive: unsupported item kind `{other}`"),
@@ -241,8 +255,9 @@ fn serialize_impl(item: &Item) -> String {
                 Shape::Named(fields) => gen_serialize_fields_named(fields, "&self."),
                 Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
                 Shape::Tuple(n) => {
-                    let elems: Vec<String> =
-                        (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
                     format!("::serde::Value::Arr(::std::vec![{}])", elems.join(","))
                 }
                 Shape::Unit => "::serde::Value::Null".to_string(),
@@ -355,7 +370,12 @@ fn deserialize_impl(item: &Item) -> String {
             let unit_arms: Vec<String> = variants
                 .iter()
                 .filter(|v| matches!(v.shape, Shape::Unit))
-                .map(|v| format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),", vn = v.name))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
                 .collect();
             let data_arms: Vec<String> = variants
                 .iter()
@@ -426,12 +446,16 @@ fn deserialize_impl(item: &Item) -> String {
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    serialize_impl(&item).parse().expect("serde stub derive: generated invalid Serialize impl")
+    serialize_impl(&item)
+        .parse()
+        .expect("serde stub derive: generated invalid Serialize impl")
 }
 
 /// Derives `serde::Deserialize` (value-model flavour; see crate docs).
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    deserialize_impl(&item).parse().expect("serde stub derive: generated invalid Deserialize impl")
+    deserialize_impl(&item)
+        .parse()
+        .expect("serde stub derive: generated invalid Deserialize impl")
 }

@@ -19,13 +19,19 @@ pub struct Error {
 
 impl Error {
     fn parse(msg: impl Into<String>, pos: usize) -> Error {
-        Error { msg: msg.into(), pos: Some(pos) }
+        Error {
+            msg: msg.into(),
+            pos: Some(pos),
+        }
     }
 }
 
 impl From<DeError> for Error {
     fn from(e: DeError) -> Error {
-        Error { msg: e.to_string(), pos: None }
+        Error {
+            msg: e.to_string(),
+            pos: None,
+        }
     }
 }
 
@@ -59,7 +65,10 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
 /// the target type (corrupt trace lines must surface as errors, not
 /// panics).
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -203,7 +212,10 @@ impl<'a> Parser<'a> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
-            Some(b) => Err(Error::parse(format!("unexpected character `{}`", b as char), self.pos)),
+            Some(b) => Err(Error::parse(
+                format!("unexpected character `{}`", b as char),
+                self.pos,
+            )),
             None => Err(Error::parse("unexpected end of input", self.pos)),
         }
     }
@@ -298,9 +310,8 @@ impl<'a> Parser<'a> {
                             // Surrogate pairs are not produced by our writer;
                             // accept lone BMP escapes only.
                             s.push(
-                                char::from_u32(u32::from(code)).ok_or_else(|| {
-                                    Error::parse("invalid \\u escape", self.pos)
-                                })?,
+                                char::from_u32(u32::from(code))
+                                    .ok_or_else(|| Error::parse("invalid \\u escape", self.pos))?,
                             );
                             continue;
                         }
@@ -316,7 +327,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u16, Error> {
         let mut code: u16 = 0;
         for _ in 0..4 {
-            let b = self.peek().ok_or_else(|| Error::parse("truncated \\u escape", self.pos))?;
+            let b = self
+                .peek()
+                .ok_or_else(|| Error::parse("truncated \\u escape", self.pos))?;
             let digit = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| Error::parse("invalid hex digit in \\u escape", self.pos))?;

@@ -1,0 +1,171 @@
+//! FlowCache microbenches: key derivation, hot lookups, insert/evict
+//! churn, and multi-threaded lookup contention across shard counts.
+//!
+//! The contention benches are the interesting ones: with one shard every
+//! thread serializes on a single mutex; with the default shard count the
+//! same workload spreads over independent locks. On a multi-core host the
+//! sharded variant should approach linear scaling; on one core it should
+//! at least not regress.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hsm_runtime::cache::{CacheConfig, CacheKey, FlowCache};
+use hsm_scenario::runner::ScenarioConfig;
+use hsm_trace::summary::FlowSummary;
+use std::time::Duration;
+
+fn tune(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("cache");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    g
+}
+
+fn summary(flow: u32) -> FlowSummary {
+    FlowSummary {
+        flow,
+        provider: "China Mobile".into(),
+        scenario: "high-speed".into(),
+        rtt_s: 0.065,
+        p_d: 0.0075,
+        data_sent: 1000,
+        p_a: 0.006,
+        p_a_burst: 0.05,
+        acks_per_round: 12.0,
+        q_hat: 0.27,
+        timeouts: 4,
+        spurious_timeouts: 2,
+        timeout_sequences: 3,
+        mean_recovery_s: 5.0,
+        t_rto_s: 0.8,
+        loss_indications: 5,
+        fast_retransmissions: 2,
+        w_m: 48,
+        b: 2,
+        throughput_sps: 321.5,
+        goodput_sps: 300.25,
+        duration_s: 120.0,
+    }
+}
+
+fn filled_cache(shards: usize, entries: u64) -> FlowCache {
+    let cache = FlowCache::new(CacheConfig {
+        memory_entries: 4096,
+        disk_dir: None,
+        shards,
+    });
+    for i in 0..entries {
+        cache
+            .insert(
+                CacheKey(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                &summary(i as u32),
+            )
+            .expect("memory-only insert cannot fail");
+    }
+    cache
+}
+
+/// Streaming key derivation: the per-flow cost every campaign lookup pays.
+fn bench_key_of(c: &mut Criterion) {
+    let mut c = tune(c);
+    let configs: Vec<ScenarioConfig> = (0..64u64)
+        .map(|seed| ScenarioConfig {
+            seed,
+            flow: seed as u32,
+            ..Default::default()
+        })
+        .collect();
+    c.bench_function("key_of/64_configs", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for cfg in &configs {
+                acc = acc.wrapping_add(CacheKey::of(black_box(cfg)).0);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+/// Single-threaded hot lookups: the O(1) recency touch itself.
+fn bench_hot_lookup(c: &mut Criterion) {
+    let mut c = tune(c);
+    for shards in [1usize, 8] {
+        let cache = filled_cache(shards, 1024);
+        c.bench_function(&format!("hot_lookup/{shards}_shard"), |b| {
+            b.iter(|| {
+                let mut found = 0u32;
+                for i in 0..1024u64 {
+                    let key = CacheKey(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                    if cache.lookup(black_box(key)).is_some() {
+                        found += 1;
+                    }
+                }
+                black_box(found)
+            });
+        });
+    }
+}
+
+/// Insert/evict churn through a small tier: the eviction path with its
+/// stale-pair skipping.
+fn bench_insert_evict(c: &mut Criterion) {
+    let mut c = tune(c);
+    c.bench_function("insert_evict/512_capacity", |b| {
+        let cache = FlowCache::new(CacheConfig {
+            memory_entries: 512,
+            disk_dir: None,
+            shards: 8,
+        });
+        let s = summary(0);
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..1024 {
+                i = i.wrapping_add(1);
+                cache
+                    .insert(CacheKey(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)), &s)
+                    .expect("memory-only insert cannot fail");
+            }
+            black_box(cache.len())
+        });
+    });
+}
+
+/// Four threads hammering lookups at once — the campaign-worker shape.
+fn bench_contended_lookup(c: &mut Criterion) {
+    let mut c = tune(c);
+    for shards in [1usize, 8] {
+        let cache = filled_cache(shards, 1024);
+        c.bench_function(&format!("contended_lookup/4_threads_{shards}_shard"), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    let cache = &cache;
+                    for t in 0..4u64 {
+                        scope.spawn(move || {
+                            let mut found = 0u32;
+                            for i in 0..1024u64 {
+                                // Offset per thread so threads walk the
+                                // key space out of phase.
+                                let k = (i + t * 251) % 1024;
+                                let key = CacheKey(k.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                                if cache.lookup(key).is_some() {
+                                    found += 1;
+                                }
+                            }
+                            black_box(found)
+                        });
+                    }
+                });
+            });
+        });
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    bench_key_of(c);
+    bench_hot_lookup(c);
+    bench_insert_evict(c);
+    bench_contended_lookup(c);
+}
+
+criterion_group!(cache_benches, benches);
+criterion_main!(cache_benches);

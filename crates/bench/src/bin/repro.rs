@@ -16,31 +16,105 @@ use serde::Serialize;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-/// Cold-vs-warm engine telemetry written as `BENCH_campaign.json` so the
-/// performance trajectory of the campaign engine accumulates over time.
+/// One worker count's cold/warm pair in the campaign bench matrix.
 #[derive(Debug, Serialize)]
-struct CampaignBench {
-    scale: String,
+struct MatrixEntry {
+    /// Worker threads used for this row.
+    workers: usize,
+    /// Cold-run simulator events per second of campaign wall-clock.
+    cold_events_per_sec: f64,
+    /// Mean fraction of the cold wall-clock each worker spent busy.
+    cold_utilization: f64,
+    /// Warm (fully memoized) rerun wall-clock, seconds.
+    warm_wall_clock_s: f64,
+    /// Full cold-run telemetry (per-worker flows and busy seconds).
     cold: CampaignReport,
+    /// Full warm-run telemetry.
     warm: CampaignReport,
 }
 
-/// Runs the scale's dataset twice through the campaign engine against one
-/// shared cache — the first pass simulates, the second must be served
-/// entirely from memoized flows — and writes both reports.
-fn write_campaign_bench(scale: Scale) -> Result<(), String> {
-    let campaign = Campaign::builder()
-        .dataset(&scale.dataset_config())
-        .cache(CacheConfig::memory_only())
-        .build()
-        .map_err(|e| e.to_string())?;
-    let cache = FlowCache::new(CacheConfig::memory_only());
-    let cold = campaign.run_with_cache(&cache).map_err(|e| e.to_string())?;
-    let warm = campaign.run_with_cache(&cache).map_err(|e| e.to_string())?;
+/// Multi-worker engine telemetry written as `BENCH_campaign.json` so the
+/// performance trajectory of the campaign engine accumulates over time.
+///
+/// The flat fields up front exist for `tools/bench_gate.sh`, which parses
+/// single-line JSON with grep — they must stay top-level, uniquely named,
+/// and declared before `matrix`.
+#[derive(Debug, Serialize)]
+struct CampaignBench {
+    scale: String,
+    flows: usize,
+    host_cores: usize,
+    max_workers: usize,
+    cold_eps_w1: f64,
+    cold_eps_w2: f64,
+    cold_eps_w4: f64,
+    cold_eps_max: f64,
+    speedup_w4: f64,
+    speedup_max: f64,
+    matrix: Vec<MatrixEntry>,
+}
+
+/// Runs the Stress dataset (≥ 2,000 two-second flows — campaign overhead
+/// dominates, which is the point) through the campaign engine at each
+/// worker count in {1, 2, 4, max}: per count, one cold pass against a
+/// fresh cache, then a warm pass that must be served entirely from
+/// memoized flows. Writes the full matrix plus gate-friendly flat fields.
+fn write_campaign_bench() -> Result<(), String> {
+    let host_cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let scale = Scale::Stress;
+    let dataset = scale.dataset_config();
+    let mut counts = vec![1usize, 2, 4, host_cores];
+    counts.sort_unstable();
+    counts.dedup();
+
+    let mut matrix = Vec::new();
+    for &workers in &counts {
+        let campaign = Campaign::builder()
+            .dataset(&dataset)
+            .workers(workers)
+            .cache(CacheConfig::memory_only())
+            .build()
+            .map_err(|e| e.to_string())?;
+        let cache = FlowCache::new(CacheConfig::memory_only());
+        let cold = campaign
+            .run_with_cache(&cache)
+            .map_err(|e| e.to_string())?
+            .report;
+        let warm = campaign
+            .run_with_cache(&cache)
+            .map_err(|e| e.to_string())?
+            .report;
+        matrix.push(MatrixEntry {
+            workers,
+            cold_events_per_sec: cold.events_per_sec(),
+            cold_utilization: cold.worker_utilization(),
+            warm_wall_clock_s: warm.wall_clock_s,
+            cold,
+            warm,
+        });
+    }
+
+    let eps = |w: usize| {
+        matrix
+            .iter()
+            .find(|m| m.workers == w)
+            .map_or(0.0, |m| m.cold_events_per_sec)
+    };
+    let speedup = |n: f64, d: f64| if d > 0.0 { n / d } else { 0.0 };
     let bench = CampaignBench {
         scale: format!("{scale:?}"),
-        cold: cold.report,
-        warm: warm.report,
+        flows: matrix.first().map_or(0, |m| m.cold.flows),
+        host_cores,
+        max_workers: host_cores,
+        cold_eps_w1: eps(1),
+        cold_eps_w2: eps(2),
+        cold_eps_w4: eps(4),
+        cold_eps_max: eps(host_cores),
+        speedup_w4: speedup(eps(4), eps(1)),
+        speedup_max: speedup(eps(host_cores), eps(1)),
+        matrix,
     };
     let json = serde_json::to_string(&bench).map_err(|e| e.to_string())?;
     std::fs::write("BENCH_campaign.json", json).map_err(|e| e.to_string())?;
@@ -64,6 +138,9 @@ fn usage() {
     }
     println!("\n`repro bench` runs no experiments: it only regenerates the");
     println!("BENCH_campaign.json / BENCH_simnet.json telemetry files.");
+    println!("BENCH_campaign.json always records the Stress-scale worker");
+    println!("matrix (cold/warm x workers in {{1, 2, 4, max}}), regardless");
+    println!("of the --smoke/--full flags.");
 }
 
 fn main() -> ExitCode {
@@ -126,7 +203,7 @@ fn main() -> ExitCode {
             }
         }
     }
-    match write_campaign_bench(scale) {
+    match write_campaign_bench() {
         Ok(()) => println!("wrote BENCH_campaign.json"),
         Err(err) => {
             eprintln!("failed to write BENCH_campaign.json: {err}");

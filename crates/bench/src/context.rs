@@ -21,6 +21,9 @@ pub enum Scale {
     Standard,
     /// The full 255-flow Table-I dataset at 120 s per flow.
     Full,
+    /// ~2,000 very short flows — a campaign-overhead stress load for the
+    /// scheduler/cache benchmarks, not for statistics.
+    Stress,
 }
 
 impl Scale {
@@ -42,6 +45,15 @@ impl Scale {
                 flow_duration: SimDuration::from_secs(120),
                 ..Default::default()
             },
+            // 8 × the Table-I flow counts (2,040 flows) but only 2 s
+            // each: per-flow work shrinks until scheduling, cache and
+            // result-collection overhead dominate — which is exactly
+            // what this scale exists to measure.
+            Scale::Stress => DatasetConfig {
+                scale: 8.0,
+                flow_duration: SimDuration::from_secs(2),
+                ..Default::default()
+            },
         }
     }
 
@@ -51,6 +63,7 @@ impl Scale {
             Scale::Smoke => 3,
             Scale::Standard => 12,
             Scale::Full => 40,
+            Scale::Stress => 40,
         }
     }
 
@@ -59,7 +72,7 @@ impl Scale {
         match self {
             Scale::Smoke => 2,
             Scale::Standard => 8,
-            Scale::Full => 20,
+            Scale::Full | Scale::Stress => 20,
         }
     }
 
@@ -68,6 +81,7 @@ impl Scale {
         match self {
             Scale::Smoke => SimDuration::from_secs(25),
             Scale::Standard | Scale::Full => SimDuration::from_secs(120),
+            Scale::Stress => SimDuration::from_secs(2),
         }
     }
 }
@@ -135,6 +149,14 @@ mod tests {
         assert!(smoke.scale < full.scale);
         assert!(smoke.flow_duration < full.flow_duration);
         assert!(Scale::Smoke.repetitions() < Scale::Full.repetitions());
+    }
+
+    #[test]
+    fn stress_scale_plans_a_campaign_overhead_load() {
+        let cfg = Scale::Stress.dataset_config();
+        let flows = hsm_scenario::dataset::plan_dataset(&cfg).len();
+        assert!(flows >= 2000, "stress scale must plan ≥2000 flows: {flows}");
+        assert_eq!(cfg.flow_duration, SimDuration::from_secs(2));
     }
 
     #[test]

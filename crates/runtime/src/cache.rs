@@ -4,7 +4,9 @@
 //! version, so its [`FlowSummary`] can be cached under a content hash of
 //! exactly those inputs. The cache has two tiers:
 //!
-//! * an in-memory LRU tier bounded by entry count, and
+//! * an in-memory LRU tier bounded by entry count and split into
+//!   independently locked shards so campaign workers do not serialize on
+//!   a single mutex, and
 //! * an optional on-disk JSON tier (one file per flow) that survives the
 //!   process and powers warm `repro` reruns.
 //!
@@ -14,12 +16,19 @@
 //! summary's JSON encoding round-trips floats exactly (shortest
 //! round-trip formatting), a cache hit is *bit-identical* to a fresh
 //! simulation.
+//!
+//! Cache keys are computed by streaming the configuration's canonical
+//! JSON bytes straight into the FNV-1a state — no intermediate string is
+//! allocated — and the resulting digests are pinned to the historical
+//! allocate-then-hash values, so disk tiers written by earlier releases
+//! keep hitting.
 
 use crate::error::CacheError;
-use hsm_scenario::runner::ScenarioConfig;
+use hsm_scenario::provider::Provider;
+use hsm_scenario::runner::{Motion, ScenarioConfig};
 use hsm_trace::summary::FlowSummary;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -29,15 +38,58 @@ use std::sync::Mutex;
 /// flows then miss instead of resurfacing stale results.
 pub const ENGINE_VERSION: &str = "hsm-runtime/1";
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
 /// 64-bit FNV-1a hash — stable across runs, platforms and Rust versions
 /// (unlike `DefaultHasher`, which is randomly keyed per process).
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut hash = FNV_OFFSET;
     for &b in bytes {
         hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        hash = hash.wrapping_mul(FNV_PRIME);
     }
     hash
+}
+
+/// Incremental FNV-1a state: feed byte slices, take the digest at the
+/// end. Hashing a stream in pieces yields exactly the digest of the
+/// concatenated bytes, which is what lets [`CacheKey::of`] skip the
+/// intermediate JSON string.
+struct FnvStream {
+    hash: u64,
+}
+
+impl FnvStream {
+    fn new() -> FnvStream {
+        FnvStream { hash: FNV_OFFSET }
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Streams the shortest decimal rendering of `v`, as `serde_json`
+    /// prints unsigned integers, without allocating.
+    fn uint(&mut self, v: u64) -> &mut Self {
+        let mut buf = [0u8; 20];
+        let mut i = buf.len();
+        let mut v = v;
+        loop {
+            i -= 1;
+            buf[i] = b'0' + (v % 10) as u8;
+            v /= 10;
+            if v == 0 {
+                break;
+            }
+        }
+        let digits = i;
+        self.bytes(&buf[digits..])
+    }
 }
 
 /// Content hash identifying one (configuration, engine-version) flow.
@@ -47,12 +99,42 @@ pub struct CacheKey(pub u64);
 impl CacheKey {
     /// Computes the key for a scenario configuration under the current
     /// [`ENGINE_VERSION`].
+    ///
+    /// Streams the exact byte sequence `serde_json::to_string(config)`
+    /// would produce (declaration-order fields, compact separators, unit
+    /// enum variants as strings, durations as microsecond integers)
+    /// followed by the engine version — so the digest equals the
+    /// historical allocate-then-hash value and on-disk tiers written by
+    /// earlier releases stay valid. A unit test pins this equivalence
+    /// against the real serializer.
     pub fn of(config: &ScenarioConfig) -> CacheKey {
-        let encoded =
-            serde_json::to_string(config).expect("ScenarioConfig serialization is infallible");
-        let mut bytes = encoded.into_bytes();
-        bytes.extend_from_slice(ENGINE_VERSION.as_bytes());
-        CacheKey(fnv1a(&bytes))
+        let provider: &[u8] = match config.provider {
+            Provider::ChinaMobile => b"ChinaMobile",
+            Provider::ChinaUnicom => b"ChinaUnicom",
+            Provider::ChinaTelecom => b"ChinaTelecom",
+        };
+        let motion: &[u8] = match config.motion {
+            Motion::HighSpeed => b"HighSpeed",
+            Motion::Stationary => b"Stationary",
+        };
+        let mut h = FnvStream::new();
+        h.bytes(b"{\"provider\":\"")
+            .bytes(provider)
+            .bytes(b"\",\"motion\":\"")
+            .bytes(motion)
+            .bytes(b"\",\"seed\":")
+            .uint(config.seed)
+            .bytes(b",\"duration\":")
+            .uint(config.duration.as_micros())
+            .bytes(b",\"w_m\":")
+            .uint(u64::from(config.w_m))
+            .bytes(b",\"b\":")
+            .uint(u64::from(config.b))
+            .bytes(b",\"flow\":")
+            .uint(u64::from(config.flow))
+            .bytes(b"}")
+            .bytes(ENGINE_VERSION.as_bytes());
+        CacheKey(h.hash)
     }
 
     /// The disk-tier file name for this key.
@@ -65,11 +147,19 @@ impl CacheKey {
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CacheConfig {
     /// Maximum entries held by the in-memory LRU tier (`0` disables the
-    /// memory tier entirely).
+    /// memory tier entirely). The bound is enforced per shard, so the
+    /// resident total can exceed it by at most `shards - 1` entries.
     pub memory_entries: usize,
     /// Directory of the on-disk JSON tier (`None` disables it).
     pub disk_dir: Option<PathBuf>,
+    /// Number of independently locked memory-tier shards. Rounded up to
+    /// a power of two; `0` picks a default sized for worker-count
+    /// parallelism. Use `1` for a single globally ordered LRU.
+    pub shards: usize,
 }
+
+/// Shard count used when [`CacheConfig::shards`] is `0`.
+const DEFAULT_SHARDS: usize = 8;
 
 impl CacheConfig {
     /// A memory-only cache big enough for the full 255-flow dataset plus
@@ -78,6 +168,7 @@ impl CacheConfig {
         CacheConfig {
             memory_entries: 4096,
             disk_dir: None,
+            shards: 0,
         }
     }
 
@@ -86,6 +177,14 @@ impl CacheConfig {
         CacheConfig {
             memory_entries: 4096,
             disk_dir: Some(dir.into()),
+            shards: 0,
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        match self.shards {
+            0 => DEFAULT_SHARDS,
+            n => n.next_power_of_two(),
         }
     }
 }
@@ -110,6 +209,14 @@ impl CacheStats {
     pub fn hits(&self) -> u64 {
         self.memory_hits + self.disk_hits
     }
+
+    fn absorb(&mut self, other: &CacheStats) {
+        self.memory_hits += other.memory_hits;
+        self.disk_hits += other.disk_hits;
+        self.misses += other.misses;
+        self.corrupt_entries += other.corrupt_entries;
+        self.evictions += other.evictions;
+    }
 }
 
 /// One record of the disk tier.
@@ -125,17 +232,48 @@ struct DiskEntry {
     summary: FlowSummary,
 }
 
-struct CacheInner {
-    map: HashMap<u64, FlowSummary>,
-    /// LRU order, least-recent first. Entry count stays small (thousands),
-    /// so the O(len) reorder on hit is noise next to a flow simulation.
-    order: Vec<u64>,
+/// A resident entry: the payload plus the stamp of its most recent
+/// touch, which identifies the one live pair in the recency queue.
+struct Slot {
+    summary: FlowSummary,
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u64, Slot>,
+    /// Recency queue, least-recent first, of `(key, stamp)` pairs. A
+    /// touch pushes a fresh pair instead of repositioning the old one —
+    /// O(1) instead of an O(len) scan — leaving a stale pair behind that
+    /// eviction and compaction skip by comparing stamps.
+    order: VecDeque<(u64, u64)>,
+    /// Monotonic touch counter; stamps are never reused within a shard.
+    clock: u64,
     stats: CacheStats,
 }
 
+impl Shard {
+    /// Sweeps stale pairs once they dominate the queue, keeping every
+    /// touch O(1) amortized and the queue O(live entries).
+    fn compact(&mut self) {
+        if self.order.len() > 4 * self.map.len().max(8) {
+            self.order
+                .retain(|&(k, s)| self.map.get(&k).is_some_and(|slot| slot.stamp == s));
+        }
+    }
+}
+
 /// The two-tier memoization cache shared by campaign workers.
+///
+/// The memory tier is split into power-of-two many shards, each behind
+/// its own mutex; a lookup or insert locks only the shard its key hashes
+/// to, so workers touching different keys proceed in parallel.
 pub struct FlowCache {
-    inner: Mutex<CacheInner>,
+    shards: Vec<Mutex<Shard>>,
+    /// `shards.len() - 1`; shard index is `mixed_key & mask`.
+    mask: usize,
+    /// Per-shard entry bound derived from `config.memory_entries`.
+    per_shard: usize,
     config: CacheConfig,
 }
 
@@ -151,12 +289,16 @@ impl std::fmt::Debug for FlowCache {
 impl FlowCache {
     /// Creates an empty cache with the given configuration.
     pub fn new(config: CacheConfig) -> FlowCache {
+        let shard_count = config.shard_count();
+        let per_shard = if config.memory_entries == 0 {
+            0
+        } else {
+            config.memory_entries.div_ceil(shard_count)
+        };
         FlowCache {
-            inner: Mutex::new(CacheInner {
-                map: HashMap::new(),
-                order: Vec::new(),
-                stats: CacheStats::default(),
-            }),
+            shards: (0..shard_count).map(|_| Mutex::default()).collect(),
+            mask: shard_count - 1,
+            per_shard,
             config,
         }
     }
@@ -166,19 +308,39 @@ impl FlowCache {
         &self.config
     }
 
-    /// A snapshot of the behaviour counters.
+    /// Number of memory-tier shards actually allocated.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A snapshot of the behaviour counters, aggregated across shards.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().expect("cache lock").stats
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            total.absorb(&shard.lock().expect("cache lock").stats);
+        }
+        total
     }
 
     /// Number of entries currently in the memory tier.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock").map.len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache lock").map.len())
+            .sum()
     }
 
     /// True when the memory tier holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    fn shard_for(&self, key: CacheKey) -> &Mutex<Shard> {
+        // Fold the high half in before masking: FNV mixes new bytes into
+        // the low bits last, so the high half carries most of the
+        // avalanche for short inputs.
+        let mixed = key.0 ^ (key.0 >> 32);
+        &self.shards[(mixed as usize) & self.mask]
     }
 
     /// Looks a flow up, consulting the memory tier then the disk tier.
@@ -187,29 +349,30 @@ impl FlowCache {
     /// (bad JSON, wrong key/version, payload-hash mismatch) count as
     /// misses and bump `corrupt_entries`.
     pub fn lookup(&self, key: CacheKey) -> Option<FlowSummary> {
-        let mut inner = self.inner.lock().expect("cache lock");
-        if let Some(summary) = inner.map.get(&key.0).cloned() {
-            inner.stats.memory_hits += 1;
-            // Move-to-back keeps hot entries resident.
-            if let Some(pos) = inner.order.iter().position(|k| *k == key.0) {
-                inner.order.remove(pos);
-                inner.order.push(key.0);
-            }
+        let mut guard = self.shard_for(key).lock().expect("cache lock");
+        let shard = &mut *guard;
+        if let Some(slot) = shard.map.get_mut(&key.0) {
+            shard.clock += 1;
+            slot.stamp = shard.clock;
+            shard.order.push_back((key.0, slot.stamp));
+            shard.stats.memory_hits += 1;
+            let summary = slot.summary.clone();
+            shard.compact();
             return Some(summary);
         }
         match self.disk_lookup(key) {
             DiskLookup::Hit(summary) => {
-                inner.stats.disk_hits += 1;
-                Self::insert_memory(&mut inner, &self.config, key, summary.clone());
+                shard.stats.disk_hits += 1;
+                Self::insert_memory(shard, self.per_shard, key, summary.clone());
                 Some(summary)
             }
             DiskLookup::Corrupt => {
-                inner.stats.corrupt_entries += 1;
-                inner.stats.misses += 1;
+                shard.stats.corrupt_entries += 1;
+                shard.stats.misses += 1;
                 None
             }
             DiskLookup::Absent => {
-                inner.stats.misses += 1;
+                shard.stats.misses += 1;
                 None
             }
         }
@@ -223,8 +386,8 @@ impl FlowCache {
     /// memory tier is updated regardless.
     pub fn insert(&self, key: CacheKey, summary: &FlowSummary) -> Result<(), CacheError> {
         {
-            let mut inner = self.inner.lock().expect("cache lock");
-            Self::insert_memory(&mut inner, &self.config, key, summary.clone());
+            let mut guard = self.shard_for(key).lock().expect("cache lock");
+            Self::insert_memory(&mut guard, self.per_shard, key, summary.clone());
         }
         if let Some(dir) = &self.config.disk_dir {
             self.disk_insert(dir, key, summary)?;
@@ -232,21 +395,36 @@ impl FlowCache {
         Ok(())
     }
 
-    fn insert_memory(
-        inner: &mut CacheInner,
-        config: &CacheConfig,
-        key: CacheKey,
-        summary: FlowSummary,
-    ) {
-        if config.memory_entries == 0 {
+    fn insert_memory(shard: &mut Shard, per_shard: usize, key: CacheKey, summary: FlowSummary) {
+        if per_shard == 0 {
             return;
         }
-        if inner.map.insert(key.0, summary).is_none() {
-            inner.order.push(key.0);
-            while inner.map.len() > config.memory_entries {
-                let oldest = inner.order.remove(0);
-                inner.map.remove(&oldest);
-                inner.stats.evictions += 1;
+        use std::collections::hash_map::Entry;
+        match shard.map.entry(key.0) {
+            Entry::Occupied(mut occupied) => {
+                // Refresh the payload without touching recency — a
+                // re-insert never reorders the LRU queue.
+                occupied.get_mut().summary = summary;
+            }
+            Entry::Vacant(vacant) => {
+                shard.clock += 1;
+                vacant.insert(Slot {
+                    summary,
+                    stamp: shard.clock,
+                });
+                shard.order.push_back((key.0, shard.clock));
+                while shard.map.len() > per_shard {
+                    let Some((k, s)) = shard.order.pop_front() else {
+                        break;
+                    };
+                    // Skip stale pairs: the key was re-touched since (a
+                    // newer pair exists further back) or already evicted.
+                    if shard.map.get(&k).is_some_and(|slot| slot.stamp == s) {
+                        shard.map.remove(&k);
+                        shard.stats.evictions += 1;
+                    }
+                }
+                shard.compact();
             }
         }
     }
@@ -296,6 +474,16 @@ impl FlowCache {
             message: e.to_string(),
         })
     }
+
+    /// Total live + stale pairs across every shard's recency queue —
+    /// test hook for the compaction bound.
+    #[cfg(test)]
+    fn recency_pairs(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache lock").order.len())
+            .sum()
+    }
 }
 
 enum DiskLookup {
@@ -320,6 +508,7 @@ fn verify_disk_entry(text: &str, key: CacheKey) -> Option<FlowSummary> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hsm_simnet::time::SimDuration;
 
     fn summary(flow: u32) -> FlowSummary {
         FlowSummary {
@@ -348,6 +537,49 @@ mod tests {
         }
     }
 
+    /// The pre-sharding key derivation: JSON-encode, concatenate the
+    /// engine version, hash the buffer. [`CacheKey::of`] must keep
+    /// producing these exact digests or every on-disk tier goes cold.
+    fn legacy_key(config: &ScenarioConfig) -> u64 {
+        let encoded = serde_json::to_string(config).expect("config serializes");
+        let mut bytes = encoded.into_bytes();
+        bytes.extend_from_slice(ENGINE_VERSION.as_bytes());
+        fnv1a(&bytes)
+    }
+
+    #[test]
+    fn streamed_keys_match_the_legacy_json_hash() {
+        let mut checked = 0u32;
+        for provider in Provider::ALL {
+            for motion in [Motion::HighSpeed, Motion::Stationary] {
+                for seed in [0u64, 1, 9, 255, 1_000_000, u64::MAX] {
+                    for duration in [
+                        SimDuration::from_micros(1),
+                        SimDuration::from_secs(120),
+                        SimDuration::from_micros(u64::MAX),
+                    ] {
+                        let config = ScenarioConfig {
+                            provider,
+                            motion,
+                            seed,
+                            duration,
+                            w_m: (seed as u32 % 64).max(1),
+                            b: 1 + (seed as u32 % 4),
+                            flow: seed as u32 % 300,
+                        };
+                        assert_eq!(
+                            CacheKey::of(&config).0,
+                            legacy_key(&config),
+                            "key drifted for {config:?}"
+                        );
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(checked, 108);
+    }
+
     #[test]
     fn keys_are_stable_and_content_addressed() {
         let a = ScenarioConfig::default();
@@ -361,9 +593,11 @@ mod tests {
 
     #[test]
     fn memory_tier_hits_and_evicts_lru() {
+        // One shard pins the historical globally ordered LRU semantics.
         let cache = FlowCache::new(CacheConfig {
             memory_entries: 2,
             disk_dir: None,
+            shards: 1,
         });
         let (k1, k2, k3) = (CacheKey(1), CacheKey(2), CacheKey(3));
         cache.insert(k1, &summary(1)).unwrap();
@@ -380,12 +614,97 @@ mod tests {
     }
 
     #[test]
+    fn reinsert_refreshes_payload_without_touching_recency() {
+        let cache = FlowCache::new(CacheConfig {
+            memory_entries: 2,
+            disk_dir: None,
+            shards: 1,
+        });
+        let (k1, k2, k3) = (CacheKey(1), CacheKey(2), CacheKey(3));
+        cache.insert(k1, &summary(1)).unwrap();
+        cache.insert(k2, &summary(2)).unwrap();
+        // Re-inserting k1 updates its payload but k1 stays the LRU entry.
+        cache.insert(k1, &summary(100)).unwrap();
+        cache.insert(k3, &summary(3)).unwrap(); // evicts k1, not k2
+        assert!(cache.lookup(k1).is_none());
+        assert_eq!(cache.lookup(k2).unwrap().flow, 2);
+        assert_eq!(cache.lookup(k3).unwrap().flow, 3);
+    }
+
+    #[test]
+    fn sharded_cache_keeps_lookup_semantics_and_aggregates() {
+        let cache = FlowCache::new(CacheConfig {
+            memory_entries: 256,
+            disk_dir: None,
+            shards: 4,
+        });
+        assert_eq!(cache.shard_count(), 4);
+        for i in 0..64u64 {
+            cache
+                .insert(CacheKey(i * 0x9e37_79b9), &summary(i as u32))
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 64);
+        for i in 0..64u64 {
+            assert_eq!(
+                cache.lookup(CacheKey(i * 0x9e37_79b9)).unwrap().flow,
+                i as u32
+            );
+        }
+        assert!(cache.lookup(CacheKey(0xdead_beef_0001)).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.memory_hits, 64);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn shard_counts_round_to_powers_of_two() {
+        for (requested, expect) in [(0usize, DEFAULT_SHARDS), (1, 1), (2, 2), (3, 4), (5, 8)] {
+            let cache = FlowCache::new(CacheConfig {
+                memory_entries: 16,
+                disk_dir: None,
+                shards: requested,
+            });
+            assert_eq!(cache.shard_count(), expect, "requested {requested}");
+        }
+    }
+
+    #[test]
+    fn recency_queue_stays_bounded_under_repeated_hits() {
+        let cache = FlowCache::new(CacheConfig {
+            memory_entries: 8,
+            disk_dir: None,
+            shards: 1,
+        });
+        for i in 0..8u64 {
+            cache.insert(CacheKey(i), &summary(i as u32)).unwrap();
+        }
+        // Hammer one hot key: every touch appends a recency pair, so
+        // without compaction the queue would reach ~10k entries.
+        for _ in 0..10_000 {
+            assert!(cache.lookup(CacheKey(3)).is_some());
+        }
+        assert!(
+            cache.recency_pairs() <= 4 * 8 + 1,
+            "compaction must bound the queue, got {}",
+            cache.recency_pairs()
+        );
+        // The hot key must survive the next eviction wave.
+        for i in 100..107u64 {
+            cache.insert(CacheKey(i), &summary(i as u32)).unwrap();
+        }
+        assert!(cache.lookup(CacheKey(3)).is_some());
+    }
+
+    #[test]
     fn disk_tier_round_trips_and_detects_corruption() {
         let dir = std::env::temp_dir().join(format!("hsm_cache_test_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let cache = FlowCache::new(CacheConfig {
             memory_entries: 0,
             disk_dir: Some(dir.clone()),
+            shards: 0,
         });
         let key = CacheKey(0xabcd);
         let s = summary(9);
@@ -412,6 +731,7 @@ mod tests {
         let cache = FlowCache::new(CacheConfig {
             memory_entries: 0,
             disk_dir: None,
+            shards: 0,
         });
         cache.insert(CacheKey(5), &summary(5)).unwrap();
         assert!(cache.is_empty());

@@ -5,25 +5,29 @@
 //! shared atomic counter (idle workers automatically take over remaining
 //! work), stream each flow through `run_scenario`/`analyze_flow`, and drop
 //! the raw `FlowTrace` immediately — only the compact [`FlowSummary`]
-//! crosses the channel — so campaigns of tens of thousands of flows run in
+//! survives — so campaigns of tens of thousands of flows run in
 //! near-constant memory. Opting into [`CampaignBuilder::keep_outcomes`]
 //! retains the full [`ScenarioOutcome`] for figure generators that need
 //! the packet records.
 //!
-//! Completed flows are memoized in a [`FlowCache`]; results are merged in
-//! index order, so the summary stream is **bit-identical** for any worker
-//! count and any cache state (cold, warm memory, warm disk). Wall-clock
-//! and utilization telemetry lives only in the [`CampaignReport`], never
-//! in the result stream.
+//! Each worker owns a [`Scratch`] (simulation engine, recorder, capture
+//! slab) reused across every flow it handles, and writes each result
+//! into the flow's own pre-allocated slot — flow `i` goes to slot `i`,
+//! no channel, no post-hoc sort. Completed flows are memoized in a
+//! sharded [`FlowCache`]; the slot vector *is* index order, so the
+//! summary stream is **bit-identical** for any worker count and any
+//! cache state (cold, warm memory, warm disk). Wall-clock and
+//! utilization telemetry lives only in the [`CampaignReport`], never in
+//! the result stream.
 
 use crate::cache::{CacheConfig, CacheKey, FlowCache, ENGINE_VERSION};
 use crate::error::EngineError;
 use hsm_scenario::dataset::{plan_dataset, plan_stationary_baseline, DatasetConfig, DatasetFlow};
-use hsm_scenario::runner::{try_run_scenario, ScenarioConfig, ScenarioOutcome};
+use hsm_scenario::runner::{try_run_scenario_with, ScenarioConfig, ScenarioOutcome, Scratch};
 use hsm_trace::summary::FlowSummary;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// One executed (or cache-served) flow of a campaign.
@@ -242,48 +246,71 @@ impl Campaign {
         let workers = self.workers.clamp(1, n.max(1));
         let next = AtomicUsize::new(0);
         let worker_stats: Mutex<Vec<(usize, f64)>> = Mutex::new(vec![(0, 0.0); workers]);
-        let (tx, rx) = mpsc::channel::<Result<(usize, FlowRun), EngineError>>();
+        // One write-once slot per flow: worker claiming index `i` is the
+        // only writer of slot `i`, so the vector is already in campaign
+        // order when the pool drains — no channel, no sort.
+        let slots: Vec<OnceLock<Result<FlowRun, EngineError>>> =
+            (0..n).map(|_| OnceLock::new()).collect();
+        let abort = AtomicBool::new(false);
 
         std::thread::scope(|scope| {
             let configs = &self.configs;
             let next = &next;
             let worker_stats = &worker_stats;
+            let slots = &slots;
+            let abort = &abort;
             for worker in 0..workers {
-                let tx = tx.clone();
                 scope.spawn(move || {
+                    let mut scratch = Scratch::new();
                     let mut flows = 0usize;
                     let mut busy = 0.0f64;
                     loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
                         let t0 = Instant::now();
-                        let run = self.execute_one(i, worker, configs, cache);
+                        let run = self.execute_one(i, worker, configs, cache, &mut scratch);
                         busy += t0.elapsed().as_secs_f64();
                         flows += 1;
-                        // A closed channel means the collector is gone;
-                        // stop quietly — the length check reports it.
-                        if tx.send(run.map(|r| (i, r))).is_err() {
-                            break;
+                        if run.is_err() {
+                            // Stop the other workers from pulling more
+                            // flows; the failure surfaces below.
+                            abort.store(true, Ordering::Relaxed);
                         }
+                        let claimed = slots[i].set(run).is_ok();
+                        debug_assert!(claimed, "flow index {i} claimed twice");
                     }
                     let mut stats = worker_stats.lock().expect("worker stats lock");
                     stats[worker] = (flows, busy);
                 });
             }
-            drop(tx);
         });
 
-        let mut indexed: Vec<(usize, FlowRun)> = Vec::with_capacity(n);
-        for item in rx {
-            indexed.push(item?);
+        let mut runs: Vec<FlowRun> = Vec::with_capacity(n);
+        let mut lost = false;
+        let mut failure: Option<EngineError> = None;
+        for slot in slots {
+            match slot.into_inner() {
+                Some(Ok(run)) => runs.push(run),
+                Some(Err(e)) => {
+                    // Lowest-index failure wins: deterministic regardless
+                    // of which worker hit it first.
+                    failure = Some(e);
+                    break;
+                }
+                None => lost = true,
+            }
         }
-        if indexed.len() != n {
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        if lost || runs.len() != n {
             return Err(EngineError::WorkerLost);
         }
-        indexed.sort_by_key(|(i, _)| *i);
-        let runs: Vec<FlowRun> = indexed.into_iter().map(|(_, r)| r).collect();
 
         let stats_after = cache.stats();
         let worker_stats = worker_stats.into_inner().expect("worker stats lock");
@@ -305,13 +332,15 @@ impl Campaign {
         Ok(CampaignOutput { runs, report })
     }
 
-    /// Executes (or serves from cache) flow `i`.
+    /// Executes (or serves from cache) flow `i` through the worker's
+    /// reusable scratch.
     fn execute_one(
         &self,
         i: usize,
         worker: usize,
         configs: &[ScenarioConfig],
         cache: &FlowCache,
+        scratch: &mut Scratch,
     ) -> Result<FlowRun, EngineError> {
         let config = &configs[i];
         let key = CacheKey::of(config);
@@ -329,7 +358,7 @@ impl Campaign {
             }
         }
         let t0 = Instant::now();
-        let outcome = try_run_scenario(config)
+        let outcome = try_run_scenario_with(scratch, config)
             .map_err(|source| EngineError::FlowFailed { index: i, source })?;
         let sim_wall_s = t0.elapsed().as_secs_f64();
         let summary = outcome.analysis.summary.clone();

@@ -7,13 +7,16 @@
 //! flows. This crate runs those campaigns as fast as the hardware allows:
 //!
 //! * [`engine`] — [`Campaign`]: shards scenarios across a self-scheduling
-//!   worker pool, streams each flow through analysis and drops raw traces
-//!   immediately (near-constant memory), merges results in index order so
-//!   output is bit-identical for any worker count;
+//!   worker pool (each worker reusing one simulation scratch across its
+//!   flows), streams each flow through analysis and drops raw traces
+//!   immediately (near-constant memory), and writes results into
+//!   per-flow slots so output is bit-identical for any worker count;
 //! * [`cache`] — [`FlowCache`]: content-addressed memoization of completed
-//!   flows (key = config + engine version) with an in-memory LRU tier and
-//!   an integrity-checked on-disk JSON tier, so repeated experiments stop
-//!   re-simulating identical flows;
+//!   flows (key = config + engine version, streamed into the hash with no
+//!   per-lookup allocation) with a sharded in-memory LRU tier and an
+//!   integrity-checked on-disk JSON tier, so repeated experiments stop
+//!   re-simulating identical flows and workers stop serializing on one
+//!   lock;
 //! * [`parallel`] — index-ordered parallel map/mean with a fixed-shape
 //!   pairwise reduction (promoted from `hsm-bench`);
 //! * [`error`] — the engine/cache failure surface.

@@ -32,10 +32,16 @@ pub fn par_map_workers<T: Send>(n: u64, workers: usize, f: impl Fn(u64) -> T + S
 /// Fallible [`par_map_workers`]: lost workers surface as an error at the
 /// call site instead of a panic inside the worker thread.
 ///
+/// Each result is written straight into its index's pre-allocated slot —
+/// the worker claiming index `i` is the only writer of slot `i` — so the
+/// output is assembled in order without a channel or a final sort.
+/// (A per-slot mutex rather than a write-once cell keeps the bound at
+/// `T: Send`; the lock is uncontended by construction.)
+///
 /// # Errors
 ///
-/// Returns [`EngineError::WorkerLost`] when fewer than `n` results arrive
-/// — a worker stopped sending because the receiving side went away.
+/// Returns [`EngineError::WorkerLost`] when a slot ends up unfilled — a
+/// worker disappeared without producing its claimed result.
 pub fn try_par_map_workers<T: Send>(
     n: u64,
     workers: usize,
@@ -43,32 +49,31 @@ pub fn try_par_map_workers<T: Send>(
 ) -> Result<Vec<T>, EngineError> {
     let workers = workers.clamp(1, n.max(1) as usize);
     let next = std::sync::atomic::AtomicU64::new(0);
-    let (tx, rx) = std::sync::mpsc::channel();
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         let f = &f;
         let next = &next;
+        let slots = &slots;
         for _ in 0..workers {
-            let tx = tx.clone();
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                // A closed channel means the caller is gone; stop quietly
-                // and let the caller-side length check report the loss.
-                if tx.send((i, f(i))).is_err() {
-                    break;
-                }
+                let value = f(i);
+                *slots[i as usize].lock().expect("slot lock") = Some(value);
             });
         }
-        drop(tx);
     });
-    let mut results: Vec<(u64, T)> = rx.into_iter().collect();
-    if results.len() as u64 != n {
-        return Err(EngineError::WorkerLost);
+    let mut results: Vec<T> = Vec::with_capacity(n as usize);
+    for slot in slots {
+        match slot.into_inner().expect("slot lock") {
+            Some(v) => results.push(v),
+            None => return Err(EngineError::WorkerLost),
+        }
     }
-    results.sort_by_key(|(i, _)| *i);
-    Ok(results.into_iter().map(|(_, v)| v).collect())
+    Ok(results)
 }
 
 /// Sums in index order with a balanced pairwise tree.

@@ -47,7 +47,8 @@ pub mod prelude {
     };
     pub use crate::provider::Provider;
     pub use crate::runner::{
-        run_scenario, try_run_scenario, Motion, ScenarioConfig, ScenarioConfigBuilder,
-        ScenarioError, ScenarioOutcome, SCENARIO_HIGH_SPEED, SCENARIO_STATIONARY,
+        run_scenario, try_run_scenario, try_run_scenario_with, Motion, ScenarioConfig,
+        ScenarioConfigBuilder, ScenarioError, ScenarioOutcome, Scratch, SCENARIO_HIGH_SPEED,
+        SCENARIO_STATIONARY,
     };
 }

@@ -6,8 +6,8 @@ use hsm_simnet::error::SimError;
 use hsm_simnet::mobility::Trajectory;
 use hsm_simnet::time::{SimDuration, SimTime};
 use hsm_tcp::connection::{
-    run_connection, try_run_connection, ConnectionConfig, ConnectionOutcome, MobilityScenario,
-    PathSpec,
+    run_connection, try_run_connection_with, ConnectionConfig, ConnectionOutcome,
+    ConnectionScratch, MobilityScenario, PathSpec,
 };
 use hsm_tcp::receiver::ReceiverConfig;
 use hsm_tcp::reno::SenderConfig;
@@ -317,11 +317,48 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioOutcome {
 /// [`ScenarioConfig::validate`], or [`ScenarioError::Engine`] when the
 /// simulation engine reports internal bookkeeping corruption.
 pub fn try_run_scenario(config: &ScenarioConfig) -> Result<ScenarioOutcome, ScenarioError> {
+    try_run_scenario_with(&mut Scratch::new(), config)
+}
+
+/// Reusable working memory for scenario runs.
+///
+/// Holds the simulation engine, the event recorder and the capture slab so
+/// a worker running many flows back to back ([`try_run_scenario_with`])
+/// pays the big allocations once instead of per flow. A `Scratch` carries
+/// no run state between flows: runs through a reused scratch are
+/// bit-identical to fresh ones.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    conn: ConnectionScratch,
+}
+
+impl Scratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+}
+
+/// [`try_run_scenario`] through a caller-held [`Scratch`].
+///
+/// # Errors
+///
+/// Same contract as [`try_run_scenario`].
+pub fn try_run_scenario_with(
+    scratch: &mut Scratch,
+    config: &ScenarioConfig,
+) -> Result<ScenarioOutcome, ScenarioError> {
     config.validate()?;
     let path = config.path();
     let mobility = config.mobility();
     let conn = config.connection();
-    let outcome = try_run_connection(config.seed, &path, mobility.as_ref(), &conn)?;
+    let outcome = try_run_connection_with(
+        &mut scratch.conn,
+        config.seed,
+        &path,
+        mobility.as_ref(),
+        &conn,
+    )?;
     let analysis = analyze_flow(&outcome.trace, &TimeoutConfig::default());
     Ok(ScenarioOutcome {
         config: config.clone(),
@@ -427,6 +464,50 @@ mod tests {
         let a = try_run_scenario(&good).expect("valid config runs");
         let b = run_scenario(&good);
         assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scenario_runs() {
+        let mut scratch = Scratch::new();
+        // Mix motions and providers so the scratch crosses engine shapes
+        // (with/without mobility channel) between runs.
+        let configs = [
+            ScenarioConfig {
+                motion: Motion::Stationary,
+                duration: SimDuration::from_secs(5),
+                seed: 2,
+                ..Default::default()
+            },
+            ScenarioConfig {
+                provider: Provider::ChinaUnicom,
+                duration: SimDuration::from_secs(8),
+                seed: 9,
+                ..Default::default()
+            },
+            ScenarioConfig {
+                motion: Motion::Stationary,
+                duration: SimDuration::from_secs(5),
+                seed: 2,
+                ..Default::default()
+            },
+        ];
+        for cfg in &configs {
+            let reused = try_run_scenario_with(&mut scratch, cfg).expect("valid config");
+            let fresh = run_scenario(cfg);
+            assert_eq!(reused.summary(), fresh.summary(), "seed {}", cfg.seed);
+            assert_eq!(reused.outcome.trace, fresh.outcome.trace);
+        }
+        assert_eq!(
+            try_run_scenario_with(
+                &mut scratch,
+                &ScenarioConfig {
+                    w_m: 0,
+                    ..Default::default()
+                }
+            )
+            .unwrap_err(),
+            ScenarioError::ZeroWindow
+        );
     }
 
     #[test]

@@ -159,6 +159,14 @@ pub struct Link {
 impl Link {
     /// Instantiates runtime state from a spec.
     pub fn from_spec(spec: LinkSpec) -> Link {
+        Link::from_spec_with_queue(spec, VecDeque::new())
+    }
+
+    /// Like [`Link::from_spec`], but reusing a previously allocated queue
+    /// buffer (the engine's reset path feeds retired links' queues back in
+    /// so a recycled engine wires its links without reallocating).
+    pub(crate) fn from_spec_with_queue(spec: LinkSpec, mut queue: VecDeque<Packet>) -> Link {
+        queue.clear();
         Link {
             to: spec.to,
             bandwidth_bps: spec.bandwidth_bps,
@@ -168,7 +176,7 @@ impl Link {
             loss: spec.loss,
             label: spec.label.into(),
             queue_capacity: spec.queue_capacity,
-            queue: VecDeque::new(),
+            queue,
             in_flight: None,
             overflow_drops: 0,
             offered: 0,
@@ -231,6 +239,13 @@ impl Link {
             self.in_flight = Some(next);
         }
         Some((done, self.in_flight.as_ref()))
+    }
+
+    /// Consumes the link and hands back its queue buffer (cleared) for
+    /// reuse by the next link registered on a recycled engine.
+    pub(crate) fn into_queue_buffer(mut self) -> VecDeque<Packet> {
+        self.queue.clear();
+        self.queue
     }
 
     /// True while a packet is being clocked onto the wire.

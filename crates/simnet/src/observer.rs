@@ -127,8 +127,26 @@ impl VecRecorder {
     }
 
     /// Drains and returns all recorded events, leaving the recorder empty.
+    ///
+    /// This moves the backing `Vec` out, so the recorder starts its next
+    /// batch from a fresh (empty-capacity) buffer. Scratch-reusing callers
+    /// should prefer [`VecRecorder::with_events`] + [`VecRecorder::clear`],
+    /// which keep the allocation alive across runs.
     pub fn take_events(&self) -> Vec<PacketEvent> {
         std::mem::take(&mut *self.events.borrow_mut())
+    }
+
+    /// Runs `f` over a borrow of the recorded events without copying or
+    /// draining them — the allocation-free way to consume a batch.
+    pub fn with_events<R>(&self, f: impl FnOnce(&[PacketEvent]) -> R) -> R {
+        f(&self.events.borrow())
+    }
+
+    /// Forgets all recorded events but keeps the buffer's capacity, so a
+    /// recorder reused across simulation runs stops allocating once it has
+    /// seen its largest batch.
+    pub fn clear(&self) {
+        self.events.borrow_mut().clear();
     }
 
     /// Records one event sharing the interned link label — the engine's
@@ -322,6 +340,24 @@ mod tests {
         let evs = rec.take_events();
         assert_eq!(evs.len(), 1);
         assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn with_events_borrows_and_clear_keeps_capacity() {
+        let rec = VecRecorder::new();
+        let mut sink = rec.clone();
+        let p = Packet::data(FlowId(0), SeqNo(0), false);
+        for _ in 0..32 {
+            sink.on_sent(SimTime::ZERO, LinkId::from_raw(0), "dl", &p);
+        }
+        let n = rec.with_events(|evs| evs.len());
+        assert_eq!(n, 32);
+        assert_eq!(rec.len(), 32, "with_events must not drain");
+        rec.clear();
+        assert!(rec.is_empty());
+        // The shared buffer survives the clear: new events land in it.
+        sink.on_sent(SimTime::ZERO, LinkId::from_raw(0), "dl", &p);
+        assert_eq!(rec.len(), 1);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use hsm_simnet::observer::VecRecorder;
 use hsm_simnet::packet::FlowId;
 use hsm_simnet::prelude::Engine;
 use hsm_simnet::time::{SimDuration, SimTime};
-use hsm_trace::capture::single_flow_trace;
+use hsm_trace::capture::{single_flow_trace_with, CaptureScratch};
 use hsm_trace::record::{FlowMeta, FlowTrace};
 use serde::{Deserialize, Serialize};
 
@@ -187,6 +187,39 @@ pub struct ConnectionOutcome {
     pub events_processed: u64,
 }
 
+/// Reusable per-worker state for running many flows through one engine.
+///
+/// Every buffer that a connection run grows — the simulator's event-queue
+/// slab, link queue buffers, the packet-event recording, the capture slab
+/// — lives here and is recycled between runs, so a worker that holds one
+/// `ConnectionScratch` across a campaign stops allocating once it has seen
+/// its largest flow. Results are bit-identical to fresh-engine runs
+/// (`Engine::reset` re-derives every random stream from the new seed).
+#[derive(Debug)]
+pub struct ConnectionScratch {
+    engine: Engine,
+    recorder: VecRecorder,
+    capture: CaptureScratch,
+}
+
+impl Default for ConnectionScratch {
+    fn default() -> Self {
+        ConnectionScratch {
+            // The seed is irrelevant: every run resets with its own seed.
+            engine: Engine::new(0),
+            recorder: VecRecorder::new(),
+            capture: CaptureScratch::new(),
+        }
+    }
+}
+
+impl ConnectionScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> ConnectionScratch {
+        ConnectionScratch::default()
+    }
+}
+
 /// Builds, runs and harvests a single TCP flow.
 ///
 /// The run ends when the sender finishes (`stop_after`/`max_segments`),
@@ -217,7 +250,26 @@ pub fn try_run_connection(
     mobility: Option<&MobilityScenario>,
     cfg: &ConnectionConfig,
 ) -> Result<ConnectionOutcome, SimError> {
-    let mut eng = Engine::new(seed);
+    try_run_connection_with(&mut ConnectionScratch::new(), seed, path, mobility, cfg)
+}
+
+/// [`try_run_connection`] through a caller-held [`ConnectionScratch`] —
+/// the allocation-recycling path campaign workers use to run thousands of
+/// flows per engine.
+///
+/// # Errors
+///
+/// Returns the [`SimError`] reported by [`Engine::try_run_until`].
+pub fn try_run_connection_with(
+    scratch: &mut ConnectionScratch,
+    seed: u64,
+    path: &PathSpec,
+    mobility: Option<&MobilityScenario>,
+    cfg: &ConnectionConfig,
+) -> Result<ConnectionOutcome, SimError> {
+    scratch.engine.reset(seed);
+    scratch.recorder.clear();
+    let eng = &mut scratch.engine;
     let placeholder = LinkId::from_raw(u32::MAX);
     let tx = eng.add_agent(Box::new(RenoSender::new(
         FlowId(cfg.flow),
@@ -258,8 +310,7 @@ pub fn try_run_connection(
         )))
     });
 
-    let recorder = VecRecorder::new();
-    eng.add_recorder(recorder.clone());
+    eng.add_recorder(scratch.recorder.clone());
     eng.try_run_until(cfg.deadline)?;
 
     let meta = FlowMeta {
@@ -269,7 +320,12 @@ pub fn try_run_connection(
         b: cfg.receiver.b,
         mss_bytes: cfg.mss_bytes,
     };
-    let trace = single_flow_trace(&recorder.take_events(), cfg.flow, meta.clone())
+    // Borrow the recorded events in place (no drain, no copy) and fold
+    // them through the reusable capture slab.
+    let capture = &mut scratch.capture;
+    let trace = scratch
+        .recorder
+        .with_events(|events| single_flow_trace_with(capture, events, cfg.flow, meta.clone()))
         .unwrap_or_else(|| FlowTrace::new(cfg.flow, meta));
     let sender = eng
         .agent_mut::<RenoSender>(tx)
@@ -369,6 +425,33 @@ mod tests {
         let stats = out.channel.expect("channel stats");
         assert!(stats.handoffs >= 3, "handoffs {}", stats.handoffs);
         assert_eq!(out.trace.meta.scenario, "high-speed");
+    }
+
+    #[test]
+    fn reused_scratch_reproduces_fresh_runs_bit_for_bit() {
+        let cfg = ConnectionConfig {
+            sender: SenderConfig {
+                stop_after: Some(SimDuration::from_secs(20)),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let path = PathSpec {
+            down_loss: LossSpec::Bernoulli(0.01),
+            up_loss: LossSpec::Bernoulli(0.004),
+            ..Default::default()
+        };
+        let mut scratch = ConnectionScratch::new();
+        for seed in [3u64, 11, 3] {
+            let reused = try_run_connection_with(&mut scratch, seed, &path, None, &cfg)
+                .expect("scratch run succeeds");
+            let fresh = run_connection(seed, &path, None, &cfg);
+            assert_eq!(reused.trace, fresh.trace, "seed {seed}");
+            assert_eq!(reused.sender.retransmissions, fresh.sender.retransmissions);
+            assert_eq!(reused.receiver, fresh.receiver);
+            assert_eq!(reused.finished_at, fresh.finished_at);
+            assert_eq!(reused.events_processed, fresh.events_processed);
+        }
     }
 
     #[test]

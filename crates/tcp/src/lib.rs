@@ -47,7 +47,8 @@ pub mod veno;
 /// Convenient glob-import surface: `use hsm_tcp::prelude::*;`.
 pub mod prelude {
     pub use crate::connection::{
-        run_connection, ConnectionConfig, ConnectionOutcome, LossSpec, MobilityScenario, PathSpec,
+        run_connection, try_run_connection, try_run_connection_with, ConnectionConfig,
+        ConnectionOutcome, ConnectionScratch, LossSpec, MobilityScenario, PathSpec,
     };
     pub use crate::cwnd::{Algorithm, Cwnd, Phase};
     pub use crate::demux::Demux;

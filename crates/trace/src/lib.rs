@@ -52,7 +52,10 @@ pub mod prelude {
     pub use crate::analysis::timeout::{
         analyze_timeouts, TimeoutAnalysis, TimeoutConfig, TimeoutEvent, TimeoutSequence,
     };
-    pub use crate::capture::{single_flow_trace, traces_from_events, traces_from_events_filtered};
+    pub use crate::capture::{
+        single_flow_trace, single_flow_trace_with, traces_from_events, traces_from_events_filtered,
+        traces_from_events_filtered_with, CaptureScratch,
+    };
     pub use crate::export::{fnum, fpct, Table};
     pub use crate::record::{FlowMeta, FlowTrace, PacketRecord};
     pub use crate::stats::{

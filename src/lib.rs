@@ -82,8 +82,8 @@ pub mod prelude {
     pub use hsm_runtime::error::{CacheError, EngineError};
     pub use hsm_scenario::provider::Provider;
     pub use hsm_scenario::runner::{
-        run_scenario, try_run_scenario, Motion, ScenarioConfig, ScenarioConfigBuilder,
-        ScenarioError, ScenarioOutcome,
+        run_scenario, try_run_scenario, try_run_scenario_with, Motion, ScenarioConfig,
+        ScenarioConfigBuilder, ScenarioError, ScenarioOutcome, Scratch,
     };
     pub use hsm_trace::summary::{analyze_flow, FlowSummary};
 }

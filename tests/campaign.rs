@@ -137,6 +137,7 @@ fn corrupt_disk_entries_are_detected_and_resimulated() -> Result<(), hsm::Error>
     let disk = CacheConfig {
         memory_entries: 0,
         disk_dir: Some(dir.clone()),
+        shards: 0,
     };
     let cold = campaign.run_with_cache(&FlowCache::new(disk.clone()))?;
 

@@ -1,21 +1,27 @@
 #!/usr/bin/env bash
-# Simnet throughput gate: compares a fresh `repro bench` run against the
-# committed BENCH_simnet.json baseline and fails on a >20% events/sec
-# regression.
+# Bench gates: compares a fresh `repro bench` run against the committed
+# baselines and fails on
+#   * a >20% simnet events/sec regression (BENCH_simnet.json),
+#   * a >20% max-worker cold campaign events/sec regression
+#     (BENCH_campaign.json), or
+#   * a 4-worker cold campaign speedup below 2x over 1 worker — enforced
+#     only on hosts with >= 4 cores, where parallel speedup is physical.
 #
 # Usage: tools/bench_gate.sh
 #   (expects `cargo build --release` to have produced target/release/repro;
 #   builds it if missing)
 #
 # Environment:
-#   BENCH_GATE_TOLERANCE  fractional regression allowed (default 0.20)
-#   BENCH_GATE_SKIP=1     skip the gate entirely (e.g. debug-only machines)
+#   BENCH_GATE_TOLERANCE    fractional regression allowed (default 0.20)
+#   BENCH_GATE_MIN_SPEEDUP  minimum 4-worker cold speedup (default 2.0)
+#   BENCH_GATE_SKIP=1       skip the gates entirely (e.g. debug-only machines)
 #
-# Re-baselining: the committed baseline is machine-relative. After an
-# intentional perf change (or on new hardware), regenerate and commit it:
+# Re-baselining: the committed baselines are machine-relative. After an
+# intentional perf change (or on new hardware), regenerate and commit them:
 #
 #   cargo build --release && (cd target && ../target/release/repro bench)
-#   cp target/BENCH_simnet.json BENCH_simnet.json   # then commit
+#   cp target/BENCH_simnet.json BENCH_simnet.json
+#   cp target/BENCH_campaign.json BENCH_campaign.json   # then commit
 #
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,13 +32,17 @@ if [[ "${BENCH_GATE_SKIP:-0}" == "1" ]]; then
 fi
 
 BASELINE=BENCH_simnet.json
+CAMPAIGN_BASELINE=BENCH_campaign.json
 TOLERANCE="${BENCH_GATE_TOLERANCE:-0.20}"
+MIN_SPEEDUP="${BENCH_GATE_MIN_SPEEDUP:-2.0}"
 
-if [[ ! -f "$BASELINE" ]]; then
-    echo "bench gate: no committed $BASELINE baseline — failing."
-    echo "Generate one with: target/release/repro bench && cp BENCH_simnet.json <repo root>"
-    exit 1
-fi
+for f in "$BASELINE" "$CAMPAIGN_BASELINE"; do
+    if [[ ! -f "$f" ]]; then
+        echo "bench gate: no committed $f baseline — failing."
+        echo "Generate one with: target/release/repro bench && cp $f <repo root>"
+        exit 1
+    fi
+done
 
 if [[ ! -x target/release/repro ]]; then
     cargo build --release -p hsm-bench
@@ -47,11 +57,12 @@ REPRO="$(pwd)/target/release/repro"
 
 extract() {
     # The bench files are single-line flat JSON; no jq dependency needed.
-    grep -o '"events_per_sec":[0-9.eE+-]*' "$1" | head -1 | cut -d: -f2
+    # head -1 keeps the first (top-level) occurrence of the field.
+    grep -o "\"$2\":[0-9.eE+-]*" "$1" | head -1 | cut -d: -f2
 }
 
-baseline_eps="$(extract "$BASELINE")"
-fresh_eps="$(extract "$SCRATCH/BENCH_simnet.json")"
+baseline_eps="$(extract "$BASELINE" events_per_sec)"
+fresh_eps="$(extract "$SCRATCH/BENCH_simnet.json" events_per_sec)"
 
 if [[ -z "$baseline_eps" || -z "$fresh_eps" ]]; then
     echo "bench gate: could not parse events_per_sec (baseline='$baseline_eps' fresh='$fresh_eps')"
@@ -61,15 +72,56 @@ fi
 awk -v base="$baseline_eps" -v fresh="$fresh_eps" -v tol="$TOLERANCE" 'BEGIN {
     floor = base * (1.0 - tol);
     ratio = fresh / base;
-    printf "bench gate: baseline %.0f ev/s, fresh %.0f ev/s (%.2fx, floor %.0f)\n",
+    printf "bench gate: simnet baseline %.0f ev/s, fresh %.0f ev/s (%.2fx, floor %.0f)\n",
            base, fresh, ratio, floor;
     if (fresh < floor) {
-        printf "bench gate: REGRESSION — fresh throughput is more than %.0f%% below baseline\n", tol * 100;
+        printf "bench gate: REGRESSION — fresh simnet throughput is more than %.0f%% below baseline\n", tol * 100;
         printf "bench gate: if intentional (or new hardware), re-baseline per tools/bench_gate.sh header\n";
         exit 1;
     }
     if (fresh > base * (1.0 + tol)) {
-        printf "bench gate: note — fresh is >%.0f%% above baseline; consider re-baselining\n", tol * 100;
+        printf "bench gate: note — fresh simnet is >%.0f%% above baseline; consider re-baselining\n", tol * 100;
     }
     exit 0;
 }'
+
+# ---- campaign gates -------------------------------------------------------
+
+FRESH_CAMPAIGN="$SCRATCH/BENCH_campaign.json"
+baseline_cold_max="$(extract "$CAMPAIGN_BASELINE" cold_eps_max)"
+fresh_cold_max="$(extract "$FRESH_CAMPAIGN" cold_eps_max)"
+fresh_speedup_w4="$(extract "$FRESH_CAMPAIGN" speedup_w4)"
+fresh_cores="$(extract "$FRESH_CAMPAIGN" host_cores)"
+
+if [[ -z "$baseline_cold_max" || -z "$fresh_cold_max" || -z "$fresh_cores" ]]; then
+    echo "bench gate: could not parse BENCH_campaign.json (baseline='$baseline_cold_max' fresh='$fresh_cold_max' cores='$fresh_cores')"
+    echo "bench gate: an old-shape baseline must be regenerated per the header"
+    exit 1
+fi
+
+awk -v base="$baseline_cold_max" -v fresh="$fresh_cold_max" -v tol="$TOLERANCE" 'BEGIN {
+    floor = base * (1.0 - tol);
+    printf "bench gate: campaign cold (max workers) baseline %.0f ev/s, fresh %.0f ev/s (%.2fx, floor %.0f)\n",
+           base, fresh, fresh / base, floor;
+    if (fresh < floor) {
+        printf "bench gate: REGRESSION — cold campaign throughput is more than %.0f%% below baseline\n", tol * 100;
+        printf "bench gate: if intentional (or new hardware), re-baseline per tools/bench_gate.sh header\n";
+        exit 1;
+    }
+    exit 0;
+}'
+
+# The parallel-speedup criterion is physical only when the host actually
+# has >= 4 cores; a 1-core container running 4 threads proves nothing.
+if [[ "$fresh_cores" -ge 4 ]]; then
+    awk -v s="$fresh_speedup_w4" -v min="$MIN_SPEEDUP" 'BEGIN {
+        printf "bench gate: campaign 4-worker cold speedup %.2fx (minimum %.2fx)\n", s, min;
+        if (s < min) {
+            printf "bench gate: SCALING REGRESSION — 4-worker speedup below %.2fx on a multi-core host\n", min;
+            exit 1;
+        }
+        exit 0;
+    }'
+else
+    echo "bench gate: host has $fresh_cores core(s) — skipping the 4-worker speedup gate (needs >= 4)"
+fi

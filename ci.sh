@@ -7,6 +7,10 @@ cd "$(dirname "$0")"
 cargo fmt --all -- --check
 cargo build --release
 cargo test -q --workspace
+# Pinned-seed chaos smoke: the fault-injection harness and differential
+# oracle must hold on every push (nightly CI runs the big randomized
+# sweep; see .github/workflows/ci.yml).
+./target/release/repro chaos --seed 42 --cases 200
 cargo clippy --workspace --all-targets -- -D warnings
 cargo doc --no-deps --workspace
 ./tools/bench_gate.sh

@@ -130,14 +130,130 @@ fn write_simnet_bench(scale: Scale) -> Result<(), String> {
     Ok(())
 }
 
+/// `repro chaos --seed N --cases M [--workers W]`: the fault-injection
+/// and differential-testing harness. Writes the full `ChaosReport` as
+/// `CHAOS_report.json`; on any oracle violation or failed drill also
+/// writes `chaos-failure.json` (violations with their shrunk minimal
+/// configs — the artifact CI uploads) and exits non-zero.
+fn run_chaos_cmd(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut opts = hsm_chaos::ChaosOptions::default();
+    let mut iter = args;
+    while let Some(arg) = iter.next() {
+        let mut take = |name: &str| -> Option<String> {
+            let v = iter.next();
+            if v.is_none() {
+                eprintln!("{name} needs a value");
+            }
+            v
+        };
+        let parsed = match arg.as_str() {
+            "--seed" => take("--seed")
+                .and_then(|v| v.parse().ok())
+                .map(|v| opts.seed = v),
+            "--cases" => take("--cases")
+                .and_then(|v| v.parse().ok())
+                .map(|v| opts.cases = v),
+            "--workers" => take("--workers")
+                .and_then(|v| v.parse().ok())
+                .map(|v| opts.workers = v),
+            other => {
+                eprintln!("unknown chaos option `{other}`");
+                eprintln!("usage: repro chaos [--seed N] [--cases M] [--workers W]");
+                return ExitCode::FAILURE;
+            }
+        };
+        if parsed.is_none() {
+            eprintln!("invalid value for {arg}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // The worker-death drill kills workers with deliberate panics; keep
+    // those out of stderr while letting genuine panics through.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.contains("chaos:"))
+            .or_else(|| {
+                info.payload()
+                    .downcast_ref::<String>()
+                    .map(|s| s.contains("chaos:"))
+            })
+            .unwrap_or(false);
+        if !injected {
+            prev(info);
+        }
+    }));
+
+    let report = hsm_chaos::run_chaos(&opts);
+
+    let json = match serde_json::to_string(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("failed to serialize chaos report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write("CHAOS_report.json", &json) {
+        eprintln!("failed to write CHAOS_report.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "chaos: seed {} cases {} workers {} -> {} violations, {}/{} drills passed, \
+         region {} flows (mean D enhanced {:.4} vs padhye {:.4}), {:.1}s",
+        report.seed,
+        report.cases,
+        report.workers,
+        report.violations.len(),
+        report.drills.iter().filter(|d| d.passed).count(),
+        report.drills.len(),
+        report.aggregate.region_flows,
+        report.aggregate.mean_d_enhanced,
+        report.aggregate.mean_d_padhye,
+        report.wall_s,
+    );
+    if report.ok() {
+        println!("chaos: all oracles held");
+        ExitCode::SUCCESS
+    } else {
+        for v in &report.violations {
+            eprintln!(
+                "violation [case {} | {}]: {}\n  reproduce: seed {} case {}\n  shrunk: {:?}",
+                v.case, v.check, v.detail, report.seed, v.case, v.shrunk
+            );
+        }
+        for d in report.drills.iter().filter(|d| !d.passed) {
+            eprintln!("drill failed [{}]: {}", d.name, d.detail);
+        }
+        if !report.aggregate.skipped && !report.aggregate.within_envelope {
+            eprintln!(
+                "aggregate oracle failed: mean D enhanced {:.4} (envelope {:.4}) vs padhye {:.4}",
+                report.aggregate.mean_d_enhanced,
+                report.aggregate.envelope,
+                report.aggregate.mean_d_padhye
+            );
+        }
+        if let Err(e) = std::fs::write("chaos-failure.json", &json) {
+            eprintln!("failed to write chaos-failure.json: {e}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn usage() {
-    println!("usage: repro [all | bench | <id>...] [--smoke | --full] [--csv DIR]\n");
+    println!("usage: repro [all | bench | <id>...] [--smoke | --full] [--csv DIR]");
+    println!("       repro chaos [--seed N] [--cases M] [--workers W]\n");
     println!("experiments:");
     for e in EXPERIMENTS {
         println!("  {:10} {}", e.id, e.about);
     }
     println!("\n`repro bench` runs no experiments: it only regenerates the");
     println!("BENCH_campaign.json / BENCH_simnet.json telemetry files.");
+    println!("`repro chaos` runs the seeded fault-injection harness and");
+    println!("writes CHAOS_report.json (plus chaos-failure.json and a");
+    println!("non-zero exit on any oracle violation).");
     println!("BENCH_campaign.json always records the Stress-scale worker");
     println!("matrix (cold/warm x workers in {{1, 2, 4, max}}), regardless");
     println!("of the --smoke/--full flags.");
@@ -145,6 +261,9 @@ fn usage() {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "chaos") {
+        return run_chaos_cmd(args.into_iter().skip(1));
+    }
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::Standard;
     let mut csv_dir: Option<PathBuf> = None;

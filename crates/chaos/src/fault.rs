@@ -1,0 +1,337 @@
+//! Fault-injection drills: each one injects a specific fault beneath the
+//! runtime and verifies the stack *handles* it as specified — detects it,
+//! contains it, or proves immune to it. A drill that passes silently on a
+//! broken stack would be worthless, so every drill is paired (here or in
+//! the crate's integration tests) with a negative twin proving the
+//! detection machinery actually fires.
+
+use crate::oracle::compare_summaries;
+use crate::report::DrillResult;
+use hsm_runtime::cache::{chaos_corrupt_disk_entry, chaos_forge_disk_entry, CacheKey};
+use hsm_runtime::{CacheConfig, Campaign, ChaosInjection, EngineError, FlowCache};
+use hsm_scenario::prelude::*;
+use hsm_simnet::agent::{Agent, NullAgent};
+use hsm_simnet::chaos::{StormInjector, StormPlan};
+use hsm_simnet::engine::{Ctx, Engine};
+use hsm_simnet::link::{LinkId, LinkSpec};
+use hsm_simnet::packet::{FlowId, Packet, SeqNo};
+use hsm_simnet::time::{SimDuration, SimTime};
+use hsm_tcp::connection::{try_run_connection, ConnectionConfig, LossSpec, PathSpec};
+use hsm_tcp::reno::SenderConfig;
+use hsm_trace::analysis::timeout::TimeoutConfig;
+use hsm_trace::summary::analyze_flow;
+use std::path::Path;
+
+fn result(name: &str, outcome: Result<String, String>) -> DrillResult {
+    match outcome {
+        Ok(detail) => DrillResult {
+            name: name.to_owned(),
+            passed: true,
+            detail,
+        },
+        Err(detail) => DrillResult {
+            name: name.to_owned(),
+            passed: false,
+            detail,
+        },
+    }
+}
+
+/// Small, fast campaign: 6 stationary flows, 2 s each.
+fn drill_configs() -> Vec<ScenarioConfig> {
+    (0..6u64)
+        .map(|i| {
+            ScenarioConfig::builder()
+                .motion(Motion::Stationary)
+                .duration(SimDuration::from_secs(2))
+                .seed(100 + i)
+                .flow(i as u32)
+                .build()
+                .expect("drill config is valid")
+        })
+        .collect()
+}
+
+/// Runs every drill; `dir` hosts the disk-cache scratch space.
+pub fn run_drills(dir: &Path) -> Vec<DrillResult> {
+    vec![
+        result("worker-death", drill_worker_death()),
+        result("cache-corruption", drill_cache_corruption(dir)),
+        result("cache-forgery", drill_cache_forgery(dir)),
+        result("link-storm", drill_link_storm()),
+        result("ack-burst-loss", drill_ack_burst_loss()),
+        result("scratch-poison", drill_scratch_poison()),
+    ]
+}
+
+/// A worker dying mid-campaign must surface as [`EngineError::WorkerLost`]
+/// — never a hang, never a partial result — and a clean rerun of the same
+/// campaign must recover completely.
+fn drill_worker_death() -> Result<String, String> {
+    let configs = drill_configs();
+    let killed = Campaign::builder()
+        .configs(configs.clone())
+        .workers(2)
+        .chaos(ChaosInjection {
+            kill_worker_at: Some(3),
+            ..Default::default()
+        })
+        .build()
+        .map_err(|e| format!("build failed: {e}"))?;
+    match killed.run() {
+        Err(EngineError::WorkerLost) => {}
+        Err(e) => return Err(format!("expected WorkerLost, got: {e}")),
+        Ok(_) => return Err("worker death went completely undetected".to_owned()),
+    }
+    let clean = Campaign::builder()
+        .configs(configs)
+        .workers(2)
+        .build()
+        .map_err(|e| format!("build failed: {e}"))?;
+    let out = clean
+        .run()
+        .map_err(|e| format!("clean rerun failed: {e}"))?;
+    if out.runs.len() != 6 {
+        return Err(format!(
+            "clean rerun produced {} of 6 flows",
+            out.runs.len()
+        ));
+    }
+    Ok("WorkerLost surfaced; clean rerun recovered all 6 flows".to_owned())
+}
+
+/// A bit-flipped disk-cache entry must be detected by the integrity check,
+/// counted in `corrupt_entries`, and transparently re-simulated — the warm
+/// run's output stays bit-identical to the cold run's.
+fn drill_cache_corruption(dir: &Path) -> Result<String, String> {
+    let dir = dir.join("corruption");
+    let configs = drill_configs();
+    let campaign = Campaign::builder()
+        .configs(configs.clone())
+        .workers(2)
+        .build()
+        .map_err(|e| format!("build failed: {e}"))?;
+    let disk_only = || {
+        FlowCache::new(CacheConfig {
+            memory_entries: 0,
+            disk_dir: Some(dir.clone()),
+            shards: 0,
+        })
+    };
+    let cold = campaign
+        .run_with_cache(&disk_only())
+        .map_err(|e| format!("cold run failed: {e}"))?;
+    let flipped = chaos_corrupt_disk_entry(&dir, CacheKey::of(&configs[2]))
+        .map_err(|e| format!("corruption helper failed: {e}"))?;
+    if !flipped {
+        return Err("no disk entry found to corrupt".to_owned());
+    }
+    let warm = campaign
+        .run_with_cache(&disk_only())
+        .map_err(|e| format!("warm run failed: {e}"))?;
+    if warm.report.corrupt_entries != 1 {
+        return Err(format!(
+            "expected exactly 1 corrupt entry detected, got {}",
+            warm.report.corrupt_entries
+        ));
+    }
+    for (c, w) in cold.summaries().zip(warm.summaries()) {
+        if let Some(diff) = compare_summaries(c, w) {
+            return Err(format!("corrupted entry leaked into results: {diff}"));
+        }
+    }
+    Ok("bit-flip detected, counted and re-simulated; streams bit-identical".to_owned())
+}
+
+/// A *forged* disk entry — internally self-consistent (key, version and
+/// payload hash all match), carrying another flow's summary — evades the
+/// integrity hash by construction. The differential oracle is the layer
+/// that catches it: the served summary no longer matches a fresh
+/// simulation.
+fn drill_cache_forgery(dir: &Path) -> Result<String, String> {
+    let dir = dir.join("forgery");
+    let configs = drill_configs();
+    let victim = &configs[0];
+    let donor = &configs[1];
+    let donor_summary = try_run_scenario(donor)
+        .map_err(|e| format!("donor run failed: {e}"))?
+        .summary()
+        .clone();
+    chaos_forge_disk_entry(&dir, CacheKey::of(victim), &donor_summary)
+        .map_err(|e| format!("forgery helper failed: {e}"))?;
+    let cache = FlowCache::new(CacheConfig {
+        memory_entries: 0,
+        disk_dir: Some(dir),
+        shards: 0,
+    });
+    let Some(served) = cache.lookup(CacheKey::of(victim)) else {
+        return Err("forged entry unexpectedly rejected by the integrity check".to_owned());
+    };
+    if cache.stats().corrupt_entries != 0 {
+        return Err(
+            "integrity check flagged the forgery — it should be invisible to it".to_owned(),
+        );
+    }
+    let fresh = try_run_scenario(victim)
+        .map_err(|e| format!("victim run failed: {e}"))?
+        .summary()
+        .clone();
+    match compare_summaries(&fresh, &served) {
+        Some(_) => Ok(
+            "forgery passed the integrity hash but the differential oracle flagged it".to_owned(),
+        ),
+        None => Err("differential oracle failed to flag a forged cache entry".to_owned()),
+    }
+}
+
+/// Fixed-rate sender used by the storm drill.
+#[derive(Debug)]
+struct Pinger {
+    out: LinkId,
+    sent: u64,
+    budget: u64,
+}
+
+impl Agent for Pinger {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.schedule_in(SimDuration::from_micros(1), 0);
+    }
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _packet: Packet) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+        if self.sent >= self.budget {
+            return;
+        }
+        ctx.send(self.out, Packet::data(FlowId(1), SeqNo(self.sent), false));
+        self.sent += 1;
+        ctx.schedule_in(SimDuration::from_millis(1), 0);
+    }
+}
+
+/// A seeded storm of link flaps and burst-loss windows must damage
+/// traffic, replay identically, and leave the packet-conservation ledger
+/// balanced. The ledger is re-checked here by hand (at quiescence,
+/// `offered = delivered + drops`) because the engine's own assert is
+/// compiled out of release builds.
+fn drill_link_storm() -> Result<String, String> {
+    let run = |seed: u64| {
+        let mut eng = Engine::new(seed);
+        let sink = eng.add_agent(Box::new(NullAgent::new()));
+        let wire = eng.add_link(
+            LinkSpec::new(sink, "storm-wire")
+                .bandwidth_bps(100_000_000)
+                .prop_delay(SimDuration::from_millis(5)),
+        );
+        eng.add_agent(Box::new(Pinger {
+            out: wire,
+            sent: 0,
+            budget: 2000,
+        }));
+        let plan = StormPlan::from_seed(seed, SimDuration::from_secs(2));
+        eng.add_agent(Box::new(StormInjector::new(wire, plan)));
+        eng.run_until(SimTime::ZERO + SimDuration::from_secs(4));
+        let link = eng.link(wire);
+        (
+            link.offered,
+            link.delivered,
+            link.overflow_drops,
+            link.channel_drops,
+            link.queue_len(),
+            link.deliver_pending,
+        )
+    };
+    let a = run(23);
+    let b = run(23);
+    if a != b {
+        return Err(format!("storm replay diverged: {a:?} vs {b:?}"));
+    }
+    let (offered, delivered, overflow, channel, queued, pending) = a;
+    if queued != 0 || pending != 0 {
+        return Err(format!(
+            "link not quiescent after the run: {queued} queued, {pending} pending"
+        ));
+    }
+    if offered != delivered + overflow + channel {
+        return Err(format!(
+            "conservation ledger broken: offered {offered} != \
+             delivered {delivered} + overflow {overflow} + channel {channel}"
+        ));
+    }
+    if channel == 0 {
+        return Err("storm injected no loss — burst windows never bit".to_owned());
+    }
+    Ok(format!(
+        "storm dropped {channel} packets; ledger balanced ({offered} offered) and replay identical"
+    ))
+}
+
+/// ACK-burst-loss episodes (periodic outage windows on the uplink, the
+/// ACK direction) must raise the measured ACK loss relative to a clean
+/// uplink and replay deterministically.
+fn drill_ack_burst_loss() -> Result<String, String> {
+    let connection = ConnectionConfig {
+        sender: SenderConfig {
+            stop_after: Some(SimDuration::from_secs(8)),
+            ..Default::default()
+        },
+        deadline: SimTime::ZERO + SimDuration::from_secs(20),
+        ..Default::default()
+    };
+    let run = |up_loss: LossSpec| {
+        let path = PathSpec {
+            up_loss,
+            ..Default::default()
+        };
+        let out = try_run_connection(5, &path, None, &connection)
+            .map_err(|e| format!("connection run failed: {e}"))?;
+        let analysis = analyze_flow(&out.trace, &TimeoutConfig::default());
+        Ok::<_, String>(analysis.summary)
+    };
+    let episodes = LossSpec::PeriodicOutage {
+        period_s: 1.0,
+        outage_s: 0.25,
+        offset_s: 0.3,
+        loss: 0.95,
+    };
+    let stormy = run(episodes)?;
+    let again = run(episodes)?;
+    if let Some(diff) = compare_summaries(&stormy, &again) {
+        return Err(format!("ACK-burst run not deterministic: {diff}"));
+    }
+    let clean = run(LossSpec::Lossless)?;
+    if stormy.p_a <= clean.p_a {
+        return Err(format!(
+            "ACK-burst episodes did not raise ACK loss: stormy {} vs clean {}",
+            stormy.p_a, clean.p_a
+        ));
+    }
+    Ok(format!(
+        "ACK loss rose from {:.4} to {:.4} under burst episodes, deterministically",
+        clean.p_a, stormy.p_a
+    ))
+}
+
+/// A deliberately poisoned scratch handed back to the runner must produce
+/// results bit-identical to a fresh run — on the *hard* case, a mobile
+/// flow with handoffs.
+fn drill_scratch_poison() -> Result<String, String> {
+    let config = ScenarioConfig::builder()
+        .motion(Motion::HighSpeed)
+        .duration(SimDuration::from_secs(5))
+        .seed(77)
+        .build()
+        .expect("valid");
+    let fresh = try_run_scenario(&config).map_err(|e| format!("fresh run failed: {e}"))?;
+    let mut scratch = Scratch::new();
+    for round in 0..2 {
+        scratch.poison();
+        let reused = try_run_scenario_with(&mut scratch, &config)
+            .map_err(|e| format!("poisoned run failed: {e}"))?;
+        if let Some(diff) = compare_summaries(fresh.summary(), reused.summary()) {
+            return Err(format!("round {round}: poisoned scratch diverged: {diff}"));
+        }
+        if reused.outcome.trace != fresh.outcome.trace {
+            return Err(format!("round {round}: traces diverged"));
+        }
+    }
+    Ok("two poisoned reuses both bit-identical to the fresh run".to_owned())
+}

@@ -1,0 +1,84 @@
+//! The harness's own random stream: SplitMix64, deliberately independent
+//! of `hsm_simnet::rng` so fuzzing decisions never perturb (or depend on)
+//! the simulation's randomness.
+
+/// A tiny deterministic generator for fuzzing decisions.
+///
+/// Case streams are derived, not sequential: case `k` of master seed `s`
+/// always draws the same values no matter how many other cases ran, which
+/// is what lets the runner shard cases across workers and still reproduce
+/// any single case from `(seed, case)` alone.
+#[derive(Debug, Clone)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ChaosRng {
+    /// A stream seeded directly.
+    pub fn new(seed: u64) -> ChaosRng {
+        ChaosRng { state: seed }
+    }
+
+    /// The independent stream for case `case` of master seed `master`.
+    pub fn for_case(master: u64, case: u64) -> ChaosRng {
+        // Mix the pair through one scramble round so adjacent cases start
+        // far apart in the state space.
+        let mut s = master ^ case.wrapping_mul(0xa076_1d64_78bd_642f);
+        let _ = splitmix64(&mut s);
+        ChaosRng { state: s }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Uniform draw from the inclusive range `[lo, hi]`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo + 1;
+        lo + self.next_u64() % span
+    }
+
+    /// Bernoulli draw with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_u64() % den < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_streams_are_reproducible_and_distinct() {
+        let a: Vec<u64> = {
+            let mut r = ChaosRng::for_case(42, 7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = ChaosRng::for_case(42, 7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut other = ChaosRng::for_case(42, 8);
+        assert_ne!(a[0], other.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = ChaosRng::new(3);
+        for _ in 0..1000 {
+            let x = r.range_u64(5, 9);
+            assert!((5..=9).contains(&x));
+        }
+    }
+}

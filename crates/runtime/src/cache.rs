@@ -455,24 +455,7 @@ impl FlowCache {
         key: CacheKey,
         summary: &FlowSummary,
     ) -> Result<(), CacheError> {
-        std::fs::create_dir_all(dir).map_err(|e| CacheError::Io {
-            path: dir.to_path_buf(),
-            message: e.to_string(),
-        })?;
-        let payload =
-            serde_json::to_string(summary).map_err(|e| CacheError::Encode(e.to_string()))?;
-        let entry = DiskEntry {
-            key: key.0,
-            engine_version: ENGINE_VERSION.to_owned(),
-            payload_hash: fnv1a(payload.as_bytes()),
-            summary: summary.clone(),
-        };
-        let text = serde_json::to_string(&entry).map_err(|e| CacheError::Encode(e.to_string()))?;
-        let path = dir.join(key.file_name());
-        std::fs::write(&path, text).map_err(|e| CacheError::Io {
-            path: path.clone(),
-            message: e.to_string(),
-        })
+        write_disk_entry(dir, key, summary)
     }
 
     /// Total live + stale pairs across every shard's recency queue —
@@ -490,6 +473,78 @@ enum DiskLookup {
     Hit(FlowSummary),
     Corrupt,
     Absent,
+}
+
+/// Writes one fully consistent disk-tier entry (key echo, current engine
+/// version, payload hash over the summary's canonical JSON).
+fn write_disk_entry(dir: &Path, key: CacheKey, summary: &FlowSummary) -> Result<(), CacheError> {
+    std::fs::create_dir_all(dir).map_err(|e| CacheError::Io {
+        path: dir.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    let payload = serde_json::to_string(summary).map_err(|e| CacheError::Encode(e.to_string()))?;
+    let entry = DiskEntry {
+        key: key.0,
+        engine_version: ENGINE_VERSION.to_owned(),
+        payload_hash: fnv1a(payload.as_bytes()),
+        summary: summary.clone(),
+    };
+    let text = serde_json::to_string(&entry).map_err(|e| CacheError::Encode(e.to_string()))?;
+    let path = dir.join(key.file_name());
+    std::fs::write(&path, text).map_err(|e| CacheError::Io {
+        path: path.clone(),
+        message: e.to_string(),
+    })
+}
+
+/// Bit-flips one byte of the stored disk-tier entry for `key` — the
+/// `hsm-chaos` disk-corruption fault. Every flip lands inside the compact
+/// JSON encoding, so it either breaks the JSON, changes the key/version
+/// echo, or changes hashed payload bytes; the integrity check must reject
+/// all three. Returns `false` when no entry exists for the key.
+///
+/// Test/`chaos`-feature builds only.
+///
+/// # Errors
+///
+/// Returns [`CacheError::Io`] when the entry cannot be rewritten.
+#[cfg(any(test, feature = "chaos"))]
+pub fn chaos_corrupt_disk_entry(dir: &Path, key: CacheKey) -> Result<bool, CacheError> {
+    let path = dir.join(key.file_name());
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Ok(false);
+    };
+    let mut bytes = text.into_bytes();
+    if bytes.is_empty() {
+        return Ok(false);
+    }
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, bytes).map_err(|e| CacheError::Io {
+        path: path.clone(),
+        message: e.to_string(),
+    })?;
+    Ok(true)
+}
+
+/// Forges a *self-consistent* disk-tier entry: attacker-chosen summary,
+/// matching payload hash, current engine version — the `hsm-chaos`
+/// stronger corruption fault. The integrity check cannot reject this by
+/// construction; only the differential oracle's warm-vs-fresh comparison
+/// can catch it, which is exactly what the harness proves.
+///
+/// Test/`chaos`-feature builds only.
+///
+/// # Errors
+///
+/// Returns [`CacheError`] when the entry cannot be encoded or written.
+#[cfg(any(test, feature = "chaos"))]
+pub fn chaos_forge_disk_entry(
+    dir: &Path,
+    key: CacheKey,
+    summary: &FlowSummary,
+) -> Result<(), CacheError> {
+    write_disk_entry(dir, key, summary)
 }
 
 /// Parses and integrity-checks one disk-tier entry; `None` = corrupt.

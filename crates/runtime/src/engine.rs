@@ -116,6 +116,50 @@ impl CampaignOutput {
     }
 }
 
+/// Deterministic fault plan injected beneath the worker pool — the
+/// campaign-level half of the `hsm-chaos` harness.
+///
+/// Only compiled under `cfg(test)` or the `chaos` feature; production
+/// builds without the feature carry none of these hooks. Every fault is
+/// keyed on the flow *index*, so a plan is exactly reproducible for any
+/// worker count.
+#[cfg(any(test, feature = "chaos"))]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosInjection {
+    /// The worker that claims this flow index panics before executing it
+    /// (worker death mid-campaign). The campaign must surface
+    /// [`EngineError::WorkerLost`] instead of hanging or propagating the
+    /// panic.
+    pub kill_worker_at: Option<usize>,
+    /// Flow indices that report a simulated engine failure
+    /// ([`EngineError::FlowFailed`]). With several indices racing on
+    /// different workers, the campaign must deterministically report the
+    /// lowest one.
+    pub fail_flows: Vec<usize>,
+    /// Poisons the worker's scratch before every flow, proving that
+    /// scratch reuse cannot leak state between flows.
+    pub poison_scratch: bool,
+}
+
+#[cfg(any(test, feature = "chaos"))]
+impl ChaosInjection {
+    /// Applies the pre-flow faults for flow `i` on the claiming worker.
+    fn before_flow(&self, i: usize, scratch: &mut Scratch) {
+        if self.poison_scratch {
+            scratch.poison();
+        }
+        if self.kill_worker_at == Some(i) {
+            panic!("chaos: worker killed at flow {i}");
+        }
+    }
+
+    /// True when flow `i` is scheduled to fail with a simulated engine
+    /// error.
+    fn fails(&self, i: usize) -> bool {
+        self.fail_flows.contains(&i)
+    }
+}
+
 /// Validated step-by-step construction of a [`Campaign`].
 #[derive(Debug, Clone, Default)]
 pub struct CampaignBuilder {
@@ -123,6 +167,8 @@ pub struct CampaignBuilder {
     workers: Option<usize>,
     cache: Option<CacheConfig>,
     keep_outcomes: bool,
+    #[cfg(any(test, feature = "chaos"))]
+    chaos: ChaosInjection,
 }
 
 impl CampaignBuilder {
@@ -168,6 +214,14 @@ impl CampaignBuilder {
         self
     }
 
+    /// Installs a deterministic fault plan beneath the worker pool (see
+    /// [`ChaosInjection`]). Test/`chaos`-feature builds only.
+    #[cfg(any(test, feature = "chaos"))]
+    pub fn chaos(mut self, injection: ChaosInjection) -> Self {
+        self.chaos = injection;
+        self
+    }
+
     /// Validates every configuration and the worker count.
     ///
     /// # Errors
@@ -194,6 +248,8 @@ impl CampaignBuilder {
             workers,
             cache: self.cache.unwrap_or_else(CacheConfig::memory_only),
             keep_outcomes: self.keep_outcomes,
+            #[cfg(any(test, feature = "chaos"))]
+            chaos: self.chaos,
         })
     }
 }
@@ -205,6 +261,8 @@ pub struct Campaign {
     workers: usize,
     cache: CacheConfig,
     keep_outcomes: bool,
+    #[cfg(any(test, feature = "chaos"))]
+    chaos: ChaosInjection,
 }
 
 impl Campaign {
@@ -273,8 +331,20 @@ impl Campaign {
                             break;
                         }
                         let t0 = Instant::now();
-                        let run = self.execute_one(i, worker, configs, cache, &mut scratch);
+                        // A worker that panics mid-flow counts as dead:
+                        // catch the unwind so the pool degrades to a
+                        // structured WorkerLost error (its slot stays
+                        // unfilled) instead of tearing down the scope.
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            #[cfg(any(test, feature = "chaos"))]
+                            self.chaos.before_flow(i, &mut scratch);
+                            self.execute_one(i, worker, configs, cache, &mut scratch)
+                        }));
                         busy += t0.elapsed().as_secs_f64();
+                        let Ok(run) = run else {
+                            abort.store(true, Ordering::Relaxed);
+                            break;
+                        };
                         flows += 1;
                         if run.is_err() {
                             // Stop the other workers from pulling more
@@ -343,6 +413,19 @@ impl Campaign {
         scratch: &mut Scratch,
     ) -> Result<FlowRun, EngineError> {
         let config = &configs[i];
+        #[cfg(any(test, feature = "chaos"))]
+        if self.chaos.fails(i) {
+            // A simulated mid-flow engine failure, shaped exactly like a
+            // real bookkeeping-corruption abort.
+            return Err(EngineError::FlowFailed {
+                index: i,
+                source: hsm_scenario::runner::ScenarioError::Engine(
+                    hsm_simnet::error::SimError::QueueInconsistent {
+                        at: hsm_simnet::time::SimTime::ZERO,
+                    },
+                ),
+            });
+        }
         let key = CacheKey::of(config);
         if !self.keep_outcomes {
             if let Some(summary) = cache.lookup(key) {
@@ -473,6 +556,83 @@ mod tests {
             Campaign::builder().workers(0).build().unwrap_err(),
             EngineError::ZeroWorkers
         );
+    }
+
+    /// Worker death mid-campaign: the pool must degrade to a structured
+    /// `WorkerLost` (never a hang, never a propagated panic), and a clean
+    /// rerun of the same campaign shape must produce the full stream.
+    #[test]
+    fn worker_death_mid_campaign_is_detected_as_worker_lost() {
+        let configs: Vec<ScenarioConfig> = (0..6).map(short).collect();
+        let dying = Campaign::builder()
+            .configs(configs.clone())
+            .workers(2)
+            .chaos(ChaosInjection {
+                kill_worker_at: Some(5),
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
+        assert_eq!(dying.run().unwrap_err(), EngineError::WorkerLost);
+
+        let clean = Campaign::builder()
+            .configs(configs)
+            .workers(2)
+            .build()
+            .unwrap();
+        let out = clean.run().expect("no fault plan, no loss");
+        assert_eq!(out.runs.len(), 6);
+    }
+
+    /// Two flows failing concurrently on different workers: the reported
+    /// failure must be the lowest index on every interleaving.
+    #[test]
+    fn concurrent_flow_failures_report_the_lowest_index() {
+        let campaign = Campaign::builder()
+            .configs((0..8).map(short))
+            .workers(2)
+            .chaos(ChaosInjection {
+                fail_flows: vec![2, 5],
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
+        for round in 0..20 {
+            match campaign.run().unwrap_err() {
+                EngineError::FlowFailed { index, .. } => {
+                    assert_eq!(index, 2, "round {round}: lowest index must win");
+                }
+                other => panic!("round {round}: expected FlowFailed, got {other:?}"),
+            }
+        }
+    }
+
+    /// Scratch poisoning between reuses must be invisible: the per-flow
+    /// reset has to clear every piece of poisoned state.
+    #[test]
+    fn poisoned_scratch_streams_are_bit_identical() {
+        let configs: Vec<ScenarioConfig> = (0..3).map(short).collect();
+        let reference = Campaign::builder()
+            .configs(configs.clone())
+            .workers(1)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let poisoned = Campaign::builder()
+            .configs(configs)
+            .workers(1)
+            .chaos(ChaosInjection {
+                poison_scratch: true,
+                ..Default::default()
+            })
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        for (a, b) in reference.summaries().zip(poisoned.summaries()) {
+            assert_eq!(a, b, "poisoned-scratch flow diverged");
+        }
     }
 
     #[test]

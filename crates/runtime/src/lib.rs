@@ -48,6 +48,8 @@ pub mod error;
 pub mod parallel;
 
 pub use cache::{CacheConfig, CacheKey, CacheStats, FlowCache, ENGINE_VERSION};
+#[cfg(any(test, feature = "chaos"))]
+pub use engine::ChaosInjection;
 pub use engine::{
     run_dataset, run_stationary_baseline, Campaign, CampaignBuilder, CampaignOutput,
     CampaignReport, FlowRun,

@@ -337,6 +337,14 @@ impl Scratch {
     pub fn new() -> Scratch {
         Scratch::default()
     }
+
+    /// Deliberately dirties the scratch's engine, recorder and capture
+    /// slab (the `hsm-chaos` scratch-poisoning fault). A poisoned scratch
+    /// handed to [`try_run_scenario_with`] must still produce results
+    /// bit-identical to a fresh run — the per-run reset clears everything.
+    pub fn poison(&mut self) {
+        self.conn.poison();
+    }
 }
 
 /// [`try_run_scenario`] through a caller-held [`Scratch`].

@@ -45,6 +45,7 @@
 
 pub mod agent;
 pub mod cellular;
+pub mod chaos;
 pub mod engine;
 pub mod error;
 pub mod event;
@@ -61,6 +62,7 @@ pub mod time;
 pub mod prelude {
     pub use crate::agent::{Agent, AgentId, NullAgent, RelayAgent};
     pub use crate::cellular::{CellLayout, ChannelProcess, CoverageHole, HandoffParams};
+    pub use crate::chaos::{StormEpisode, StormInjector, StormKind, StormPlan};
     pub use crate::engine::{Ctx, Engine};
     pub use crate::error::SimError;
     pub use crate::event::EventId;

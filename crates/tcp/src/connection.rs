@@ -218,6 +218,48 @@ impl ConnectionScratch {
     pub fn new() -> ConnectionScratch {
         ConnectionScratch::default()
     }
+
+    /// Deliberately dirties every component of the scratch — stale agents
+    /// and links registered on the engine, a *partially executed* junk
+    /// simulation (advanced clock, pending events, packets in flight,
+    /// consumed random streams), junk records in the shared recorder, and
+    /// a used capture slab.
+    ///
+    /// This is the `hsm-chaos` scratch-poisoning fault: a subsequent
+    /// [`try_run_connection_with`] through the poisoned scratch must
+    /// produce a bit-identical result to a fresh run, because the
+    /// per-run reset is specified to clear *all* of this state.
+    pub fn poison(&mut self) {
+        use hsm_simnet::agent::NullAgent;
+        use hsm_simnet::packet::{Packet, SeqNo};
+
+        let eng = &mut self.engine;
+        eng.reset(0xBAD_5EED);
+        let sink = eng.add_agent(Box::new(NullAgent::new()));
+        let junk = eng.add_link(LinkSpec::new(sink, "chaos-poison"));
+        // Capture the junk traffic into the shared recorder so it holds
+        // stale events too.
+        eng.add_recorder(self.recorder.clone());
+        for seq in 0..17u64 {
+            eng.inject(junk, Packet::data(FlowId(u32::MAX), SeqNo(seq), false));
+        }
+        // Run only partway: packets stay queued/in flight and the clock
+        // stops mid-simulation — the most adversarial state to hand the
+        // next reset.
+        let _ = eng.try_run_until(SimTime::ZERO + SimDuration::from_micros(10));
+        // Dirty the capture slab by folding the junk events through it.
+        let meta = FlowMeta {
+            provider: "chaos".to_owned(),
+            scenario: "poison".to_owned(),
+            w_m: 1,
+            b: 1,
+            mss_bytes: 1,
+        };
+        let capture = &mut self.capture;
+        let _ = self
+            .recorder
+            .with_events(|events| single_flow_trace_with(capture, events, u32::MAX, meta));
+    }
 }
 
 /// Builds, runs and harvests a single TCP flow.

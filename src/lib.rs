@@ -17,7 +17,9 @@
 //! * [`scenario`] — Beijing–Tianjin railway scenarios, provider profiles
 //!   and synthetic dataset generation;
 //! * [`runtime`] — the sharded campaign engine with its memoizing flow
-//!   cache and structured telemetry.
+//!   cache and structured telemetry;
+//! * [`chaos`] — the seeded fault-injection and differential-testing
+//!   harness (scenario fuzzer, fault drills, model-vs-simulation oracle).
 //!
 //! The [`prelude`] curates the types most programs need, and [`Error`]
 //! unifies the fallible surface of every layer.
@@ -58,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use hsm_chaos as chaos;
 pub use hsm_core as model;
 pub use hsm_runtime as runtime;
 pub use hsm_scenario as scenario;
@@ -75,6 +78,7 @@ pub use error::Error;
 /// ```
 pub mod prelude {
     pub use crate::Error;
+    pub use hsm_chaos::{run_chaos, ChaosOptions, ChaosReport};
     pub use hsm_core::enhanced::EnhancedModel;
     pub use hsm_core::params::ModelParams;
     pub use hsm_runtime::cache::{CacheConfig, FlowCache};

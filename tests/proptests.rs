@@ -177,6 +177,110 @@ proptest! {
     }
 }
 
+/// Configuration-layer properties: the builder accepts exactly the valid
+/// field combinations, and the runtime's allocation-free streaming cache
+/// key is indistinguishable from hashing the real serde encoding.
+mod scenario_config_properties {
+    use super::*;
+    use hsm::prelude::Provider;
+    use hsm::runtime::cache::{fnv1a, CacheKey, ENGINE_VERSION};
+    use hsm::scenario::runner::{Motion, ScenarioConfig, ScenarioError};
+    use hsm::simnet::time::SimDuration;
+
+    fn arb_provider() -> impl Strategy<Value = Provider> {
+        prop_oneof![
+            Just(Provider::ChinaMobile),
+            Just(Provider::ChinaUnicom),
+            Just(Provider::ChinaTelecom),
+        ]
+    }
+
+    fn arb_motion() -> impl Strategy<Value = Motion> {
+        prop_oneof![Just(Motion::HighSpeed), Just(Motion::Stationary)]
+    }
+
+    proptest! {
+        /// Sweeps every field — including the invalid zeros — and checks
+        /// the builder's verdict against the documented validation order:
+        /// window first, then delayed ACK, then duration. A config is
+        /// accepted iff no field is invalid, and the accepted value
+        /// echoes every input unchanged.
+        #[test]
+        fn builder_accepts_exactly_the_valid_combinations(
+            provider in arb_provider(),
+            motion in arb_motion(),
+            seed in 0u64..u64::MAX,
+            duration_us in 0u64..10_000_000_000,
+            w_m in 0u32..128,
+            b in 0u32..6,
+            flow in 0u32..2000,
+        ) {
+            let built = ScenarioConfig::builder()
+                .provider(provider)
+                .motion(motion)
+                .seed(seed)
+                .duration(SimDuration::from_micros(duration_us))
+                .w_m(w_m)
+                .b(b)
+                .flow(flow)
+                .build();
+            if w_m == 0 {
+                prop_assert_eq!(built, Err(ScenarioError::ZeroWindow));
+            } else if b == 0 {
+                prop_assert_eq!(built, Err(ScenarioError::ZeroDelayedAck));
+            } else if duration_us == 0 {
+                prop_assert_eq!(built, Err(ScenarioError::ZeroDuration));
+            } else {
+                let cfg = built.expect("all fields valid");
+                prop_assert!(cfg.validate().is_ok());
+                prop_assert_eq!(cfg.provider, provider);
+                prop_assert_eq!(cfg.motion, motion);
+                prop_assert_eq!(cfg.seed, seed);
+                prop_assert_eq!(cfg.duration, SimDuration::from_micros(duration_us));
+                prop_assert_eq!(cfg.w_m, w_m);
+                prop_assert_eq!(cfg.b, b);
+                prop_assert_eq!(cfg.flow, flow);
+            }
+        }
+
+        /// Every accepted config keys identically through the streaming
+        /// FNV-1a path and the allocate-then-hash serde path, and the
+        /// serde encoding itself round-trips losslessly — so disk tiers
+        /// written via either route stay mutually valid.
+        #[test]
+        fn streaming_cache_key_matches_the_serde_path(
+            provider in arb_provider(),
+            motion in arb_motion(),
+            seed in 0u64..u64::MAX,
+            duration_us in 1u64..10_000_000_000,
+            w_m in 1u32..128,
+            b in 1u32..6,
+            flow in 0u32..2000,
+        ) {
+            let cfg = ScenarioConfig::builder()
+                .provider(provider)
+                .motion(motion)
+                .seed(seed)
+                .duration(SimDuration::from_micros(duration_us))
+                .w_m(w_m)
+                .b(b)
+                .flow(flow)
+                .build()
+                .expect("valid by construction");
+
+            let json = serde_json::to_string(&cfg).expect("config serializes");
+            let mut hashed = json.clone().into_bytes();
+            hashed.extend_from_slice(ENGINE_VERSION.as_bytes());
+            prop_assert_eq!(CacheKey::of(&cfg), CacheKey(fnv1a(&hashed)));
+
+            let back: ScenarioConfig =
+                serde_json::from_str(&json).expect("config deserializes");
+            prop_assert_eq!(&back, &cfg);
+            prop_assert_eq!(CacheKey::of(&back), CacheKey::of(&cfg));
+        }
+    }
+}
+
 /// Explicit replays of the minimal counterexamples recorded in
 /// `proptests.proptest-regressions`. The regression file makes proptest
 /// itself re-run them, but these hard-coded tests keep the cases alive

@@ -98,6 +98,31 @@ fn stress_streams_identical_across_workers_and_cache_states() -> Result<(), hsm:
         }
     }
 
+    // Bit-flip one persisted entry: the integrity hash must reject it, the
+    // flow must be re-simulated (never served corrupt), and the campaign
+    // must surface exactly that one rejection in its telemetry.
+    let victim = hsm::runtime::cache::CacheKey::of(&configs[2]);
+    assert!(
+        hsm::runtime::cache::chaos_corrupt_disk_entry(&disk_dir, victim)
+            .expect("corruption helper reaches the disk tier"),
+        "victim entry must exist on disk before corruption"
+    );
+    let poisoned = FlowCache::new(CacheConfig {
+        memory_entries: 0,
+        disk_dir: Some(disk_dir.clone()),
+        shards: 0,
+    });
+    let after_corruption = campaign_for(2)?.run_with_cache(&poisoned)?;
+    assert_eq!(
+        after_corruption.report.corrupt_entries, 1,
+        "exactly the flipped entry is rejected"
+    );
+    assert_eq!(
+        summary_bytes(&after_corruption),
+        reference,
+        "corrupted entry re-simulated, stream still byte-identical"
+    );
+
     let _ = std::fs::remove_dir_all(&disk_dir);
     Ok(())
 }

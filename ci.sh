@@ -5,12 +5,21 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo fmt --all -- --check
-cargo build --release
+# --workspace so the release `repro` binary the later steps run is built
+# (the bare root build only covers the facade crate).
+cargo build --release --workspace
 cargo test -q --workspace
 # Pinned-seed chaos smoke: the fault-injection harness and differential
 # oracle must hold on every push (nightly CI runs the big randomized
 # sweep; see .github/workflows/ci.yml).
 ./target/release/repro chaos --seed 42 --cases 200
+# Congestion-control study smoke: every zoo member must campaign cleanly
+# and produce a non-empty model-deviation row in CC_STUDY.json.
+./target/release/repro cc-study --smoke
+for cc in Reno Veno Cubic Bbr Compound; do
+    grep -q "\"label\":\"$cc\"" CC_STUDY.json \
+        || { echo "cc-study: no deviation row for $cc" >&2; exit 1; }
+done
 cargo clippy --workspace --all-targets -- -D warnings
 cargo doc --no-deps --workspace
 ./tools/bench_gate.sh

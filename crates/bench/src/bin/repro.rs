@@ -242,9 +242,72 @@ fn run_chaos_cmd(args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+/// `repro cc-study [--smoke | --full] [--workers W]`: runs the Table-I
+/// campaign once per congestion-control zoo member and evaluates the
+/// enhanced/Padhye models against each. Writes `CC_STUDY.json`; exits
+/// non-zero when any controller's slice comes back empty.
+fn run_cc_study_cmd(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut scale = Scale::Standard;
+    let mut workers = None;
+    let mut iter = args;
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => scale = Scale::Smoke,
+            "--full" => scale = Scale::Full,
+            "--workers" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(w) => workers = Some(w),
+                None => {
+                    eprintln!("--workers needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown cc-study option `{other}`");
+                eprintln!("usage: repro cc-study [--smoke | --full] [--workers W]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = match hsm_bench::cc_study::run_cc_study(scale, workers) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cc-study failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = match serde_json::to_string(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("failed to serialize cc-study report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write("CC_STUDY.json", &json) {
+        eprintln!("failed to write CC_STUDY.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "cc-study: {} controllers x {} flows at {} scale",
+        report.rows.len(),
+        report.flows_per_cc,
+        report.scale
+    );
+    for row in &report.rows {
+        println!("{}", hsm_bench::cc_study::render_row(row));
+    }
+    println!("wrote CC_STUDY.json");
+    if report.complete() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("cc-study incomplete: a controller produced no evaluable flows");
+        ExitCode::FAILURE
+    }
+}
+
 fn usage() {
     println!("usage: repro [all | bench | <id>...] [--smoke | --full] [--csv DIR]");
-    println!("       repro chaos [--seed N] [--cases M] [--workers W]\n");
+    println!("       repro chaos [--seed N] [--cases M] [--workers W]");
+    println!("       repro cc-study [--smoke | --full] [--workers W]\n");
     println!("experiments:");
     for e in EXPERIMENTS {
         println!("  {:10} {}", e.id, e.about);
@@ -254,6 +317,9 @@ fn usage() {
     println!("`repro chaos` runs the seeded fault-injection harness and");
     println!("writes CHAOS_report.json (plus chaos-failure.json and a");
     println!("non-zero exit on any oracle violation).");
+    println!("`repro cc-study` sweeps the congestion-control zoo through");
+    println!("the campaign engine, evaluates the enhanced/Padhye models");
+    println!("against each controller, and writes CC_STUDY.json.");
     println!("BENCH_campaign.json always records the Stress-scale worker");
     println!("matrix (cold/warm x workers in {{1, 2, 4, max}}), regardless");
     println!("of the --smoke/--full flags.");
@@ -263,6 +329,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "chaos") {
         return run_chaos_cmd(args.into_iter().skip(1));
+    }
+    if args.first().is_some_and(|a| a == "cc-study") {
+        return run_cc_study_cmd(args.into_iter().skip(1));
     }
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::Standard;

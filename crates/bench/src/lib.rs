@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cc_study;
 pub mod context;
 pub mod experiments;
 pub mod registry;

@@ -13,6 +13,13 @@ use crate::rng::ChaosRng;
 use hsm_scenario::provider::Provider;
 use hsm_scenario::runner::{Motion, ScenarioConfig};
 use hsm_simnet::time::SimDuration;
+use hsm_tcp::cc::Algorithm;
+
+/// Salt for the congestion-control draw's *separate* rng stream: drawing
+/// the CC from `master ^ CC_SALT` instead of the main case stream keeps
+/// every pre-existing field draw for `(master, case)` bit-identical to
+/// the pre-zoo fuzzer, so pinned chaos reports stay comparable.
+const CC_SALT: u64 = 0xcc5a_0070_0b8d_641d;
 
 /// Bounds the fuzzer draws configurations from.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,6 +84,10 @@ pub fn config_for_case(ranges: &FuzzRanges, master: u64, case: u64) -> ScenarioC
             w_m,
             b: 2,
             flow: rng.range_u64(0, u64::from(ranges.max_flow)) as u32,
+            // Operating-region cases always run Reno: the aggregate
+            // accuracy envelope is calibrated against it, and the paper's
+            // models assume AIMD dynamics.
+            cc: Algorithm::Reno,
         }
     } else {
         let motion = if rng.chance(3, 4) {
@@ -92,8 +103,17 @@ pub fn config_for_case(ranges: &FuzzRanges, master: u64, case: u64) -> ScenarioC
             w_m: rng.range_u64(u64::from(wm_lo), u64::from(wm_hi)) as u32,
             b: rng.range_u64(u64::from(ranges.b.0), u64::from(ranges.b.1)) as u32,
             flow: rng.range_u64(0, u64::from(ranges.max_flow)) as u32,
+            cc: cc_for_case(master, case),
         }
     }
+}
+
+/// The congestion control a roaming case runs, drawn from the whole zoo
+/// so the differential oracle's invariants cover every controller.
+fn cc_for_case(master: u64, case: u64) -> Algorithm {
+    let mut rng = ChaosRng::for_case(master ^ CC_SALT, case);
+    let zoo = Algorithm::zoo();
+    *pick(&mut rng, &zoo)
 }
 
 /// Whether `config` sits in the paper's operating region (the sample the
@@ -108,6 +128,7 @@ pub fn in_operating_region(config: &ScenarioConfig) -> bool {
         && config.b == 2
         && config.w_m >= 32
         && config.duration >= SimDuration::from_secs(60)
+        && config.cc == Algorithm::Reno
 }
 
 /// One shrinking pass: every candidate reduction of `config`, roughly
@@ -122,6 +143,11 @@ fn shrink_candidates(config: &ScenarioConfig) -> Vec<ScenarioConfig> {
     // Stationary flows are far simpler to reason about than mobile ones.
     push(ScenarioConfig {
         motion: Motion::Stationary,
+        ..config.clone()
+    });
+    // Reno is the best-understood controller; drop the zoo member first.
+    push(ScenarioConfig {
+        cc: Algorithm::Reno,
         ..config.clone()
     });
     push(ScenarioConfig {
@@ -218,6 +244,27 @@ mod tests {
     }
 
     #[test]
+    fn region_cases_run_reno_and_roamers_cover_the_zoo() {
+        let ranges = FuzzRanges::default();
+        let mut seen = std::collections::BTreeSet::new();
+        for case in 0..400 {
+            let cfg = config_for_case(&ranges, 42, case);
+            if in_operating_region(&cfg) {
+                assert_eq!(cfg.cc, Algorithm::Reno, "case {case}");
+            } else {
+                seen.insert(cfg.cc.label());
+            }
+        }
+        for member in Algorithm::zoo() {
+            assert!(
+                seen.contains(member.label()),
+                "400 cases never drew {}",
+                member.label()
+            );
+        }
+    }
+
+    #[test]
     fn fuzzer_populates_the_operating_region() {
         let ranges = FuzzRanges::default();
         let hits = (0..200)
@@ -232,6 +279,7 @@ mod tests {
         let start = config_for_case(&FuzzRanges::default(), 1, 3);
         let min = shrink(&start, |_| true, 500);
         assert_eq!(min.motion, Motion::Stationary);
+        assert_eq!(min.cc, Algorithm::Reno);
         assert_eq!(min.provider, Provider::ChinaMobile);
         assert_eq!(min.w_m, 4);
         assert_eq!(min.b, 1);

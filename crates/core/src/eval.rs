@@ -109,6 +109,65 @@ pub fn evaluate_dataset(
     (evals, report)
 }
 
+/// Aggregated model fit for one labeled slice of flows — one row of the
+/// congestion-control study, where the label is the controller name.
+///
+/// Carries the measured means the study compares across controllers
+/// (`P_a`, `q̂`, throughput) next to the model-side means and the
+/// [`AccuracyReport`], so a consumer can see at a glance both how a
+/// controller behaved and how well the paper's models fit it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledAccuracy {
+    /// Slice label (the congestion-control name in the cc-study).
+    pub label: String,
+    /// Mean measured ACK-loss rate `P_a` across the slice.
+    pub mean_p_a: f64,
+    /// Mean measured spurious-timeout ratio `q̂` across the slice.
+    pub mean_q_hat: f64,
+    /// Mean measured throughput, segments/s.
+    pub mean_measured_sps: f64,
+    /// Mean enhanced-model prediction, segments/s.
+    pub mean_enhanced_sps: f64,
+    /// Mean Padhye prediction, segments/s.
+    pub mean_padhye_sps: f64,
+    /// The aggregate deviation report for the slice.
+    pub report: AccuracyReport,
+}
+
+/// Evaluates one labeled slice of flows (see [`LabeledAccuracy`]).
+///
+/// Measured means (`P_a`, `q̂`, throughput) average over every summary;
+/// model-side means average over the flows both models could evaluate,
+/// mirroring [`evaluate_dataset`]'s finite filter.
+pub fn evaluate_labeled(
+    label: impl Into<String>,
+    summaries: &[FlowSummary],
+    cfg: &EstimateConfig,
+) -> LabeledAccuracy {
+    let (evals, report) = evaluate_dataset(summaries, cfg);
+    let mean = |xs: &mut dyn Iterator<Item = f64>| {
+        let xs: Vec<f64> = xs.collect();
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    };
+    let finite: Vec<&FlowEval> = evals
+        .iter()
+        .filter(|e| e.d_enhanced.is_finite() && e.d_padhye.is_finite())
+        .collect();
+    LabeledAccuracy {
+        label: label.into(),
+        mean_p_a: mean(&mut summaries.iter().map(|s| s.p_a)),
+        mean_q_hat: mean(&mut summaries.iter().map(|s| s.q_hat)),
+        mean_measured_sps: mean(&mut summaries.iter().map(|s| s.throughput_sps)),
+        mean_enhanced_sps: mean(&mut finite.iter().map(|e| e.enhanced_sps)),
+        mean_padhye_sps: mean(&mut finite.iter().map(|e| e.padhye_sps)),
+        report,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +246,29 @@ mod tests {
         assert!(evals.is_empty());
         assert_eq!(report.flows, 0);
         assert_eq!(report.improvement_pp(), 0.0);
+    }
+
+    #[test]
+    fn labeled_slice_carries_measured_and_model_means() {
+        let flows = vec![summary(0, 100.0), summary(1, 200.0)];
+        let row = evaluate_labeled("Cubic", &flows, &EstimateConfig::default());
+        assert_eq!(row.label, "Cubic");
+        assert!((row.mean_measured_sps - 150.0).abs() < 1e-9);
+        assert!((row.mean_p_a - 0.0066).abs() < 1e-12);
+        assert!((row.mean_q_hat - 0.27).abs() < 1e-12);
+        assert!(row.mean_enhanced_sps > 0.0);
+        assert!(row.mean_padhye_sps > 0.0);
+        assert_eq!(row.report.flows, 2);
+        let json = serde_json::to_string(&row).expect("row serializes");
+        let back: LabeledAccuracy = serde_json::from_str(&json).expect("round-trips");
+        assert_eq!(back, row);
+    }
+
+    #[test]
+    fn labeled_slice_of_nothing_is_all_zeroes() {
+        let row = evaluate_labeled("Bbr", &[], &EstimateConfig::default());
+        assert_eq!(row.report.flows, 0);
+        assert_eq!(row.mean_measured_sps, 0.0);
+        assert_eq!(row.mean_enhanced_sps, 0.0);
     }
 }

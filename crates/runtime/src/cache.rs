@@ -26,6 +26,7 @@
 use crate::error::CacheError;
 use hsm_scenario::provider::Provider;
 use hsm_scenario::runner::{Motion, ScenarioConfig};
+use hsm_tcp::cc::Algorithm;
 use hsm_trace::summary::FlowSummary;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -90,6 +91,36 @@ impl FnvStream {
         let digits = i;
         self.bytes(&buf[digits..])
     }
+
+    /// Streams `v` exactly as `serde_json` prints floats: `null` for
+    /// non-finite values, one forced decimal for whole numbers below
+    /// `1e16` (`"3.0"`), shortest round-trip otherwise (`"0.125"`). The
+    /// congestion-control parameters in [`ScenarioConfig`] are floats, so
+    /// key/legacy agreement needs byte-exact float rendering too.
+    fn float(&mut self, v: f64) -> &mut Self {
+        if !v.is_finite() {
+            self.bytes(b"null")
+        } else if v.fract() == 0.0 && v.abs() < 1e16 {
+            let mut buf = [0u8; 32];
+            let text = fmt_to(&mut buf, format_args!("{v:.1}"));
+            self.bytes(text)
+        } else {
+            let mut buf = [0u8; 32];
+            let text = fmt_to(&mut buf, format_args!("{v}"));
+            self.bytes(text)
+        }
+    }
+}
+
+/// Formats into a stack buffer, avoiding the `String` allocation the
+/// streaming hasher exists to skip. Shortest round-trip `f64` output fits
+/// in 24 bytes; the buffer leaves headroom.
+fn fmt_to<'a>(buf: &'a mut [u8; 32], args: std::fmt::Arguments<'_>) -> &'a [u8] {
+    use std::io::Write;
+    let mut cursor = std::io::Cursor::new(&mut buf[..]);
+    cursor.write_fmt(args).expect("float formatting fits");
+    let len = cursor.position() as usize;
+    &buf[..len]
 }
 
 /// Content hash identifying one (configuration, engine-version) flow.
@@ -131,9 +162,45 @@ impl CacheKey {
             .bytes(b",\"b\":")
             .uint(u64::from(config.b))
             .bytes(b",\"flow\":")
-            .uint(u64::from(config.flow))
-            .bytes(b"}")
-            .bytes(ENGINE_VERSION.as_bytes());
+            .uint(u64::from(config.flow));
+        // The config serializer omits the congestion-control field when it
+        // is the default (Reno), which keeps every pre-zoo digest — and
+        // therefore every pre-zoo disk tier — exactly as it was.
+        match config.cc {
+            Algorithm::Reno => {}
+            Algorithm::Bbr => {
+                h.bytes(b",\"cc\":\"Bbr\"");
+            }
+            Algorithm::Veno { beta } => {
+                h.bytes(b",\"cc\":{\"Veno\":{\"beta\":")
+                    .float(beta)
+                    .bytes(b"}}");
+            }
+            Algorithm::Cubic { c, beta } => {
+                h.bytes(b",\"cc\":{\"Cubic\":{\"c\":")
+                    .float(c)
+                    .bytes(b",\"beta\":")
+                    .float(beta)
+                    .bytes(b"}}");
+            }
+            Algorithm::Compound {
+                alpha,
+                beta,
+                k,
+                gamma,
+            } => {
+                h.bytes(b",\"cc\":{\"Compound\":{\"alpha\":")
+                    .float(alpha)
+                    .bytes(b",\"beta\":")
+                    .float(beta)
+                    .bytes(b",\"k\":")
+                    .float(k)
+                    .bytes(b",\"gamma\":")
+                    .float(gamma)
+                    .bytes(b"}}");
+            }
+        }
+        h.bytes(b"}").bytes(ENGINE_VERSION.as_bytes());
         CacheKey(h.hash)
     }
 
@@ -602,6 +669,31 @@ mod tests {
         fnv1a(&bytes)
     }
 
+    /// The congestion-control variants the key grid sweeps: the zoo's
+    /// defaults plus float parameters that exercise every formatting
+    /// branch — whole numbers (`3.0`, `30.0`), shortest-round-trip
+    /// fractions (`0.1`, `0.125`), and non-round values (`2.5`).
+    fn cc_grid(seed: u64) -> [Algorithm; 9] {
+        [
+            Algorithm::Reno,
+            Algorithm::Bbr,
+            Algorithm::veno(),
+            Algorithm::cubic(),
+            Algorithm::compound(),
+            Algorithm::Veno { beta: 2.5 },
+            Algorithm::Cubic { c: 0.1, beta: 0.7 },
+            Algorithm::Compound {
+                alpha: 0.1,
+                beta: 0.5,
+                k: 0.75,
+                gamma: 30.0,
+            },
+            Algorithm::Veno {
+                beta: 1.0 + (seed % 7) as f64 / 10.0,
+            },
+        ]
+    }
+
     #[test]
     fn streamed_keys_match_the_legacy_json_hash() {
         let mut checked = 0u32;
@@ -613,26 +705,45 @@ mod tests {
                         SimDuration::from_secs(120),
                         SimDuration::from_micros(u64::MAX),
                     ] {
-                        let config = ScenarioConfig {
-                            provider,
-                            motion,
-                            seed,
-                            duration,
-                            w_m: (seed as u32 % 64).max(1),
-                            b: 1 + (seed as u32 % 4),
-                            flow: seed as u32 % 300,
-                        };
-                        assert_eq!(
-                            CacheKey::of(&config).0,
-                            legacy_key(&config),
-                            "key drifted for {config:?}"
-                        );
-                        checked += 1;
+                        for cc in cc_grid(seed) {
+                            let config = ScenarioConfig {
+                                provider,
+                                motion,
+                                seed,
+                                duration,
+                                w_m: (seed as u32 % 64).max(1),
+                                b: 1 + (seed as u32 % 4),
+                                flow: seed as u32 % 300,
+                                cc,
+                            };
+                            assert_eq!(
+                                CacheKey::of(&config).0,
+                                legacy_key(&config),
+                                "key drifted for {config:?}"
+                            );
+                            checked += 1;
+                        }
                     }
                 }
             }
         }
-        assert_eq!(checked, 108);
+        assert_eq!(checked, 108 * 9);
+    }
+
+    #[test]
+    fn non_default_cc_changes_the_key() {
+        let reno = ScenarioConfig::default();
+        for cc in [Algorithm::Bbr, Algorithm::veno(), Algorithm::cubic()] {
+            let zoo = ScenarioConfig {
+                cc,
+                ..ScenarioConfig::default()
+            };
+            assert_ne!(
+                CacheKey::of(&reno),
+                CacheKey::of(&zoo),
+                "{cc:?} must not collide with Reno's cache entry"
+            );
+        }
     }
 
     #[test]

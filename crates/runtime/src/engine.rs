@@ -1,14 +1,25 @@
 //! The sharded, memoizing campaign engine.
 //!
 //! A [`Campaign`] is an ordered set of [`ScenarioConfig`]s executed across
-//! a self-scheduling worker pool: workers pull the next flow index from a
-//! shared atomic counter (idle workers automatically take over remaining
-//! work), stream each flow through `run_scenario`/`analyze_flow`, and drop
-//! the raw `FlowTrace` immediately — only the compact [`FlowSummary`]
-//! survives — so campaigns of tens of thousands of flows run in
-//! near-constant memory. Opting into [`CampaignBuilder::keep_outcomes`]
-//! retains the full [`ScenarioOutcome`] for figure generators that need
-//! the packet records.
+//! a self-scheduling worker pool: each worker first executes a small
+//! round-robin *reserved prefix* of flow indices it alone owns, then
+//! pulls remaining indices from a shared atomic counter (idle workers
+//! automatically take over remaining work). The reserved prefix exists
+//! for warm replays: cache hits return in microseconds, so with a bare
+//! shared counter the first worker to spin up drained the entire
+//! campaign before the rest of the pool finished spawning — every warm
+//! `worker_flows` histogram read `[n, 0, 0, ...]`. Reserving the first
+//! few rounds per worker guarantees each worker a slice of the campaign
+//! regardless of spawn order, without giving up work-stealing for the
+//! (expensive, uneven) simulated remainder.
+//!
+//! Workers stream each flow through `run_scenario`/`analyze_flow`, and
+//! drop the raw `FlowTrace` immediately — only the compact
+//! [`FlowSummary`] survives — so campaigns of tens of thousands of flows
+//! run in near-constant memory. Opting into
+//! [`CampaignBuilder::keep_outcomes`] retains the full
+//! [`ScenarioOutcome`] for figure generators that need the packet
+//! records.
 //!
 //! Each worker owns a [`Scratch`] (simulation engine, recorder, capture
 //! slab) reused across every flow it handles, and writes each result
@@ -29,6 +40,13 @@ use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
+
+/// Rounds of the per-worker reserved prefix (see the module docs): each
+/// worker owns this many flow indices before the pool falls back to the
+/// shared counter. Large enough to pin a visible slice of warm replays
+/// on every worker, small enough that an unlucky reserved assignment of
+/// expensive flows cannot meaningfully unbalance a cold campaign.
+const RESERVED_ROUNDS: usize = 8;
 
 /// One executed (or cache-served) flow of a campaign.
 #[derive(Debug, Clone)]
@@ -302,7 +320,13 @@ impl Campaign {
         let stats_before = cache.stats();
         let n = self.configs.len();
         let workers = self.workers.clamp(1, n.max(1));
-        let next = AtomicUsize::new(0);
+        // Round-robin reserved prefix: worker `w` alone owns indices
+        // `{w, w + workers, ...}` for the first `reserved_rounds` rounds,
+        // so every worker is guaranteed a slice of the campaign even when
+        // cache hits make flows cheaper than thread spawns (see the
+        // module docs). The remainder stays self-scheduling.
+        let reserved_rounds = (n / workers).min(RESERVED_ROUNDS);
+        let next = AtomicUsize::new(reserved_rounds * workers);
         let worker_stats: Mutex<Vec<(usize, f64)>> = Mutex::new(vec![(0, 0.0); workers]);
         // One write-once slot per flow: worker claiming index `i` is the
         // only writer of slot `i`, so the vector is already in campaign
@@ -310,6 +334,13 @@ impl Campaign {
         let slots: Vec<OnceLock<Result<FlowRun, EngineError>>> =
             (0..n).map(|_| OnceLock::new()).collect();
         let abort = AtomicBool::new(false);
+        // Lowest failed index seen so far (`usize::MAX` = none). Workers
+        // keep executing indices at or below the floor and skip the rest,
+        // which guarantees every index up to the final floor has a
+        // filled slot — that is what makes "lowest failure wins" exact
+        // under the reserved prefix, where aborting outright could leave
+        // a lower failing index unexecuted on another worker.
+        let fail_floor = AtomicUsize::new(usize::MAX);
 
         std::thread::scope(|scope| {
             let configs = &self.configs;
@@ -317,18 +348,32 @@ impl Campaign {
             let worker_stats = &worker_stats;
             let slots = &slots;
             let abort = &abort;
+            let fail_floor = &fail_floor;
             for worker in 0..workers {
                 scope.spawn(move || {
                     let mut scratch = Scratch::new();
                     let mut flows = 0usize;
                     let mut busy = 0.0f64;
+                    let mut round = 0usize;
                     loop {
                         if abort.load(Ordering::Relaxed) {
                             break;
                         }
-                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let i = if round < reserved_rounds {
+                            let i = worker + round * workers;
+                            round += 1;
+                            i
+                        } else {
+                            next.fetch_add(1, Ordering::Relaxed)
+                        };
                         if i >= n {
                             break;
+                        }
+                        if i > fail_floor.load(Ordering::Relaxed) {
+                            // A lower index already failed; this flow's
+                            // result could never surface. Leave its slot
+                            // empty instead of simulating it.
+                            continue;
                         }
                         let t0 = Instant::now();
                         // A worker that panics mid-flow counts as dead:
@@ -347,9 +392,7 @@ impl Campaign {
                         };
                         flows += 1;
                         if run.is_err() {
-                            // Stop the other workers from pulling more
-                            // flows; the failure surfaces below.
-                            abort.store(true, Ordering::Relaxed);
+                            fail_floor.fetch_min(i, Ordering::Relaxed);
                         }
                         let claimed = slots[i].set(run).is_ok();
                         debug_assert!(claimed, "flow index {i} claimed twice");
@@ -367,8 +410,10 @@ impl Campaign {
             match slot.into_inner() {
                 Some(Ok(run)) => runs.push(run),
                 Some(Err(e)) => {
-                    // Lowest-index failure wins: deterministic regardless
-                    // of which worker hit it first.
+                    // Lowest-index failure wins: every index below the
+                    // final fail floor was executed, so the first error
+                    // met in slot order is the lowest on every
+                    // interleaving.
                     failure = Some(e);
                     break;
                 }
@@ -656,6 +701,45 @@ mod tests {
         assert_eq!(warm.report.events_processed, 0);
         for (a, b) in cold.summaries().zip(warm.summaries()) {
             assert_eq!(a, b);
+        }
+    }
+
+    /// Warm multi-worker replays must spread flows across the whole
+    /// pool. Before the reserved prefix, a cache hit returned faster
+    /// than the pool finished spawning, so the first worker drained all
+    /// 2k+ flows of a warm campaign and `worker_flows` read `[n, 0, 0,
+    /// 0]` — the skew this test pins the fix for.
+    #[test]
+    fn warm_replay_distributes_flows_across_all_workers() {
+        let configs: Vec<ScenarioConfig> = (0..32).map(short).collect();
+        let cache = FlowCache::new(CacheConfig::memory_only());
+        let cold = Campaign::builder()
+            .configs(configs.clone())
+            .workers(4)
+            .build()
+            .unwrap()
+            .run_with_cache(&cache)
+            .unwrap();
+        for workers in [2usize, 4] {
+            let warm = Campaign::builder()
+                .configs(configs.clone())
+                .workers(workers)
+                .build()
+                .unwrap()
+                .run_with_cache(&cache)
+                .unwrap();
+            assert_eq!(warm.report.cache_hits, 32, "replay must stay warm");
+            assert_eq!(warm.report.worker_flows.len(), workers);
+            for (w, &f) in warm.report.worker_flows.iter().enumerate() {
+                assert!(
+                    f >= RESERVED_ROUNDS,
+                    "worker {w} handled {f} warm flows ({workers} workers): {:?}",
+                    warm.report.worker_flows
+                );
+            }
+            for (a, b) in cold.summaries().zip(warm.summaries()) {
+                assert_eq!(a, b, "warm stream must stay bit-identical");
+            }
         }
     }
 

@@ -13,6 +13,7 @@
 use crate::provider::Provider;
 use crate::runner::{run_scenario, Motion, ScenarioConfig, ScenarioOutcome};
 use hsm_simnet::time::SimDuration;
+use hsm_tcp::cc::Algorithm;
 use serde::{Deserialize, Serialize};
 
 /// One row of Table I.
@@ -89,6 +90,8 @@ pub struct DatasetConfig {
     pub b: u32,
     /// Motion of the generated flows.
     pub motion: Motion,
+    /// Congestion-control algorithm every generated flow runs.
+    pub cc: Algorithm,
 }
 
 impl Default for DatasetConfig {
@@ -100,6 +103,7 @@ impl Default for DatasetConfig {
             w_m: 48,
             b: 2,
             motion: Motion::HighSpeed,
+            cc: Algorithm::Reno,
         }
     }
 }
@@ -130,6 +134,7 @@ pub fn plan_dataset(cfg: &DatasetConfig) -> Vec<(usize, ScenarioConfig)> {
                     w_m: cfg.w_m,
                     b: cfg.b,
                     flow: flow_id,
+                    cc: cfg.cc,
                 },
             ));
             flow_id += 1;
@@ -173,6 +178,7 @@ pub fn plan_stationary_baseline(cfg: &DatasetConfig, n: u32) -> Vec<ScenarioConf
                 w_m: cfg.w_m,
                 b: cfg.b,
                 flow: 10_000 + i,
+                cc: cfg.cc,
             }
         })
         .collect()

@@ -5,6 +5,7 @@ use crate::provider::Provider;
 use hsm_simnet::error::SimError;
 use hsm_simnet::mobility::Trajectory;
 use hsm_simnet::time::{SimDuration, SimTime};
+use hsm_tcp::cc::Algorithm;
 use hsm_tcp::connection::{
     run_connection, try_run_connection_with, ConnectionConfig, ConnectionOutcome,
     ConnectionScratch, MobilityScenario, PathSpec,
@@ -87,7 +88,7 @@ impl From<SimError> for ScenarioError {
 /// The blessed way to construct one is [`ScenarioConfig::builder`], which
 /// validates the parameters; the fields remain `pub` for one release to
 /// keep struct-literal call sites compiling.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioConfig {
     /// Which ISP carries the flow.
     pub provider: Provider,
@@ -103,6 +104,8 @@ pub struct ScenarioConfig {
     pub b: u32,
     /// Flow id recorded in packets/traces.
     pub flow: u32,
+    /// Congestion-control algorithm the sender runs.
+    pub cc: Algorithm,
 }
 
 impl Default for ScenarioConfig {
@@ -115,7 +118,59 @@ impl Default for ScenarioConfig {
             w_m: 48,
             b: 2,
             flow: 0,
+            cc: Algorithm::Reno,
         }
+    }
+}
+
+// Hand-written serde: the `cc` field is omitted when it is the default
+// (Reno) and defaulted when absent, so every pre-zoo serialized config —
+// and, critically, every content-addressed campaign cache key derived
+// from those bytes — is unchanged by the field's existence. (The vendored
+// serde derive has no `skip_serializing_if`, hence the manual impls.)
+impl Serialize for ScenarioConfig {
+    fn to_value(&self) -> serde::Value {
+        let mut pairs = vec![
+            ("provider".to_owned(), self.provider.to_value()),
+            ("motion".to_owned(), self.motion.to_value()),
+            ("seed".to_owned(), self.seed.to_value()),
+            ("duration".to_owned(), self.duration.to_value()),
+            ("w_m".to_owned(), self.w_m.to_value()),
+            ("b".to_owned(), self.b.to_value()),
+            ("flow".to_owned(), self.flow.to_value()),
+        ];
+        if self.cc != Algorithm::default() {
+            pairs.push(("cc".to_owned(), self.cc.to_value()));
+        }
+        serde::Value::Obj(pairs)
+    }
+}
+
+impl Deserialize for ScenarioConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| serde::DeError::expected("ScenarioConfig object", v))?;
+        fn field<'a>(
+            obj: &'a [(String, serde::Value)],
+            name: &str,
+        ) -> Result<&'a serde::Value, serde::DeError> {
+            serde::get_field(obj, name)
+                .ok_or_else(|| serde::DeError::custom(format!("missing field `{name}`")))
+        }
+        Ok(ScenarioConfig {
+            provider: Provider::from_value(field(obj, "provider")?)?,
+            motion: Motion::from_value(field(obj, "motion")?)?,
+            seed: u64::from_value(field(obj, "seed")?)?,
+            duration: SimDuration::from_value(field(obj, "duration")?)?,
+            w_m: u32::from_value(field(obj, "w_m")?)?,
+            b: u32::from_value(field(obj, "b")?)?,
+            flow: u32::from_value(field(obj, "flow")?)?,
+            cc: match serde::get_field(obj, "cc") {
+                Some(v) => Algorithm::from_value(v)?,
+                None => Algorithm::default(),
+            },
+        })
     }
 }
 
@@ -178,6 +233,12 @@ impl ScenarioConfigBuilder {
     /// Sets the flow id recorded in packets/traces.
     pub fn flow(mut self, flow: u32) -> Self {
         self.inner.flow = flow;
+        self
+    }
+
+    /// Sets the congestion-control algorithm the sender runs.
+    pub fn cc(mut self, cc: Algorithm) -> Self {
+        self.inner.cc = cc;
         self
     }
 
@@ -257,6 +318,7 @@ impl ScenarioConfig {
             flow: self.flow,
             sender: SenderConfig {
                 w_m: self.w_m,
+                algorithm: self.cc,
                 stop_after: Some(self.duration),
                 ..Default::default()
             },
@@ -528,6 +590,47 @@ mod tests {
         let json = serde_json::to_string(&cfg).expect("serialize");
         let back: ScenarioConfig = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn cc_field_serializes_only_when_non_default() {
+        // The default (Reno) must reproduce the exact pre-zoo bytes, or
+        // every content-addressed cache key in existing disk tiers would
+        // silently change.
+        let default_json = serde_json::to_string(&ScenarioConfig::default()).expect("serialize");
+        assert!(
+            !default_json.contains("\"cc\""),
+            "default cc leaked into the wire format: {default_json}"
+        );
+        let back: ScenarioConfig = serde_json::from_str(&default_json).expect("deserialize");
+        assert_eq!(back.cc, Algorithm::Reno, "absent cc defaults to Reno");
+
+        for cc in Algorithm::zoo() {
+            let cfg = ScenarioConfig {
+                cc,
+                seed: 11,
+                ..Default::default()
+            };
+            let json = serde_json::to_string(&cfg).expect("serialize");
+            if cc != Algorithm::Reno {
+                assert!(json.contains("\"cc\""), "non-default cc must serialize");
+            }
+            let back: ScenarioConfig = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(back, cfg, "round trip for {}", cc.label());
+        }
+    }
+
+    #[test]
+    fn cc_choice_reaches_the_sender_config() {
+        let cfg = ScenarioConfig {
+            cc: Algorithm::cubic(),
+            ..Default::default()
+        };
+        assert_eq!(cfg.connection().sender.algorithm, Algorithm::cubic());
+        assert_eq!(
+            ScenarioConfig::default().connection().sender.algorithm,
+            Algorithm::Reno
+        );
     }
 
     #[test]

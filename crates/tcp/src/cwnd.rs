@@ -18,30 +18,10 @@ pub enum Phase {
     FastRecovery,
 }
 
-/// Which congestion-control algorithm shapes the window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
-pub enum Algorithm {
-    /// Classic Reno (the paper's modelling target).
-    #[default]
-    Reno,
-    /// TCP Veno (Fu et al., cited by the paper): estimates the router
-    /// backlog `N = cwnd·(RTT − baseRTT)/RTT`; a loss with `N < beta` is
-    /// deemed *random* (wireless) and the window is only reduced by 1/5,
-    /// and congestion-avoidance growth slows to every other ACK once the
-    /// backlog builds up.
-    Veno {
-        /// Backlog threshold distinguishing random from congestive loss
-        /// (Veno's default is 3 packets).
-        beta: f64,
-    },
-}
-
-impl Algorithm {
-    /// Veno with its standard `beta = 3`.
-    pub fn veno() -> Algorithm {
-        Algorithm::Veno { beta: 3.0 }
-    }
-}
+/// The algorithm-selection enum now lives in [`crate::cc`] alongside the
+/// [`crate::cc::CongestionControl`] trait; re-exported here because this
+/// is where it historically lived and `Cwnd` still carries one.
+pub use crate::cc::Algorithm;
 
 /// The congestion controller.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -105,8 +85,10 @@ impl Cwnd {
 
     fn random_loss_suspected(&self) -> bool {
         match self.algo {
-            Algorithm::Reno => false,
             Algorithm::Veno { beta } => self.backlog_estimate().is_some_and(|n| n < beta),
+            // Reno — and any non-classic variant handed to this struct by
+            // mistake — treats every loss as congestive.
+            _ => false,
         }
     }
 
@@ -124,6 +106,11 @@ impl Cwnd {
     /// Current slow-start threshold.
     pub fn ssthresh(&self) -> f64 {
         self.ssthresh
+    }
+
+    /// Which algorithm this controller runs (Reno or Veno).
+    pub fn algorithm(&self) -> Algorithm {
+        self.algo
     }
 
     /// The effective send window in whole segments:

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cc;
 pub mod connection;
 pub mod cwnd;
 pub mod demux;
@@ -46,6 +47,7 @@ pub mod veno;
 
 /// Convenient glob-import surface: `use hsm_tcp::prelude::*;`.
 pub mod prelude {
+    pub use crate::cc::{Bbr, Compound, CongestionControl, Cubic};
     pub use crate::connection::{
         run_connection, try_run_connection, try_run_connection_with, ConnectionConfig,
         ConnectionOutcome, ConnectionScratch, LossSpec, MobilityScenario, PathSpec,

@@ -16,7 +16,8 @@
 //!   backup path, reducing the effective retransmission loss rate from `q`
 //!   to roughly `q·q_backup` (paper §V-B).
 
-use crate::cwnd::{Algorithm, Cwnd, Phase};
+use crate::cc::CongestionControl;
+use crate::cwnd::{Algorithm, Phase};
 use crate::metrics::SenderMetrics;
 use crate::rtt::{Backoff, RttEstimator};
 use hsm_simnet::engine::Ctx;
@@ -39,7 +40,7 @@ pub struct SenderConfig {
     pub max_rto: SimDuration,
     /// Enable NewReno partial-ACK handling.
     pub newreno: bool,
-    /// Congestion-control algorithm (Reno or Veno).
+    /// Congestion-control algorithm (any member of the [`crate::cc`] zoo).
     pub algorithm: Algorithm,
     /// F-RTO-style spurious-RTO response: when the first ACK after a
     /// timeout covers more than the single retransmitted segment, the
@@ -74,9 +75,9 @@ const TAG_STOP: u64 = 1;
 const TAG_RTO_BASE: u64 = 1_000;
 
 /// Saved state for the F-RTO-style spurious-RTO undo.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug)]
 struct RtoUndo {
-    cwnd: Cwnd,
+    cwnd: Box<dyn CongestionControl>,
     armed_snd_una: u64,
 }
 
@@ -93,7 +94,7 @@ pub struct RenoSender {
     /// not truncate its siblings.
     pub halt_engine_on_stop: bool,
     cfg: SenderConfig,
-    cwnd: Cwnd,
+    cwnd: Box<dyn CongestionControl>,
     rtt: RttEstimator,
     backoff: Backoff,
     /// Next sequence number to (re)transmit. After a timeout this is reset
@@ -123,7 +124,7 @@ impl RenoSender {
             data_link,
             backup_link: None,
             halt_engine_on_stop: true,
-            cwnd: Cwnd::with_algorithm(cfg.w_m, cfg.algorithm),
+            cwnd: cfg.algorithm.build(cfg.w_m),
             rtt: RttEstimator::new(cfg.initial_rto, cfg.min_rto, cfg.max_rto),
             backoff: Backoff::new(),
             cfg,
@@ -153,8 +154,8 @@ impl RenoSender {
     }
 
     /// The congestion controller (for inspection).
-    pub fn cwnd(&self) -> &Cwnd {
-        &self.cwnd
+    pub fn cwnd(&self) -> &dyn CongestionControl {
+        self.cwnd.as_ref()
     }
 
     /// The RTT estimator (for inspection).
@@ -382,7 +383,7 @@ impl RenoSender {
         // discarded) by the first new ACK either way.
         if self.cfg.spurious_rto_undo && self.undo.is_none() {
             self.undo = Some(RtoUndo {
-                cwnd: self.cwnd,
+                cwnd: self.cwnd.clone_box(),
                 armed_snd_una: self.snd_una,
             });
         }

@@ -55,6 +55,13 @@ impl RttEstimator {
     }
 
     /// Feeds one RTT sample (from a never-retransmitted segment).
+    ///
+    /// Audited against RFC 6298 §2.2–§2.3: the first measurement `R`
+    /// sets `SRTT = R` and `RTTVAR = R/2`; every later measurement `R'`
+    /// updates `RTTVAR` *before* `SRTT` (the variance term must use the
+    /// previous smoothed value) with the standard gains `β = 1/4` and
+    /// `α = 1/8`. So the first sample's base RTO is `R + 4·(R/2) = 3R`,
+    /// pre-clamp — pinned by a unit test.
     pub fn sample(&mut self, rtt: SimDuration) {
         let r = rtt.as_secs_f64();
         self.samples += 1;
@@ -143,6 +150,10 @@ impl Backoff {
 mod tests {
     use super::*;
 
+    /// RFC 6298 §2.2: the first measurement `R` must set `SRTT = R`,
+    /// `RTTVAR = R/2`, hence base RTO `= R + 4·(R/2) = 3R` — not the
+    /// `R + 4·0` a zero-initialized RTTVAR would give, which fires
+    /// spurious timeouts on the very first jitter of a flow.
     #[test]
     fn first_sample_initializes() {
         let mut e = RttEstimator::standard();
@@ -150,9 +161,35 @@ mod tests {
         assert_eq!(e.rto(), SimDuration::from_secs(1));
         e.sample(SimDuration::from_millis(100));
         assert_eq!(e.srtt(), Some(SimDuration::from_millis(100)));
-        // RTO = 100 + 4*50 = 300 ms.
+        // RTO = SRTT + 4·RTTVAR = 100 + 4·50 = 300 ms = 3R.
         assert_eq!(e.rto(), SimDuration::from_millis(300));
         assert_eq!(e.samples(), 1);
+        // The 3R shape must hold across magnitudes (within the clamp).
+        for r_ms in [80u64, 250, 1000, 5000] {
+            let mut e = RttEstimator::standard();
+            e.sample(SimDuration::from_millis(r_ms));
+            assert_eq!(
+                e.rto(),
+                SimDuration::from_millis(3 * r_ms),
+                "first-sample RTO must be 3R for R = {r_ms} ms"
+            );
+        }
+    }
+
+    /// RFC 6298 §2.3 ordering: the second sample's RTTVAR must be
+    /// computed from the *previous* SRTT. Updating SRTT first would give
+    /// rttvar = 0.75·50 + 0.25·|112.5 − 200| = 59.375 ms instead.
+    #[test]
+    fn second_sample_updates_rttvar_before_srtt() {
+        let mut e = RttEstimator::standard();
+        e.sample(SimDuration::from_millis(100));
+        e.sample(SimDuration::from_millis(200));
+        // rttvar = 0.75·50 + 0.25·|100 − 200| = 62.5 ms
+        // srtt   = 0.875·100 + 0.125·200     = 112.5 ms
+        let srtt = e.srtt().unwrap().as_secs_f64();
+        assert!((srtt - 0.1125).abs() < 1e-12);
+        let rto = e.rto().as_secs_f64();
+        assert!((rto - (0.1125 + 4.0 * 0.0625)).abs() < 1e-12);
     }
 
     #[test]

@@ -20,6 +20,17 @@ for cc in Reno Veno Cubic Bbr Compound; do
     grep -q "\"label\":\"$cc\"" CC_STUDY.json \
         || { echo "cc-study: no deviation row for $cc" >&2; exit 1; }
 done
+# Spec-driven campaign smoke: the committed smoke spec, run as one
+# process and as two OS-process shards, must merge to byte-identical
+# reports (the shard/merge path is a results-identity, not a results
+# knob).
+rm -rf target/spec-smoke
+./target/release/repro run --spec examples/specs/smoke.toml \
+    --out target/spec-smoke/p1 --shards 1
+./target/release/repro run --spec examples/specs/smoke.toml \
+    --out target/spec-smoke/p2 --shards 2
+cmp target/spec-smoke/p1/merged.json target/spec-smoke/p2/merged.json \
+    || { echo "spec smoke: 2-shard merge not byte-identical to 1-process" >&2; exit 1; }
 cargo clippy --workspace --all-targets -- -D warnings
 cargo doc --no-deps --workspace
 ./tools/bench_gate.sh

@@ -1,19 +1,34 @@
-//! `repro` — regenerate the paper's tables and figures.
+//! `repro` — regenerate the paper's tables and figures, and drive
+//! declarative campaigns.
 //!
 //! ```text
-//! repro                  # list experiments
-//! repro all              # run everything (standard scale)
-//! repro fig10 fig12      # run a subset
-//! repro all --full       # full 255-flow scale (minutes)
-//! repro all --smoke      # fastest sanity pass
-//! repro fig3 --csv out/  # export each table as CSV too
+//! repro                             # list experiments
+//! repro all                         # run everything (standard scale)
+//! repro fig10 fig12                 # run a subset
+//! repro all --full                  # full 255-flow scale (minutes)
+//! repro fig3 --csv out/             # export each table as CSV too
+//! repro run --spec FILE --shards 4  # sharded declarative campaign
+//! repro bench [--spec FILE]         # regenerate BENCH_*.json telemetry
+//! repro cc-study [--spec FILE]      # congestion-control model study
+//! repro chaos [--spec FILE]         # fault-injection harness
 //! ```
+//!
+//! Every subcommand shares one parsed-options type (`hsm_bench::cli`);
+//! `--spec FILE` loads a declarative `CampaignSpec` everywhere it makes
+//! sense: `run` executes it (optionally across OS processes), `bench`
+//! times it, `cc-study` sweeps the zoo over it, `chaos` round-trip
+//! checks it before the harness runs.
 
+use hsm_bench::cli::{self, Opts};
 use hsm_bench::{Ctx, Scale, EXPERIMENTS};
 use hsm_runtime::cache::{CacheConfig, FlowCache};
 use hsm_runtime::engine::{Campaign, CampaignReport};
+use hsm_runtime::shard::{
+    merge_shards, read_shard_report, run_shard, shard_file_name, write_shard_report, ShardReport,
+};
+use hsm_scenario::spec::{expansion_digest, load_spec, CampaignSpec};
 use serde::Serialize;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// One worker count's cold/warm pair in the campaign bench matrix.
@@ -52,6 +67,20 @@ struct CampaignBench {
     speedup_w4: f64,
     speedup_max: f64,
     matrix: Vec<MatrixEntry>,
+}
+
+/// Cold/warm telemetry of one spec-driven campaign, written as
+/// `BENCH_spec.json` by `repro bench --spec FILE`. Deliberately a
+/// separate file from the gate-parsed `BENCH_campaign.json`.
+#[derive(Debug, Serialize)]
+struct SpecBench {
+    spec_name: String,
+    spec_digest: u64,
+    flows: usize,
+    cold_events_per_sec: f64,
+    warm_wall_clock_s: f64,
+    cold: CampaignReport,
+    warm: CampaignReport,
 }
 
 /// Runs the Stress dataset (≥ 2,000 two-second flows — campaign overhead
@@ -130,42 +159,250 @@ fn write_simnet_bench(scale: Scale) -> Result<(), String> {
     Ok(())
 }
 
-/// `repro chaos --seed N --cases M [--workers W]`: the fault-injection
-/// and differential-testing harness. Writes the full `ChaosReport` as
-/// `CHAOS_report.json`; on any oracle violation or failed drill also
-/// writes `chaos-failure.json` (violations with their shrunk minimal
-/// configs — the artifact CI uploads) and exits non-zero.
-fn run_chaos_cmd(args: impl Iterator<Item = String>) -> ExitCode {
-    let mut opts = hsm_chaos::ChaosOptions::default();
-    let mut iter = args;
-    while let Some(arg) = iter.next() {
-        let mut take = |name: &str| -> Option<String> {
-            let v = iter.next();
-            if v.is_none() {
-                eprintln!("{name} needs a value");
-            }
-            v
-        };
-        let parsed = match arg.as_str() {
-            "--seed" => take("--seed")
-                .and_then(|v| v.parse().ok())
-                .map(|v| opts.seed = v),
-            "--cases" => take("--cases")
-                .and_then(|v| v.parse().ok())
-                .map(|v| opts.cases = v),
-            "--workers" => take("--workers")
-                .and_then(|v| v.parse().ok())
-                .map(|v| opts.workers = v),
-            other => {
-                eprintln!("unknown chaos option `{other}`");
-                eprintln!("usage: repro chaos [--seed N] [--cases M] [--workers W]");
-                return ExitCode::FAILURE;
-            }
-        };
-        if parsed.is_none() {
-            eprintln!("invalid value for {arg}");
-            return ExitCode::FAILURE;
+/// Times one spec-driven campaign cold and warm and writes the pair as
+/// `BENCH_spec.json`.
+fn write_spec_bench(path: &Path, workers: Option<usize>) -> Result<(), String> {
+    let spec = load_spec(path).map_err(|e| e.to_string())?;
+    let configs = spec.expand().map_err(|e| e.to_string())?;
+    let digest = expansion_digest(&configs);
+    let mut builder = Campaign::builder()
+        .configs(configs)
+        .cache(CacheConfig::memory_only());
+    if let Some(w) = workers {
+        builder = builder.workers(w);
+    }
+    let campaign = builder.build().map_err(|e| e.to_string())?;
+    let cache = FlowCache::new(CacheConfig::memory_only());
+    let cold = campaign
+        .run_with_cache(&cache)
+        .map_err(|e| e.to_string())?
+        .report;
+    let warm = campaign
+        .run_with_cache(&cache)
+        .map_err(|e| e.to_string())?
+        .report;
+    let bench = SpecBench {
+        spec_name: spec.name.clone(),
+        spec_digest: digest,
+        flows: cold.flows,
+        cold_events_per_sec: cold.events_per_sec(),
+        warm_wall_clock_s: warm.wall_clock_s,
+        cold,
+        warm,
+    };
+    let json = serde_json::to_string(&bench).map_err(|e| e.to_string())?;
+    std::fs::write("BENCH_spec.json", json).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Loads a spec and verifies it is self-consistent: the TOML writer
+/// round-trips it exactly and two expansions agree. Returns the spec and
+/// its expansion digest.
+fn check_spec(path: &Path) -> Result<(CampaignSpec, u64), String> {
+    let spec = load_spec(path).map_err(|e| e.to_string())?;
+    let text = spec.to_toml();
+    let back = CampaignSpec::from_toml(&text)
+        .map_err(|e| format!("spec `{}` does not re-parse: {e}", spec.name))?;
+    if back != spec {
+        return Err(format!(
+            "spec `{}` drifts through a TOML round-trip",
+            spec.name
+        ));
+    }
+    let a = spec.expand().map_err(|e| e.to_string())?;
+    let b = back.expand().map_err(|e| e.to_string())?;
+    if a != b {
+        return Err(format!(
+            "spec `{}` expands non-deterministically",
+            spec.name
+        ));
+    }
+    Ok((spec, expansion_digest(&a)))
+}
+
+/// `repro run --spec FILE [--shards N | --shard K/N]`: execute a
+/// declarative campaign, optionally partitioned across OS processes, and
+/// fold the shard reports into one deterministic `merged.json`.
+fn run_cmd(args: Vec<String>) -> ExitCode {
+    let opts = match cli::parse(
+        "run",
+        args,
+        &[
+            "--spec",
+            "--shards",
+            "--shard",
+            "--workers",
+            "--out",
+            "--cache-dir",
+        ],
+    ) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    match run_campaign(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(format!("run: {e}")),
+    }
+}
+
+fn run_campaign(opts: &Opts) -> Result<(), String> {
+    let Some(spec_path) = &opts.spec else {
+        return Err("--spec FILE is required (see examples/specs/)".into());
+    };
+    let spec = load_spec(spec_path).map_err(|e| e.to_string())?;
+    let configs = spec.expand().map_err(|e| e.to_string())?;
+    let digest = expansion_digest(&configs);
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(format!("campaign-{}", spec.name)));
+    let cache_dir = opts.cache_dir.clone().unwrap_or_else(|| out.join("cache"));
+
+    // Slice mode: this process is one shard of an N-way partition —
+    // either a child spawned below or a slice launched on a remote host.
+    if let Some((k, n)) = opts.shard {
+        let cache = FlowCache::new(CacheConfig::with_disk(&cache_dir));
+        let report = run_shard(&spec.name, digest, &configs, k, n, opts.workers, &cache)
+            .map_err(|e| e.to_string())?;
+        let path = write_shard_report(&out, &report).map_err(|e| e.to_string())?;
+        println!(
+            "run: shard {k}/{n} of `{}` -> {} flows, wrote {}",
+            spec.name,
+            report.summaries.len(),
+            path.display()
+        );
+        return Ok(());
+    }
+
+    let shards = opts.shards.unwrap_or(1);
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    if shards == 1 {
+        // Single-process run through the exact same shard/merge path the
+        // multi-process mode uses, so merged.json is trivially comparable.
+        let cache = FlowCache::new(CacheConfig::with_disk(&cache_dir));
+        let report = run_shard(&spec.name, digest, &configs, 0, 1, opts.workers, &cache)
+            .map_err(|e| e.to_string())?;
+        write_shard_report(&out, &report).map_err(|e| e.to_string())?;
+    } else {
+        spawn_shards(spec_path, shards, opts, &out, &cache_dir)?;
+    }
+
+    let reports: Vec<ShardReport> = (0..shards)
+        .map(|k| read_shard_report(&out.join(shard_file_name(k, shards))))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    let merged = merge_shards(&reports).map_err(|e| e.to_string())?;
+    let json = serde_json::to_string(&merged).map_err(|e| e.to_string())?;
+    let merged_path = out.join("merged.json");
+    std::fs::write(&merged_path, &json)
+        .map_err(|e| format!("cannot write {}: {e}", merged_path.display()))?;
+    println!(
+        "run: `{}` -> {} flows across {shards} shard(s), digest {digest:016x}",
+        spec.name, merged.flows
+    );
+    println!("wrote {}", merged_path.display());
+    Ok(())
+}
+
+/// Spawns one OS process per shard (`repro run --spec F --shard K/N`),
+/// all sharing `cache_dir`, and waits for every one to succeed.
+fn spawn_shards(
+    spec_path: &Path,
+    shards: usize,
+    opts: &Opts,
+    out: &Path,
+    cache_dir: &Path,
+) -> Result<(), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate repro binary: {e}"))?;
+    let mut children = Vec::new();
+    for k in 0..shards {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("run")
+            .arg("--spec")
+            .arg(spec_path)
+            .arg("--shard")
+            .arg(format!("{k}/{shards}"))
+            .arg("--out")
+            .arg(out)
+            .arg("--cache-dir")
+            .arg(cache_dir);
+        if let Some(w) = opts.workers {
+            cmd.arg("--workers").arg(w.to_string());
         }
+        let child = cmd
+            .spawn()
+            .map_err(|e| format!("cannot spawn shard {k}/{shards}: {e}"))?;
+        children.push((k, child));
+    }
+    let mut failed = Vec::new();
+    for (k, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => failed.push(format!("shard {k}/{shards} exited with {status}")),
+            Err(e) => failed.push(format!("shard {k}/{shards} could not be awaited: {e}")),
+        }
+    }
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        Err(failed.join("; "))
+    }
+}
+
+/// `repro bench [--smoke | --full] [--spec FILE]`: regenerate the
+/// `BENCH_*.json` telemetry files (plus `BENCH_spec.json` with a spec).
+fn bench_cmd(args: Vec<String>) -> ExitCode {
+    let opts = match cli::parse("bench", args, &["--smoke", "--full", "--workers", "--spec"]) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    if let Some(spec) = &opts.spec {
+        match write_spec_bench(spec, opts.workers) {
+            Ok(()) => println!("wrote BENCH_spec.json"),
+            Err(e) => return fail(format!("failed to write BENCH_spec.json: {e}")),
+        }
+    }
+    match write_campaign_bench() {
+        Ok(()) => println!("wrote BENCH_campaign.json"),
+        Err(e) => return fail(format!("failed to write BENCH_campaign.json: {e}")),
+    }
+    match write_simnet_bench(opts.scale) {
+        Ok(()) => println!("wrote BENCH_simnet.json"),
+        Err(e) => return fail(format!("failed to write BENCH_simnet.json: {e}")),
+    }
+    ExitCode::SUCCESS
+}
+
+/// `repro chaos [--seed N] [--cases M] [--workers W] [--spec FILE]`: the
+/// fault-injection and differential-testing harness. Writes the full
+/// `ChaosReport` as `CHAOS_report.json`; on any oracle violation or
+/// failed drill also writes `chaos-failure.json` (violations with their
+/// shrunk minimal configs — the artifact CI uploads) and exits non-zero.
+/// With `--spec`, the spec is round-trip checked first.
+fn chaos_cmd(args: Vec<String>) -> ExitCode {
+    let parsed = match cli::parse("chaos", args, &["--seed", "--cases", "--workers", "--spec"]) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    if let Some(spec) = &parsed.spec {
+        match check_spec(spec) {
+            Ok((spec, digest)) => println!(
+                "chaos: spec `{}` round-trips ({} scenario grids, digest {digest:016x})",
+                spec.name,
+                spec.scenarios.len()
+            ),
+            Err(e) => return fail(format!("chaos: spec check failed: {e}")),
+        }
+    }
+    let mut opts = hsm_chaos::ChaosOptions::default();
+    if let Some(seed) = parsed.seed {
+        opts.seed = seed;
+    }
+    if let Some(cases) = parsed.cases {
+        opts.cases = cases;
+    }
+    if let Some(workers) = parsed.workers {
+        opts.workers = workers;
     }
 
     // The worker-death drill kills workers with deliberate panics; keep
@@ -191,14 +428,10 @@ fn run_chaos_cmd(args: impl Iterator<Item = String>) -> ExitCode {
 
     let json = match serde_json::to_string(&report) {
         Ok(j) => j,
-        Err(e) => {
-            eprintln!("failed to serialize chaos report: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(format!("failed to serialize chaos report: {e}")),
     };
     if let Err(e) = std::fs::write("CHAOS_report.json", &json) {
-        eprintln!("failed to write CHAOS_report.json: {e}");
-        return ExitCode::FAILURE;
+        return fail(format!("failed to write CHAOS_report.json: {e}"));
     }
     println!(
         "chaos: seed {} cases {} workers {} -> {} violations, {}/{} drills passed, \
@@ -242,49 +475,41 @@ fn run_chaos_cmd(args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
-/// `repro cc-study [--smoke | --full] [--workers W]`: runs the Table-I
-/// campaign once per congestion-control zoo member and evaluates the
+/// `repro cc-study [--smoke | --full] [--workers W] [--spec FILE]`: runs
+/// a campaign once per congestion-control zoo member — the Table-I grid
+/// by default, a spec expansion with `--spec` — and evaluates the
 /// enhanced/Padhye models against each. Writes `CC_STUDY.json`; exits
 /// non-zero when any controller's slice comes back empty.
-fn run_cc_study_cmd(args: impl Iterator<Item = String>) -> ExitCode {
-    let mut scale = Scale::Standard;
-    let mut workers = None;
-    let mut iter = args;
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--smoke" => scale = Scale::Smoke,
-            "--full" => scale = Scale::Full,
-            "--workers" => match iter.next().and_then(|v| v.parse().ok()) {
-                Some(w) => workers = Some(w),
-                None => {
-                    eprintln!("--workers needs a positive integer");
-                    return ExitCode::FAILURE;
-                }
-            },
-            other => {
-                eprintln!("unknown cc-study option `{other}`");
-                eprintln!("usage: repro cc-study [--smoke | --full] [--workers W]");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    let report = match hsm_bench::cc_study::run_cc_study(scale, workers) {
+fn cc_study_cmd(args: Vec<String>) -> ExitCode {
+    let opts = match cli::parse(
+        "cc-study",
+        args,
+        &["--smoke", "--full", "--workers", "--spec"],
+    ) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let report = match &opts.spec {
+        Some(path) => load_spec(path).map_err(|e| e.to_string()).and_then(|spec| {
+            let configs = spec.expand().map_err(|e| e.to_string())?;
+            hsm_bench::cc_study::run_cc_study_over(
+                &configs,
+                &format!("spec:{}", spec.name),
+                opts.workers,
+            )
+        }),
+        None => hsm_bench::cc_study::run_cc_study(opts.scale, opts.workers),
+    };
+    let report = match report {
         Ok(r) => r,
-        Err(e) => {
-            eprintln!("cc-study failed: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(format!("cc-study failed: {e}")),
     };
     let json = match serde_json::to_string(&report) {
         Ok(j) => j,
-        Err(e) => {
-            eprintln!("failed to serialize cc-study report: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(format!("failed to serialize cc-study report: {e}")),
     };
     if let Err(e) = std::fs::write("CC_STUDY.json", &json) {
-        eprintln!("failed to write CC_STUDY.json: {e}");
-        return ExitCode::FAILURE;
+        return fail(format!("failed to write CC_STUDY.json: {e}"));
     }
     println!(
         "cc-study: {} controllers x {} flows at {} scale",
@@ -299,21 +524,33 @@ fn run_cc_study_cmd(args: impl Iterator<Item = String>) -> ExitCode {
     if report.complete() {
         ExitCode::SUCCESS
     } else {
-        eprintln!("cc-study incomplete: a controller produced no evaluable flows");
-        ExitCode::FAILURE
+        fail("cc-study incomplete: a controller produced no evaluable flows")
     }
+}
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("{msg}");
+    ExitCode::FAILURE
 }
 
 fn usage() {
     println!("usage: repro [all | bench | <id>...] [--smoke | --full] [--csv DIR]");
-    println!("       repro chaos [--seed N] [--cases M] [--workers W]");
-    println!("       repro cc-study [--smoke | --full] [--workers W]\n");
+    println!("       repro run --spec FILE [--shards N | --shard K/N] [--workers W]");
+    println!("                 [--out DIR] [--cache-dir DIR]");
+    println!("       repro bench [--smoke | --full] [--spec FILE] [--workers W]");
+    println!("       repro chaos [--seed N] [--cases M] [--workers W] [--spec FILE]");
+    println!("       repro cc-study [--smoke | --full] [--workers W] [--spec FILE]\n");
     println!("experiments:");
     for e in EXPERIMENTS {
         println!("  {:10} {}", e.id, e.about);
     }
-    println!("\n`repro bench` runs no experiments: it only regenerates the");
-    println!("BENCH_campaign.json / BENCH_simnet.json telemetry files.");
+    println!("\n`repro run` executes a declarative campaign spec: `--shards N`");
+    println!("spawns N OS processes sharing one disk cache, `--shard K/N`");
+    println!("runs a single slice (e.g. on a remote host), and the merged");
+    println!("merged.json is bit-identical for every shard count.");
+    println!("`repro bench` runs no experiments: it only regenerates the");
+    println!("BENCH_campaign.json / BENCH_simnet.json telemetry files");
+    println!("(plus BENCH_spec.json when given --spec).");
     println!("`repro chaos` runs the seeded fault-injection harness and");
     println!("writes CHAOS_report.json (plus chaos-failure.json and a");
     println!("non-zero exit on any oracle violation).");
@@ -325,85 +562,64 @@ fn usage() {
     println!("of the --smoke/--full flags.");
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().is_some_and(|a| a == "chaos") {
-        return run_chaos_cmd(args.into_iter().skip(1));
+/// The default (experiment-runner) command: `repro [<id>...] [flags]`.
+fn experiments_cmd(args: Vec<String>) -> ExitCode {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return ExitCode::SUCCESS;
     }
-    if args.first().is_some_and(|a| a == "cc-study") {
-        return run_cc_study_cmd(args.into_iter().skip(1));
-    }
-    let mut ids: Vec<String> = Vec::new();
-    let mut scale = Scale::Standard;
-    let mut csv_dir: Option<PathBuf> = None;
-    let mut iter = args.into_iter();
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--smoke" => scale = Scale::Smoke,
-            "--full" => scale = Scale::Full,
-            "--csv" => match iter.next() {
-                Some(dir) => csv_dir = Some(PathBuf::from(dir)),
-                None => {
-                    eprintln!("--csv needs a directory");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--help" | "-h" => {
-                usage();
-                return ExitCode::SUCCESS;
-            }
-            other => ids.push(other.to_owned()),
-        }
-    }
-    if ids.is_empty() {
+    let opts = match cli::parse("repro", args, &["--smoke", "--full", "--csv", "ID"]) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    if opts.ids.is_empty() {
         usage();
         return ExitCode::SUCCESS;
     }
 
-    let bench_only = ids.iter().all(|i| i == "bench") && ids.iter().any(|i| i == "bench");
-    let run_all = ids.iter().any(|i| i == "all");
-    let selected: Vec<_> = if bench_only {
-        Vec::new()
-    } else if run_all {
+    let run_all = opts.ids.iter().any(|i| i == "all");
+    let selected: Vec<_> = if run_all {
         EXPERIMENTS.iter().collect()
     } else {
         let mut sel = Vec::new();
-        for id in &ids {
+        for id in &opts.ids {
             match hsm_bench::find(id) {
                 Some(e) => sel.push(e),
-                None => {
-                    eprintln!("unknown experiment `{id}` (try --help)");
-                    return ExitCode::FAILURE;
-                }
+                None => return fail(format!("unknown experiment `{id}` (try --help)")),
             }
         }
         sel
     };
 
-    let ctx = Ctx::new(scale);
+    let ctx = Ctx::new(opts.scale);
     for e in selected {
         let result = (e.run)(&ctx);
         println!("{}", result.to_text());
-        if let Some(dir) = &csv_dir {
+        if let Some(dir) = &opts.csv {
             if let Err(err) = result.save_csv(dir) {
-                eprintln!("failed to write CSVs for {}: {err}", result.id);
-                return ExitCode::FAILURE;
+                return fail(format!("failed to write CSVs for {}: {err}", result.id));
             }
         }
     }
     match write_campaign_bench() {
         Ok(()) => println!("wrote BENCH_campaign.json"),
-        Err(err) => {
-            eprintln!("failed to write BENCH_campaign.json: {err}");
-            return ExitCode::FAILURE;
-        }
+        Err(err) => return fail(format!("failed to write BENCH_campaign.json: {err}")),
     }
-    match write_simnet_bench(scale) {
+    match write_simnet_bench(opts.scale) {
         Ok(()) => println!("wrote BENCH_simnet.json"),
-        Err(err) => {
-            eprintln!("failed to write BENCH_simnet.json: {err}");
-            return ExitCode::FAILURE;
-        }
+        Err(err) => return fail(format!("failed to write BENCH_simnet.json: {err}")),
     }
     ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rest = |a: &[String]| a[1..].to_vec();
+    match args.first().map(String::as_str) {
+        Some("run") => run_cmd(rest(&args)),
+        Some("bench") => bench_cmd(rest(&args)),
+        Some("chaos") => chaos_cmd(rest(&args)),
+        Some("cc-study") => cc_study_cmd(rest(&args)),
+        _ => experiments_cmd(args),
+    }
 }

@@ -14,7 +14,8 @@ use hsm_core::estimate::EstimateConfig;
 use hsm_core::eval::{evaluate_labeled, LabeledAccuracy};
 use hsm_runtime::cache::{CacheConfig, FlowCache};
 use hsm_runtime::engine::Campaign;
-use hsm_scenario::dataset::DatasetConfig;
+use hsm_scenario::dataset::plan_dataset;
+use hsm_scenario::runner::ScenarioConfig;
 use hsm_tcp::cc::Algorithm;
 use serde::Serialize;
 
@@ -38,27 +39,47 @@ impl CcStudyReport {
     }
 }
 
-/// Runs the study: one Table-I campaign per zoo member, then per-member
-/// model evaluation.
-///
-/// All campaigns share one cache — keys embed the congestion control, so
-/// controllers can never collide, and reruns at the same scale stay warm.
+/// Runs the study at a scale preset: one Table-I campaign per zoo
+/// member, then per-member model evaluation.
 ///
 /// # Errors
 ///
 /// Returns a displayable message when a campaign fails to build or run.
 pub fn run_cc_study(scale: Scale, workers: Option<usize>) -> Result<CcStudyReport, String> {
+    let configs: Vec<ScenarioConfig> = plan_dataset(&scale.dataset_config())
+        .into_iter()
+        .map(|(_, c)| c)
+        .collect();
+    run_cc_study_over(&configs, &format!("{scale:?}"), workers)
+}
+
+/// Runs the study over an arbitrary campaign — e.g. the expansion of a
+/// declarative spec (`repro cc-study --spec FILE`). Each zoo member runs
+/// the same `configs` with only the congestion-control field overridden,
+/// so the rows are directly comparable.
+///
+/// All campaigns share one cache — keys embed the congestion control, so
+/// controllers can never collide, and reruns of the same grid stay warm.
+///
+/// # Errors
+///
+/// Returns a displayable message when a campaign fails to build or run.
+pub fn run_cc_study_over(
+    configs: &[ScenarioConfig],
+    scale_label: &str,
+    workers: Option<usize>,
+) -> Result<CcStudyReport, String> {
     let cache = FlowCache::new(CacheConfig::memory_only());
     let estimate = EstimateConfig::default();
     let mut rows = Vec::new();
     let mut flows_per_cc = 0;
     for cc in Algorithm::zoo() {
-        let dataset = DatasetConfig {
-            cc,
-            ..scale.dataset_config()
-        };
+        let cc_configs = configs.iter().cloned().map(|mut c| {
+            c.cc = cc;
+            c
+        });
         let mut builder = Campaign::builder()
-            .dataset(&dataset)
+            .configs(cc_configs)
             .cache(CacheConfig::memory_only());
         if let Some(w) = workers {
             builder = builder.workers(w);
@@ -71,7 +92,7 @@ pub fn run_cc_study(scale: Scale, workers: Option<usize>) -> Result<CcStudyRepor
     }
     Ok(CcStudyReport {
         engine_version: hsm_runtime::cache::ENGINE_VERSION.to_owned(),
-        scale: format!("{scale:?}"),
+        scale: scale_label.to_owned(),
         flows_per_cc,
         rows,
     })

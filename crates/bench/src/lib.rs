@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod cc_study;
+pub mod cli;
 pub mod context;
 pub mod experiments;
 pub mod registry;
@@ -35,6 +36,7 @@ pub mod simnet_bench;
 /// here so `hsm_bench::parallel::par_map` call sites keep working.
 pub use hsm_runtime::parallel;
 
+pub use cli::Opts;
 pub use context::{Ctx, Scale};
 pub use registry::{find, run_all, Experiment, EXPERIMENTS};
 pub use report::ExperimentResult;

@@ -61,6 +61,7 @@ pub fn run_drills(dir: &Path) -> Vec<DrillResult> {
         result("link-storm", drill_link_storm()),
         result("ack-burst-loss", drill_ack_burst_loss()),
         result("scratch-poison", drill_scratch_poison()),
+        result("spec-roundtrip", drill_spec_roundtrip()),
     ]
 }
 
@@ -334,4 +335,48 @@ fn drill_scratch_poison() -> Result<String, String> {
         }
     }
     Ok("two poisoned reuses both bit-identical to the fresh run".to_owned())
+}
+
+/// Declarative campaign specs must survive a TOML round trip exactly,
+/// expand deterministically, and reject corrupted spec text with an
+/// error *naming the offending key* — checked over a sweep of fuzzed
+/// specs so the guarantee is not an artifact of one hand-written file.
+fn drill_spec_roundtrip() -> Result<String, String> {
+    const CASES: u64 = 24;
+    let mut expanded = 0usize;
+    for case in 0..CASES {
+        let spec = crate::fuzz::spec_for_case(4242, case);
+        let text = spec.to_toml();
+        let back = CampaignSpec::from_toml(&text)
+            .map_err(|e| format!("case {case}: serialized spec failed to parse back: {e}"))?;
+        if back != spec {
+            return Err(format!("case {case}: TOML round trip changed the spec"));
+        }
+        let a = spec
+            .expand()
+            .map_err(|e| format!("case {case}: expand failed: {e}"))?;
+        let b = back
+            .expand()
+            .map_err(|e| format!("case {case}: re-expand failed: {e}"))?;
+        if a != b || expansion_digest(&a) != expansion_digest(&b) {
+            return Err(format!("case {case}: expansion not deterministic"));
+        }
+        expanded += a.len();
+        // A corrupted spec (unknown key injected into the last table)
+        // must be rejected with an error that names the bad key.
+        let broken = format!("{text}\nbogus_knob = 1\n");
+        match CampaignSpec::from_toml(&broken) {
+            Err(e) if e.key.contains("bogus_knob") => {}
+            Err(e) => {
+                return Err(format!(
+                    "case {case}: rejection does not name the bad key: {e}"
+                ))
+            }
+            Ok(_) => return Err(format!("case {case}: unknown key silently accepted")),
+        }
+    }
+    Ok(format!(
+        "{CASES} fuzzed specs round-tripped exactly and expanded deterministically \
+         ({expanded} configs); corrupted spec text rejected naming the bad key"
+    ))
 }

@@ -47,7 +47,7 @@ pub mod report;
 pub mod rng;
 
 pub use fault::run_drills;
-pub use fuzz::{config_for_case, in_operating_region, shrink, FuzzRanges};
+pub use fuzz::{config_for_case, in_operating_region, shrink, spec_for_case, FuzzRanges};
 pub use oracle::{check_case, compare_summaries, CaseOutcome, OracleConfig};
 pub use report::{AggregateOracle, ChaosReport, DrillResult, Violation};
 pub use rng::ChaosRng;

@@ -8,7 +8,11 @@
 //!   independently locked shards so campaign workers do not serialize on
 //!   a single mutex, and
 //! * an optional on-disk JSON tier (one file per flow) that survives the
-//!   process and powers warm `repro` reruns.
+//!   process and powers warm `repro` reruns. Entries are published
+//!   atomically (staged in a temp file, then renamed into place), so one
+//!   directory can be shared by any number of concurrent writer threads
+//!   *and OS processes* — sharded `repro run --shards N` campaigns point
+//!   every shard at the same tier — while readers stay lock-free.
 //!
 //! Disk entries carry a hash of their own payload; a corrupted entry
 //! fails the hash check, is counted, and is transparently re-simulated —
@@ -542,8 +546,20 @@ enum DiskLookup {
     Absent,
 }
 
+/// Monotonic discriminator for temp-file names, so concurrent writers in
+/// one process never collide on the same staging path.
+static TEMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 /// Writes one fully consistent disk-tier entry (key echo, current engine
 /// version, payload hash over the summary's canonical JSON).
+///
+/// Publication is atomic: the entry is staged in a uniquely named temp
+/// file (pid + in-process sequence number) and `rename`d into place, so
+/// a concurrent reader — another thread *or another OS process* sharing
+/// the directory — only ever observes a complete entry, never a torn
+/// write. Writers never lock: because an entry's content is a pure
+/// function of its key, losing a rename race to another writer leaves
+/// the identical payload on disk and counts as success.
 fn write_disk_entry(dir: &Path, key: CacheKey, summary: &FlowSummary) -> Result<(), CacheError> {
     std::fs::create_dir_all(dir).map_err(|e| CacheError::Io {
         path: dir.to_path_buf(),
@@ -558,10 +574,41 @@ fn write_disk_entry(dir: &Path, key: CacheKey, summary: &FlowSummary) -> Result<
     };
     let text = serde_json::to_string(&entry).map_err(|e| CacheError::Encode(e.to_string()))?;
     let path = dir.join(key.file_name());
-    std::fs::write(&path, text).map_err(|e| CacheError::Io {
-        path: path.clone(),
+    publish_atomic(dir, &path, text.as_bytes())
+}
+
+/// Stages `bytes` in a unique temp file under `dir` and renames it onto
+/// `path`. See [`write_disk_entry`] for the publication contract.
+pub(crate) fn publish_atomic(dir: &Path, path: &Path, bytes: &[u8]) -> Result<(), CacheError> {
+    let tmp = dir.join(format!(
+        ".{}.{}.{}.tmp",
+        path.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "entry".to_owned()),
+        std::process::id(),
+        TEMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+    ));
+    std::fs::write(&tmp, bytes).map_err(|e| CacheError::Io {
+        path: tmp.clone(),
         message: e.to_string(),
-    })
+    })?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // Clean the staging file up; if the destination exists another
+            // writer already published the (identical) entry, so the
+            // failed rename is a lost race, not an error.
+            let _ = std::fs::remove_file(&tmp);
+            if path.exists() {
+                Ok(())
+            } else {
+                Err(CacheError::Io {
+                    path: path.to_path_buf(),
+                    message: e.to_string(),
+                })
+            }
+        }
+    }
 }
 
 /// Bit-flips one byte of the stored disk-tier entry for `key` — the
@@ -889,6 +936,55 @@ mod tests {
         std::fs::write(&path, bad).unwrap();
         assert!(cache.lookup(key).is_none());
         assert_eq!(cache.stats().corrupt_entries, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Concurrent writers racing on the *same* keys in one shared disk
+    /// directory: every published entry must verify (no torn writes) and
+    /// no staging temp file may survive. This is the single-process half
+    /// of the multi-process guarantee sharded campaigns rely on.
+    #[test]
+    fn concurrent_disk_writers_never_tear_entries() {
+        let dir = std::env::temp_dir().join(format!("hsm_cache_race_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        const WRITERS: usize = 8;
+        const KEYS: u64 = 24;
+        std::thread::scope(|scope| {
+            for _ in 0..WRITERS {
+                let dir = dir.clone();
+                scope.spawn(move || {
+                    let cache = FlowCache::new(CacheConfig {
+                        memory_entries: 0,
+                        disk_dir: Some(dir),
+                        shards: 0,
+                    });
+                    for _ in 0..4 {
+                        for k in 0..KEYS {
+                            // Same key → same payload, as in real campaigns.
+                            cache.insert(CacheKey(k), &summary(k as u32)).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        let reader = FlowCache::new(CacheConfig {
+            memory_entries: 0,
+            disk_dir: Some(dir.clone()),
+            shards: 0,
+        });
+        for k in 0..KEYS {
+            let got = reader
+                .lookup(CacheKey(k))
+                .unwrap_or_else(|| panic!("entry {k} missing or corrupt after the race"));
+            assert_eq!(got, summary(k as u32));
+        }
+        assert_eq!(reader.stats().corrupt_entries, 0);
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "staging files leaked: {leftovers:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -59,6 +59,13 @@ pub enum EngineError {
     WorkerLost,
     /// The cache's disk tier failed.
     Cache(CacheError),
+    /// Sharded execution or the shard merge failed: bad partition
+    /// indices, missing/duplicate/inconsistent shard reports, or shard
+    /// file I/O.
+    ShardMerge {
+        /// Human-readable description naming the offending shard or file.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -75,6 +82,7 @@ impl fmt::Display for EngineError {
                 write!(f, "a campaign worker exited before delivering its results")
             }
             EngineError::Cache(e) => write!(f, "{e}"),
+            EngineError::ShardMerge { detail } => write!(f, "shard merge failure: {detail}"),
         }
     }
 }
@@ -113,5 +121,9 @@ mod tests {
             message: "denied".into(),
         };
         assert!(EngineError::from(c).to_string().contains("denied"));
+        let s = EngineError::ShardMerge {
+            detail: "shard 2 of 4 missing".into(),
+        };
+        assert!(s.to_string().contains("shard 2 of 4 missing"));
     }
 }

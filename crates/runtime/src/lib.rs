@@ -17,6 +17,10 @@
 //!   integrity-checked on-disk JSON tier, so repeated experiments stop
 //!   re-simulating identical flows and workers stop serializing on one
 //!   lock;
+//! * [`shard`] — multi-process campaign sharding: round-robin partition
+//!   of an expanded spec, per-shard [`shard::ShardReport`]s, and a merge
+//!   that folds them into one [`shard::CampaignResult`] bit-identical to
+//!   the single-process run;
 //! * [`parallel`] — index-ordered parallel map/mean with a fixed-shape
 //!   pairwise reduction (promoted from `hsm-bench`);
 //! * [`error`] — the engine/cache failure surface.
@@ -46,6 +50,7 @@ pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod parallel;
+pub mod shard;
 
 pub use cache::{CacheConfig, CacheKey, CacheStats, FlowCache, ENGINE_VERSION};
 #[cfg(any(test, feature = "chaos"))]
@@ -55,6 +60,10 @@ pub use engine::{
     CampaignReport, FlowRun,
 };
 pub use error::{CacheError, EngineError};
+pub use shard::{
+    merge_shards, read_shard_report, run_shard, shard_file_name, shard_indices, shard_len,
+    write_shard_report, CampaignResult, ShardReport,
+};
 
 /// Convenient glob-import surface: `use hsm_runtime::prelude::*;`.
 pub mod prelude {
@@ -66,5 +75,9 @@ pub mod prelude {
     pub use crate::error::{CacheError, EngineError};
     pub use crate::parallel::{
         pairwise_sum, par_map, par_map_workers, par_mean, par_mean_workers, try_par_map_workers,
+    };
+    pub use crate::shard::{
+        merge_shards, read_shard_report, run_shard, shard_file_name, shard_indices, shard_len,
+        write_shard_report, CampaignResult, ShardReport,
     };
 }

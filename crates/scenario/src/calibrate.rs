@@ -179,6 +179,7 @@ pub fn calibration_report(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::dataset::{generate_dataset, generate_stationary_baseline, DatasetConfig};

@@ -16,9 +16,10 @@ use hsm_simnet::time::SimDuration;
 use hsm_tcp::cc::Algorithm;
 use serde::{Deserialize, Serialize};
 
-/// One row of Table I.
+/// One row of Table I — a real-world measurement campaign of the paper.
+/// (Declarative sweep campaigns are `crate::spec::CampaignSpec`.)
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct CampaignSpec {
+pub struct MeasurementCampaign {
     /// Measurement campaign date.
     pub date: &'static str,
     /// Trips in the campaign.
@@ -34,8 +35,8 @@ pub struct CampaignSpec {
 }
 
 /// Table I verbatim: 255 flows, 40.47 GB, two campaigns, four rows.
-pub const TABLE1: [CampaignSpec; 4] = [
-    CampaignSpec {
+pub const TABLE1: [MeasurementCampaign; 4] = [
+    MeasurementCampaign {
         date: "January 2015",
         trips: 8,
         phone: "Samsung Note 3",
@@ -43,7 +44,7 @@ pub const TABLE1: [CampaignSpec; 4] = [
         flows: 52,
         trace_gb: 7.73,
     },
-    CampaignSpec {
+    MeasurementCampaign {
         date: "October 2015",
         trips: 24,
         phone: "Samsung Note 3",
@@ -51,7 +52,7 @@ pub const TABLE1: [CampaignSpec; 4] = [
         flows: 73,
         trace_gb: 18.9,
     },
-    CampaignSpec {
+    MeasurementCampaign {
         date: "October 2015",
         trips: 24,
         phone: "Samsung Galaxy S4",
@@ -59,7 +60,7 @@ pub const TABLE1: [CampaignSpec; 4] = [
         flows: 65,
         trace_gb: 9.63,
     },
-    CampaignSpec {
+    MeasurementCampaign {
         date: "October 2015",
         trips: 24,
         phone: "Samsung Galaxy S4",
@@ -144,7 +145,13 @@ pub fn plan_dataset(cfg: &DatasetConfig) -> Vec<(usize, ScenarioConfig)> {
 }
 
 /// Generates the dataset, simulating flows in parallel across cores.
+#[deprecated(
+    since = "0.1.0",
+    note = "drive `plan_dataset` (or a declarative `spec::CampaignSpec`) through \
+            `hsm_runtime::run_dataset`, which adds memoization and telemetry"
+)]
 pub fn generate_dataset(cfg: &DatasetConfig) -> Vec<DatasetFlow> {
+    #[allow(deprecated)]
     generate_dataset_with_workers(cfg, default_workers())
 }
 
@@ -153,6 +160,11 @@ pub fn generate_dataset(cfg: &DatasetConfig) -> Vec<DatasetFlow> {
 /// Each flow is a pure function of its own seed and results are
 /// re-assembled in plan order, so the worker count affects only wall-clock
 /// time, never the flows — the determinism harness in `tests/` pins this.
+#[deprecated(
+    since = "0.1.0",
+    note = "drive `plan_dataset` (or a declarative `spec::CampaignSpec`) through \
+            `hsm_runtime::run_dataset_with_workers`"
+)]
 pub fn generate_dataset_with_workers(cfg: &DatasetConfig, workers: usize) -> Vec<DatasetFlow> {
     let plans = plan_dataset(cfg);
     run_plans(plans, workers)
@@ -190,6 +202,10 @@ pub fn plan_stationary_baseline(cfg: &DatasetConfig, n: u32) -> Vec<ScenarioConf
 /// Campaign-scale callers should prefer feeding the plan to the
 /// `hsm-runtime` engine, which adds memoization and telemetry on top of
 /// the same per-flow execution.
+#[deprecated(
+    since = "0.1.0",
+    note = "feed `plan_stationary_baseline` to `hsm_runtime::run_stationary_baseline`"
+)]
 pub fn generate_stationary_baseline(cfg: &DatasetConfig, n: u32) -> Vec<DatasetFlow> {
     let plans = plan_stationary_baseline(cfg, n)
         .into_iter()
@@ -228,6 +244,7 @@ fn run_plans(plans: Vec<(usize, ScenarioConfig)>, workers: usize) -> Vec<Dataset
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

@@ -11,7 +11,10 @@
 //! * [`dataset`] — the synthetic Table-I dataset (255 flows across four
 //!   campaigns), generated in parallel and fully seed-reproducible;
 //! * [`calibrate`] — the paper's §III headline statistics as calibration
-//!   targets, with paper-vs-measured reporting.
+//!   targets, with paper-vs-measured reporting;
+//! * [`spec`] — declarative TOML campaign specs ([`spec::CampaignSpec`])
+//!   whose parameter grids expand deterministically into
+//!   [`runner::ScenarioConfig`]s.
 //!
 //! ```
 //! use hsm_scenario::prelude::*;
@@ -33,6 +36,7 @@ pub mod calibrate;
 pub mod dataset;
 pub mod provider;
 pub mod runner;
+pub mod spec;
 
 /// Convenient glob-import surface: `use hsm_scenario::prelude::*;`.
 pub mod prelude {
@@ -40,15 +44,20 @@ pub mod prelude {
     pub use crate::calibrate::{
         aggregate, calibration_report, CalibrationRow, DatasetAggregates, PaperTargets, PAPER,
     };
+    #[allow(deprecated)]
     pub use crate::dataset::{
         generate_dataset, generate_dataset_with_workers, generate_stationary_baseline,
-        plan_dataset, plan_stationary_baseline, table1_total_flows, CampaignSpec, DatasetConfig,
-        DatasetFlow, TABLE1,
+        plan_dataset, plan_stationary_baseline, table1_total_flows, DatasetConfig, DatasetFlow,
+        MeasurementCampaign, TABLE1,
     };
     pub use crate::provider::Provider;
     pub use crate::runner::{
         run_scenario, try_run_scenario, try_run_scenario_with, Motion, ScenarioConfig,
         ScenarioConfigBuilder, ScenarioError, ScenarioOutcome, Scratch, SCENARIO_HIGH_SPEED,
         SCENARIO_STATIONARY,
+    };
+    pub use crate::spec::{
+        expansion_digest, load_spec, CampaignSpec, GridKind, ScenarioBase, ScenarioGrid, SpecError,
+        SweepAxis,
     };
 }

@@ -1,30 +1,35 @@
-//! Trace laboratory: generate a small synthetic dataset, persist it to
-//! disk, reload it, and run the offline analyses — the paper authors'
-//! workflow with their pcap archive.
+//! Trace laboratory: expand a committed campaign spec into a small
+//! synthetic dataset, persist it to disk, reload it, and run the offline
+//! analyses — the paper authors' workflow with their pcap archive.
 //!
 //! ```text
 //! cargo run --release --example trace_lab
 //! ```
 
 use hsm::model::prelude::*;
-use hsm::runtime::engine::run_dataset;
-use hsm::scenario::prelude::*;
+use hsm::prelude::{load_spec, Campaign};
 use hsm::simnet::time::SimDuration;
 use hsm::trace::prelude::*;
+use std::path::Path;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Generate a small dataset (one flow per Table-I campaign) through
-    //    the campaign engine.
-    let cfg = DatasetConfig {
-        scale: 0.03,
-        flow_duration: SimDuration::from_secs(45),
-        ..Default::default()
-    };
+    // 1. Load the declarative spec (a 3 %-scale Table I dataset of 45 s
+    //    flows), expand it, and run the campaign with outcomes retained.
+    let spec_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/specs/trace_lab.toml");
+    let spec = load_spec(&spec_path).map_err(hsm::Error::from)?;
+    let configs = spec.expand().map_err(hsm::Error::from)?;
     println!(
-        "generating dataset ({} planned flows)...",
-        plan_dataset(&cfg).len()
+        "generating dataset ({} planned flows from spec `{}`)...",
+        configs.len(),
+        spec.name
     );
-    let (flows, report) = run_dataset(&cfg).map_err(hsm::Error::from)?;
+    let campaign = Campaign::builder()
+        .configs(configs)
+        .keep_outcomes(true)
+        .build()
+        .map_err(hsm::Error::from)?;
+    let output = campaign.run().map_err(hsm::Error::from)?;
+    let report = output.report;
     println!(
         "engine: {} workers, {:.0} sim events/s",
         report.workers,
@@ -33,7 +38,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Persist to JSON-lines and reload — the archive round trip.
     let path = std::env::temp_dir().join("hsm_trace_lab.jsonl");
-    let traces: Vec<&FlowTrace> = flows.iter().map(|f| &f.outcome.outcome.trace).collect();
+    let traces: Vec<&FlowTrace> = output
+        .runs
+        .iter()
+        .map(|r| {
+            let outcome = r
+                .outcome
+                .as_deref()
+                .expect("keep_outcomes retains outcomes");
+            &outcome.outcome.trace
+        })
+        .collect();
     save_traces(&path, traces.iter().copied())?;
     let size_mb = std::fs::metadata(&path)?.len() as f64 / 1e6;
     let reloaded = load_traces(&path)?;

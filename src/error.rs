@@ -1,14 +1,15 @@
 //! The unified error type of the facade crate.
 //!
 //! Every fallible entry point in the workspace reports through one of
-//! three layer-specific errors — scenario validation
-//! ([`ScenarioError`]), campaign execution ([`EngineError`]) or the flow
-//! cache's disk tier ([`CacheError`]). [`Error`] wraps all three so
-//! application code can use a single `Result<_, hsm::Error>` and `?`
-//! across layers.
+//! four layer-specific errors — scenario validation ([`ScenarioError`]),
+//! declarative spec loading ([`SpecError`]), campaign execution
+//! ([`EngineError`]) or the flow cache's disk tier ([`CacheError`]).
+//! [`Error`] wraps all four so application code can use a single
+//! `Result<_, hsm::Error>` and `?` across layers.
 
 use hsm_runtime::error::{CacheError, EngineError};
 use hsm_scenario::runner::ScenarioError;
+use hsm_scenario::spec::SpecError;
 use std::fmt;
 
 /// Any failure the `hsm` workspace can report.
@@ -16,6 +17,8 @@ use std::fmt;
 pub enum Error {
     /// A scenario configuration failed validation.
     Scenario(ScenarioError),
+    /// A declarative campaign spec failed to load or validate.
+    Spec(SpecError),
     /// The campaign engine failed (invalid campaign, dead worker, …).
     Engine(EngineError),
     /// The flow cache's disk tier failed.
@@ -26,6 +29,7 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Scenario(e) => write!(f, "scenario: {e}"),
+            Error::Spec(e) => write!(f, "spec: {e}"),
             Error::Engine(e) => write!(f, "engine: {e}"),
             Error::Cache(e) => write!(f, "cache: {e}"),
         }
@@ -36,6 +40,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Scenario(e) => Some(e),
+            Error::Spec(e) => Some(e),
             Error::Engine(e) => Some(e),
             Error::Cache(e) => Some(e),
         }
@@ -45,6 +50,12 @@ impl std::error::Error for Error {
 impl From<ScenarioError> for Error {
     fn from(e: ScenarioError) -> Self {
         Error::Scenario(e)
+    }
+}
+
+impl From<SpecError> for Error {
+    fn from(e: SpecError) -> Self {
+        Error::Spec(e)
     }
 }
 
@@ -70,6 +81,10 @@ mod tests {
             Err(ScenarioError::ZeroWindow)?;
             Ok(())
         }
+        fn spec() -> Result<(), Error> {
+            Err(hsm_scenario::spec::CampaignSpec::from_toml("").unwrap_err())?;
+            Ok(())
+        }
         fn engine() -> Result<(), Error> {
             Err(EngineError::ZeroWorkers)?;
             Ok(())
@@ -79,8 +94,11 @@ mod tests {
             Ok(())
         }
         assert!(matches!(scenario(), Err(Error::Scenario(_))));
+        assert!(matches!(spec(), Err(Error::Spec(_))));
         assert!(matches!(engine(), Err(Error::Engine(_))));
         assert!(matches!(cache(), Err(Error::Cache(_))));
+        let display = format!("{}", spec().unwrap_err());
+        assert!(display.starts_with("spec: "), "{display}");
         let display = format!("{}", engine().unwrap_err());
         assert!(display.starts_with("engine: "));
     }

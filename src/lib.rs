@@ -14,10 +14,10 @@
 //! * [`trace`] — packet traces and transport-layer measurement analyses;
 //! * [`model`] — the enhanced throughput model (the paper's contribution)
 //!   and the Padhye baseline;
-//! * [`scenario`] — Beijing–Tianjin railway scenarios, provider profiles
-//!   and synthetic dataset generation;
+//! * [`scenario`] — Beijing–Tianjin railway scenarios, provider profiles,
+//!   declarative TOML campaign specs and synthetic dataset generation;
 //! * [`runtime`] — the sharded campaign engine with its memoizing flow
-//!   cache and structured telemetry;
+//!   cache, multi-process spec sharding and structured telemetry;
 //! * [`chaos`] — the seeded fault-injection and differential-testing
 //!   harness (scenario fuzzer, fault drills, model-vs-simulation oracle).
 //!
@@ -84,10 +84,18 @@ pub mod prelude {
     pub use hsm_runtime::cache::{CacheConfig, FlowCache};
     pub use hsm_runtime::engine::{Campaign, CampaignBuilder, CampaignOutput, CampaignReport};
     pub use hsm_runtime::error::{CacheError, EngineError};
+    pub use hsm_runtime::shard::{
+        merge_shards, read_shard_report, run_shard, shard_file_name, write_shard_report,
+        CampaignResult, ShardReport,
+    };
     pub use hsm_scenario::provider::Provider;
     pub use hsm_scenario::runner::{
         run_scenario, try_run_scenario, try_run_scenario_with, Motion, ScenarioConfig,
         ScenarioConfigBuilder, ScenarioError, ScenarioOutcome, Scratch,
+    };
+    pub use hsm_scenario::spec::{
+        expansion_digest, load_spec, CampaignSpec, GridKind, ScenarioBase, ScenarioGrid, SpecError,
+        SweepAxis,
     };
     pub use hsm_trace::summary::{analyze_flow, FlowSummary};
 }

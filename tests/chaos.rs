@@ -74,6 +74,7 @@ fn every_fault_drill_detects_its_fault() {
         "link-storm",
         "ack-burst-loss",
         "scratch-poison",
+        "spec-roundtrip",
     ];
     assert_eq!(drills.len(), expected.len());
     for name in expected {

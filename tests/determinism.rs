@@ -2,6 +2,9 @@
 //! bit, across the whole stack, including parallel dataset generation;
 //! trace serialization round-trips.
 
+// The deprecated generate_dataset* helpers stay covered until removal.
+#![allow(deprecated)]
+
 use hsm::scenario::prelude::*;
 use hsm::simnet::time::SimDuration;
 use hsm::trace::prelude::*;

@@ -2,6 +2,9 @@
 //! ACKs, spurious-RTO undo, shared-radio MPTCP, trace persistence,
 //! timeline analysis and global model fitting.
 
+// The deprecated generate_dataset* helpers stay covered until removal.
+#![allow(deprecated)]
+
 use hsm::model::prelude::*;
 use hsm::scenario::prelude::*;
 use hsm::simnet::time::SimDuration;

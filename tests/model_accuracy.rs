@@ -2,6 +2,9 @@
 //! models produce sane predictions and the enhanced model's extra
 //! penalties point the right way.
 
+// The deprecated generate_dataset* helpers stay covered until removal.
+#![allow(deprecated)]
+
 use hsm::model::prelude::*;
 use hsm::scenario::prelude::*;
 use hsm::simnet::time::SimDuration;

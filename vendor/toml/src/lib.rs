@@ -1,0 +1,843 @@
+//! Offline stand-in for the `toml` crate.
+//!
+//! Implements the TOML subset this workspace's campaign-spec files use,
+//! layered over the vendored [`serde`] `Value` model: comments, bare and
+//! quoted keys, basic (`"…"`) and literal (`'…'`) strings, integers with
+//! underscores, floats (including `inf`/`nan`), booleans, (multi-line)
+//! arrays, inline tables, `[table]` headers and `[[array-of-tables]]`
+//! headers with dotted paths. Unsupported TOML (multi-line strings,
+//! dotted keys in assignments, datetimes, hex/octal/binary integers)
+//! fails with a named error rather than mis-parsing.
+//!
+//! The writer mirrors the vendored `serde_json` float conventions —
+//! integral floats render as `1.0`-style, everything else via the
+//! shortest round-trip form — so a value that survives a JSON round trip
+//! also survives a TOML one bit-identically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Parse or render failure. `line` is the 1-based input line for parse
+/// errors and `0` for render-side errors (which have no input position).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Human-readable description of what went wrong.
+    pub msg: String,
+    /// 1-based line number of the offending input, or 0 when rendering.
+    pub line: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{} at line {}", self.msg, self.line)
+        } else {
+            write!(f, "{}", self.msg)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Parses a TOML document into a [`Value::Obj`] tree.
+pub fn parse(input: &str) -> Result<Value, Error> {
+    let mut p = Parser::new(input);
+    let mut root = Value::Obj(Vec::new());
+    // Path of the table currently receiving `key = value` lines.
+    let mut current: Vec<String> = Vec::new();
+    loop {
+        p.skip_inline_ws();
+        match p.peek() {
+            None => break,
+            Some('\n') | Some('\r') => {
+                p.bump();
+            }
+            Some('#') => p.skip_comment(),
+            Some('[') => {
+                p.bump();
+                let array = p.peek() == Some('[');
+                if array {
+                    p.bump();
+                }
+                let segs = p.parse_dotted_keys()?;
+                p.skip_inline_ws();
+                p.expect(']')?;
+                if array {
+                    p.expect(']')?;
+                }
+                p.expect_line_end()?;
+                if array {
+                    open_array_table(&mut root, &segs).map_err(|msg| p.err_at(msg))?;
+                } else {
+                    open_table(&mut root, &segs).map_err(|msg| p.err_at(msg))?;
+                }
+                current = segs;
+            }
+            Some(_) => {
+                let key = p.parse_key()?;
+                p.skip_inline_ws();
+                p.expect('=')?;
+                p.skip_inline_ws();
+                let value = p.parse_value()?;
+                p.expect_line_end()?;
+                let table = navigate(&mut root, &current).map_err(|msg| p.err_at(msg))?;
+                let Value::Obj(entries) = table else {
+                    return Err(p.err_at("internal: current table is not a table".into()));
+                };
+                if entries.iter().any(|(k, _)| *k == key) {
+                    return Err(p.err_at(format!("duplicate key `{key}`")));
+                }
+                entries.push((key, value));
+            }
+        }
+    }
+    Ok(root)
+}
+
+/// Parses a TOML document and deserializes it into `T`.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let value = parse(input)?;
+    T::from_value(&value).map_err(|e| Error {
+        msg: e.to_string(),
+        line: 0,
+    })
+}
+
+/// Walks `path` from `root`, creating empty tables for missing segments.
+/// A segment holding an array of tables resolves to its last element.
+fn navigate<'a>(root: &'a mut Value, path: &[String]) -> Result<&'a mut Value, String> {
+    let mut cur = root;
+    for seg in path {
+        let Value::Obj(entries) = cur else {
+            return Err(format!("key `{seg}` is nested under a non-table value"));
+        };
+        let idx = match entries.iter().position(|(k, _)| k == seg) {
+            Some(i) => i,
+            None => {
+                entries.push((seg.clone(), Value::Obj(Vec::new())));
+                entries.len() - 1
+            }
+        };
+        let next = &mut entries[idx].1;
+        cur = match next {
+            Value::Arr(items) => items
+                .last_mut()
+                .ok_or_else(|| format!("key `{seg}` is an empty array, not a table"))?,
+            other => other,
+        };
+    }
+    Ok(cur)
+}
+
+fn open_table(root: &mut Value, segs: &[String]) -> Result<(), String> {
+    let node = navigate(root, segs)?;
+    match node {
+        Value::Obj(_) => Ok(()),
+        _ => Err(format!(
+            "table header `[{}]` redefines a non-table value",
+            segs.join(".")
+        )),
+    }
+}
+
+fn open_array_table(root: &mut Value, segs: &[String]) -> Result<(), String> {
+    let (last, parents) = segs
+        .split_last()
+        .ok_or_else(|| "empty table header".to_owned())?;
+    let parent = navigate(root, parents)?;
+    let Value::Obj(entries) = parent else {
+        return Err(format!("key `{last}` is nested under a non-table value"));
+    };
+    match entries.iter_mut().find(|(k, _)| k == last) {
+        None => {
+            entries.push((last.clone(), Value::Arr(vec![Value::Obj(Vec::new())])));
+            Ok(())
+        }
+        Some((_, Value::Arr(items))) => {
+            items.push(Value::Obj(Vec::new()));
+            Ok(())
+        }
+        Some(_) => Err(format!(
+            "array-of-tables header `[[{}]]` redefines a non-array value",
+            segs.join(".")
+        )),
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Parser {
+        Parser {
+            chars: input.chars().collect(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn err_at(&self, msg: String) -> Error {
+        Error {
+            msg,
+            line: self.line,
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), Error> {
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(self.err_at(format!("expected `{want}`, found `{c}`"))),
+            None => Err(self.err_at(format!("expected `{want}`, found end of input"))),
+        }
+    }
+
+    /// Spaces and tabs only.
+    fn skip_inline_ws(&mut self) {
+        while matches!(self.peek(), Some(' ') | Some('\t')) {
+            self.bump();
+        }
+    }
+
+    /// Whitespace, newlines and comments — legal between array elements.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(' ') | Some('\t') | Some('\n') | Some('\r') => {
+                    self.bump();
+                }
+                Some('#') => self.skip_comment(),
+                _ => return,
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) {
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes trailing whitespace, an optional comment, then a newline
+    /// (or end of input).
+    fn expect_line_end(&mut self) -> Result<(), Error> {
+        self.skip_inline_ws();
+        if self.peek() == Some('#') {
+            self.skip_comment();
+        }
+        match self.peek() {
+            None => Ok(()),
+            Some('\n') => {
+                self.bump();
+                Ok(())
+            }
+            Some('\r') => {
+                self.bump();
+                if self.peek() == Some('\n') {
+                    self.bump();
+                }
+                Ok(())
+            }
+            Some(c) => Err(self.err_at(format!("expected end of line, found `{c}`"))),
+        }
+    }
+
+    fn parse_key(&mut self) -> Result<String, Error> {
+        match self.peek() {
+            Some('"') => self.parse_basic_string(),
+            Some('\'') => self.parse_literal_string(),
+            Some(c) if is_bare_key_char(c) => {
+                let mut key = String::new();
+                while let Some(c) = self.peek() {
+                    if !is_bare_key_char(c) {
+                        break;
+                    }
+                    key.push(c);
+                    self.bump();
+                }
+                Ok(key)
+            }
+            Some(c) => Err(self.err_at(format!("expected a key, found `{c}`"))),
+            None => Err(self.err_at("expected a key, found end of input".into())),
+        }
+    }
+
+    fn parse_dotted_keys(&mut self) -> Result<Vec<String>, Error> {
+        let mut segs = Vec::new();
+        loop {
+            self.skip_inline_ws();
+            segs.push(self.parse_key()?);
+            self.skip_inline_ws();
+            if self.peek() == Some('.') {
+                self.bump();
+            } else {
+                return Ok(segs);
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some('"') => Ok(Value::Str(self.parse_basic_string()?)),
+            Some('\'') => Ok(Value::Str(self.parse_literal_string()?)),
+            Some('[') => self.parse_array(),
+            Some('{') => self.parse_inline_table(),
+            Some(_) => self.parse_scalar_token(),
+            None => Err(self.err_at("expected a value, found end of input".into())),
+        }
+    }
+
+    fn parse_basic_string(&mut self) -> Result<String, Error> {
+        self.expect('"')?;
+        if self.peek() == Some('"') && self.chars.get(self.pos + 1) == Some(&'"') {
+            return Err(self.err_at("multi-line strings are not supported".into()));
+        }
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err_at("unterminated string".into())),
+                Some('\n') => return Err(self.err_at("unterminated string".into())),
+                Some('"') => return Ok(s),
+                Some('\\') => s.push(self.parse_escape()?),
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<char, Error> {
+        match self.bump() {
+            Some('b') => Ok('\u{8}'),
+            Some('t') => Ok('\t'),
+            Some('n') => Ok('\n'),
+            Some('f') => Ok('\u{c}'),
+            Some('r') => Ok('\r'),
+            Some('"') => Ok('"'),
+            Some('\\') => Ok('\\'),
+            Some('u') => self.parse_unicode_escape(4),
+            Some('U') => self.parse_unicode_escape(8),
+            Some(c) => Err(self.err_at(format!("unknown string escape `\\{c}`"))),
+            None => Err(self.err_at("unterminated string escape".into())),
+        }
+    }
+
+    fn parse_unicode_escape(&mut self, digits: u32) -> Result<char, Error> {
+        let mut code: u32 = 0;
+        for _ in 0..digits {
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err_at("unterminated unicode escape".into()))?;
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| self.err_at(format!("invalid hex digit `{c}` in escape")))?;
+            code = code * 16 + d;
+        }
+        char::from_u32(code)
+            .ok_or_else(|| self.err_at(format!("escape U+{code:04X} is not a valid scalar")))
+    }
+
+    fn parse_literal_string(&mut self) -> Result<String, Error> {
+        self.expect('\'')?;
+        if self.peek() == Some('\'') && self.chars.get(self.pos + 1) == Some(&'\'') {
+            return Err(self.err_at("multi-line strings are not supported".into()));
+        }
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err_at("unterminated string".into())),
+                Some('\n') => return Err(self.err_at("unterminated string".into())),
+                Some('\'') => return Ok(s),
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(']') {
+                self.bump();
+                return Ok(Value::Arr(items));
+            }
+            items.push(self.parse_value()?);
+            self.skip_trivia();
+            match self.peek() {
+                Some(',') => {
+                    self.bump();
+                }
+                Some(']') => {
+                    self.bump();
+                    return Ok(Value::Arr(items));
+                }
+                Some(c) => return Err(self.err_at(format!("expected `,` or `]`, found `{c}`"))),
+                None => return Err(self.err_at("unterminated array".into())),
+            }
+        }
+    }
+
+    fn parse_inline_table(&mut self) -> Result<Value, Error> {
+        self.expect('{')?;
+        let mut entries: Vec<(String, Value)> = Vec::new();
+        self.skip_trivia();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Value::Obj(entries));
+        }
+        loop {
+            self.skip_trivia();
+            let key = self.parse_key()?;
+            self.skip_inline_ws();
+            self.expect('=')?;
+            self.skip_inline_ws();
+            let value = self.parse_value()?;
+            if entries.iter().any(|(k, _)| *k == key) {
+                return Err(self.err_at(format!("duplicate key `{key}`")));
+            }
+            entries.push((key, value));
+            self.skip_trivia();
+            match self.bump() {
+                Some(',') => {}
+                Some('}') => return Ok(Value::Obj(entries)),
+                Some(c) => return Err(self.err_at(format!("expected `,` or `}}`, found `{c}`"))),
+                None => return Err(self.err_at("unterminated inline table".into())),
+            }
+        }
+    }
+
+    /// Booleans, integers and floats — everything that is a bare token.
+    fn parse_scalar_token(&mut self) -> Result<Value, Error> {
+        let mut token = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_whitespace() || matches!(c, ',' | ']' | '}' | '#') {
+                break;
+            }
+            token.push(c);
+            self.bump();
+        }
+        match token.as_str() {
+            "" => return Err(self.err_at("expected a value".into())),
+            "true" => return Ok(Value::Bool(true)),
+            "false" => return Ok(Value::Bool(false)),
+            "inf" | "+inf" => return Ok(Value::Float(f64::INFINITY)),
+            "-inf" => return Ok(Value::Float(f64::NEG_INFINITY)),
+            "nan" | "+nan" | "-nan" => return Ok(Value::Float(f64::NAN)),
+            _ => {}
+        }
+        if token.starts_with("0x") || token.starts_with("0o") || token.starts_with("0b") {
+            return Err(self.err_at(format!("non-decimal integer `{token}` is not supported")));
+        }
+        let digits: String = token.chars().filter(|c| *c != '_').collect();
+        if token.starts_with('_') || token.ends_with('_') || token.contains("__") {
+            return Err(self.err_at(format!("misplaced underscore in number `{token}`")));
+        }
+        if digits.contains(['.', 'e', 'E']) {
+            return digits
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err_at(format!("invalid TOML value `{token}`")));
+        }
+        // Integers that overflow their machine type fall back to f64, the
+        // same convention the vendored serde_json parser uses.
+        if digits.starts_with('-') {
+            return match digits.parse::<i64>() {
+                Ok(i) => Ok(Value::Int(i)),
+                Err(_) => digits
+                    .parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| self.err_at(format!("invalid TOML value `{token}`"))),
+            };
+        }
+        let unsigned = digits.strip_prefix('+').unwrap_or(&digits);
+        match unsigned.parse::<u64>() {
+            Ok(u) => Ok(Value::UInt(u)),
+            Err(_) => unsigned.parse::<f64>().map(Value::Float).map_err(|_| {
+                self.err_at(format!(
+                    "invalid TOML value `{token}` (datetimes are not supported)"
+                ))
+            }),
+        }
+    }
+}
+
+fn is_bare_key_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+/// Renders a [`Value::Obj`] tree as a TOML document.
+///
+/// Scalars and scalar arrays become `key = value` lines, nested objects
+/// become `[path]` tables and arrays of objects become `[[path]]`
+/// array-of-tables entries. Objects inside mixed arrays render as inline
+/// tables. `Null` has no TOML representation and fails.
+pub fn render(value: &Value) -> Result<String, Error> {
+    let Value::Obj(entries) = value else {
+        return Err(Error {
+            msg: format!("top-level TOML value must be a table, got {}", value.kind()),
+            line: 0,
+        });
+    };
+    let mut out = String::new();
+    let mut path = Vec::new();
+    render_table(&mut out, &mut path, entries)?;
+    Ok(out)
+}
+
+/// Serializes `value` and renders it as a TOML document.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    render(&value.to_value())
+}
+
+fn is_table(v: &Value) -> bool {
+    matches!(v, Value::Obj(_))
+}
+
+/// Non-empty arrays whose every element is a table render as `[[path]]`.
+fn is_table_array(v: &Value) -> bool {
+    matches!(v, Value::Arr(items) if !items.is_empty() && items.iter().all(is_table))
+}
+
+fn render_table(
+    out: &mut String,
+    path: &mut Vec<String>,
+    entries: &[(String, Value)],
+) -> Result<(), Error> {
+    for (key, value) in entries {
+        if !is_table(value) && !is_table_array(value) {
+            out.push_str(&render_key(key));
+            out.push_str(" = ");
+            render_inline(out, value)?;
+            out.push('\n');
+        }
+    }
+    for (key, value) in entries {
+        match value {
+            Value::Obj(sub) => {
+                path.push(key.clone());
+                out.push('\n');
+                out.push_str(&format!("[{}]\n", render_path(path)));
+                render_table(out, path, sub)?;
+                path.pop();
+            }
+            Value::Arr(items) if is_table_array(value) => {
+                path.push(key.clone());
+                for item in items {
+                    let Value::Obj(sub) = item else {
+                        unreachable!("is_table_array guarantees tables");
+                    };
+                    out.push('\n');
+                    out.push_str(&format!("[[{}]]\n", render_path(path)));
+                    render_table(out, path, sub)?;
+                }
+                path.pop();
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn render_path(path: &[String]) -> String {
+    path.iter()
+        .map(|seg| render_key(seg))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+fn render_key(key: &str) -> String {
+    if !key.is_empty() && key.chars().all(is_bare_key_char) {
+        key.to_owned()
+    } else {
+        let mut quoted = String::new();
+        render_string(&mut quoted, key);
+        quoted
+    }
+}
+
+fn render_inline(out: &mut String, value: &Value) -> Result<(), Error> {
+    match value {
+        Value::Null => Err(Error {
+            msg: "TOML has no representation for null".into(),
+            line: 0,
+        }),
+        Value::Bool(b) => {
+            out.push_str(if *b { "true" } else { "false" });
+            Ok(())
+        }
+        Value::UInt(u) => {
+            out.push_str(&u.to_string());
+            Ok(())
+        }
+        Value::Int(i) => {
+            out.push_str(&i.to_string());
+            Ok(())
+        }
+        Value::Float(x) => {
+            render_float(out, *x);
+            Ok(())
+        }
+        Value::Str(s) => {
+            render_string(out, s);
+            Ok(())
+        }
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_inline(out, item)?;
+            }
+            out.push(']');
+            Ok(())
+        }
+        Value::Obj(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push_str("{ ");
+            for (i, (key, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&render_key(key));
+                out.push_str(" = ");
+                render_inline(out, v)?;
+            }
+            out.push_str(" }");
+            Ok(())
+        }
+    }
+}
+
+/// Float rendering matching the vendored `serde_json` writer: integral
+/// floats keep one decimal, everything else uses the shortest
+/// round-trippable form. Non-finite values use TOML's spellings.
+fn render_float(out: &mut String, x: f64) {
+    if x.is_nan() {
+        out.push_str("nan");
+    } else if x.is_infinite() {
+        out.push_str(if x > 0.0 { "inf" } else { "-inf" });
+    } else if x == x.trunc() && x.abs() < 1e16 {
+        out.push_str(&format!("{x:.1}"));
+    } else {
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04X}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(entries: Vec<(&str, Value)>) -> Value {
+        Value::Obj(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn parses_scalars_tables_and_arrays() {
+        let doc = r#"
+# campaign
+name = "demo"
+count = 1_000
+offset = -3
+ratio = 0.4
+flag = true
+
+[defaults]
+w_m = 48
+
+[[scenario]]
+name = 'first'
+seeds = [1, 2, 3]
+
+[[scenario]]
+name = "second"
+cc = ["Reno", { Veno = { beta = 2.5 } }]
+"#;
+        let v = parse(doc).expect("parses");
+        let Value::Obj(top) = &v else {
+            panic!("not a table")
+        };
+        assert_eq!(top[0], ("name".to_owned(), Value::Str("demo".into())));
+        assert_eq!(top[1], ("count".to_owned(), Value::UInt(1000)));
+        assert_eq!(top[2], ("offset".to_owned(), Value::Int(-3)));
+        assert_eq!(top[3], ("ratio".to_owned(), Value::Float(0.4)));
+        assert_eq!(top[4], ("flag".to_owned(), Value::Bool(true)));
+        let defaults = serde::get_field(v.as_obj().unwrap(), "defaults").unwrap();
+        assert_eq!(
+            serde::get_field(defaults.as_obj().unwrap(), "w_m"),
+            Some(&Value::UInt(48))
+        );
+        let scenarios = serde::get_field(v.as_obj().unwrap(), "scenario").unwrap();
+        let Value::Arr(items) = scenarios else {
+            panic!("not an array")
+        };
+        assert_eq!(items.len(), 2);
+        let second = items[1].as_obj().unwrap();
+        let Some(Value::Arr(ccs)) = serde::get_field(second, "cc") else {
+            panic!("cc missing")
+        };
+        assert_eq!(ccs[0], Value::Str("Reno".into()));
+        let veno = ccs[1].as_obj().unwrap();
+        let params = serde::get_field(veno, "Veno").unwrap().as_obj().unwrap();
+        assert_eq!(serde::get_field(params, "beta"), Some(&Value::Float(2.5)));
+    }
+
+    #[test]
+    fn multiline_arrays_and_nested_headers() {
+        let doc = "
+[a.b]
+xs = [
+    1, # one
+    2,
+    3,
+]
+[a.c]
+y = 'z'
+";
+        let v = parse(doc).expect("parses");
+        let a = serde::get_field(v.as_obj().unwrap(), "a").unwrap();
+        let b = serde::get_field(a.as_obj().unwrap(), "b").unwrap();
+        assert_eq!(
+            serde::get_field(b.as_obj().unwrap(), "xs"),
+            Some(&Value::Arr(vec![
+                Value::UInt(1),
+                Value::UInt(2),
+                Value::UInt(3)
+            ]))
+        );
+        let c = serde::get_field(a.as_obj().unwrap(), "c").unwrap();
+        assert_eq!(
+            serde::get_field(c.as_obj().unwrap(), "y"),
+            Some(&Value::Str("z".into()))
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("ok = 1\nbad = @").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse("a = 1\na = 2").unwrap_err();
+        assert!(err.to_string().contains("duplicate key `a`"), "{err}");
+        let err = parse("date = 1979-05-27").unwrap_err();
+        assert!(err.to_string().contains("datetimes"), "{err}");
+        assert!(parse("s = \"\"\"x\"\"\"").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = obj(vec![("s", Value::Str("a\"b\\c\nd\te\u{1}".into()))]);
+        let doc = render(&v).expect("renders");
+        assert_eq!(parse(&doc).expect("parses"), v);
+    }
+
+    #[test]
+    fn renders_tables_and_arrays_of_tables() {
+        let v = obj(vec![
+            ("name", Value::Str("demo".into())),
+            ("defaults", obj(vec![("w_m", Value::UInt(48))])),
+            (
+                "scenario",
+                Value::Arr(vec![
+                    obj(vec![
+                        ("name", Value::Str("one".into())),
+                        (
+                            "cc",
+                            Value::Arr(vec![
+                                Value::Str("Reno".into()),
+                                obj(vec![("Veno", obj(vec![("beta", Value::Float(2.5))]))]),
+                            ]),
+                        ),
+                    ]),
+                    obj(vec![("name", Value::Str("two".into()))]),
+                ]),
+            ),
+        ]);
+        let doc = render(&v).expect("renders");
+        assert_eq!(parse(&doc).expect("round-trips"), v);
+        assert!(doc.contains("[defaults]"), "{doc}");
+        assert!(doc.contains("[[scenario]]"), "{doc}");
+        assert!(doc.contains("{ Veno = { beta = 2.5 } }"), "{doc}");
+    }
+
+    #[test]
+    fn float_conventions_match_serde_json() {
+        let v = obj(vec![
+            ("whole", Value::Float(120.0)),
+            ("frac", Value::Float(0.1)),
+            ("big", Value::Float(1e300)),
+        ]);
+        let doc = render(&v).expect("renders");
+        assert!(doc.contains("whole = 120.0"), "{doc}");
+        assert!(doc.contains("frac = 0.1"), "{doc}");
+        assert_eq!(parse(&doc).expect("parses"), v);
+    }
+
+    #[test]
+    fn null_has_no_toml_form() {
+        let v = obj(vec![("x", Value::Null)]);
+        assert!(render(&v).is_err());
+        assert!(render(&Value::UInt(1)).is_err());
+    }
+
+    #[test]
+    fn quoted_keys_round_trip() {
+        let v = obj(vec![("odd key", obj(vec![("x", Value::UInt(1))]))]);
+        let doc = render(&v).expect("renders");
+        assert!(doc.contains("[\"odd key\"]"), "{doc}");
+        assert_eq!(parse(&doc).expect("parses"), v);
+    }
+}

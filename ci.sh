@@ -1,36 +1,74 @@
 #!/usr/bin/env bash
-# Tier-1 gate (see ROADMAP.md): formatting, release build, full test
-# suite, strict lints, docs, and the simnet throughput gate.
+# Tier-1 gate (see ROADMAP.md), split into the two stages the CI
+# workflow runs (and times) separately:
+#
+#   ./ci.sh build-test   formatting, release build, full test suite,
+#                        chaos/cc-study/spec smokes, strict lints, docs
+#   ./ci.sh bench        the simnet + campaign bench gates
+#   ./ci.sh              both stages in order (the full tier-1 gate)
+#
+# Each stage prints its own wall-clock so per-stage timing lands in the
+# CI log even when both run in one invocation.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-cargo fmt --all -- --check
-# --workspace so the release `repro` binary the later steps run is built
-# (the bare root build only covers the facade crate).
-cargo build --release --workspace
-cargo test -q --workspace
-# Pinned-seed chaos smoke: the fault-injection harness and differential
-# oracle must hold on every push (nightly CI runs the big randomized
-# sweep; see .github/workflows/ci.yml).
-./target/release/repro chaos --seed 42 --cases 200
-# Congestion-control study smoke: every zoo member must campaign cleanly
-# and produce a non-empty model-deviation row in CC_STUDY.json.
-./target/release/repro cc-study --smoke
-for cc in Reno Veno Cubic Bbr Compound; do
-    grep -q "\"label\":\"$cc\"" CC_STUDY.json \
-        || { echo "cc-study: no deviation row for $cc" >&2; exit 1; }
-done
-# Spec-driven campaign smoke: the committed smoke spec, run as one
-# process and as two OS-process shards, must merge to byte-identical
-# reports (the shard/merge path is a results-identity, not a results
-# knob).
-rm -rf target/spec-smoke
-./target/release/repro run --spec examples/specs/smoke.toml \
-    --out target/spec-smoke/p1 --shards 1
-./target/release/repro run --spec examples/specs/smoke.toml \
-    --out target/spec-smoke/p2 --shards 2
-cmp target/spec-smoke/p1/merged.json target/spec-smoke/p2/merged.json \
-    || { echo "spec smoke: 2-shard merge not byte-identical to 1-process" >&2; exit 1; }
-cargo clippy --workspace --all-targets -- -D warnings
-cargo doc --no-deps --workspace
-./tools/bench_gate.sh
+stage_build_test() {
+    cargo fmt --all -- --check
+    # --workspace so the release `repro` binary the later steps run is built
+    # (the bare root build only covers the facade crate).
+    cargo build --release --workspace
+    cargo test -q --workspace
+    # Pinned-seed chaos smoke: the fault-injection harness and differential
+    # oracle must hold on every push (nightly CI runs the big randomized
+    # sweep; see .github/workflows/ci.yml).
+    ./target/release/repro chaos --seed 42 --cases 200
+    # Congestion-control study smoke: every zoo member must campaign cleanly
+    # and produce a non-empty model-deviation row in CC_STUDY.json.
+    ./target/release/repro cc-study --smoke
+    for cc in Reno Veno Cubic Bbr Compound; do
+        grep -q "\"label\":\"$cc\"" CC_STUDY.json \
+            || { echo "cc-study: no deviation row for $cc" >&2; exit 1; }
+    done
+    # Spec-driven campaign smoke: the committed smoke spec, run as one
+    # process and as two OS-process shards, must merge to byte-identical
+    # reports (the shard/merge path is a results-identity, not a results
+    # knob).
+    rm -rf target/spec-smoke
+    ./target/release/repro run --spec examples/specs/smoke.toml \
+        --out target/spec-smoke/p1 --shards 1
+    ./target/release/repro run --spec examples/specs/smoke.toml \
+        --out target/spec-smoke/p2 --shards 2
+    cmp target/spec-smoke/p1/merged.json target/spec-smoke/p2/merged.json \
+        || { echo "spec smoke: 2-shard merge not byte-identical to 1-process" >&2; exit 1; }
+    cargo clippy --workspace --all-targets -- -D warnings
+    cargo doc --no-deps --workspace
+}
+
+stage_bench() {
+    ./tools/bench_gate.sh
+}
+
+run_timed() {
+    local name="$1"
+    shift
+    local t0=$SECONDS
+    "$@"
+    echo "ci: stage '$name' took $((SECONDS - t0))s"
+}
+
+case "${1:-all}" in
+    build-test)
+        run_timed build-test stage_build_test
+        ;;
+    bench)
+        run_timed bench stage_bench
+        ;;
+    all)
+        run_timed build-test stage_build_test
+        run_timed bench stage_bench
+        ;;
+    *)
+        echo "usage: ./ci.sh [build-test|bench]" >&2
+        exit 2
+        ;;
+esac

@@ -92,8 +92,8 @@ fn bench_event_queue(c: &mut Criterion) {
 fn bench_link_offer(c: &mut Criterion) {
     use hsm_simnet::link::Link;
     let mut c = tune(c);
-    // offer → complete_tx churn: the by-value packet hand-off on a
-    // saturated link (one in flight, one queued).
+    // offer → complete_tx churn: the dense-handle hand-off on a saturated
+    // link (one in flight, one queued).
     c.bench_function("link/offer_complete_64k", |b| {
         b.iter(|| {
             let mut link = Link::from_spec(
@@ -102,8 +102,11 @@ fn bench_link_offer(c: &mut Criterion) {
                     .queue_capacity(32),
             );
             let mut delivered = 0u64;
-            for seq in 0..64 * 1024u64 {
-                link.offer(Packet::data(FlowId(0), SeqNo(seq), false));
+            for id in 0..64 * 1024u64 {
+                link.offer(QueuedPacket {
+                    id: PacketId(id),
+                    size_bytes: 1500,
+                });
                 if let Some((_done, _next)) = link.try_complete_tx() {
                     delivered += 1;
                 }

@@ -66,6 +66,13 @@ struct CampaignBench {
     cold_eps_max: f64,
     speedup_w4: f64,
     speedup_max: f64,
+    /// Wall-clock of a fully disk-served warm replay (fresh memory tier,
+    /// every flow decoded from the binary disk format), seconds.
+    warm_disk_wall_s: f64,
+    /// Flows per second of the same warm-disk replay.
+    warm_disk_flows_per_s: f64,
+    /// Full telemetry of the warm-disk replay.
+    warm_disk: CampaignReport,
     matrix: Vec<MatrixEntry>,
 }
 
@@ -125,6 +132,37 @@ fn write_campaign_bench() -> Result<(), String> {
         });
     }
 
+    // Warm-disk replay: populate a disk-only tier once, then time a
+    // replay that decodes every flow from the binary on-disk format with
+    // a cold memory tier — the number the CI gate holds to its baseline.
+    let disk_dir = std::env::temp_dir().join(format!("hsm_bench_disk_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&disk_dir);
+    let disk_cfg = CacheConfig {
+        memory_entries: 0,
+        disk_dir: Some(disk_dir.clone()),
+        shards: 0,
+    };
+    let campaign = Campaign::builder()
+        .dataset(&dataset)
+        .workers(host_cores)
+        .cache(CacheConfig::memory_only())
+        .build()
+        .map_err(|e| e.to_string())?;
+    campaign
+        .run_with_cache(&FlowCache::new(disk_cfg.clone()))
+        .map_err(|e| e.to_string())?;
+    let warm_disk = campaign
+        .run_with_cache(&FlowCache::new(disk_cfg))
+        .map_err(|e| e.to_string())?
+        .report;
+    let _ = std::fs::remove_dir_all(&disk_dir);
+    if warm_disk.disk_hits != warm_disk.flows as u64 {
+        return Err(format!(
+            "warm-disk replay was not fully disk-served: {} hits of {} flows",
+            warm_disk.disk_hits, warm_disk.flows
+        ));
+    }
+
     let eps = |w: usize| {
         matrix
             .iter()
@@ -143,6 +181,13 @@ fn write_campaign_bench() -> Result<(), String> {
         cold_eps_max: eps(host_cores),
         speedup_w4: speedup(eps(4), eps(1)),
         speedup_max: speedup(eps(host_cores), eps(1)),
+        warm_disk_wall_s: warm_disk.wall_clock_s,
+        warm_disk_flows_per_s: if warm_disk.wall_clock_s > 0.0 {
+            warm_disk.flows as f64 / warm_disk.wall_clock_s
+        } else {
+            0.0
+        },
+        warm_disk,
         matrix,
     };
     let json = serde_json::to_string(&bench).map_err(|e| e.to_string())?;
@@ -349,6 +394,38 @@ fn spawn_shards(
     }
 }
 
+/// `repro cache migrate --cache-dir DIR`: rewrite every legacy JSON
+/// disk-cache entry as a binary entry, in place and atomically. Safe to
+/// run while campaigns share the directory; corrupt entries are counted
+/// and left for the cache to re-simulate past.
+fn cache_cmd(args: Vec<String>) -> ExitCode {
+    let usage = "usage: repro cache migrate --cache-dir DIR";
+    match args.first().map(String::as_str) {
+        Some("migrate") => {}
+        _ => return fail(usage),
+    }
+    let opts = match cli::parse("cache migrate", args[1..].to_vec(), &["--cache-dir"]) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let Some(dir) = &opts.cache_dir else {
+        return fail(usage);
+    };
+    match hsm_runtime::cache::migrate_disk_tier(dir) {
+        Ok(stats) => {
+            println!(
+                "cache migrate: {} -> {} migrated, {} already binary, {} corrupt (skipped)",
+                dir.display(),
+                stats.migrated,
+                stats.already_binary,
+                stats.corrupt
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format!("cache migrate: {e}")),
+    }
+}
+
 /// `repro bench [--smoke | --full] [--spec FILE]`: regenerate the
 /// `BENCH_*.json` telemetry files (plus `BENCH_spec.json` with a spec).
 fn bench_cmd(args: Vec<String>) -> ExitCode {
@@ -468,6 +545,9 @@ fn chaos_cmd(args: Vec<String>) -> ExitCode {
                 report.aggregate.mean_d_padhye
             );
         }
+        if !report.aggregate.batch_parity {
+            eprintln!("batched model re-evaluation diverged from the scalar per-case predictions");
+        }
         if let Err(e) = std::fs::write("chaos-failure.json", &json) {
             eprintln!("failed to write chaos-failure.json: {e}");
         }
@@ -538,6 +618,7 @@ fn usage() {
     println!("       repro run --spec FILE [--shards N | --shard K/N] [--workers W]");
     println!("                 [--out DIR] [--cache-dir DIR]");
     println!("       repro bench [--smoke | --full] [--spec FILE] [--workers W]");
+    println!("       repro cache migrate --cache-dir DIR");
     println!("       repro chaos [--seed N] [--cases M] [--workers W] [--spec FILE]");
     println!("       repro cc-study [--smoke | --full] [--workers W] [--spec FILE]\n");
     println!("experiments:");
@@ -617,6 +698,7 @@ fn main() -> ExitCode {
     let rest = |a: &[String]| a[1..].to_vec();
     match args.first().map(String::as_str) {
         Some("run") => run_cmd(rest(&args)),
+        Some("cache") => cache_cmd(rest(&args)),
         Some("bench") => bench_cmd(rest(&args)),
         Some("chaos") => chaos_cmd(rest(&args)),
         Some("cc-study") => cc_study_cmd(rest(&args)),

@@ -8,6 +8,11 @@
 //! RTT, losses) from the simulated traces, and compares measured
 //! throughput against both predictions. The per-controller rows are
 //! written as `CC_STUDY.json` and summarized in DESIGN.md §12.
+//!
+//! Model evaluation runs through the batched path: each controller's
+//! summaries are fitted into one parameter slice and both models sweep
+//! it in a single pass each (`EnhancedModel::eval_batch`,
+//! `padhye::full_batch` via [`evaluate_labeled`]).
 
 use crate::context::Scale;
 use hsm_core::estimate::EstimateConfig;

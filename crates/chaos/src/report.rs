@@ -50,6 +50,11 @@ pub struct AggregateOracle {
     /// assertions held (enhanced mean within the envelope and strictly
     /// below Padhye's mean).
     pub within_envelope: bool,
+    /// `true` when re-evaluating the whole region sample through the
+    /// batched model APIs (`EnhancedModel::eval_batch`,
+    /// `padhye::full_batch`) reproduced every per-case scalar prediction
+    /// bit-for-bit. A skipped judgement reports `true` vacuously.
+    pub batch_parity: bool,
     /// `true` when the sample was too small to judge (skipped, not failed).
     pub skipped: bool,
 }
@@ -75,12 +80,14 @@ pub struct ChaosReport {
 
 impl ChaosReport {
     /// `true` when the run found nothing: no case violations, every drill
-    /// passed, and the aggregate envelope held (or was skipped for lack
-    /// of sample).
+    /// passed, the aggregate envelope held (or was skipped for lack of
+    /// sample), and the batched model re-evaluation agreed with the
+    /// scalar per-case path bit-for-bit.
     pub fn ok(&self) -> bool {
         self.violations.is_empty()
             && self.drills.iter().all(|d| d.passed)
             && (self.aggregate.skipped || self.aggregate.within_envelope)
+            && self.aggregate.batch_parity
     }
 }
 
@@ -112,6 +119,7 @@ mod tests {
                 mean_d_padhye: 0.3,
                 envelope: 0.4,
                 within_envelope: true,
+                batch_parity: true,
                 skipped: false,
             },
             wall_s: 1.5,
@@ -132,6 +140,7 @@ mod tests {
             drills: vec![],
             aggregate: AggregateOracle {
                 skipped: true,
+                batch_parity: true,
                 ..Default::default()
             },
             wall_s: 0.0,
@@ -147,5 +156,8 @@ mod tests {
         report.aggregate.skipped = false;
         report.aggregate.within_envelope = false;
         assert!(!report.ok());
+        report.aggregate.within_envelope = true;
+        report.aggregate.batch_parity = false;
+        assert!(!report.ok(), "batch/scalar divergence must fail the run");
     }
 }

@@ -84,14 +84,44 @@ pub fn evaluate_flow(summary: &FlowSummary, cfg: &EstimateConfig) -> Option<Flow
 }
 
 /// Evaluates a whole dataset and aggregates the accuracy report.
+///
+/// Runs the batched model path: parameters are fitted for every
+/// measurable flow up front, then both models evaluate the whole
+/// parameter slice in one pass each ([`EnhancedModel::eval_batch`] /
+/// [`padhye::full_batch`]). Bit-identical to mapping [`evaluate_flow`],
+/// which remains the per-flow entry point.
 pub fn evaluate_dataset(
     summaries: &[FlowSummary],
     cfg: &EstimateConfig,
 ) -> (Vec<FlowEval>, AccuracyReport) {
-    let evals: Vec<FlowEval> = summaries
+    let usable: Vec<&FlowSummary> = summaries
         .iter()
-        .filter_map(|s| evaluate_flow(s, cfg))
+        .filter(|s| s.throughput_sps > 0.0)
         .collect();
+    let params: Vec<ModelParams> = usable.iter().map(|s| estimate_params(s, cfg)).collect();
+    let enhanced = EnhancedModel::as_published().eval_batch(&params);
+    let padhye_sps = padhye::full_batch(&params);
+    let mut evals = Vec::with_capacity(usable.len());
+    for (i, s) in usable.iter().enumerate() {
+        // Out-of-domain fits are the only case the scalar path drops
+        // (`evaluate_flow`'s `.ok()?`); the batch marks them NaN, but the
+        // skip keys off validation so a model legitimately producing NaN
+        // for in-domain parameters would still be reported, exactly as
+        // the per-flow path does.
+        if params[i].validate().is_err() {
+            continue;
+        }
+        evals.push(FlowEval {
+            flow: s.flow,
+            provider: s.provider.clone(),
+            measured_sps: s.throughput_sps,
+            enhanced_sps: enhanced[i],
+            padhye_sps: padhye_sps[i],
+            d_enhanced: deviation(enhanced[i], s.throughput_sps),
+            d_padhye: deviation(padhye_sps[i], s.throughput_sps),
+            params: params[i],
+        });
+    }
     let finite: Vec<&FlowEval> = evals
         .iter()
         .filter(|e| e.d_enhanced.is_finite() && e.d_padhye.is_finite())
@@ -238,6 +268,30 @@ mod tests {
         assert!(report.mean_d_enhanced < report.mean_d_padhye);
         assert!(report.improvement_pp() > 0.0);
         assert!(evals[0].d_enhanced < 1e-9);
+    }
+
+    #[test]
+    fn dataset_batch_path_matches_per_flow_path_bit_for_bit() {
+        let cfg = EstimateConfig::default();
+        let flows: Vec<FlowSummary> = (0..8)
+            .map(|i| summary(i, 40.0 + 35.0 * f64::from(i)))
+            .chain(std::iter::once(summary(99, 0.0))) // unmeasurable: dropped
+            .collect();
+        let (batch, batch_report) = evaluate_dataset(&flows, &cfg);
+        let scalar: Vec<FlowEval> = flows
+            .iter()
+            .filter_map(|s| evaluate_flow(s, &cfg))
+            .collect();
+        assert_eq!(batch.len(), scalar.len());
+        for (b, s) in batch.iter().zip(&scalar) {
+            assert_eq!(b.flow, s.flow);
+            assert_eq!(b.enhanced_sps.to_bits(), s.enhanced_sps.to_bits());
+            assert_eq!(b.padhye_sps.to_bits(), s.padhye_sps.to_bits());
+            assert_eq!(b.d_enhanced.to_bits(), s.d_enhanced.to_bits());
+            assert_eq!(b.d_padhye.to_bits(), s.d_padhye.to_bits());
+            assert_eq!(b.params, s.params);
+        }
+        assert_eq!(batch_report.flows, 8);
     }
 
     #[test]

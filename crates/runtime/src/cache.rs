@@ -7,19 +7,25 @@
 //! * an in-memory LRU tier bounded by entry count and split into
 //!   independently locked shards so campaign workers do not serialize on
 //!   a single mutex, and
-//! * an optional on-disk JSON tier (one file per flow) that survives the
+//! * an optional on-disk tier (one file per flow) that survives the
 //!   process and powers warm `repro` reruns. Entries are published
 //!   atomically (staged in a temp file, then renamed into place), so one
 //!   directory can be shared by any number of concurrent writer threads
 //!   *and OS processes* — sharded `repro run --shards N` campaigns point
 //!   every shard at the same tier — while readers stay lock-free.
+//!   Opening a disk tier sweeps staging files orphaned by killed writers.
 //!
-//! Disk entries carry a hash of their own payload; a corrupted entry
-//! fails the hash check, is counted, and is transparently re-simulated —
-//! the cache can never silently alter campaign results. Because the
-//! summary's JSON encoding round-trips floats exactly (shortest
-//! round-trip formatting), a cache hit is *bit-identical* to a fresh
-//! simulation.
+//! New disk entries use the CRC-protected binary format of
+//! [`crate::codec`], which decodes in one allocation-light forward pass;
+//! legacy JSON entries written by earlier releases are still read
+//! transparently (and counted, see [`CacheStats::legacy_json_hits`]), so
+//! pre-existing tiers keep hitting — [`migrate_disk_tier`] (surfaced as
+//! `repro cache migrate`) rewrites such a tier in place. A corrupted
+//! entry of either format fails its integrity check, is counted, and is
+//! transparently re-simulated — the cache can never silently alter
+//! campaign results. Both encodings round-trip floats exactly (raw bits
+//! in binary, shortest round-trip formatting in JSON), so a cache hit is
+//! *bit-identical* to a fresh simulation.
 //!
 //! Cache keys are computed by streaming the configuration's canonical
 //! JSON bytes straight into the FNV-1a state — no intermediate string is
@@ -27,6 +33,7 @@
 //! allocate-then-hash values, so disk tiers written by earlier releases
 //! keep hitting.
 
+use crate::codec;
 use crate::error::CacheError;
 use hsm_scenario::provider::Provider;
 use hsm_scenario::runner::{Motion, ScenarioConfig};
@@ -269,10 +276,15 @@ pub struct CacheStats {
     pub disk_hits: u64,
     /// Lookups that found nothing valid.
     pub misses: u64,
-    /// Disk entries rejected by the payload-hash integrity check.
+    /// Disk entries rejected by the integrity check (CRC for binary
+    /// entries, payload hash for legacy JSON).
     pub corrupt_entries: u64,
     /// Entries evicted from the memory tier by the LRU policy.
     pub evictions: u64,
+    /// Disk hits served from legacy JSON entries (written before the
+    /// binary format). A persistently non-zero count on a long-lived
+    /// tier suggests running `repro cache migrate`.
+    pub legacy_json_hits: u64,
 }
 
 impl CacheStats {
@@ -287,10 +299,12 @@ impl CacheStats {
         self.misses += other.misses;
         self.corrupt_entries += other.corrupt_entries;
         self.evictions += other.evictions;
+        self.legacy_json_hits += other.legacy_json_hits;
     }
 }
 
-/// One record of the disk tier.
+/// One record of the legacy JSON disk tier (still read, no longer
+/// written outside tests — see [`crate::codec`] for the current format).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct DiskEntry {
     /// The cache key, echoed for self-description.
@@ -357,9 +371,23 @@ impl std::fmt::Debug for FlowCache {
     }
 }
 
+/// Staging files older than this are considered orphaned by a killed
+/// writer and swept when the disk tier is opened. Generously above any
+/// plausible write-and-rename window, so a concurrent live writer's
+/// staging file is never touched.
+const STALE_TEMP_AGE: std::time::Duration = std::time::Duration::from_secs(60);
+
 impl FlowCache {
     /// Creates an empty cache with the given configuration.
+    ///
+    /// Opening a disk tier sweeps stale `.*.tmp` staging files left
+    /// behind by writers that were killed between staging and renaming
+    /// (only files older than [`STALE_TEMP_AGE`], so live concurrent
+    /// writers are unaffected).
     pub fn new(config: CacheConfig) -> FlowCache {
+        if let Some(dir) = &config.disk_dir {
+            sweep_stale_temp_files(dir);
+        }
         let shard_count = config.shard_count();
         let per_shard = if config.memory_entries == 0 {
             0
@@ -432,8 +460,11 @@ impl FlowCache {
             return Some(summary);
         }
         match self.disk_lookup(key) {
-            DiskLookup::Hit(summary) => {
+            DiskLookup::Hit { summary, legacy } => {
                 shard.stats.disk_hits += 1;
+                if legacy {
+                    shard.stats.legacy_json_hits += 1;
+                }
                 Self::insert_memory(shard, self.per_shard, key, summary.clone());
                 Some(summary)
             }
@@ -511,13 +542,10 @@ impl FlowCache {
         let Some(path) = self.disk_path(key) else {
             return DiskLookup::Absent;
         };
-        let Ok(text) = std::fs::read_to_string(&path) else {
+        let Ok(bytes) = std::fs::read(&path) else {
             return DiskLookup::Absent;
         };
-        match verify_disk_entry(&text, key) {
-            Some(summary) => DiskLookup::Hit(summary),
-            None => DiskLookup::Corrupt,
-        }
+        verify_entry_bytes(&bytes, key)
     }
 
     fn disk_insert(
@@ -541,17 +569,68 @@ impl FlowCache {
 }
 
 enum DiskLookup {
-    Hit(FlowSummary),
+    Hit { summary: FlowSummary, legacy: bool },
     Corrupt,
     Absent,
+}
+
+/// Routes entry bytes to the right decoder by sniffing the binary magic
+/// (JSON entries start with `{`) and integrity-checks the result.
+fn verify_entry_bytes(bytes: &[u8], key: CacheKey) -> DiskLookup {
+    if codec::is_binary_entry(bytes) {
+        return match codec::decode_entry(bytes) {
+            Some((echoed, summary)) if echoed == key.0 => DiskLookup::Hit {
+                summary,
+                legacy: false,
+            },
+            _ => DiskLookup::Corrupt,
+        };
+    }
+    let Ok(text) = std::str::from_utf8(bytes) else {
+        return DiskLookup::Corrupt;
+    };
+    match verify_disk_entry(text, key) {
+        Some(summary) => DiskLookup::Hit {
+            summary,
+            legacy: true,
+        },
+        None => DiskLookup::Corrupt,
+    }
+}
+
+/// Best-effort removal of orphaned `.*.tmp` staging files in `dir`. Only
+/// files older than [`STALE_TEMP_AGE`] are removed; anything unreadable
+/// is skipped (another process may be sweeping concurrently).
+fn sweep_stale_temp_files(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let now = std::time::SystemTime::now();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if !(name.starts_with('.') && name.ends_with(".tmp")) {
+            continue;
+        }
+        let stale = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|mtime| now.duration_since(mtime).ok())
+            .is_some_and(|age| age >= STALE_TEMP_AGE);
+        if stale {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
 }
 
 /// Monotonic discriminator for temp-file names, so concurrent writers in
 /// one process never collide on the same staging path.
 static TEMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
-/// Writes one fully consistent disk-tier entry (key echo, current engine
-/// version, payload hash over the summary's canonical JSON).
+/// Writes one fully consistent disk-tier entry in the binary format of
+/// [`crate::codec`] (key echo, current engine version, CRC-32 over the
+/// payload bytes).
 ///
 /// Publication is atomic: the entry is staged in a uniquely named temp
 /// file (pid + in-process sequence number) and `rename`d into place, so
@@ -561,6 +640,25 @@ static TEMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::ne
 /// function of its key, losing a rename race to another writer leaves
 /// the identical payload on disk and counts as success.
 fn write_disk_entry(dir: &Path, key: CacheKey, summary: &FlowSummary) -> Result<(), CacheError> {
+    std::fs::create_dir_all(dir).map_err(|e| CacheError::Io {
+        path: dir.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    let bytes = codec::encode_entry(key.0, summary);
+    let path = dir.join(key.file_name());
+    publish_atomic(dir, &path, &bytes)
+}
+
+/// Writes one disk-tier entry in the *legacy JSON* format — exactly the
+/// bytes pre-binary releases produced. Kept (test-only) so the
+/// legacy-read path and [`migrate_disk_tier`] are exercised against the
+/// real historical encoding.
+#[cfg(any(test, feature = "chaos"))]
+pub fn write_legacy_json_entry(
+    dir: &Path,
+    key: CacheKey,
+    summary: &FlowSummary,
+) -> Result<(), CacheError> {
     std::fs::create_dir_all(dir).map_err(|e| CacheError::Io {
         path: dir.to_path_buf(),
         message: e.to_string(),
@@ -575,6 +673,69 @@ fn write_disk_entry(dir: &Path, key: CacheKey, summary: &FlowSummary) -> Result<
     let text = serde_json::to_string(&entry).map_err(|e| CacheError::Encode(e.to_string()))?;
     let path = dir.join(key.file_name());
     publish_atomic(dir, &path, text.as_bytes())
+}
+
+/// Outcome counters of one [`migrate_disk_tier`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MigrateStats {
+    /// Legacy JSON entries rewritten as binary.
+    pub migrated: u64,
+    /// Entries already in the binary format, left untouched.
+    pub already_binary: u64,
+    /// Entries of either format that failed their integrity check; left
+    /// in place (the cache treats them as misses and re-simulates).
+    pub corrupt: u64,
+}
+
+/// Rewrites every legacy JSON entry in a disk tier as a binary entry, in
+/// place and atomically (each rewrite goes through the same temp+rename
+/// publish as a normal insert, so readers and concurrent campaign
+/// writers are never disturbed). Binary entries are left untouched;
+/// corrupt entries of either format are counted and skipped.
+///
+/// This is the engine behind `repro cache migrate --cache-dir DIR`.
+///
+/// # Errors
+///
+/// Returns [`CacheError::Io`] when the directory cannot be read or a
+/// rewritten entry cannot be published.
+pub fn migrate_disk_tier(dir: &Path) -> Result<MigrateStats, CacheError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| CacheError::Io {
+        path: dir.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    let mut stats = MigrateStats::default();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let Some(key) = parse_entry_file_name(&name) else {
+            continue;
+        };
+        let Ok(bytes) = std::fs::read(entry.path()) else {
+            continue;
+        };
+        if codec::is_binary_entry(&bytes) {
+            match codec::decode_entry(&bytes) {
+                Some((echoed, _)) if echoed == key.0 => stats.already_binary += 1,
+                _ => stats.corrupt += 1,
+            }
+            continue;
+        }
+        match verify_entry_bytes(&bytes, key) {
+            DiskLookup::Hit { summary, .. } => {
+                write_disk_entry(dir, key, &summary)?;
+                stats.migrated += 1;
+            }
+            _ => stats.corrupt += 1,
+        }
+    }
+    Ok(stats)
+}
+
+/// Parses `flow-{key:016x}.json` back into its [`CacheKey`].
+fn parse_entry_file_name(name: &str) -> Option<CacheKey> {
+    let hex = name.strip_prefix("flow-")?.strip_suffix(".json")?;
+    u64::from_str_radix(hex, 16).ok().map(CacheKey)
 }
 
 /// Stages `bytes` in a unique temp file under `dir` and renames it onto
@@ -612,10 +773,11 @@ pub(crate) fn publish_atomic(dir: &Path, path: &Path, bytes: &[u8]) -> Result<()
 }
 
 /// Bit-flips one byte of the stored disk-tier entry for `key` — the
-/// `hsm-chaos` disk-corruption fault. Every flip lands inside the compact
-/// JSON encoding, so it either breaks the JSON, changes the key/version
-/// echo, or changes hashed payload bytes; the integrity check must reject
-/// all three. Returns `false` when no entry exists for the key.
+/// `hsm-chaos` disk-corruption fault. For a binary entry the flip lands
+/// mid-buffer (inside the CRC-protected body); for a legacy JSON entry
+/// it either breaks the JSON, changes the key/version echo, or changes
+/// hashed payload bytes. The integrity check must reject every case.
+/// Returns `false` when no entry exists for the key.
 ///
 /// Test/`chaos`-feature builds only.
 ///
@@ -625,10 +787,9 @@ pub(crate) fn publish_atomic(dir: &Path, path: &Path, bytes: &[u8]) -> Result<()
 #[cfg(any(test, feature = "chaos"))]
 pub fn chaos_corrupt_disk_entry(dir: &Path, key: CacheKey) -> Result<bool, CacheError> {
     let path = dir.join(key.file_name());
-    let Ok(text) = std::fs::read_to_string(&path) else {
+    let Ok(mut bytes) = std::fs::read(&path) else {
         return Ok(false);
     };
-    let mut bytes = text.into_bytes();
     if bytes.is_empty() {
         return Ok(false);
     }
@@ -924,18 +1085,149 @@ mod tests {
         cache.insert(key, &s).unwrap();
         assert_eq!(cache.lookup(key).as_ref(), Some(&s));
 
-        // Corrupt the payload while keeping the JSON valid: only the
-        // integrity hash can catch this.
+        // Corrupt payload bytes while keeping the structure (magic,
+        // version, lengths) valid: only the CRC can catch this.
         let path = dir.join(key.file_name());
-        let text = std::fs::read_to_string(&path).unwrap();
-        let bad = text.replace(
-            "\"provider\":\"China Mobile\"",
-            "\"provider\":\"China Mobbed\"",
-        );
-        assert_ne!(bad, text, "corruption must change the payload");
-        std::fs::write(&path, bad).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let pos = bytes
+            .windows(b"China Mobile".len())
+            .position(|w| w == b"China Mobile")
+            .expect("provider label is stored verbatim");
+        bytes[pos..pos + b"China Mobbed".len()].copy_from_slice(b"China Mobbed");
+        std::fs::write(&path, bytes).unwrap();
         assert!(cache.lookup(key).is_none());
         assert_eq!(cache.stats().corrupt_entries, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_json_entries_hit_and_are_counted() {
+        let dir = std::env::temp_dir().join(format!("hsm_cache_legacy_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = CacheKey(0x1234);
+        let s = summary(4);
+        write_legacy_json_entry(&dir, key, &s).unwrap();
+        let cache = FlowCache::new(CacheConfig {
+            memory_entries: 0,
+            disk_dir: Some(dir.clone()),
+            shards: 0,
+        });
+        assert_eq!(cache.lookup(key).as_ref(), Some(&s));
+        let stats = cache.stats();
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.legacy_json_hits, 1);
+        assert_eq!(stats.corrupt_entries, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn migrate_rewrites_legacy_entries_in_place() {
+        let dir = std::env::temp_dir().join(format!("hsm_cache_migrate_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Tier contents: two legacy entries, one binary entry, one
+        // corrupt legacy entry, one unrelated file.
+        write_legacy_json_entry(&dir, CacheKey(1), &summary(1)).unwrap();
+        write_legacy_json_entry(&dir, CacheKey(2), &summary(2)).unwrap();
+        let binary_cache = FlowCache::new(CacheConfig {
+            memory_entries: 0,
+            disk_dir: Some(dir.clone()),
+            shards: 0,
+        });
+        binary_cache.insert(CacheKey(3), &summary(3)).unwrap();
+        write_legacy_json_entry(&dir, CacheKey(4), &summary(4)).unwrap();
+        let corrupt_path = dir.join(CacheKey(4).file_name());
+        std::fs::write(&corrupt_path, b"{not json").unwrap();
+        std::fs::write(dir.join("README"), b"not an entry").unwrap();
+
+        let stats = migrate_disk_tier(&dir).unwrap();
+        assert_eq!(
+            stats,
+            MigrateStats {
+                migrated: 2,
+                already_binary: 1,
+                corrupt: 1,
+            }
+        );
+
+        // Every migrated entry is now binary and still hits.
+        let cache = FlowCache::new(CacheConfig {
+            memory_entries: 0,
+            disk_dir: Some(dir.clone()),
+            shards: 0,
+        });
+        for k in [1u64, 2, 3] {
+            let bytes = std::fs::read(dir.join(CacheKey(k).file_name())).unwrap();
+            assert!(codec::is_binary_entry(&bytes), "entry {k} still legacy");
+            assert_eq!(cache.lookup(CacheKey(k)).unwrap(), summary(k as u32));
+        }
+        assert_eq!(cache.stats().legacy_json_hits, 0);
+        // A second pass finds nothing left to do.
+        let again = migrate_disk_tier(&dir).unwrap();
+        assert_eq!(again.migrated, 0);
+        assert_eq!(again.already_binary, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mixed_format_tier_serves_both_formats_identically() {
+        let dir = std::env::temp_dir().join(format!("hsm_cache_mixed_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Same summaries split across formats: lookups must be
+        // indistinguishable apart from the legacy counter.
+        for k in 0..8u64 {
+            if k % 2 == 0 {
+                write_legacy_json_entry(&dir, CacheKey(k), &summary(k as u32)).unwrap();
+            }
+        }
+        let cache = FlowCache::new(CacheConfig {
+            memory_entries: 0,
+            disk_dir: Some(dir.clone()),
+            shards: 0,
+        });
+        for k in 0..8u64 {
+            if k % 2 == 1 {
+                cache.insert(CacheKey(k), &summary(k as u32)).unwrap();
+            }
+        }
+        for k in 0..8u64 {
+            assert_eq!(cache.lookup(CacheKey(k)).unwrap(), summary(k as u32));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.disk_hits, 8);
+        assert_eq!(stats.legacy_json_hits, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn opening_a_disk_tier_sweeps_stale_temp_files() {
+        let dir = std::env::temp_dir().join(format!("hsm_cache_sweep_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Plant a staging file as a killed writer would leave it, aged
+        // past the sweep threshold.
+        let stale = dir.join(".flow-0000000000000001.json.12345.0.tmp");
+        std::fs::write(&stale, b"torn half-write").unwrap();
+        let aged = std::time::SystemTime::now() - (STALE_TEMP_AGE + STALE_TEMP_AGE);
+        std::fs::File::options()
+            .write(true)
+            .open(&stale)
+            .unwrap()
+            .set_modified(aged)
+            .unwrap();
+        // A fresh staging file (a live concurrent writer) must survive.
+        let fresh = dir.join(".flow-0000000000000002.json.12345.1.tmp");
+        std::fs::write(&fresh, b"in flight").unwrap();
+        // A real entry must never be swept.
+        write_legacy_json_entry(&dir, CacheKey(7), &summary(7)).unwrap();
+
+        let cache = FlowCache::new(CacheConfig {
+            memory_entries: 0,
+            disk_dir: Some(dir.clone()),
+            shards: 0,
+        });
+        assert!(!stale.exists(), "stale staging file must be swept");
+        assert!(fresh.exists(), "fresh staging file must survive");
+        assert!(cache.lookup(CacheKey(7)).is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

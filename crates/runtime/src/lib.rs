@@ -47,12 +47,15 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod codec;
 pub mod engine;
 pub mod error;
 pub mod parallel;
 pub mod shard;
 
-pub use cache::{CacheConfig, CacheKey, CacheStats, FlowCache, ENGINE_VERSION};
+pub use cache::{
+    migrate_disk_tier, CacheConfig, CacheKey, CacheStats, FlowCache, MigrateStats, ENGINE_VERSION,
+};
 #[cfg(any(test, feature = "chaos"))]
 pub use engine::ChaosInjection;
 pub use engine::{
@@ -67,7 +70,10 @@ pub use shard::{
 
 /// Convenient glob-import surface: `use hsm_runtime::prelude::*;`.
 pub mod prelude {
-    pub use crate::cache::{CacheConfig, CacheKey, CacheStats, FlowCache, ENGINE_VERSION};
+    pub use crate::cache::{
+        migrate_disk_tier, CacheConfig, CacheKey, CacheStats, FlowCache, MigrateStats,
+        ENGINE_VERSION,
+    };
     pub use crate::engine::{
         run_dataset, run_stationary_baseline, Campaign, CampaignBuilder, CampaignOutput,
         CampaignReport, FlowRun,

@@ -9,11 +9,15 @@
 //!
 //! # Hot path
 //!
-//! The per-event loop is engineered to avoid allocation entirely:
+//! The per-event loop is engineered to avoid allocation entirely and to
+//! walk dense memory:
 //!
-//! * packets move **by value** — [`Link::offer`](crate::link::Link::offer)
-//!   stores the packet instead of cloning it, and a queue-overflow drop
-//!   hands it back for observer reporting;
+//! * packet fields live in a struct-of-arrays
+//!   [`PacketArena`](crate::arena::PacketArena) — ids are arena indices,
+//!   links queue 16-byte [`QueuedPacket`](crate::link::QueuedPacket)
+//!   handles, `Deliver` events carry a bare id, and the full
+//!   [`Packet`] is materialized from the columns only at the edges
+//!   (observer callbacks and [`Agent::on_packet`]);
 //! * link labels are interned as `Arc<str>` at registration, so observer
 //!   callbacks and recorded events share one allocation per link;
 //! * observers live in an enum-dispatched
@@ -52,11 +56,12 @@
 //! ```
 
 use crate::agent::{Agent, AgentId};
+use crate::arena::PacketArena;
 use crate::error::SimError;
 use crate::event::{Event, EventId, EventKind, EventQueue};
-use crate::link::{Accept, Link, LinkId, LinkSpec};
+use crate::link::{Accept, Link, LinkId, LinkSpec, QueuedPacket};
 use crate::observer::{
-    AnyObserver, DropCause, Observer, ObserverSet, PacketEventKind, VecRecorder,
+    AnyObserver, DeliveryLog, DropCause, Observer, ObserverSet, PacketEventKind, VecRecorder,
 };
 use crate::packet::{Packet, PacketId};
 use crate::rng::{RngFactory, SimRng};
@@ -147,21 +152,21 @@ struct Core {
     agent_rngs: Vec<SimRng>,
     link_rngs: Vec<SimRng>,
     rng_factory: RngFactory,
-    next_packet_id: u64,
+    /// Struct-of-arrays store of every stamped packet; ids are row
+    /// indices, so `arena.len()` is also the next packet id.
+    arena: PacketArena,
     stop_requested: bool,
     events_processed: u64,
     /// Queue buffers of links retired by [`Engine::reset`], handed back to
     /// links registered after the reset so a recycled engine wires itself
     /// without reallocating.
-    spare_queues: Vec<std::collections::VecDeque<Packet>>,
+    spare_queues: Vec<std::collections::VecDeque<QueuedPacket>>,
 }
 
 impl Core {
     fn send_packet(&mut self, link_id: LinkId, mut packet: Packet) -> PacketId {
-        packet.id = PacketId(self.next_packet_id);
-        self.next_packet_id += 1;
+        packet.id = PacketId(self.arena.len() as u64);
         packet.sent_at = self.now;
-        let id = packet.id;
         let idx = link_id.as_usize();
         if !self.observers.is_none() {
             self.observers.emit(
@@ -172,11 +177,15 @@ impl Core {
                 &packet,
             );
         }
-        let size = packet.size_bytes;
+        let handle = QueuedPacket {
+            id: self.arena.push(&packet),
+            size_bytes: packet.size_bytes,
+        };
+        debug_assert_eq!(handle.id, packet.id, "arena row diverged from id");
         let link = &mut self.links[idx];
-        match link.offer(packet) {
+        match link.offer(handle) {
             Accept::StartTx => {
-                let at = self.now + link.tx_time(size);
+                let at = self.now + link.tx_time(handle.size_bytes);
                 let dst = link.to;
                 self.queue.schedule(Event {
                     at,
@@ -185,19 +194,20 @@ impl Core {
                 });
             }
             Accept::Queued => {}
-            Accept::DroppedOverflow(packet) => {
+            Accept::DroppedOverflow(dropped) => {
                 if !self.observers.is_none() {
+                    let dropped = self.arena.get(dropped.id);
                     self.observers.emit(
                         PacketEventKind::Dropped(DropCause::QueueOverflow),
                         self.now,
                         link_id,
                         &self.links[idx].label,
-                        &packet,
+                        &dropped,
                     );
                 }
             }
         }
-        id
+        handle.id
     }
 
     fn link_ready(&mut self, link_id: LinkId) -> Result<(), SimError> {
@@ -206,10 +216,9 @@ impl Core {
         let Some((done, next)) = link.try_complete_tx() else {
             return Err(SimError::LinkIdle { link: link_id });
         };
-        let next_size = next.map(|p| p.size_bytes);
         // Chain the next transmission, if any.
-        if let Some(size) = next_size {
-            let at = self.now + link.tx_time(size);
+        if let Some(next) = next {
+            let at = self.now + link.tx_time(next.size_bytes);
             let dst = link.to;
             self.queue.schedule(Event {
                 at,
@@ -225,12 +234,13 @@ impl Core {
         if lost {
             self.links[idx].channel_drops += 1;
             if !self.observers.is_none() {
+                let dropped = self.arena.get(done.id);
                 self.observers.emit(
                     PacketEventKind::Dropped(DropCause::Channel),
                     self.now,
                     link_id,
                     &self.links[idx].label,
-                    &done,
+                    &dropped,
                 );
             }
             return Ok(());
@@ -248,7 +258,7 @@ impl Core {
             at,
             dst,
             kind: EventKind::Deliver {
-                packet: done,
+                packet: done.id,
                 link: link_id,
             },
         });
@@ -276,7 +286,7 @@ impl Engine {
                 agent_rngs: Vec::new(),
                 link_rngs: Vec::new(),
                 rng_factory: RngFactory::new(master_seed),
-                next_packet_id: 0,
+                arena: PacketArena::new(),
                 stop_requested: false,
                 events_processed: 0,
                 spare_queues: Vec::new(),
@@ -288,8 +298,8 @@ impl Engine {
 
     /// Returns the engine to its just-constructed state under a new master
     /// seed while keeping every recyclable allocation: the event queue's
-    /// slab/heap capacity, link queue buffers, and the agent/link/RNG
-    /// vectors' capacity.
+    /// slab/heap capacity, the packet arena's columns, link queue buffers,
+    /// and the agent/link/RNG vectors' capacity.
     ///
     /// All agents, links and observers are dropped (re-register them), and
     /// every random stream re-derives from `master_seed` — a reset engine
@@ -305,7 +315,7 @@ impl Engine {
         self.core.agent_rngs.clear();
         self.core.link_rngs.clear();
         self.core.rng_factory = RngFactory::new(master_seed);
-        self.core.next_packet_id = 0;
+        self.core.arena.clear();
         self.core.stop_requested = false;
         self.core.events_processed = 0;
         self.agents.clear();
@@ -352,6 +362,14 @@ impl Engine {
         self.core.observers.push(AnyObserver::Recorder(rec));
     }
 
+    /// Registers a [`DeliveryLog`] — the cheapest useful observer. Only
+    /// `Delivered` events are stored (two words each); everything else a
+    /// capture needs already lives in the packet arena, so the trace
+    /// layer can rebuild full per-flow traces from `arena + log`.
+    pub fn add_delivery_log(&mut self, log: DeliveryLog) {
+        self.core.observers.push(AnyObserver::Deliveries(log));
+    }
+
     /// Injects a packet onto a link from outside any agent (used by tests
     /// and wiring code before the simulation starts).
     pub fn inject(&mut self, link: LinkId, packet: Packet) -> PacketId {
@@ -366,6 +384,13 @@ impl Engine {
     /// Events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.core.events_processed
+    }
+
+    /// Read-only view of the packet arena: every packet stamped this run,
+    /// stored as dense columns indexed by [`PacketId`]. Bulk analyzers can
+    /// walk the columns directly instead of re-materializing packets.
+    pub fn arena(&self) -> &PacketArena {
+        &self.core.arena
     }
 
     /// Immutable view of a link.
@@ -407,14 +432,10 @@ impl Engine {
             }
         }
         while !self.core.stop_requested {
-            let Some(at) = self.core.queue.peek_time() else {
+            // Single-pass future-event-list access: one heap traversal
+            // discards stale entries, checks the deadline and pops.
+            let Some((_id, event)) = self.core.queue.pop_before(deadline) else {
                 break;
-            };
-            if at > deadline {
-                break;
-            }
-            let Some((_id, event)) = self.core.queue.pop() else {
-                return Err(SimError::QueueInconsistent { at });
             };
             debug_assert!(event.at >= self.core.now, "event in the past");
             self.core.now = event.at;
@@ -429,6 +450,7 @@ impl Engine {
                         .checked_sub(1)
                         .ok_or(SimError::DeliverUnderflow { link })?;
                     l.delivered += 1;
+                    let packet = self.core.arena.get(packet);
                     if !self.core.observers.is_none() {
                         self.core.observers.emit(
                             PacketEventKind::Delivered,

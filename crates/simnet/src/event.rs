@@ -52,12 +52,14 @@ impl EventId {
 }
 
 /// What a fired event means to the destination agent.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EventKind {
     /// A packet finished traversing a link and arrives at the agent.
     Deliver {
-        /// The arriving packet.
-        packet: crate::packet::Packet,
+        /// Arena id of the arriving packet; the engine materializes the
+        /// full [`Packet`](crate::packet::Packet) from its
+        /// [`PacketArena`](crate::arena::PacketArena) at delivery time.
+        packet: crate::packet::PacketId,
         /// The link it traversed — used for observer reporting and for the
         /// per-link packet-conservation invariant.
         link: crate::link::LinkId,
@@ -72,7 +74,11 @@ pub enum EventKind {
 }
 
 /// A scheduled event: at `at`, deliver `kind` to `dst`.
-#[derive(Debug, Clone)]
+///
+/// `Copy` by design: every payload is a compact handle (timer tag, link
+/// id, packet arena id), so the slab stores and returns events without
+/// moving heap data.
+#[derive(Debug, Clone, Copy)]
 pub struct Event {
     /// Firing time.
     pub at: SimTime,
@@ -224,18 +230,33 @@ impl EventQueue {
     /// a previously popped one (time monotonicity violation — an event was
     /// scheduled in the simulated past).
     pub fn pop(&mut self) -> Option<(EventId, Event)> {
+        self.pop_before(SimTime::MAX)
+    }
+
+    /// Pops the next live event if it fires at or before `deadline`;
+    /// returns `None` (leaving the event queued) otherwise. This is the
+    /// engine's single-pass fast path: one traversal discards stale heap
+    /// entries, checks the deadline and extracts the payload, instead of
+    /// a `peek_time` pass followed by a `pop` pass.
+    ///
+    /// # Panics
+    ///
+    /// Same monotonicity check as [`EventQueue::pop`] (debug/test builds).
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<(EventId, Event)> {
         loop {
             let entry = *self.heap.first()?;
-            self.pop_heap();
             let slot = &mut self.slots[entry.slot as usize];
-            if slot.gen != entry.gen {
-                // Stale (cancelled) entry: skip.
+            if slot.gen != entry.gen || slot.event.is_none() {
+                // Stale (cancelled) entry: discard and keep looking.
+                self.pop_heap();
                 continue;
             }
-            let Some(event) = slot.event.take() else {
-                continue;
-            };
+            if entry.at > deadline {
+                return None;
+            }
+            let event = slot.event.take().expect("checked live above");
             slot.gen = slot.gen.wrapping_add(1);
+            self.pop_heap();
             self.free.push(entry.slot);
             self.live -= 1;
             #[cfg(any(debug_assertions, test))]

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod arena;
 pub mod cellular;
 pub mod chaos;
 pub mod engine;
@@ -61,17 +62,19 @@ pub mod time;
 /// Convenient glob-import surface: `use hsm_simnet::prelude::*;`.
 pub mod prelude {
     pub use crate::agent::{Agent, AgentId, NullAgent, RelayAgent};
+    pub use crate::arena::PacketArena;
     pub use crate::cellular::{CellLayout, ChannelProcess, CoverageHole, HandoffParams};
     pub use crate::chaos::{StormEpisode, StormInjector, StormKind, StormPlan};
     pub use crate::engine::{Ctx, Engine};
     pub use crate::error::SimError;
     pub use crate::event::EventId;
-    pub use crate::link::{LinkId, LinkSpec};
+    pub use crate::link::{LinkId, LinkSpec, QueuedPacket};
     pub use crate::loss::{Bernoulli, ChannelLoss, GilbertElliott, LossModel, Outage};
     pub use crate::loss_ext::{PeriodicOutage, Scripted, TraceDriven};
     pub use crate::mobility::Trajectory;
     pub use crate::observer::{
-        AnyObserver, DropCause, Observer, ObserverSet, PacketEvent, PacketEventKind, VecRecorder,
+        AnyObserver, DeliveryLog, DropCause, Observer, ObserverSet, PacketEvent, PacketEventKind,
+        VecRecorder,
     };
     pub use crate::packet::{FlowId, Packet, PacketId, PacketKind, SeqNo};
     pub use crate::rng::{RngFactory, SimRng};

@@ -11,7 +11,7 @@
 
 use crate::agent::AgentId;
 use crate::loss::ChannelLoss;
-use crate::packet::Packet;
+use crate::packet::PacketId;
 use crate::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -101,20 +101,35 @@ impl LinkSpec {
     }
 }
 
+/// Dense handle a link moves instead of the full packet.
+///
+/// The packet's fields live in the engine's
+/// [`PacketArena`](crate::arena::PacketArena); links only need the id (to
+/// identify the packet downstream) and the on-wire size (to compute
+/// transmission time), so queues and in-flight slots hold this 16-byte
+/// pair and the hot path never copies a full [`Packet`](crate::packet::Packet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedPacket {
+    /// Arena id of the packet.
+    pub id: PacketId,
+    /// On-wire size in bytes (headers included).
+    pub size_bytes: u32,
+}
+
 /// Outcome of offering a packet to a link.
 ///
-/// Packets move **by value**: an accepted packet is stored inside the
-/// link (in-flight slot or queue) without cloning, and a rejected one is
-/// handed back inside [`Accept::DroppedOverflow`] so the caller can still
-/// report it to observers.
-#[derive(Debug, Clone, PartialEq)]
+/// Accepted packets are stored inside the link (in-flight slot or queue)
+/// as compact [`QueuedPacket`] handles; a rejected one is handed back
+/// inside [`Accept::DroppedOverflow`] so the caller can still report it
+/// to observers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Accept {
     /// Link was idle; transmission starts now.
     StartTx,
     /// Link busy; packet queued.
     Queued,
     /// Queue full; the packet is returned to the caller, dropped.
-    DroppedOverflow(Packet),
+    DroppedOverflow(QueuedPacket),
 }
 
 /// Runtime state of a link.
@@ -138,8 +153,8 @@ pub struct Link {
     /// shares this allocation instead of cloning a `String`.
     pub label: Arc<str>,
     queue_capacity: usize,
-    queue: VecDeque<Packet>,
-    in_flight: Option<Packet>,
+    queue: VecDeque<QueuedPacket>,
+    in_flight: Option<QueuedPacket>,
     /// Packets dropped due to queue overflow.
     pub overflow_drops: u64,
     /// Packets offered to this link (accepted, queued or dropped alike).
@@ -165,7 +180,7 @@ impl Link {
     /// Like [`Link::from_spec`], but reusing a previously allocated queue
     /// buffer (the engine's reset path feeds retired links' queues back in
     /// so a recycled engine wires its links without reallocating).
-    pub(crate) fn from_spec_with_queue(spec: LinkSpec, mut queue: VecDeque<Packet>) -> Link {
+    pub(crate) fn from_spec_with_queue(spec: LinkSpec, mut queue: VecDeque<QueuedPacket>) -> Link {
         queue.clear();
         Link {
             to: spec.to,
@@ -200,11 +215,11 @@ impl Link {
         self.prop_delay + self.extra_delay
     }
 
-    /// Offers a packet by value. If `StartTx` is returned the engine must
-    /// begin a transmission (the packet is stored as in-flight); `Queued`
-    /// stores it in the queue; `DroppedOverflow` hands the packet back for
+    /// Offers a packet handle. If `StartTx` is returned the engine must
+    /// begin a transmission (the handle is stored as in-flight); `Queued`
+    /// stores it in the queue; `DroppedOverflow` hands the handle back for
     /// drop reporting.
-    pub fn offer(&mut self, packet: Packet) -> Accept {
+    pub fn offer(&mut self, packet: QueuedPacket) -> Accept {
         self.offered += 1;
         if self.in_flight.is_none() {
             self.in_flight = Some(packet);
@@ -219,7 +234,7 @@ impl Link {
     }
 
     /// Completes the in-flight transmission, returning the transmitted
-    /// packet and, if the queue is non-empty, the next packet which
+    /// packet handle and, if the queue is non-empty, the next handle which
     /// immediately becomes in-flight.
     ///
     /// # Panics
@@ -227,23 +242,23 @@ impl Link {
     /// Panics if nothing was in flight (engine bookkeeping bug). The
     /// engine itself uses the non-panicking [`Link::try_complete_tx`] so a
     /// corrupt transmit state fails the run as a structured error.
-    pub fn complete_tx(&mut self) -> (Packet, Option<&Packet>) {
+    pub fn complete_tx(&mut self) -> (QueuedPacket, Option<QueuedPacket>) {
         self.try_complete_tx().expect("complete_tx with idle link")
     }
 
     /// Non-panicking twin of [`Link::complete_tx`]: returns `None` when no
     /// packet was in flight.
-    pub fn try_complete_tx(&mut self) -> Option<(Packet, Option<&Packet>)> {
+    pub fn try_complete_tx(&mut self) -> Option<(QueuedPacket, Option<QueuedPacket>)> {
         let done = self.in_flight.take()?;
         if let Some(next) = self.queue.pop_front() {
             self.in_flight = Some(next);
         }
-        Some((done, self.in_flight.as_ref()))
+        Some((done, self.in_flight))
     }
 
     /// Consumes the link and hands back its queue buffer (cleared) for
     /// reuse by the next link registered on a recycled engine.
-    pub(crate) fn into_queue_buffer(mut self) -> VecDeque<Packet> {
+    pub(crate) fn into_queue_buffer(mut self) -> VecDeque<QueuedPacket> {
         self.queue.clear();
         self.queue
     }
@@ -320,8 +335,11 @@ mod tests {
         )
     }
 
-    fn pkt(seq: u64) -> Packet {
-        Packet::data(crate::packet::FlowId(0), crate::packet::SeqNo(seq), false)
+    fn pkt(id: u64) -> QueuedPacket {
+        QueuedPacket {
+            id: PacketId(id),
+            size_bytes: 1500,
+        }
     }
 
     #[test]
@@ -345,11 +363,7 @@ mod tests {
         assert_eq!(l.queue_len(), 1);
         match l.offer(pkt(2)) {
             Accept::DroppedOverflow(p) => {
-                assert_eq!(
-                    p.data_seq().unwrap().as_u64(),
-                    2,
-                    "dropped packet handed back"
-                )
+                assert_eq!(p.id, PacketId(2), "dropped packet handed back")
             }
             other => panic!("expected overflow drop, got {other:?}"),
         }
@@ -362,11 +376,11 @@ mod tests {
         l.offer(pkt(0));
         l.offer(pkt(1));
         let (done, next) = l.complete_tx();
-        assert_eq!(done.data_seq().unwrap().as_u64(), 0);
-        assert_eq!(next.unwrap().data_seq().unwrap().as_u64(), 1);
+        assert_eq!(done.id, PacketId(0));
+        assert_eq!(next.unwrap().id, PacketId(1));
         assert!(l.is_busy());
         let (done, next) = l.complete_tx();
-        assert_eq!(done.data_seq().unwrap().as_u64(), 1);
+        assert_eq!(done.id, PacketId(1));
         assert!(next.is_none());
         assert!(!l.is_busy());
     }

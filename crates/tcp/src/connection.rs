@@ -15,11 +15,11 @@ use hsm_simnet::error::SimError;
 use hsm_simnet::link::{LinkId, LinkSpec};
 use hsm_simnet::loss::{Bernoulli, ChannelLoss, GilbertElliott};
 use hsm_simnet::mobility::Trajectory;
-use hsm_simnet::observer::VecRecorder;
+use hsm_simnet::observer::DeliveryLog;
 use hsm_simnet::packet::FlowId;
 use hsm_simnet::prelude::Engine;
 use hsm_simnet::time::{SimDuration, SimTime};
-use hsm_trace::capture::{single_flow_trace_with, CaptureScratch};
+use hsm_trace::capture::{trace_from_arena_with, CaptureScratch};
 use hsm_trace::record::{FlowMeta, FlowTrace};
 use serde::{Deserialize, Serialize};
 
@@ -190,15 +190,21 @@ pub struct ConnectionOutcome {
 /// Reusable per-worker state for running many flows through one engine.
 ///
 /// Every buffer that a connection run grows — the simulator's event-queue
-/// slab, link queue buffers, the packet-event recording, the capture slab
-/// — lives here and is recycled between runs, so a worker that holds one
+/// slab, link queue buffers, the delivery log, the capture slab — lives
+/// here and is recycled between runs, so a worker that holds one
 /// `ConnectionScratch` across a campaign stops allocating once it has seen
 /// its largest flow. Results are bit-identical to fresh-engine runs
 /// (`Engine::reset` re-derives every random stream from the new seed).
+///
+/// The capture uses the struct-of-arrays path: the engine's packet arena
+/// already stores every sent packet column-wise, so the only observer is a
+/// compact [`DeliveryLog`] ((id, time) per arrival) and the trace is folded
+/// straight from `arena + log` by
+/// [`trace_from_arena_with`](hsm_trace::capture::trace_from_arena_with).
 #[derive(Debug)]
 pub struct ConnectionScratch {
     engine: Engine,
-    recorder: VecRecorder,
+    deliveries: DeliveryLog,
     capture: CaptureScratch,
 }
 
@@ -207,7 +213,7 @@ impl Default for ConnectionScratch {
         ConnectionScratch {
             // The seed is irrelevant: every run resets with its own seed.
             engine: Engine::new(0),
-            recorder: VecRecorder::new(),
+            deliveries: DeliveryLog::new(),
             capture: CaptureScratch::new(),
         }
     }
@@ -222,8 +228,8 @@ impl ConnectionScratch {
     /// Deliberately dirties every component of the scratch — stale agents
     /// and links registered on the engine, a *partially executed* junk
     /// simulation (advanced clock, pending events, packets in flight,
-    /// consumed random streams), junk records in the shared recorder, and
-    /// a used capture slab.
+    /// consumed random streams), junk deliveries in the shared log, and a
+    /// used capture slab.
     ///
     /// This is the `hsm-chaos` scratch-poisoning fault: a subsequent
     /// [`try_run_connection_with`] through the poisoned scratch must
@@ -237,9 +243,9 @@ impl ConnectionScratch {
         eng.reset(0xBAD_5EED);
         let sink = eng.add_agent(Box::new(NullAgent::new()));
         let junk = eng.add_link(LinkSpec::new(sink, "chaos-poison"));
-        // Capture the junk traffic into the shared recorder so it holds
-        // stale events too.
-        eng.add_recorder(self.recorder.clone());
+        // Capture the junk traffic into the shared log so it holds stale
+        // deliveries too.
+        eng.add_delivery_log(self.deliveries.clone());
         for seq in 0..17u64 {
             eng.inject(junk, Packet::data(FlowId(u32::MAX), SeqNo(seq), false));
         }
@@ -247,7 +253,7 @@ impl ConnectionScratch {
         // stops mid-simulation — the most adversarial state to hand the
         // next reset.
         let _ = eng.try_run_until(SimTime::ZERO + SimDuration::from_micros(10));
-        // Dirty the capture slab by folding the junk events through it.
+        // Dirty the capture slab by folding the junk run through it.
         let meta = FlowMeta {
             provider: "chaos".to_owned(),
             scenario: "poison".to_owned(),
@@ -256,9 +262,10 @@ impl ConnectionScratch {
             mss_bytes: 1,
         };
         let capture = &mut self.capture;
-        let _ = self
-            .recorder
-            .with_events(|events| single_flow_trace_with(capture, events, u32::MAX, meta));
+        let arena = eng.arena();
+        let _ = self.deliveries.with_deliveries(|deliveries| {
+            trace_from_arena_with(capture, arena, deliveries, u32::MAX, meta)
+        });
     }
 }
 
@@ -310,7 +317,7 @@ pub fn try_run_connection_with(
     cfg: &ConnectionConfig,
 ) -> Result<ConnectionOutcome, SimError> {
     scratch.engine.reset(seed);
-    scratch.recorder.clear();
+    scratch.deliveries.clear();
     let eng = &mut scratch.engine;
     let placeholder = LinkId::from_raw(u32::MAX);
     let tx = eng.add_agent(Box::new(RenoSender::new(
@@ -352,7 +359,7 @@ pub fn try_run_connection_with(
         )))
     });
 
-    eng.add_recorder(scratch.recorder.clone());
+    eng.add_delivery_log(scratch.deliveries.clone());
     eng.try_run_until(cfg.deadline)?;
 
     let meta = FlowMeta {
@@ -362,12 +369,15 @@ pub fn try_run_connection_with(
         b: cfg.receiver.b,
         mss_bytes: cfg.mss_bytes,
     };
-    // Borrow the recorded events in place (no drain, no copy) and fold
-    // them through the reusable capture slab.
+    // Fold the capture straight from the engine's packet arena plus the
+    // compact delivery log (no per-event packet clones anywhere).
     let capture = &mut scratch.capture;
+    let arena = eng.arena();
     let trace = scratch
-        .recorder
-        .with_events(|events| single_flow_trace_with(capture, events, cfg.flow, meta.clone()))
+        .deliveries
+        .with_deliveries(|deliveries| {
+            trace_from_arena_with(capture, arena, deliveries, cfg.flow, meta.clone())
+        })
         .unwrap_or_else(|| FlowTrace::new(cfg.flow, meta));
     let sender = eng
         .agent_mut::<RenoSender>(tx)

@@ -6,8 +6,10 @@
 //! `Sent` event with its terminal `Delivered`/`Dropped` event.
 
 use crate::record::{FlowMeta, FlowTrace, PacketRecord};
+use hsm_simnet::arena::PacketArena;
 use hsm_simnet::observer::{PacketEvent, PacketEventKind};
-use hsm_simnet::packet::PacketKind;
+use hsm_simnet::packet::{PacketId, PacketKind};
+use hsm_simnet::time::SimTime;
 use std::collections::HashMap;
 
 /// Folds a raw event stream into one trace per flow.
@@ -32,6 +34,8 @@ pub fn traces_from_events(
 #[derive(Debug, Default)]
 pub struct CaptureScratch {
     open: Vec<u64>,
+    /// Delivery-time slab for the arena fold (index == packet id).
+    arrived: Vec<Option<SimTime>>,
 }
 
 impl CaptureScratch {
@@ -142,6 +146,84 @@ pub fn traces_from_events_filtered_with(
         t.sort_by_send_time();
     }
     flows
+}
+
+/// Builds a single-flow trace straight from the engine's packet arena
+/// plus a compact delivery log — the struct-of-arrays capture path.
+///
+/// The arena's columns already hold every `Sent`-side fact (flow, kind,
+/// size, send time), and ids are minted in send order, so walking rows
+/// `0..len` filtered by the flow column reproduces the event fold's record
+/// order exactly. The delivery log supplies the only new information: a
+/// `(packet id, delivered-at)` pair per arrival, recorded by a
+/// [`DeliveryLog`](hsm_simnet::observer::DeliveryLog) observer. A row with
+/// no delivery entry was dropped or still in flight — both fold to
+/// `arrived_at: None`, exactly as [`traces_from_events`] treats them.
+///
+/// Produces bit-identical traces to running [`single_flow_trace`] over a
+/// full [`VecRecorder`](hsm_simnet::observer::VecRecorder) stream of the
+/// same run, at a fraction of the recording cost.
+///
+/// Returns `None` if the arena holds no packets for `flow`.
+pub fn trace_from_arena(
+    arena: &PacketArena,
+    deliveries: &[(PacketId, SimTime)],
+    flow: u32,
+    meta: FlowMeta,
+) -> Option<FlowTrace> {
+    trace_from_arena_with(&mut CaptureScratch::new(), arena, deliveries, flow, meta)
+}
+
+/// [`trace_from_arena`] through a caller-held [`CaptureScratch`], reusing
+/// its delivery-time slab across flows.
+pub fn trace_from_arena_with(
+    scratch: &mut CaptureScratch,
+    arena: &PacketArena,
+    deliveries: &[(PacketId, SimTime)],
+    flow: u32,
+    meta: FlowMeta,
+) -> Option<FlowTrace> {
+    // Scatter deliveries into a dense id-indexed slab (clear + resize so
+    // stale entries from a previous, larger capture cannot leak through).
+    scratch.arrived.clear();
+    scratch.arrived.resize(arena.len(), None);
+    for &(id, at) in deliveries {
+        // Ignore ids the arena does not know — a shared log can carry
+        // stale deliveries from a previous, larger run (the event fold is
+        // equally tolerant of a Delivered with no matching Sent).
+        if let Some(slot) = scratch.arrived.get_mut(id.0 as usize) {
+            *slot = Some(at);
+        }
+    }
+
+    let flows = arena.flows();
+    let sizes = arena.sizes();
+    let sent_ats = arena.sent_ats();
+    let mut trace = FlowTrace::new(flow, meta);
+    for id in 0..arena.len() {
+        if flows[id] != flow {
+            continue;
+        }
+        let (seq, is_ack, retransmit, acked_count) = match arena.get(PacketId(id as u64)).kind {
+            PacketKind::Data { seq, retransmit } => (seq.as_u64(), false, retransmit, 0),
+            PacketKind::Ack { cum, acked_count } => (cum.as_u64(), true, false, acked_count),
+        };
+        trace.records.push(PacketRecord {
+            id: id as u64,
+            seq,
+            is_ack,
+            retransmit,
+            acked_count,
+            size_bytes: sizes[id],
+            sent_at: sent_ats[id],
+            arrived_at: scratch.arrived[id],
+        });
+    }
+    if trace.records.is_empty() {
+        return None;
+    }
+    trace.sort_by_send_time();
+    Some(trace)
 }
 
 /// Convenience wrapper for the single-flow case.
@@ -264,6 +346,126 @@ mod tests {
         let fresh = traces_from_events(&small, |_| FlowMeta::default());
         assert_eq!(reused, fresh);
         assert_eq!(reused[0].records.len(), 5);
+    }
+
+    /// Builds the same tiny mixed-fate history twice: as an arena +
+    /// delivery log, and as the equivalent full `PacketEvent` stream.
+    fn mixed_fate_run() -> (PacketArena, Vec<(PacketId, SimTime)>, Vec<PacketEvent>) {
+        let mut arena = PacketArena::new();
+        let mut deliveries = Vec::new();
+        let mut events = Vec::new();
+        // (flow, packet, sent_ms, delivered: Some(ms) / dropped: None-with-event / in-flight)
+        enum Fate {
+            Delivered(u64),
+            Dropped(u64),
+            InFlight,
+        }
+        let history = vec![
+            (
+                5,
+                Packet::data(FlowId(5), SeqNo(0), false),
+                0,
+                Fate::Delivered(30),
+            ),
+            (
+                9,
+                Packet::data(FlowId(9), SeqNo(0), false),
+                1,
+                Fate::Delivered(28),
+            ),
+            (
+                5,
+                Packet::data(FlowId(5), SeqNo(1), false),
+                2,
+                Fate::Dropped(3),
+            ),
+            (
+                5,
+                Packet::ack(FlowId(5), SeqNo(1), 1),
+                31,
+                Fate::Delivered(45),
+            ),
+            (
+                5,
+                Packet::data(FlowId(5), SeqNo(1), true),
+                50,
+                Fate::InFlight,
+            ),
+        ];
+        for (i, (flow, pkt, sent_ms, fate)) in history.into_iter().enumerate() {
+            let id = i as u64;
+            let mut p = pkt;
+            p.id = PacketId(id);
+            p.sent_at = SimTime::from_millis(sent_ms);
+            assert_eq!(arena.push(&p), PacketId(id));
+            events.push(ev(PacketEventKind::Sent, sent_ms, id, flow, p.clone()));
+            match fate {
+                Fate::Delivered(at_ms) => {
+                    deliveries.push((PacketId(id), SimTime::from_millis(at_ms)));
+                    events.push(ev(PacketEventKind::Delivered, at_ms, id, flow, p));
+                }
+                Fate::Dropped(at_ms) => {
+                    events.push(ev(
+                        PacketEventKind::Dropped(DropCause::Channel),
+                        at_ms,
+                        id,
+                        flow,
+                        p,
+                    ));
+                }
+                Fate::InFlight => {}
+            }
+        }
+        // `ev` re-stamps sent_at from the event time; keep the Delivered /
+        // Dropped copies consistent with the Sent copy, as the engine does.
+        let sent_at: Vec<SimTime> = (0..arena.len())
+            .map(|i| arena.sent_at(PacketId(i as u64)))
+            .collect();
+        for e in &mut events {
+            e.packet.sent_at = sent_at[e.packet.id.0 as usize];
+        }
+        (arena, deliveries, events)
+    }
+
+    #[test]
+    fn arena_fold_matches_event_fold_bit_for_bit() {
+        let (arena, deliveries, events) = mixed_fate_run();
+        for flow in [5u32, 9] {
+            let meta = FlowMeta {
+                provider: format!("p{flow}"),
+                ..Default::default()
+            };
+            let from_arena = trace_from_arena(&arena, &deliveries, flow, meta.clone());
+            let from_events = single_flow_trace(&events, flow, meta);
+            assert_eq!(from_arena, from_events, "flow {flow}");
+            assert!(from_arena.is_some());
+        }
+        assert!(
+            trace_from_arena(&arena, &deliveries, 77, FlowMeta::default()).is_none(),
+            "unknown flow folds to None, like the event path"
+        );
+    }
+
+    #[test]
+    fn arena_fold_reused_scratch_matches_fresh() {
+        let (arena, deliveries, _) = mixed_fate_run();
+        // Prime the slab with a larger arena, then refold the small one.
+        let mut big = PacketArena::new();
+        for i in 0..64u64 {
+            let mut p = Packet::data(FlowId(5), SeqNo(i), false);
+            p.id = PacketId(i);
+            p.sent_at = SimTime::from_millis(i);
+            big.push(&p);
+        }
+        let big_deliveries: Vec<_> = (0..64u64)
+            .map(|i| (PacketId(i), SimTime::from_millis(i + 20)))
+            .collect();
+        let mut scratch = CaptureScratch::new();
+        let _ = trace_from_arena_with(&mut scratch, &big, &big_deliveries, 5, FlowMeta::default());
+        let reused =
+            trace_from_arena_with(&mut scratch, &arena, &deliveries, 5, FlowMeta::default());
+        let fresh = trace_from_arena(&arena, &deliveries, 5, FlowMeta::default());
+        assert_eq!(reused, fresh);
     }
 
     #[test]

@@ -281,6 +281,206 @@ mod scenario_config_properties {
     }
 }
 
+/// Disk-codec properties: flow summaries — arbitrary field values and
+/// real chaos-fuzzer outputs alike — survive the binary round trip
+/// bit-for-bit and agree with the legacy JSON encoding, while any
+/// corruption of the encoded bytes is rejected rather than decoded.
+mod codec_properties {
+    use super::*;
+    use hsm::runtime::codec::{decode_entry, encode_entry, is_binary_entry};
+    use hsm::trace::summary::FlowSummary;
+
+    /// Asserts two summaries are the same down to the bit pattern of
+    /// every float (`PartialEq` would conflate `-0.0` with `0.0` and
+    /// reject equal `NaN`s).
+    fn assert_bit_identical(a: &FlowSummary, b: &FlowSummary) {
+        assert_eq!(a.flow, b.flow);
+        assert_eq!(a.provider, b.provider);
+        assert_eq!(a.scenario, b.scenario);
+        assert_eq!(a.data_sent, b.data_sent);
+        assert_eq!(a.timeouts, b.timeouts);
+        assert_eq!(a.spurious_timeouts, b.spurious_timeouts);
+        assert_eq!(a.timeout_sequences, b.timeout_sequences);
+        assert_eq!(a.loss_indications, b.loss_indications);
+        assert_eq!(a.fast_retransmissions, b.fast_retransmissions);
+        assert_eq!(a.w_m, b.w_m);
+        assert_eq!(a.b, b.b);
+        for (name, x, y) in [
+            ("rtt_s", a.rtt_s, b.rtt_s),
+            ("p_d", a.p_d, b.p_d),
+            ("p_a", a.p_a, b.p_a),
+            ("p_a_burst", a.p_a_burst, b.p_a_burst),
+            ("acks_per_round", a.acks_per_round, b.acks_per_round),
+            ("q_hat", a.q_hat, b.q_hat),
+            ("mean_recovery_s", a.mean_recovery_s, b.mean_recovery_s),
+            ("t_rto_s", a.t_rto_s, b.t_rto_s),
+            ("throughput_sps", a.throughput_sps, b.throughput_sps),
+            ("goodput_sps", a.goodput_sps, b.goodput_sps),
+            ("duration_s", a.duration_s, b.duration_s),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits(), "{name}: {x} vs {y}");
+        }
+    }
+
+    fn arb_rate() -> impl Strategy<Value = f64> {
+        prop_oneof![
+            Just(0.0f64),
+            Just(1.0),
+            Just(f64::MIN_POSITIVE),
+            0.0f64..1.0
+        ]
+    }
+
+    fn arb_magnitude() -> impl Strategy<Value = f64> {
+        prop_oneof![Just(0.0f64), Just(-0.0), Just(1e300), 0.0f64..1e9]
+    }
+
+    fn arb_label() -> impl Strategy<Value = String> {
+        prop_oneof![
+            Just(String::new()),
+            Just("China Mobile".to_owned()),
+            Just("高铁 🚄 300 km/h".to_owned()),
+            Just("x".repeat(300)),
+        ]
+    }
+
+    fn arb_summary() -> impl Strategy<Value = FlowSummary> {
+        (
+            (0u32..u32::MAX, arb_label(), arb_label(), 0u64..u64::MAX),
+            (
+                arb_rate(),
+                arb_rate(),
+                arb_rate(),
+                arb_rate(),
+                arb_magnitude(),
+            ),
+            (
+                0u32..u32::MAX,
+                0u32..u32::MAX,
+                0u32..u32::MAX,
+                0u32..u32::MAX,
+                0u32..u32::MAX,
+            ),
+            (
+                arb_magnitude(),
+                arb_magnitude(),
+                arb_magnitude(),
+                arb_magnitude(),
+                arb_magnitude(),
+            ),
+            (1u32..u32::MAX, 1u32..8),
+        )
+            .prop_map(
+                |(
+                    (flow, provider, scenario, data_sent),
+                    (p_d, p_a, p_a_burst, q_hat, acks_per_round),
+                    (
+                        timeouts,
+                        spurious_timeouts,
+                        timeout_sequences,
+                        loss_indications,
+                        fast_retransmissions,
+                    ),
+                    (rtt_s, mean_recovery_s, t_rto_s, throughput_sps, duration_s),
+                    (w_m, b),
+                )| FlowSummary {
+                    flow,
+                    provider,
+                    scenario,
+                    rtt_s,
+                    p_d,
+                    data_sent,
+                    p_a,
+                    p_a_burst,
+                    acks_per_round,
+                    q_hat,
+                    timeouts,
+                    spurious_timeouts,
+                    timeout_sequences,
+                    mean_recovery_s,
+                    t_rto_s,
+                    loss_indications,
+                    fast_retransmissions,
+                    w_m,
+                    b,
+                    throughput_sps,
+                    goodput_sps: throughput_sps * 0.97,
+                    duration_s,
+                },
+            )
+    }
+
+    proptest! {
+        /// Binary round trip is lossless to the bit, and the decoded
+        /// summary's JSON encoding — what a legacy tier would have stored
+        /// — matches the original's byte-for-byte, so the two on-disk
+        /// formats describe exactly the same value space.
+        #[test]
+        fn binary_and_json_encodings_round_trip_identically(
+            summary in arb_summary(),
+            key in 0u64..u64::MAX,
+        ) {
+            let bytes = encode_entry(key, &summary);
+            prop_assert!(is_binary_entry(&bytes));
+            let (back_key, back) = decode_entry(&bytes).expect("fresh entry decodes");
+            prop_assert_eq!(back_key, key);
+            assert_bit_identical(&summary, &back);
+            prop_assert_eq!(
+                serde_json::to_string(&back).expect("summary serializes"),
+                serde_json::to_string(&summary).expect("summary serializes")
+            );
+        }
+
+        /// Any single bit flip or truncation of an encoded entry is
+        /// rejected outright — never decoded into a different summary.
+        #[test]
+        fn corrupted_entries_never_decode(
+            summary in arb_summary(),
+            key in 0u64..u64::MAX,
+            bit in 0u64..u64::MAX,
+            cut in 0u64..u64::MAX,
+        ) {
+            let bytes = encode_entry(key, &summary);
+            let mut flipped = bytes.clone();
+            let bit = (bit % (bytes.len() as u64 * 8)) as usize;
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            prop_assert!(decode_entry(&flipped).is_none(), "flipped bit {bit} decoded");
+            let cut = (cut % (bytes.len() as u64)) as usize;
+            prop_assert!(decode_entry(&bytes[..cut]).is_none(), "truncation at {cut} decoded");
+        }
+    }
+
+    /// The same round trip over *real* fuzzer-generated flows: expand a
+    /// spread of chaos-fuzzer cases, simulate each, and push every
+    /// resulting summary through the binary codec.
+    #[test]
+    fn chaos_fuzzer_summaries_round_trip_through_the_codec() {
+        use hsm::chaos::{config_for_case, FuzzRanges};
+        use hsm::scenario::runner::try_run_scenario;
+
+        let ranges = FuzzRanges {
+            duration_s: (2, 3),
+            region_duration_s: (2, 3),
+            ..FuzzRanges::default()
+        };
+        for case in 0..32 {
+            let config = config_for_case(&ranges, 0xC0DEC, case);
+            let out = try_run_scenario(&config).expect("fuzzed config runs");
+            let summary = out.summary();
+            let key = hsm::runtime::cache::CacheKey::of(&config);
+            let bytes = encode_entry(key.0, summary);
+            let (back_key, back) = decode_entry(&bytes).expect("entry decodes");
+            assert_eq!(back_key, key.0, "case {case}");
+            assert_bit_identical(summary, &back);
+            assert_eq!(
+                serde_json::to_string(&back).unwrap(),
+                serde_json::to_string(summary).unwrap(),
+                "case {case}"
+            );
+        }
+    }
+}
+
 /// Explicit replays of the minimal counterexamples recorded in
 /// `proptests.proptest-regressions`. The regression file makes proptest
 /// itself re-run them, but these hard-coded tests keep the cases alive

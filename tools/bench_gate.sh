@@ -3,18 +3,24 @@
 # baselines and fails on
 #   * a >20% simnet events/sec regression (BENCH_simnet.json),
 #   * a >20% max-worker cold campaign events/sec regression
-#     (BENCH_campaign.json), or
+#     (BENCH_campaign.json),
 #   * a 4-worker cold campaign speedup below 2x over 1 worker — enforced
-#     only on hosts with >= 4 cores, where parallel speedup is physical.
+#     only on hosts with >= 4 cores, where parallel speedup is physical, or
+#   * a warm-disk replay (every flow decoded from the binary disk tier)
+#     slower than the baseline wall-clock by more than the warm tolerance.
+#     Warm replays are millisecond-scale, so their relative noise is much
+#     larger than a cold campaign's — hence the separate, wider knob.
 #
 # Usage: tools/bench_gate.sh
 #   (expects `cargo build --release` to have produced target/release/repro;
 #   builds it if missing)
 #
 # Environment:
-#   BENCH_GATE_TOLERANCE    fractional regression allowed (default 0.20)
-#   BENCH_GATE_MIN_SPEEDUP  minimum 4-worker cold speedup (default 2.0)
-#   BENCH_GATE_SKIP=1       skip the gates entirely (e.g. debug-only machines)
+#   BENCH_GATE_TOLERANCE       fractional regression allowed (default 0.20)
+#   BENCH_GATE_MIN_SPEEDUP     minimum 4-worker cold speedup (default 2.0)
+#   BENCH_GATE_WARM_TOLERANCE  fractional warm-disk wall-clock slowdown
+#                              allowed (default 1.0, i.e. up to 2x baseline)
+#   BENCH_GATE_SKIP=1          skip the gates entirely (e.g. debug-only machines)
 #
 # Re-baselining: the committed baselines are machine-relative. After an
 # intentional perf change (or on new hardware), regenerate and commit them:
@@ -35,6 +41,7 @@ BASELINE=BENCH_simnet.json
 CAMPAIGN_BASELINE=BENCH_campaign.json
 TOLERANCE="${BENCH_GATE_TOLERANCE:-0.20}"
 MIN_SPEEDUP="${BENCH_GATE_MIN_SPEEDUP:-2.0}"
+WARM_TOLERANCE="${BENCH_GATE_WARM_TOLERANCE:-1.0}"
 
 for f in "$BASELINE" "$CAMPAIGN_BASELINE"; do
     if [[ ! -f "$f" ]]; then
@@ -105,6 +112,30 @@ awk -v base="$baseline_cold_max" -v fresh="$fresh_cold_max" -v tol="$TOLERANCE" 
            base, fresh, fresh / base, floor;
     if (fresh < floor) {
         printf "bench gate: REGRESSION — cold campaign throughput is more than %.0f%% below baseline\n", tol * 100;
+        printf "bench gate: if intentional (or new hardware), re-baseline per tools/bench_gate.sh header\n";
+        exit 1;
+    }
+    exit 0;
+}'
+
+# Warm-disk replay: the whole Stress campaign re-served from the binary
+# disk tier. Gated on wall-clock (not events/sec — a warm replay
+# processes zero simulator events) against the committed baseline.
+baseline_warm_disk="$(extract "$CAMPAIGN_BASELINE" warm_disk_wall_s)"
+fresh_warm_disk="$(extract "$FRESH_CAMPAIGN" warm_disk_wall_s)"
+
+if [[ -z "$baseline_warm_disk" || -z "$fresh_warm_disk" ]]; then
+    echo "bench gate: could not parse warm_disk_wall_s (baseline='$baseline_warm_disk' fresh='$fresh_warm_disk')"
+    echo "bench gate: an old-shape baseline must be regenerated per the header"
+    exit 1
+fi
+
+awk -v base="$baseline_warm_disk" -v fresh="$fresh_warm_disk" -v tol="$WARM_TOLERANCE" 'BEGIN {
+    ceiling = base * (1.0 + tol);
+    printf "bench gate: warm-disk replay baseline %.3fs, fresh %.3fs (ceiling %.3fs)\n",
+           base, fresh, ceiling;
+    if (fresh > ceiling) {
+        printf "bench gate: REGRESSION — warm-disk replay wall-clock is more than %.0f%% above baseline\n", tol * 100;
         printf "bench gate: if intentional (or new hardware), re-baseline per tools/bench_gate.sh header\n";
         exit 1;
     }

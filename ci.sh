@@ -18,10 +18,23 @@ stage_build_test() {
     # (the bare root build only covers the facade crate).
     cargo build --release --workspace
     cargo test -q --workspace
+    # Wheel-vs-heap differential: the timing wheel must pop the exact
+    # `(time, seq)` stream the retired binary-heap oracle pops, over
+    # randomized schedule/cancel/pop interleavings. Runs inside the
+    # workspace suite too, but an explicit invocation keeps the contract
+    # visible in the CI log (and keeps running it even if the workspace
+    # test set is ever filtered).
+    cargo test -q --test queue_differential
     # Pinned-seed chaos smoke: the fault-injection harness and differential
     # oracle must hold on every push (nightly CI runs the big randomized
     # sweep; see .github/workflows/ci.yml).
     ./target/release/repro chaos --seed 42 --cases 200
+    # The report the smoke just wrote must match the pinned seed-42 report
+    # byte-for-byte once the wall_s timing field is stripped: scheduler and
+    # engine reworks must not move a single simulated byte.
+    diff <(sed 's/,"wall_s":[^}]*//' CHAOS_report.json) \
+         <(sed 's/,"wall_s":[^}]*//' tests/fixtures/CHAOS_seed42_200.json) \
+        || { echo "chaos smoke: CHAOS_report.json diverged from the pinned seed-42 report" >&2; exit 1; }
     # Congestion-control study smoke: every zoo member must campaign cleanly
     # and produce a non-empty model-deviation row in CC_STUDY.json.
     ./target/release/repro cc-study --smoke
@@ -45,7 +58,17 @@ stage_build_test() {
 }
 
 stage_bench() {
-    ./tools/bench_gate.sh
+    # The gate prints a SKIPPED marker when the host cannot enforce a
+    # criterion (e.g. the 4-worker speedup gate on a <4-core runner).
+    # Surface that in the stage summary so a green bench stage on a small
+    # host is never mistaken for "all gates enforced".
+    local log
+    log="$(mktemp "${TMPDIR:-/tmp}/bench_stage.XXXXXX")"
+    ./tools/bench_gate.sh | tee "$log"
+    if grep -q "SKIPPED" "$log"; then
+        echo "ci: bench stage PASSED WITH SKIPPED GATES (see markers above)"
+    fi
+    rm -f "$log"
 }
 
 run_timed() {

@@ -89,6 +89,85 @@ fn bench_event_queue(c: &mut Criterion) {
     });
 }
 
+/// Head-to-head churn: the production timing wheel vs the retired
+/// binary-heap oracle (`heap-reference` feature), driven through the same
+/// deterministic schedule/cancel/pop mix at steady pending depths of
+/// 1k/10k/100k. Each op is the engine's dominant timer pattern: schedule
+/// an RTO ~40ms out, cancel it immediately, then pop the next event and
+/// schedule its successor a mixed horizon away (sub-slot, near, RTO-scale,
+/// far) so every wheel level — not just level 0 — sees traffic.
+fn bench_queue_churn(c: &mut Criterion) {
+    use hsm_simnet::event::{Event, EventKind, EventQueue};
+    use hsm_simnet::event_heap::HeapEventQueue;
+
+    /// Ops per criterion iteration; depth stays constant across them, so
+    /// the queue carries steady state between iterations.
+    const CHURN_OPS: u64 = 4096;
+
+    /// xorshift64 timer-horizon mix.
+    fn dt(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        let r = *state;
+        match r % 4 {
+            0 => r % 64,
+            1 => r % 4_000,
+            2 => 30_000 + r % 20_000,
+            _ => 200_000 + r % 100_000,
+        }
+    }
+
+    macro_rules! churn_bench {
+        ($group:expr, $name:expr, $qty:ty, $depth:expr) => {
+            $group.bench_function($name, |b| {
+                let dst = AgentId::from_raw(0);
+                let mut q = <$qty>::default();
+                let mut rng = 0x9E37_79B9_7F4A_7C15u64;
+                let mut now = 0u64;
+                for tag in 0..$depth {
+                    q.schedule(Event {
+                        at: SimTime::from_micros(now + dt(&mut rng)),
+                        dst,
+                        kind: EventKind::Timer { tag },
+                    });
+                }
+                b.iter(|| {
+                    let mut fired = 0u64;
+                    for tag in 0..CHURN_OPS {
+                        let rto = q.schedule(Event {
+                            at: SimTime::from_micros(now + 40_000),
+                            dst,
+                            kind: EventKind::Timer { tag },
+                        });
+                        q.cancel(rto);
+                        let (_, ev) = q.pop().expect("steady-state churn never empties");
+                        now = ev.at.as_micros();
+                        q.schedule(Event {
+                            at: SimTime::from_micros(now + dt(&mut rng)),
+                            dst,
+                            kind: EventKind::Timer { tag },
+                        });
+                        fired += 1;
+                    }
+                    black_box(fired)
+                });
+            });
+        };
+    }
+
+    let mut g = tune(c);
+    for depth in [1_000u64, 10_000, 100_000] {
+        churn_bench!(g, &format!("queue_churn_wheel/{depth}"), EventQueue, depth);
+        churn_bench!(
+            g,
+            &format!("queue_churn_heap/{depth}"),
+            HeapEventQueue,
+            depth
+        );
+    }
+}
+
 fn bench_link_offer(c: &mut Criterion) {
     use hsm_simnet::link::Link;
     let mut c = tune(c);
@@ -186,6 +265,7 @@ criterion_group!(
     benches,
     bench_engine,
     bench_event_queue,
+    bench_queue_churn,
     bench_link_offer,
     bench_tcp_flow,
     bench_analysis,

@@ -26,6 +26,17 @@ pub struct SimnetBench {
     pub wall_clock_s: f64,
     /// `events / wall_clock_s` — the number the CI gate compares.
     pub events_per_sec: f64,
+    /// Events scheduled across all flows (event-queue telemetry).
+    pub queue_schedules: u64,
+    /// Events cancelled before firing across all flows.
+    pub queue_cancels: u64,
+    /// Fraction of scheduled events cancelled before firing — the RTO
+    /// churn the timing wheel's lazy cancellation is designed around.
+    pub queue_cancel_ratio: f64,
+    /// Peak live event-queue depth over any single flow.
+    pub queue_max_depth: usize,
+    /// Mean live depth sampled after every schedule, averaged over flows.
+    pub queue_mean_depth: f64,
 }
 
 /// Runs one cold campaign at `scale` and reports simulator throughput.
@@ -55,6 +66,11 @@ pub fn measure(scale: Scale) -> Result<SimnetBench, String> {
         events: report.events_processed,
         wall_clock_s: report.wall_clock_s,
         events_per_sec: report.events_per_sec(),
+        queue_schedules: report.queue.schedules,
+        queue_cancels: report.queue.cancels,
+        queue_cancel_ratio: report.queue.cancel_ratio(),
+        queue_max_depth: report.queue.max_depth,
+        queue_mean_depth: report.queue.mean_depth(),
     })
 }
 
@@ -70,5 +86,9 @@ mod tests {
         assert!(b.events > 0);
         assert!(b.wall_clock_s > 0.0);
         assert!(b.events_per_sec > 0.0);
+        assert!(b.queue_schedules > 0, "queue telemetry must flow through");
+        assert!(b.queue_max_depth > 0);
+        assert!(b.queue_mean_depth > 0.0);
+        assert!((0.0..=1.0).contains(&b.queue_cancel_ratio));
     }
 }

@@ -35,6 +35,7 @@ use crate::cache::{CacheConfig, CacheKey, FlowCache, ENGINE_VERSION};
 use crate::error::EngineError;
 use hsm_scenario::dataset::{plan_dataset, plan_stationary_baseline, DatasetConfig, DatasetFlow};
 use hsm_scenario::runner::{try_run_scenario_with, ScenarioConfig, ScenarioOutcome, Scratch};
+use hsm_simnet::event::QueueStats;
 use hsm_trace::summary::FlowSummary;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -61,6 +62,9 @@ pub struct FlowRun {
     pub sim_wall_s: f64,
     /// Simulator events processed (0 for cache hits).
     pub events: u64,
+    /// Event-queue telemetry of the simulation (zeroed for cache hits —
+    /// a served flow schedules nothing).
+    pub queue: QueueStats,
     /// Index of the worker that handled the flow.
     pub worker: usize,
     /// The full outcome, retained only under `keep_outcomes`.
@@ -69,7 +73,7 @@ pub struct FlowRun {
 
 /// Structured per-campaign telemetry, serialized by `repro` as
 /// `BENCH_campaign.json`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignReport {
     /// Engine version that executed the campaign.
     pub engine_version: String,
@@ -95,6 +99,34 @@ pub struct CampaignReport {
     pub worker_flows: Vec<usize>,
     /// Busy seconds per worker.
     pub worker_busy_s: Vec<f64>,
+    /// Event-queue telemetry aggregated over all simulated flows.
+    ///
+    /// Not serialized: the campaign report's JSON shape (and the
+    /// byte-identity guarantees of chaos reports and shard merges built
+    /// on it) predates this field; the bench harness surfaces the
+    /// aggregate through `BENCH_simnet.json` instead.
+    #[serde(skip)]
+    pub queue: QueueStats,
+}
+
+/// Equality covers the serialized report shape only — `queue` is local
+/// telemetry (`#[serde(skip)]`), so a deserialized report must still
+/// compare equal to the in-memory one that produced it.
+impl PartialEq for CampaignReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.engine_version == other.engine_version
+            && self.flows == other.flows
+            && self.workers == other.workers
+            && self.cache_hits == other.cache_hits
+            && self.cache_misses == other.cache_misses
+            && self.disk_hits == other.disk_hits
+            && self.corrupt_entries == other.corrupt_entries
+            && self.events_processed == other.events_processed
+            && self.wall_clock_s == other.wall_clock_s
+            && self.sim_wall_s == other.sim_wall_s
+            && self.worker_flows == other.worker_flows
+            && self.worker_busy_s == other.worker_busy_s
+    }
 }
 
 impl CampaignReport {
@@ -439,6 +471,10 @@ impl Campaign {
             disk_hits: stats_after.disk_hits - stats_before.disk_hits,
             corrupt_entries: stats_after.corrupt_entries - stats_before.corrupt_entries,
             events_processed: runs.iter().map(|r| r.events).sum(),
+            queue: runs.iter().fold(QueueStats::default(), |mut acc, r| {
+                acc.merge(&r.queue);
+                acc
+            }),
             wall_clock_s: started.elapsed().as_secs_f64(),
             sim_wall_s: runs.iter().map(|r| r.sim_wall_s).sum(),
             worker_flows: worker_stats.iter().map(|(f, _)| *f).collect(),
@@ -480,6 +516,7 @@ impl Campaign {
                     cache_hit: true,
                     sim_wall_s: 0.0,
                     events: 0,
+                    queue: QueueStats::default(),
                     worker,
                     outcome: None,
                 });
@@ -491,6 +528,7 @@ impl Campaign {
         let sim_wall_s = t0.elapsed().as_secs_f64();
         let summary = outcome.analysis.summary.clone();
         let events = outcome.outcome.events_processed;
+        let queue = outcome.outcome.queue;
         if !self.keep_outcomes {
             cache.insert(key, &summary)?;
         }
@@ -500,6 +538,7 @@ impl Campaign {
             cache_hit: false,
             sim_wall_s,
             events,
+            queue,
             worker,
             // The trace is dropped right here unless the caller asked to
             // keep it — this is what bounds campaign memory.

@@ -24,8 +24,15 @@
 //!   [`ObserverSet`]: with no observer the
 //!   engine skips event materialization altogether, and the single-
 //!   recorder case is a direct (non-virtual) call;
-//! * the [`EventQueue`] is a slab-indexed heap —
-//!   no hash map on the schedule/pop path.
+//! * the [`EventQueue`] is a hierarchical timing wheel over a payload
+//!   slab — `O(1)` schedule and cancel, no hash map anywhere on the
+//!   schedule/pop path (see the `event` module docs);
+//! * dispatch is batched per instant: all events sharing one `SimTime`
+//!   are drained from the wheel in a single walk into a reusable scratch
+//!   buffer, so the queue's slot/bitmap bookkeeping and the clock update
+//!   are paid once per instant instead of once per event. An agent
+//!   cancelling a same-instant sibling mid-batch tombstones the drained
+//!   entry, preserving exact single-pop cancellation semantics.
 //!
 //! # Failure model
 //!
@@ -58,7 +65,7 @@
 use crate::agent::{Agent, AgentId};
 use crate::arena::PacketArena;
 use crate::error::SimError;
-use crate::event::{Event, EventId, EventKind, EventQueue};
+use crate::event::{Event, EventId, EventKind, EventQueue, QueueStats};
 use crate::link::{Accept, Link, LinkId, LinkSpec, QueuedPacket};
 use crate::observer::{
     AnyObserver, DeliveryLog, DropCause, Observer, ObserverSet, PacketEventKind, VecRecorder,
@@ -119,7 +126,25 @@ impl<'a> Ctx<'a> {
     /// Cancels a pending timer. Returns `false` if it already fired or was
     /// already cancelled.
     pub fn cancel_timer(&mut self, id: EventId) -> bool {
-        self.core.queue.cancel(id)
+        if self.core.queue.cancel(id) {
+            return true;
+        }
+        // The timer may share this instant with the event being dispatched:
+        // already drained into the scratch batch but not yet fired.
+        // Tombstoning the batch entry preserves the pre-batching semantics,
+        // where the entry would still have been in the queue.
+        let from = self.core.batch_pos + 1;
+        if let Some(i) = self.core.batch[from.min(self.core.batch.len())..]
+            .iter()
+            .position(|(bid, _)| *bid == id)
+        {
+            let i = from + i;
+            if !self.core.batch_dead[i] {
+                self.core.batch_dead[i] = true;
+                return true;
+            }
+        }
+        false
     }
 
     /// This agent's private random stream.
@@ -157,6 +182,15 @@ struct Core {
     arena: PacketArena,
     stop_requested: bool,
     events_processed: u64,
+    /// Reusable scratch buffer for same-instant batch dispatch: all events
+    /// sharing the next firing time are drained here in one queue walk.
+    batch: Vec<(EventId, Event)>,
+    /// Tombstones for `batch` entries cancelled by an earlier event of the
+    /// same batch (parallel to `batch`, reset per batch).
+    batch_dead: Vec<bool>,
+    /// Index of the batch entry currently dispatching; `cancel_timer` only
+    /// tombstones entries strictly after it.
+    batch_pos: usize,
     /// Queue buffers of links retired by [`Engine::reset`], handed back to
     /// links registered after the reset so a recycled engine wires itself
     /// without reallocating.
@@ -289,6 +323,9 @@ impl Engine {
                 arena: PacketArena::new(),
                 stop_requested: false,
                 events_processed: 0,
+                batch: Vec::new(),
+                batch_dead: Vec::new(),
+                batch_pos: 0,
                 spare_queues: Vec::new(),
             },
             agents: Vec::new(),
@@ -318,6 +355,9 @@ impl Engine {
         self.core.arena.clear();
         self.core.stop_requested = false;
         self.core.events_processed = 0;
+        self.core.batch.clear();
+        self.core.batch_dead.clear();
+        self.core.batch_pos = 0;
         self.agents.clear();
         self.started = false;
     }
@@ -386,6 +426,13 @@ impl Engine {
         self.core.events_processed
     }
 
+    /// Event-queue telemetry for this run: schedule/cancel volume, peak
+    /// and mean live depth. Campaign runners aggregate it into the simnet
+    /// bench baseline so timer-churn regressions are visible.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.core.queue.stats()
+    }
+
     /// Read-only view of the packet arena: every packet stamped this run,
     /// stored as dense columns indexed by [`PacketId`]. Bulk analyzers can
     /// walk the columns directly instead of re-materializing packets.
@@ -431,42 +478,77 @@ impl Engine {
                 });
             }
         }
-        while !self.core.stop_requested {
-            // Single-pass future-event-list access: one heap traversal
-            // discards stale entries, checks the deadline and pops.
-            let Some((_id, event)) = self.core.queue.pop_before(deadline) else {
+        'batches: while !self.core.stop_requested {
+            // Same-instant batch dispatch: one wheel walk drains every
+            // event sharing the next firing time (discarding stale
+            // cancelled entries on the way), so queue bookkeeping and the
+            // clock update are paid once per instant, not once per event.
+            // This is also the engine's only queue read — the old
+            // peek_time-then-pop double traversal is gone; use
+            // `EventQueue::next_fire_time` if a read-only probe is ever
+            // needed here again.
+            self.core.batch.clear();
+            self.core.batch_pos = 0;
+            let n = self
+                .core
+                .queue
+                .pop_batch_before(deadline, &mut self.core.batch);
+            if n == 0 {
                 break;
-            };
-            debug_assert!(event.at >= self.core.now, "event in the past");
-            self.core.now = event.at;
-            self.core.events_processed += 1;
-            processed += 1;
-            match event.kind {
-                EventKind::LinkReady(link) => self.core.link_ready(link)?,
-                EventKind::Deliver { packet, link } => {
-                    let l = &mut self.core.links[link.as_usize()];
-                    l.deliver_pending = l
-                        .deliver_pending
-                        .checked_sub(1)
-                        .ok_or(SimError::DeliverUnderflow { link })?;
-                    l.delivered += 1;
-                    let packet = self.core.arena.get(packet);
-                    if !self.core.observers.is_none() {
-                        self.core.observers.emit(
-                            PacketEventKind::Delivered,
-                            self.core.now,
-                            link,
-                            &self.core.links[link.as_usize()].label,
-                            &packet,
-                        );
-                    }
-                    self.with_agent(event.dst, |agent, ctx| agent.on_packet(ctx, packet));
+            }
+            self.core.batch_dead.clear();
+            self.core.batch_dead.resize(n, false);
+            let at = self.core.batch[0].1.at;
+            debug_assert!(at >= self.core.now, "event in the past");
+            self.core.now = at;
+            for i in 0..n {
+                if self.core.stop_requested {
+                    // Stop is terminal for this engine; undispatched
+                    // drained events are dropped, exactly as they would
+                    // have been left unpopped before batching.
+                    break 'batches;
                 }
-                EventKind::Timer { tag } => {
-                    self.with_agent(event.dst, |agent, ctx| agent.on_timer(ctx, tag));
+                if self.core.batch_dead[i] {
+                    // Cancelled mid-batch by an earlier sibling: not
+                    // processed, not counted.
+                    continue;
+                }
+                self.core.batch_pos = i;
+                let (_id, event) = self.core.batch[i];
+                self.core.events_processed += 1;
+                processed += 1;
+                match event.kind {
+                    EventKind::LinkReady(link) => self.core.link_ready(link)?,
+                    EventKind::Deliver { packet, link } => {
+                        let l = &mut self.core.links[link.as_usize()];
+                        l.deliver_pending = l
+                            .deliver_pending
+                            .checked_sub(1)
+                            .ok_or(SimError::DeliverUnderflow { link })?;
+                        l.delivered += 1;
+                        let packet = self.core.arena.get(packet);
+                        if !self.core.observers.is_none() {
+                            self.core.observers.emit(
+                                PacketEventKind::Delivered,
+                                self.core.now,
+                                link,
+                                &self.core.links[link.as_usize()].label,
+                                &packet,
+                            );
+                        }
+                        self.with_agent(event.dst, |agent, ctx| agent.on_packet(ctx, packet));
+                    }
+                    EventKind::Timer { tag } => {
+                        self.with_agent(event.dst, |agent, ctx| agent.on_timer(ctx, tag));
+                    }
                 }
             }
         }
+        // Leftover batch state must not leak into the next run's
+        // cancel_timer scans.
+        self.core.batch.clear();
+        self.core.batch_dead.clear();
+        self.core.batch_pos = 0;
         // Cross-layer invariant: no link may have lost or duplicated a
         // packet. Cheap (one pass over the links), so we verify after every
         // run in debug/test builds.
@@ -767,6 +849,58 @@ mod tests {
         let id = eng.add_agent(Box::new(Cancels { fired: false }));
         eng.run_until_idle();
         assert!(eng.agent_mut::<Cancels>(id).unwrap().fired);
+    }
+
+    #[test]
+    fn same_instant_cancel_mid_batch_suppresses_sibling() {
+        // Two timers at the same instant; the first one's callback cancels
+        // the second. Under batch dispatch the sibling is already drained
+        // into the scratch batch, so the cancel must tombstone it: it
+        // neither fires nor counts as processed, and cancel reports true —
+        // identical to the pre-batching single-pop semantics.
+        struct SiblingCancel {
+            second: Option<EventId>,
+            fired: Vec<u64>,
+            cancel_ok: Option<bool>,
+        }
+        impl Agent for SiblingCancel {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.schedule_in(SimDuration::from_millis(1), 1);
+                self.second = Some(ctx.schedule_in(SimDuration::from_millis(1), 2));
+                ctx.schedule_in(SimDuration::from_millis(1), 3);
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: Packet) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+                self.fired.push(tag);
+                if tag == 1 {
+                    let id = self.second.take().unwrap();
+                    self.cancel_ok = Some(ctx.cancel_timer(id));
+                    assert!(!ctx.cancel_timer(id), "double cancel must be false");
+                }
+            }
+        }
+        let mut eng = Engine::new(0);
+        let id = eng.add_agent(Box::new(SiblingCancel {
+            second: None,
+            fired: Vec::new(),
+            cancel_ok: None,
+        }));
+        let processed = eng.run_until_idle();
+        let agent = eng.agent_mut::<SiblingCancel>(id).unwrap();
+        assert_eq!(agent.fired, vec![1, 3], "tombstoned timer must not fire");
+        assert_eq!(agent.cancel_ok, Some(true), "mid-batch cancel succeeds");
+        assert_eq!(processed, 2, "tombstoned event is not counted");
+        assert_eq!(eng.events_processed(), 2);
+    }
+
+    #[test]
+    fn queue_stats_surface_schedule_and_cancel_counts() {
+        let (mut eng, _sink, _rec) = build(1, 0.0, 10);
+        eng.run_until_idle();
+        let stats = eng.queue_stats();
+        assert!(stats.schedules > 0);
+        assert!(stats.max_depth >= 1);
+        assert!(stats.mean_depth() > 0.0);
     }
 
     #[test]

@@ -1,11 +1,35 @@
 //! Future event list.
 //!
-//! A classic discrete-event simulation core, reworked for throughput: the
-//! queue is a slab-indexed binary min-heap. Event payloads live in a slab
-//! of reusable slots addressed by a `(slot, generation)` pair packed into
-//! the [`EventId`]; the heap itself holds only compact 24-byte entries
-//! `(time, sequence, slot, generation)`. Scheduling and popping therefore
-//! never touch a hash map — the slab lookup is a single indexed read.
+//! A classic discrete-event simulation core, reworked twice for
+//! throughput: PR 3 replaced the naive queue with a slab-indexed binary
+//! min-heap; this revision replaces the heap with a **hierarchical timing
+//! wheel** (Varghese/Lauck style) so the dominant operations drop from
+//! `O(log n)` to `O(1)`:
+//!
+//! * [`EventQueue::schedule`] hashes the firing time into one of eleven
+//!   64-slot wheels (power-of-two slot granularity derived from the raw
+//!   [`SimTime`] microsecond count: level *k* slots are `2^(6k)` µs wide;
+//!   the level is the first radix-64 digit in which the firing time
+//!   differs from the wheel cursor) and appends a 24-byte entry to that
+//!   slot — no sift, no comparison.
+//! * [`EventQueue::cancel`] is generation-check based, exactly as before,
+//!   plus an in-place reclaim fast path: when the cancelled entry is the
+//!   most recent push into its wheel slot (the dominant
+//!   schedule-then-cancel RTO-timer pattern), the entry is physically
+//!   removed right away, so churning timers leave no garbage behind.
+//!   Otherwise the stale entry stays and is discarded lazily — a
+//!   cancellation never cascades or re-sorts anything.
+//! * [`EventQueue::pop`] walks per-level occupancy bitmaps (one `u64` per
+//!   64-slot wheel) to the earliest occupied slot; level-0 slots are one
+//!   microsecond wide, so a slot holds exactly one firing instant and
+//!   pops in FIFO order by construction. Far-future levels cascade
+//!   toward level 0 as simulated time approaches, an amortized `O(1)`
+//!   per event per level it descends.
+//!
+//! Event payloads still live in a slab of reusable slots addressed by a
+//! `(slot, generation)` pair packed into the [`EventId`]; wheel entries
+//! are compact 24-byte `(time, sequence, slot, generation)` records, so
+//! scheduling and popping never touch a hash map.
 //!
 //! # Ordering contract
 //!
@@ -17,13 +41,46 @@
 //! history — the property every bit-identical-replay test in the
 //! workspace leans on.
 //!
-//! Cancellation is implemented by generation check: [`EventQueue::cancel`]
-//! frees the slot and bumps its generation, so the stale heap entry is
-//! recognized and skipped on pop. Scheduling and cancellation stay
-//! `O(log n)` / `O(1)`.
+//! ## Proof sketch (see DESIGN.md §15 for the long form)
+//!
+//! The wheel maintains two invariants. First, **placement is by first
+//! differing radix-64 digit**: an entry's level is the most significant
+//! digit in which its firing time differs from the wheel cursor, so every
+//! entry shares all higher digits with the cursor, slot indices map to
+//! exactly one absolute window, and within a level ascending index *is*
+//! ascending time (no rotation ambiguity). This holds because the cursor
+//! never passes a live wheel entry's firing time: it advances only to
+//! the firing time of a popped event or to a cascade-window start, and
+//! both are bounded by the earliest wheel entry. The one schedule the
+//! wheel cannot hash — an event below the cursor, legal because
+//! schedules are only bounded below by the last *fired* time while a
+//! missed pop deadline may have committed the cursor further — bypasses
+//! the wheel into a tiny ordered backlog lane that always fires before
+//! anything in the wheel (its entries are strictly below the cursor,
+//! wheel entries never are). Second, **every slot
+//! list is sorted by insertion sequence.** Direct schedules append the
+//! globally largest sequence, so appends preserve it. A cascade drains
+//! one higher-level slot (itself seq-sorted) and deposits each live entry
+//! into a strictly lower level; deposits that would land behind a larger
+//! sequence are placed by binary search instead
+//! ([`VecDeque::partition_point`]), so target lists stay seq-sorted.
+//! Because a level-0 slot is one microsecond wide, all its entries share
+//! one firing time, and popping the slot front-to-back is exactly
+//! `(time, seq)` order. Across slots, the occupancy-bitmap scan visits
+//! slots in ascending firing-time order, and a higher-level slot is
+//! always cascaded *before* any level-0 event at or beyond its window
+//! start is popped (ties prefer the cascade), so no same-instant event
+//! can be stranded in a coarser wheel while its siblings fire. The
+//! retired binary-heap implementation is kept, feature-gated, as
+//! `event_heap::HeapEventQueue`, and a standing differential
+//! proptest (`tests/queue_differential.rs`) pops randomized
+//! schedule/cancel interleavings through both queues and asserts
+//! identical `(time, seq)` streams — the contract is proven, not assumed.
 
 use crate::agent::AgentId;
 use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Unique handle of a scheduled event, usable for cancellation.
 ///
@@ -38,15 +95,15 @@ impl EventId {
         self.0
     }
 
-    fn new(slot: u32, gen: u32) -> EventId {
+    pub(crate) fn new(slot: u32, gen: u32) -> EventId {
         EventId((u64::from(slot) << 32) | u64::from(gen))
     }
 
-    fn slot(self) -> usize {
+    pub(crate) fn slot(self) -> usize {
         (self.0 >> 32) as usize
     }
 
-    fn gen(self) -> u32 {
+    pub(crate) fn gen(self) -> u32 {
         self.0 as u32
     }
 }
@@ -88,39 +145,180 @@ pub struct Event {
     pub kind: EventKind,
 }
 
-/// Compact heap entry: the ordering key plus the slab address.
+/// Cheap per-queue telemetry: schedule/cancel volume and live depth,
+/// maintained with two adds and a compare per schedule.
+///
+/// Campaign runners aggregate these across flows into `BENCH_simnet.json`
+/// so wheel-granularity choices are justified by measured timer churn and
+/// regressions in it stay visible.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct QueueStats {
+    /// Events scheduled.
+    pub schedules: u64,
+    /// Events cancelled before firing.
+    pub cancels: u64,
+    /// Peak number of live (pending) events.
+    pub max_depth: usize,
+    /// Sum of the live depth sampled after every schedule; divide by
+    /// `schedules` for the mean depth the queue operated at.
+    pub depth_sum: u64,
+}
+
+impl QueueStats {
+    /// Mean live depth over all schedules (0 when nothing was scheduled).
+    pub fn mean_depth(&self) -> f64 {
+        if self.schedules == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.schedules as f64
+        }
+    }
+
+    /// Fraction of scheduled events that were cancelled before firing —
+    /// the retransmission-timer churn ratio the wheel's lazy cancellation
+    /// is designed around.
+    pub fn cancel_ratio(&self) -> f64 {
+        if self.schedules == 0 {
+            0.0
+        } else {
+            self.cancels as f64 / self.schedules as f64
+        }
+    }
+
+    /// Folds another queue's counters into this one (campaign
+    /// aggregation across flows).
+    pub fn merge(&mut self, other: &QueueStats) {
+        self.schedules += other.schedules;
+        self.cancels += other.cancels;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.depth_sum += other.depth_sum;
+    }
+}
+
+/// log2 of the slots per wheel level.
+const LEVEL_BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Wheel levels. Eleven six-bit levels cover 66 bits — the entire
+/// `SimTime` microsecond range, so there is no separate overflow list:
+/// the top level *is* the far-future overflow, cascading (and, for
+/// deposits that interleave with direct schedules, re-ordering by
+/// `(at, seq)`) toward level 0 as time approaches.
+const LEVELS: usize = 11;
+/// Slot-index mask within a level.
+const SLOT_MASK: u64 = (SLOTS as u64) - 1;
+
+/// Compact wheel entry: the ordering key plus the slab address.
 #[derive(Debug, Clone, Copy)]
-struct HeapEntry {
+struct WheelEntry {
     at: SimTime,
     seq: u64,
     slot: u32,
     gen: u32,
 }
 
-impl HeapEntry {
-    /// Strict total order: earlier time first, then insertion sequence.
-    #[inline]
-    fn before(&self, other: &HeapEntry) -> bool {
-        (self.at, self.seq) < (other.at, other.seq)
+/// One wheel level: 64 slot lists plus an occupancy bitmap (bit *i* set
+/// iff `slots[i]` is non-empty), so finding the next occupied slot is a
+/// rotate plus a trailing-zeros count.
+#[derive(Debug)]
+struct Level {
+    occ: u64,
+    slots: Box<[VecDeque<WheelEntry>]>,
+}
+
+impl Level {
+    fn new() -> Level {
+        Level {
+            occ: 0,
+            slots: (0..SLOTS).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// Clears every occupied slot, keeping each deque's capacity.
+    fn clear(&mut self) {
+        let mut occ = self.occ;
+        while occ != 0 {
+            let idx = occ.trailing_zeros() as usize;
+            self.slots[idx].clear();
+            occ &= occ - 1;
+        }
+        self.occ = 0;
     }
 }
 
-/// One slab slot: the event payload plus the generation that validates
-/// heap entries pointing at it.
+/// One slab slot: the event payload, the generation that validates wheel
+/// entries pointing at it, and the wheel coordinates the entry was
+/// *scheduled* into, so `cancel` can try the in-place reclaim. Cascades
+/// deliberately do not refresh the coordinates — the reclaim compares the
+/// slot's newest entry by `(slot, gen)` before touching it, so stale
+/// coordinates just skip the fast path (and the schedule-then-cancel RTO
+/// pattern the fast path exists for cancels long before any cascade).
 #[derive(Debug)]
 struct Slot {
     gen: u32,
+    lvl: u8,
+    idx: u8,
     event: Option<Event>,
 }
 
+/// `Slot::lvl` sentinel for events parked in the backlog lane rather
+/// than the wheel (no in-place reclaim; the lane scrubs lazily).
+const BACKLOG_LVL: u8 = u8::MAX;
+
+/// Wheel level for an event at absolute time `at`, relative to the wheel
+/// cursor `cur`: the position of the most significant radix-64 digit in
+/// which the two times differ (level 0 when they are equal).
+///
+/// Placing by first-differing-digit (rather than by raw distance) keeps a
+/// crucial invariant: every entry shares all digits *above* its level
+/// with the cursor, so each occupied slot denotes exactly one absolute
+/// time window — there is no "this rotation or the next?" ambiguity, and
+/// the per-level slot scan is a plain `trailing_zeros`. The invariant is
+/// stable under cursor advancement because the cursor never passes a live
+/// event's firing time, and any value between two numbers sharing a
+/// binary prefix shares that prefix too.
+#[inline]
+fn level_for(at: u64, cur: u64) -> usize {
+    let x = at ^ cur;
+    if x == 0 {
+        0
+    } else {
+        ((63 - x.leading_zeros()) / LEVEL_BITS) as usize
+    }
+}
+
 /// The future event list.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: Vec<HeapEntry>,
-    slots: Vec<Slot>,
+    levels: Vec<Level>,
+    /// Summary occupancy bitmap: bit *k* set iff level *k* has any
+    /// occupied slot, so the per-pop candidate scan touches only
+    /// non-empty levels (usually one or two) instead of all eleven.
+    lvl_occ: u16,
+    /// Wheel cursor in microseconds. Never exceeds the firing time of
+    /// any wheel entry (live entries, that is; stale ones may lag
+    /// behind), and never runs backwards. It advances when an event
+    /// fires and when a deadline-bounded pop commits a cascade-window
+    /// start — so it may legally end up *above* a later schedule's
+    /// firing time; such events go to `backlog`, never into the wheel.
+    cur: u64,
+    /// Below-cursor side lane, ordered by `(time, seq)`. Strictly every
+    /// entry here fires before anything in the wheel (backlog times are
+    /// below the cursor, live wheel times never are), so pops take the
+    /// backlog front first and never need to merge within an instant
+    /// across lanes. Almost always empty: it only gains entries when a
+    /// missed pop deadline committed the cursor past a later schedule.
+    backlog: BinaryHeap<Reverse<(u64, u64, u32, u32)>>,
+    slab: Vec<Slot>,
     free: Vec<u32>,
     live: usize,
     next_seq: u64,
+    /// Memoized exact next firing time (`None` = unknown, recompute).
+    /// Kept exact: schedules fold in with `min`, a cancel or pop at the
+    /// hinted instant invalidates. Lets deadline-bounded pops and peeks
+    /// skip the slot scan on the hot path.
+    next_hint: Option<SimTime>,
+    stats: QueueStats,
     /// Firing time of the most recently popped event. Simulated time must
     /// never run backwards: every pop checks the invariant in debug/test
     /// builds. A violation means someone scheduled an event in the past
@@ -128,6 +326,25 @@ pub struct EventQueue {
     /// corrupt every downstream timing statistic if allowed through.
     #[cfg(any(debug_assertions, test))]
     last_popped: SimTime,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue {
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            lvl_occ: 0,
+            backlog: BinaryHeap::new(),
+            cur: 0,
+            slab: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            next_seq: 0,
+            next_hint: None,
+            stats: QueueStats::default(),
+            #[cfg(any(debug_assertions, test))]
+            last_popped: SimTime::ZERO,
+        }
+    }
 }
 
 impl EventQueue {
@@ -146,44 +363,94 @@ impl EventQueue {
         self.live == 0
     }
 
+    /// Schedule/cancel/depth counters since construction or [`reset`].
+    ///
+    /// [`reset`]: EventQueue::reset
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
     /// Schedules `event` and returns its cancellation handle.
     pub fn schedule(&mut self, event: Event) -> EventId {
-        let at = event.at;
+        #[cfg(any(debug_assertions, test))]
+        assert!(
+            event.at >= self.last_popped,
+            "event-queue time monotonicity violated: scheduling an event at \
+             {:?} after already firing one at {:?}",
+            event.at,
+            self.last_popped,
+        );
+        if let Some(m) = self.next_hint {
+            self.next_hint = Some(m.min(event.at));
+        }
         let slot = match self.free.pop() {
             Some(slot) => {
-                self.slots[slot as usize].event = Some(event);
+                self.slab[slot as usize].event = Some(event);
                 slot
             }
             None => {
-                let slot = self.slots.len() as u32;
-                self.slots.push(Slot {
+                let slot = self.slab.len() as u32;
+                self.slab.push(Slot {
                     gen: 0,
+                    lvl: 0,
+                    idx: 0,
                     event: Some(event),
                 });
                 slot
             }
         };
-        let gen = self.slots[slot as usize].gen;
+        let gen = self.slab[slot as usize].gen;
         let seq = self.next_seq;
         self.next_seq += 1;
         self.live += 1;
-        self.push_heap(HeapEntry { at, seq, slot, gen });
+        self.stats.schedules += 1;
+        self.stats.depth_sum += self.live as u64;
+        if self.live > self.stats.max_depth {
+            self.stats.max_depth = self.live;
+        }
+        let entry = WheelEntry {
+            at: event.at,
+            seq,
+            slot,
+            gen,
+        };
+        let at_us = event.at.as_micros();
+        if at_us < self.cur {
+            // A missed pop deadline may have committed the cursor past
+            // this (perfectly legal) firing time — the wheel cannot hash
+            // below its cursor, so park the entry in the ordered side
+            // lane instead.
+            self.slab[slot as usize].lvl = BACKLOG_LVL;
+            self.backlog.push(Reverse((at_us, seq, slot, gen)));
+        } else {
+            let (lvl, idx) = self.place(entry);
+            let lane = &mut self.slab[slot as usize];
+            lane.lvl = lvl as u8;
+            lane.idx = idx as u8;
+        }
         EventId::new(slot, gen)
     }
 
-    /// Clears the queue for reuse, keeping every allocation (heap, slab
-    /// and free list capacity) so a recycled engine schedules its first
-    /// events without touching the allocator.
+    /// Clears the queue for reuse, keeping every allocation (wheel slot
+    /// deques, slab and free list capacity) so a recycled engine schedules
+    /// its first events without touching the allocator.
     ///
     /// After `reset` the queue is indistinguishable from a freshly
     /// constructed one: the insertion sequence restarts at zero, all slots
     /// are forgotten, and previously issued [`EventId`]s are dead.
     pub fn reset(&mut self) {
-        self.heap.clear();
-        self.slots.clear();
+        for level in &mut self.levels {
+            level.clear();
+        }
+        self.lvl_occ = 0;
+        self.backlog.clear();
+        self.cur = 0;
+        self.slab.clear();
         self.free.clear();
         self.live = 0;
         self.next_seq = 0;
+        self.next_hint = None;
+        self.stats = QueueStats::default();
         #[cfg(any(debug_assertions, test))]
         {
             self.last_popped = SimTime::ZERO;
@@ -193,33 +460,115 @@ impl EventQueue {
     /// Cancels a previously scheduled event.
     ///
     /// Returns `true` if the event was still pending, `false` if it already
-    /// fired or was already cancelled. The heap entry is left behind and
-    /// skipped lazily when it reaches the top.
+    /// fired or was already cancelled. When the entry is the most recent
+    /// push into its wheel slot — the dominant schedule-then-cancel RTO
+    /// pattern — it is reclaimed in place; otherwise the stale entry is
+    /// left behind and skipped lazily. A cancellation never cascades.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        match self.slots.get_mut(id.slot()) {
-            Some(slot) if slot.gen == id.gen() && slot.event.is_some() => {
-                slot.event = None;
-                slot.gen = slot.gen.wrapping_add(1);
-                self.free.push(id.slot() as u32);
-                self.live -= 1;
-                true
-            }
-            _ => false,
+        let Some(lane) = self.slab.get_mut(id.slot()) else {
+            return false;
+        };
+        if lane.gen != id.gen() || lane.event.is_none() {
+            return false;
         }
+        let at = lane.event.expect("checked above").at;
+        lane.event = None;
+        lane.gen = lane.gen.wrapping_add(1);
+        let (lvl, idx) = (lane.lvl as usize, lane.idx as usize);
+        self.free.push(id.slot() as u32);
+        self.live -= 1;
+        self.stats.cancels += 1;
+        // The hint stays exact unless the cancelled event sat at the
+        // hinted instant (another event there may or may not remain).
+        if self.next_hint == Some(at) {
+            self.next_hint = None;
+        }
+        // In-place reclaim fast path: drop the wheel entry now if it is
+        // still the newest push into the slot it was scheduled into
+        // (backlog entries and cascade-moved entries scrub lazily).
+        if lvl < LEVELS {
+            let level = &mut self.levels[lvl];
+            let q = &mut level.slots[idx];
+            if let Some(back) = q.back() {
+                if back.slot as usize == id.slot() && back.gen == id.gen() {
+                    q.pop_back();
+                    if q.is_empty() {
+                        level.occ &= !(1 << idx);
+                        if level.occ == 0 {
+                            self.lvl_occ &= !(1 << lvl);
+                        }
+                    }
+                }
+            }
+        }
+        true
     }
 
     /// True if `id` has been scheduled and has neither fired nor been
     /// cancelled.
     pub fn is_pending(&self, id: EventId) -> bool {
-        self.slots
+        self.slab
             .get(id.slot())
             .is_some_and(|s| s.gen == id.gen() && s.event.is_some())
     }
 
     /// Firing time of the next live event, if any.
+    ///
+    /// Takes `&mut self` to memoize the answer: the scan result is cached
+    /// and reused by repeated peeks until a schedule, cancel or pop makes
+    /// it stale. Peeking never cascades or advances the wheel cursor —
+    /// all wheel maintenance is deferred to the popping paths. For a
+    /// read-only bound from shared contexts, use
+    /// [`next_fire_time`](EventQueue::next_fire_time).
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.skip_stale();
-        self.heap.first().map(|e| e.at)
+        if self.live == 0 {
+            return None;
+        }
+        if self.next_hint.is_none() {
+            self.next_hint = self.next_fire_time();
+        }
+        self.next_hint
+    }
+
+    /// Non-mutating sibling of [`peek_time`](EventQueue::peek_time):
+    /// scans live entries without touching queue state, so it works
+    /// through `&self` at the cost of walking the first live-occupied
+    /// slot of each level (still no allocation, no mutation).
+    pub fn next_fire_time(&self) -> Option<SimTime> {
+        let mut best: Option<SimTime> = None;
+        // Backlog entries all fire before anything in the wheel, so any
+        // live one short-circuits the level scan below via the `min`.
+        for &Reverse((at, _, slot, gen)) in &self.backlog {
+            let lane = &self.slab[slot as usize];
+            if lane.gen == gen && lane.event.is_some() {
+                let t = SimTime::from_micros(at);
+                best = Some(best.map_or(t, |b: SimTime| b.min(t)));
+            }
+        }
+        for level in &self.levels {
+            // Walk this level's occupied slots in ascending index order —
+            // every entry shares all higher digits with the cursor, so
+            // index order *is* time order. The first slot holding any
+            // live entry bounds the level's minimum (slot windows are
+            // disjoint and ascending).
+            let mut rest = level.occ;
+            'level: while rest != 0 {
+                let idx = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                let mut slot_min: Option<SimTime> = None;
+                for e in &level.slots[idx] {
+                    let lane = &self.slab[e.slot as usize];
+                    if lane.gen == e.gen && lane.event.is_some() {
+                        slot_min = Some(slot_min.map_or(e.at, |m: SimTime| m.min(e.at)));
+                    }
+                }
+                if let Some(t) = slot_min {
+                    best = Some(best.map_or(t, |b: SimTime| b.min(t)));
+                    break 'level;
+                }
+            }
+        }
+        best
     }
 
     /// Pops the next live event.
@@ -235,95 +584,353 @@ impl EventQueue {
 
     /// Pops the next live event if it fires at or before `deadline`;
     /// returns `None` (leaving the event queued) otherwise. This is the
-    /// engine's single-pass fast path: one traversal discards stale heap
-    /// entries, checks the deadline and extracts the payload, instead of
-    /// a `peek_time` pass followed by a `pop` pass.
+    /// single-pass fast path: one bitmap walk discards stale entries,
+    /// cascades what must cascade, checks the deadline and extracts the
+    /// payload, instead of a `peek_time` pass followed by a `pop` pass.
     ///
     /// # Panics
     ///
     /// Same monotonicity check as [`EventQueue::pop`] (debug/test builds).
     pub fn pop_before(&mut self, deadline: SimTime) -> Option<(EventId, Event)> {
-        loop {
-            let entry = *self.heap.first()?;
-            let slot = &mut self.slots[entry.slot as usize];
-            if slot.gen != entry.gen || slot.event.is_none() {
-                // Stale (cancelled) entry: discard and keep looking.
-                self.pop_heap();
-                continue;
-            }
-            if entry.at > deadline {
+        if self.live == 0 {
+            return None;
+        }
+        let bound = deadline.as_micros();
+        // Backlog first: its entries are strictly below the cursor and
+        // live wheel entries never are, so a live backlog front is the
+        // global minimum unconditionally.
+        if let Some((at, _)) = self.backlog_front() {
+            if at > bound {
                 return None;
             }
-            let event = slot.event.take().expect("checked live above");
-            slot.gen = slot.gen.wrapping_add(1);
-            self.pop_heap();
-            self.free.push(entry.slot);
-            self.live -= 1;
-            #[cfg(any(debug_assertions, test))]
-            {
-                assert!(
-                    entry.at >= self.last_popped,
-                    "event-queue time monotonicity violated: popping event at {:?} \
-                     after already firing one at {:?}",
-                    entry.at,
-                    self.last_popped,
-                );
-                self.last_popped = entry.at;
-            }
-            return Some((EventId::new(entry.slot, entry.gen), event));
+            let Reverse((at, seq, slot, gen)) = self.backlog.pop().expect("front peeked above");
+            return Some(self.fire(WheelEntry {
+                at: SimTime::from_micros(at),
+                seq,
+                slot,
+                gen,
+            }));
         }
-    }
-
-    /// Drops stale (cancelled) entries off the top of the heap.
-    fn skip_stale(&mut self) {
-        while let Some(top) = self.heap.first() {
-            let slot = &self.slots[top.slot as usize];
-            if slot.gen == top.gen && slot.event.is_some() {
-                return;
-            }
-            self.pop_heap();
-        }
-    }
-
-    /// Standard binary-heap sift-up insertion.
-    fn push_heap(&mut self, entry: HeapEntry) {
-        let mut i = self.heap.len();
-        self.heap.push(entry);
-        while i > 0 {
-            let parent = (i - 1) / 2;
-            if self.heap[i].before(&self.heap[parent]) {
-                self.heap.swap(i, parent);
-                i = parent;
-            } else {
-                break;
+        let idx = self.advance(bound)?;
+        let q = &mut self.levels[0].slots[idx];
+        let entry = q.pop_front().expect("advance leaves a live front");
+        debug_assert!(entry.at <= deadline, "advance is deadline-bounded");
+        if q.is_empty() {
+            self.levels[0].occ &= !(1 << idx);
+            if self.levels[0].occ == 0 {
+                self.lvl_occ &= !1;
             }
         }
+        Some(self.fire(entry))
     }
 
-    /// Removes the heap root (swap-remove + sift-down).
-    fn pop_heap(&mut self) {
-        let last = self.heap.len() - 1;
-        self.heap.swap(0, last);
-        self.heap.truncate(last);
-        let len = self.heap.len();
-        let mut i = 0;
+    /// Drains **all** live events sharing the next firing instant (if it
+    /// is at or before `deadline`) into `out`, in FIFO order, and returns
+    /// how many were appended. The engine's batch-dispatch loop uses this
+    /// to pay the bitmap walk once per instant instead of once per event.
+    ///
+    /// `out` is appended to, not cleared — callers reuse one scratch
+    /// buffer across batches.
+    ///
+    /// # Panics
+    ///
+    /// Same monotonicity check as [`EventQueue::pop`] (debug/test builds).
+    pub fn pop_batch_before(
+        &mut self,
+        deadline: SimTime,
+        out: &mut Vec<(EventId, Event)>,
+    ) -> usize {
+        if self.live == 0 {
+            return 0;
+        }
+        let bound = deadline.as_micros();
+        // Backlog first (see `pop_before`): a live backlog front is the
+        // global minimum, and no wheel entry can share its instant (the
+        // wheel holds nothing below the cursor), so the whole batch
+        // drains from the lane in `(at, seq)` heap order.
+        if let Some((t, _)) = self.backlog_front() {
+            if t > bound {
+                return 0;
+            }
+            let mut n = 0;
+            while let Some((at, _)) = self.backlog_front() {
+                if at != t {
+                    break;
+                }
+                let Reverse((at, seq, slot, gen)) = self.backlog.pop().expect("front peeked");
+                out.push(self.fire(WheelEntry {
+                    at: SimTime::from_micros(at),
+                    seq,
+                    slot,
+                    gen,
+                }));
+                n += 1;
+            }
+            return n;
+        }
+        let Some(idx) = self.advance(bound) else {
+            return 0;
+        };
+        let t = self.levels[0].slots[idx].front().expect("live front").at;
+        debug_assert!(t <= deadline, "advance is deadline-bounded");
+        let mut n = 0;
         loop {
-            let l = 2 * i + 1;
-            if l >= len {
+            let q = &mut self.levels[0].slots[idx];
+            let Some(&front) = q.front() else {
+                self.levels[0].occ &= !(1 << idx);
+                if self.levels[0].occ == 0 {
+                    self.lvl_occ &= !1;
+                }
+                break;
+            };
+            let lane = &self.slab[front.slot as usize];
+            if lane.gen != front.gen || lane.event.is_none() {
+                // Stale (cancelled) entry interleaved with the batch.
+                q.pop_front();
+                continue;
+            }
+            if front.at != t {
                 break;
             }
-            let r = l + 1;
-            let mut child = l;
-            if r < len && self.heap[r].before(&self.heap[l]) {
-                child = r;
+            q.pop_front();
+            if q.is_empty() {
+                self.levels[0].occ &= !(1 << idx);
+                if self.levels[0].occ == 0 {
+                    self.lvl_occ &= !1;
+                }
             }
-            if self.heap[child].before(&self.heap[i]) {
-                self.heap.swap(i, child);
-                i = child;
-            } else {
-                break;
+            out.push(self.fire(front));
+            n += 1;
+        }
+        n
+    }
+
+    /// Earliest live backlog entry as `(µs, seq)`, discarding stale
+    /// (cancelled) entries from the top of the lane on the way. One
+    /// branch when the lane is empty — the overwhelmingly common case.
+    #[inline]
+    fn backlog_front(&mut self) -> Option<(u64, u64)> {
+        while let Some(&Reverse((at, seq, slot, gen))) = self.backlog.peek() {
+            let lane = &self.slab[slot as usize];
+            if lane.gen == gen && lane.event.is_some() {
+                return Some((at, seq));
+            }
+            self.backlog.pop();
+        }
+        None
+    }
+
+    /// Extracts a popped entry's payload from the slab, retiring the slot
+    /// and advancing the wheel cursor to the firing time.
+    #[inline]
+    fn fire(&mut self, entry: WheelEntry) -> (EventId, Event) {
+        self.cur = self.cur.max(entry.at.as_micros());
+        self.next_hint = None;
+        let lane = &mut self.slab[entry.slot as usize];
+        let event = lane.event.take().expect("advance verified live");
+        lane.gen = lane.gen.wrapping_add(1);
+        self.free.push(entry.slot);
+        self.live -= 1;
+        #[cfg(any(debug_assertions, test))]
+        {
+            assert!(
+                entry.at >= self.last_popped,
+                "event-queue time monotonicity violated: popping event at {:?} \
+                 after already firing one at {:?}",
+                entry.at,
+                self.last_popped,
+            );
+            self.last_popped = entry.at;
+        }
+        (EventId::new(entry.slot, entry.gen), event)
+    }
+
+    /// Performs deferred wheel maintenance until the earliest pending
+    /// live wheel event sits at the front of a level-0 slot **and fires
+    /// at or before `bound`** (µs), returning that slot's index. Returns
+    /// `None` — a deadline miss — as soon as every candidate slot lies
+    /// beyond the bound, leaving everything queued. Stale entries
+    /// encountered on the way are discarded; coarse levels whose window
+    /// has arrived are cascaded. Never removes a live event.
+    ///
+    /// Cascading commits the cursor to the cascaded window's start, which
+    /// is `≤ bound` and `≤` every wheel entry's firing time — safe even
+    /// on a miss, because any later schedule below the committed cursor
+    /// goes to the backlog lane rather than the wheel.
+    fn advance(&mut self, bound: u64) -> Option<usize> {
+        loop {
+            // Every entry shares all digits above its level with the
+            // cursor (see `level_for`), so within a level, slot index
+            // order is absolute time order and the lowest occupied index
+            // is the earliest slot — one `trailing_zeros`, no rotation.
+            // The summary bitmap keeps this scan to non-empty levels.
+            //
+            // Level-0 candidate: slots are 1 µs wide, the slot *is* the
+            // instant. Coarse candidate: earliest occupied window start.
+            let mut l0: Option<(u64, usize)> = None;
+            let mut hi: Option<(usize, usize, u64)> = None;
+            // Runner-up coarse window start — a lower bound on every
+            // live entry outside the best candidate's level-and-slot,
+            // used below to jump the cursor past intermediate levels.
+            let mut hi2: u64 = u64::MAX;
+            let mut lvls = self.lvl_occ;
+            while lvls != 0 {
+                let lvl = lvls.trailing_zeros() as usize;
+                lvls &= lvls - 1;
+                let occ = self.levels[lvl].occ;
+                debug_assert!(occ != 0, "summary bit set on empty level");
+                let idx = occ.trailing_zeros() as usize;
+                if lvl == 0 {
+                    l0 = Some(((self.cur & !SLOT_MASK) + idx as u64, idx));
+                } else {
+                    let shift = LEVEL_BITS * lvl as u32;
+                    // The level's rotation mask; the top level's rotation
+                    // (2^66) exceeds u64, where the base is simply 0.
+                    let rot = shift + LEVEL_BITS;
+                    let base = if rot >= u64::BITS {
+                        0
+                    } else {
+                        self.cur & !((1u64 << rot) - 1)
+                    };
+                    let start = base + ((idx as u64) << shift);
+                    match hi {
+                        None => hi = Some((lvl, idx, start)),
+                        Some((_, _, s)) if start < s => {
+                            hi2 = s;
+                            hi = Some((lvl, idx, start));
+                        }
+                        Some(_) => hi2 = hi2.min(start),
+                    }
+                }
+            }
+            match (l0, hi) {
+                (None, None) => return None,
+                // Strictly earlier level-0 instant: scrub stale fronts
+                // and hand the slot to the caller. Ties go to the
+                // cascade arm below, so same-instant events still parked
+                // in a coarser wheel join the slot (in sequence order)
+                // before anything at that instant fires.
+                (Some((t0, idx)), hi) if hi.is_none_or(|(_, _, s)| t0 < s) => {
+                    if t0 > bound {
+                        // Everything live is at or beyond t0 — miss.
+                        return None;
+                    }
+                    loop {
+                        let q = &mut self.levels[0].slots[idx];
+                        let Some(front) = q.front() else {
+                            self.levels[0].occ &= !(1 << idx);
+                            if self.levels[0].occ == 0 {
+                                self.lvl_occ &= !1;
+                            }
+                            break;
+                        };
+                        let lane = &self.slab[front.slot as usize];
+                        if lane.gen == front.gen && lane.event.is_some() {
+                            return Some(idx);
+                        }
+                        q.pop_front();
+                    }
+                }
+                (_, Some((lvl, idx, start))) => {
+                    if start > bound {
+                        // The earliest candidate window opens past the
+                        // deadline — miss, commit nothing further.
+                        return None;
+                    }
+                    // Jump the cursor as far as provably safe — to the
+                    // earliest live firing time anywhere in the wheel —
+                    // before redistributing, so the slot's minimum drops
+                    // straight to level 0 instead of descending one
+                    // level per pop. Outside this slot, every live entry
+                    // is bounded below by the runner-up candidate, the
+                    // level-0 instant, or this level's next occupied
+                    // window; inside, by the slot's own live minimum.
+                    let mut outside = hi2;
+                    if let Some((t0, _)) = l0 {
+                        outside = outside.min(t0);
+                    }
+                    let shift = LEVEL_BITS * lvl as u32;
+                    let rest = self.levels[lvl].occ & !(1 << idx);
+                    if rest != 0 {
+                        let rot = shift + LEVEL_BITS;
+                        let base = if rot >= u64::BITS {
+                            0
+                        } else {
+                            self.cur & !((1u64 << rot) - 1)
+                        };
+                        outside = outside.min(base + ((rest.trailing_zeros() as u64) << shift));
+                    }
+                    // `u64::MAX` is the "effectively disabled" timer
+                    // sentinel, so an empty minimum and an entry at MAX
+                    // coincide here — both are safe: some live entry
+                    // always bounds the jump (the caller checked live).
+                    let mut inside = u64::MAX;
+                    for e in &self.levels[lvl].slots[idx] {
+                        let lane = &self.slab[e.slot as usize];
+                        if lane.gen == e.gen && lane.event.is_some() {
+                            inside = inside.min(e.at.as_micros());
+                        }
+                    }
+                    self.cur = self.cur.max(start).max(inside.min(outside));
+                    self.cascade(lvl, idx);
+                }
+                (Some(_), None) => unreachable!("guard above accepts hi == None"),
             }
         }
+    }
+
+    /// Drains one coarse-level slot and redistributes its live entries
+    /// into finer levels (stale entries are dropped here, which is where
+    /// lazily-cancelled far-future timers finally get collected).
+    fn cascade(&mut self, lvl: usize, idx: usize) {
+        debug_assert!(lvl > 0);
+        let level = &mut self.levels[lvl];
+        level.occ &= !(1 << idx);
+        if level.occ == 0 {
+            self.lvl_occ &= !(1 << lvl);
+        }
+        // Draining front-to-back keeps seq order among the re-placed
+        // entries; every live entry lands at a strictly lower level (the
+        // cursor now shares this window's digits at and above `lvl`), so
+        // the drain never feeds itself.
+        while let Some(e) = self.levels[lvl].slots[idx].pop_front() {
+            let stale = {
+                let lane = &self.slab[e.slot as usize];
+                lane.gen != e.gen || lane.event.is_none()
+            };
+            if !stale {
+                // The slab's reclaim coordinates are deliberately left
+                // behind: refreshing them would touch a scattered cache
+                // line per entry per level descended, and `cancel`
+                // validates the coordinates before reclaiming anyway.
+                self.place(e);
+            }
+        }
+    }
+
+    /// Places a wheel entry into the level/slot its firing time hashes
+    /// to, keeping the slot list seq-sorted, and returns the coordinates
+    /// (for `cancel`'s in-place reclaim — recorded by `schedule` only).
+    #[inline]
+    fn place(&mut self, e: WheelEntry) -> (usize, usize) {
+        let at = e.at.as_micros();
+        let lvl = level_for(at, self.cur);
+        let idx = ((at >> (LEVEL_BITS * lvl as u32)) & SLOT_MASK) as usize;
+        let level = &mut self.levels[lvl];
+        let q = &mut level.slots[idx];
+        // Direct schedules always carry the largest sequence and append;
+        // only cascaded entries can interleave with newer direct ones,
+        // and those are placed by binary search to keep the list
+        // seq-sorted (the ordering proof leans on this invariant).
+        if q.back().is_some_and(|b| b.seq > e.seq) {
+            let pos = q.partition_point(|x| x.seq < e.seq);
+            q.insert(pos, e);
+        } else {
+            q.push_back(e);
+        }
+        level.occ |= 1 << idx;
+        self.lvl_occ |= 1 << lvl;
+        (lvl, idx)
     }
 }
 
@@ -394,9 +1001,23 @@ mod tests {
     }
 
     #[test]
+    fn next_fire_time_matches_peek_without_mutating() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_fire_time(), None);
+        let a = q.schedule(ev(90_000, 1)); // level ≥ 1
+        q.schedule(ev(200_000, 2));
+        q.schedule(ev(150, 3));
+        assert_eq!(q.next_fire_time(), Some(SimTime::from_micros(150)));
+        q.pop().unwrap();
+        q.cancel(a);
+        assert_eq!(q.next_fire_time(), Some(SimTime::from_micros(200_000)));
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(200_000)));
+    }
+
+    #[test]
     fn slot_reuse_does_not_resurrect_cancelled_events() {
         // Cancel an event, then schedule new ones until the freed slot is
-        // reused: the stale heap entry must not fire the new occupant, and
+        // reused: the stale wheel entry must not fire the new occupant, and
         // the old id must stay dead.
         let mut q = EventQueue::new();
         let dead = q.schedule(ev(10, 1));
@@ -483,6 +1104,7 @@ mod tests {
         recycled.reset();
         assert!(recycled.is_empty());
         assert!(!recycled.is_pending(dead), "pre-reset ids must be dead");
+        assert_eq!(recycled.stats(), QueueStats::default());
         assert_eq!(drive(&mut recycled), fresh_run);
     }
 
@@ -505,5 +1127,140 @@ mod tests {
             .collect();
         let expected: Vec<u64> = (0..50u64).filter(|t| t % 3 != 0).chain(50..80).collect();
         assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn same_instant_fifo_across_wheel_levels() {
+        // The regression the cascade tie-break exists for: an event parked
+        // in a coarse level (scheduled when its instant was ≥ 64 µs away)
+        // must still fire before a same-instant event scheduled later
+        // straight into level 0.
+        let mut q = EventQueue::new();
+        q.schedule(ev(0, 0));
+        q.schedule(ev(64, 1)); // 64 µs ahead → level 1
+        q.pop().unwrap(); // advances the cursor to t=0… then schedule again
+        q.schedule(ev(1, 2));
+        q.pop().unwrap(); // cursor at t=1; t=64 is now 63 µs away
+        q.schedule(ev(64, 3)); // → level 0 directly
+        q.schedule(ev(64, 4));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| tag_of(&e))
+            .collect();
+        assert_eq!(order, vec![1, 3, 4], "cascaded event must keep seq order");
+    }
+
+    #[test]
+    fn far_future_events_cascade_in_order() {
+        // Events seconds-to-hours apart descend through multiple levels;
+        // order and payloads must survive every cascade.
+        let mut q = EventQueue::new();
+        let times: &[u64] = &[
+            3_600_000_000, // 1 h → level 5
+            1_000_000,     // 1 s → level 3
+            64,            // level 1
+            5,             // level 0
+            1_000_001,
+            1_000_000, // same instant as the earlier 1 s event
+        ];
+        for (tag, &t) in times.iter().enumerate() {
+            q.schedule(ev(t, tag as u64));
+        }
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| (e.at.as_micros(), tag_of(&e)))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (5, 3),
+                (64, 2),
+                (1_000_000, 1),
+                (1_000_000, 5),
+                (1_000_001, 4),
+                (3_600_000_000, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn sentinel_max_time_events_survive() {
+        // SimTime::MAX is the "effectively disabled" timer sentinel; it
+        // must park in the top level, cancel cleanly, and even pop.
+        let mut q = EventQueue::new();
+        let far = q.schedule(ev(u64::MAX, 1));
+        q.schedule(ev(10, 2));
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(10)));
+        q.pop().unwrap();
+        assert!(q.cancel(far));
+        assert!(q.pop().is_none());
+        let again = q.schedule(ev(u64::MAX, 3));
+        assert!(q.is_pending(again));
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(tag_of(&e), 3);
+    }
+
+    #[test]
+    fn pop_batch_drains_exactly_one_instant() {
+        let mut q = EventQueue::new();
+        for tag in 0..5 {
+            q.schedule(ev(100, tag));
+        }
+        let dead = q.schedule(ev(100, 99));
+        q.schedule(ev(200, 7));
+        q.schedule(ev(100, 5));
+        q.cancel(dead);
+        let mut batch = Vec::new();
+        let n = q.pop_batch_before(SimTime::MAX, &mut batch);
+        assert_eq!(n, 6);
+        let tags: Vec<u64> = batch.iter().map(|(_, e)| tag_of(e)).collect();
+        assert_eq!(tags, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(q.len(), 1);
+        batch.clear();
+        assert_eq!(
+            q.pop_batch_before(SimTime::from_micros(150), &mut batch),
+            0,
+            "next instant is past the deadline"
+        );
+        assert_eq!(q.pop_batch_before(SimTime::MAX, &mut batch), 1);
+        assert_eq!(tag_of(&batch[0].1), 7);
+        assert_eq!(q.pop_batch_before(SimTime::MAX, &mut batch), 0);
+    }
+
+    #[test]
+    fn cancel_reclaims_newest_entry_in_place() {
+        // The RTO pattern: schedule then immediately cancel, thousands of
+        // times. The in-place reclaim must keep the wheel slot empty
+        // instead of accumulating stale entries.
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            let id = q.schedule(ev(1_000_000 + i % 3, i));
+            assert!(q.cancel(id));
+        }
+        assert!(q.is_empty());
+        let occupied: u64 = (0..LEVELS).map(|l| q.levels[l].occ).sum();
+        assert_eq!(occupied, 0, "reclaimed slots must clear occupancy");
+        assert_eq!(q.stats().cancels, 10_000);
+        assert_eq!(q.stats().cancel_ratio(), 1.0);
+    }
+
+    #[test]
+    fn stats_track_depth_and_churn() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(ev(10, 1));
+        q.schedule(ev(20, 2));
+        q.schedule(ev(30, 3));
+        q.cancel(a);
+        q.pop().unwrap();
+        let s = q.stats();
+        assert_eq!(s.schedules, 3);
+        assert_eq!(s.cancels, 1);
+        assert_eq!(s.max_depth, 3);
+        assert_eq!(s.depth_sum, 1 + 2 + 3);
+        assert!((s.mean_depth() - 2.0).abs() < 1e-12);
+        assert!((s.cancel_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        let mut agg = QueueStats::default();
+        agg.merge(&s);
+        agg.merge(&s);
+        assert_eq!(agg.schedules, 6);
+        assert_eq!(agg.max_depth, 3);
     }
 }

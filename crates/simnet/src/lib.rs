@@ -50,6 +50,8 @@ pub mod chaos;
 pub mod engine;
 pub mod error;
 pub mod event;
+#[cfg(any(test, feature = "heap-reference"))]
+pub mod event_heap;
 pub mod link;
 pub mod loss;
 pub mod loss_ext;
@@ -67,7 +69,7 @@ pub mod prelude {
     pub use crate::chaos::{StormEpisode, StormInjector, StormKind, StormPlan};
     pub use crate::engine::{Ctx, Engine};
     pub use crate::error::SimError;
-    pub use crate::event::EventId;
+    pub use crate::event::{EventId, QueueStats};
     pub use crate::link::{LinkId, LinkSpec, QueuedPacket};
     pub use crate::loss::{Bernoulli, ChannelLoss, GilbertElliott, LossModel, Outage};
     pub use crate::loss_ext::{PeriodicOutage, Scripted, TraceDriven};

@@ -12,6 +12,7 @@ use crate::receiver::{Receiver, ReceiverConfig};
 use crate::reno::{RenoSender, SenderConfig};
 use hsm_simnet::cellular::{CellLayout, ChannelProcess, ChannelStats, HandoffParams};
 use hsm_simnet::error::SimError;
+use hsm_simnet::event::QueueStats;
 use hsm_simnet::link::{LinkId, LinkSpec};
 use hsm_simnet::loss::{Bernoulli, ChannelLoss, GilbertElliott};
 use hsm_simnet::mobility::Trajectory;
@@ -185,6 +186,9 @@ pub struct ConnectionOutcome {
     /// Discrete events the simulator processed for this run (campaign
     /// telemetry).
     pub events_processed: u64,
+    /// Event-queue telemetry for this run: schedule/cancel volume and
+    /// live depth, surfaced into the simnet bench baseline.
+    pub queue: QueueStats,
 }
 
 /// Reusable per-worker state for running many flows through one engine.
@@ -394,6 +398,7 @@ pub fn try_run_connection_with(
         channel,
         finished_at: eng.now(),
         events_processed: eng.events_processed(),
+        queue: eng.queue_stats(),
     })
 }
 

@@ -234,6 +234,7 @@ pub fn run_with_backup_path(
         channel: chan.map(|c| eng.agent_mut::<ChannelProcess>(c).expect("channel").stats),
         finished_at: eng.now(),
         events_processed: eng.events_processed(),
+        queue: eng.queue_stats(),
     }
 }
 

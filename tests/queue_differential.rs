@@ -1,0 +1,226 @@
+//! Differential proptest: the timing-wheel `EventQueue` against the
+//! retired binary-heap `HeapEventQueue` (compiled back in via the
+//! `heap-reference` feature).
+//!
+//! The wheel's `(firing time, insertion sequence)` total FIFO order is a
+//! contract every bit-identical-replay suite in the workspace leans on,
+//! and its proof (DESIGN.md §15) rests on invariants that are easy to
+//! break silently — cascade tie-breaks, seq-sorted slot lists, lazy
+//! cancellation. The heap's ordering, by contrast, is one comparator.
+//! So: feed randomized schedule/cancel/pop interleavings to both queues
+//! and assert they agree on **everything observable** — pop order, event
+//! payloads, issued and popped `EventId`s, cancel return values, peeked
+//! times and live counts. Any divergence is a wheel bug by definition.
+
+use hsm_simnet::agent::AgentId;
+use hsm_simnet::event::{Event, EventId, EventKind, EventQueue};
+use hsm_simnet::event_heap::HeapEventQueue;
+use hsm_simnet::time::SimTime;
+use proptest::prelude::*;
+
+/// One scripted queue operation. Times are deltas so the generator can
+/// never violate the monotonicity invariant (schedules land at or after
+/// the last fired instant in both queues alike).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Schedule at `last_fired + dt` (dt spans all wheel levels).
+    Schedule { dt: u64 },
+    /// Cancel the k-th currently-live id (no-op when none are live) —
+    /// and, every other time, re-cancel an already-dead id to check the
+    /// `false` path agrees too.
+    Cancel { k: usize, dead: bool },
+    /// Pop one event from both queues and compare everything.
+    Pop,
+    /// Pop with a deadline `last_fired + dt` (exercises the "leave it
+    /// queued" path at wheel-slot boundaries).
+    PopBefore { dt: u64 },
+    /// Compare `peek_time` (both queues do deferred maintenance here).
+    Peek,
+}
+
+/// Time deltas spanning all wheel levels: level 0 (< 64 µs), the mid
+/// wheels, and far-future instants that must cascade several levels down.
+fn arb_dt() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..64,
+        0u64..4096,
+        0u64..262_144,
+        0u64..1_000_000_000,
+        1_000_000_000_000u64..2_000_000_000_000,
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        arb_dt().prop_map(|dt| Op::Schedule { dt }),
+        arb_dt().prop_map(|dt| Op::Schedule { dt }),
+        arb_dt().prop_map(|dt| Op::Schedule { dt }),
+        (0usize..64, 0u64..2).prop_map(|(k, d)| Op::Cancel { k, dead: d == 1 }),
+        Just(Op::Pop),
+        Just(Op::Pop),
+        arb_dt().prop_map(|dt| Op::PopBefore { dt }),
+        Just(Op::Peek),
+    ]
+}
+
+fn ev(at_us: u64, tag: u64) -> Event {
+    Event {
+        at: SimTime::from_micros(at_us),
+        dst: AgentId::from_raw(0),
+        kind: EventKind::Timer { tag },
+    }
+}
+
+fn tag_of(e: &Event) -> u64 {
+    match e.kind {
+        EventKind::Timer { tag } => tag,
+        _ => unreachable!("script schedules only timers"),
+    }
+}
+
+/// Drives both queues through one op script, asserting observable
+/// equivalence after every step. Returns the popped `(time, seq-tag)`
+/// stream for final whole-run comparison.
+fn run_script(ops: &[Op]) {
+    let mut wheel = EventQueue::new();
+    let mut heap = HeapEventQueue::new();
+    // Live ids as issued (identical between queues, also asserted).
+    let mut live: Vec<EventId> = Vec::new();
+    let mut dead: Vec<EventId> = Vec::new();
+    let mut last_fired: u64 = 0;
+    let mut next_tag: u64 = 0;
+    let mut popped: Vec<(u64, u64)> = Vec::new();
+
+    let check_pop = |live: &mut Vec<EventId>,
+                     dead: &mut Vec<EventId>,
+                     last_fired: &mut u64,
+                     popped: &mut Vec<(u64, u64)>,
+                     w: Option<(EventId, Event)>,
+                     h: Option<(EventId, Event)>| {
+        match (w, h) {
+            (None, None) => {}
+            (Some((wid, we)), Some((hid, he))) => {
+                assert_eq!(wid, hid, "popped EventIds diverged");
+                assert_eq!(we.at, he.at, "popped times diverged");
+                assert_eq!(tag_of(&we), tag_of(&he), "popped payloads diverged");
+                *last_fired = we.at.as_micros();
+                popped.push((we.at.as_micros(), tag_of(&we)));
+                live.retain(|id| *id != wid);
+                dead.push(wid);
+            }
+            (w, h) => panic!("one queue popped, the other did not: {w:?} vs {h:?}"),
+        }
+    };
+
+    for op in ops {
+        match *op {
+            Op::Schedule { dt } => {
+                let at = last_fired.saturating_add(dt);
+                let e = ev(at, next_tag);
+                next_tag += 1;
+                let wid = wheel.schedule(e);
+                let hid = heap.schedule(e);
+                assert_eq!(wid, hid, "issued EventIds diverged");
+                live.push(wid);
+            }
+            Op::Cancel { k, dead: use_dead } => {
+                if use_dead && !dead.is_empty() {
+                    let id = dead[k % dead.len()];
+                    assert!(!wheel.cancel(id), "wheel revived a dead id");
+                    assert!(!heap.cancel(id), "heap revived a dead id");
+                } else if !live.is_empty() {
+                    let id = live.remove(k % live.len());
+                    assert!(wheel.cancel(id), "wheel lost a live id");
+                    assert!(heap.cancel(id), "heap lost a live id");
+                    dead.push(id);
+                }
+            }
+            Op::Pop => {
+                let w = wheel.pop();
+                let h = heap.pop();
+                check_pop(&mut live, &mut dead, &mut last_fired, &mut popped, w, h);
+            }
+            Op::PopBefore { dt } => {
+                let deadline = SimTime::from_micros(last_fired.saturating_add(dt));
+                let w = wheel.pop_before(deadline);
+                let h = heap.pop_before(deadline);
+                check_pop(&mut live, &mut dead, &mut last_fired, &mut popped, w, h);
+            }
+            Op::Peek => {
+                assert_eq!(wheel.peek_time(), heap.peek_time(), "peek diverged");
+                assert_eq!(
+                    wheel.next_fire_time(),
+                    heap.peek_time(),
+                    "non-mutating peek diverged"
+                );
+            }
+        }
+        assert_eq!(wheel.len(), heap.len(), "live counts diverged");
+        for id in &live {
+            assert!(wheel.is_pending(*id) && heap.is_pending(*id));
+        }
+    }
+    // Drain to empty: the tail order must agree too.
+    loop {
+        let w = wheel.pop();
+        let h = heap.pop();
+        let done = w.is_none();
+        check_pop(&mut live, &mut dead, &mut last_fired, &mut popped, w, h);
+        if done {
+            break;
+        }
+    }
+    assert!(wheel.is_empty() && heap.is_empty());
+    // The popped stream must be sorted by (time, schedule order): tags
+    // are issued in schedule order, so within one instant they ascend.
+    for pair in popped.windows(2) {
+        assert!(
+            pair[0].0 < pair[1].0 || (pair[0].0 == pair[1].0 && pair[0].1 < pair[1].1),
+            "pop stream violates (time, seq) order: {pair:?}"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn wheel_and_heap_pop_identically(ops in proptest::collection::vec(arb_op(), 1..300)) {
+        run_script(&ops);
+    }
+}
+
+/// The regression the cascade tie-break exists for, as a fixed script:
+/// same-instant events split between a coarse wheel level (scheduled far
+/// ahead) and level 0 (scheduled close) must interleave by seq.
+#[test]
+fn cross_level_same_instant_script() {
+    let ops = [
+        Op::Schedule { dt: 0 },   // t=0, tag 0
+        Op::Schedule { dt: 100 }, // t=100 → level 1, tag 1
+        Op::Pop,                  // fires tag 0, cursor at 0
+        Op::Schedule { dt: 60 },  // t=60, tag 2
+        Op::Pop,                  // fires tag 2, cursor at 60
+        Op::Schedule { dt: 40 },  // t=100 → now level 0, tag 3
+        Op::Schedule { dt: 40 },  // t=100, tag 4
+        Op::Peek,
+        Op::Pop,
+        Op::Pop,
+        Op::Pop,
+    ];
+    run_script(&ops);
+}
+
+/// Schedule-then-cancel churn (the RTO pattern) mixed with pops, across
+/// level boundaries.
+#[test]
+fn rto_churn_script() {
+    let mut ops = Vec::new();
+    for i in 0..200 {
+        ops.push(Op::Schedule { dt: 200_000 + i });
+        ops.push(Op::Cancel { k: 0, dead: false });
+        ops.push(Op::Schedule { dt: 63 });
+        if i % 3 == 0 {
+            ops.push(Op::Pop);
+        }
+    }
+    run_script(&ops);
+}

@@ -144,6 +144,12 @@ awk -v base="$baseline_warm_disk" -v fresh="$fresh_warm_disk" -v tol="$WARM_TOLE
 
 # The parallel-speedup criterion is physical only when the host actually
 # has >= 4 cores; a 1-core container running 4 threads proves nothing.
+# When the gate cannot run, say so LOUDLY: the committed BENCH_campaign
+# baseline records speedup_w4 ~= 1.0 on a small host, and a quiet skip
+# lets that read as "scaling verified" forever. The `SKIPPED` marker
+# below is load-bearing — CI greps for it and surfaces the skip in the
+# stage summary instead of burying it in the log.
+baseline_cores="$(extract "$CAMPAIGN_BASELINE" host_cores)"
 if [[ "$fresh_cores" -ge 4 ]]; then
     awk -v s="$fresh_speedup_w4" -v min="$MIN_SPEEDUP" 'BEGIN {
         printf "bench gate: campaign 4-worker cold speedup %.2fx (minimum %.2fx)\n", s, min;
@@ -153,6 +159,13 @@ if [[ "$fresh_cores" -ge 4 ]]; then
         }
         exit 0;
     }'
+    if [[ -n "$baseline_cores" && "$baseline_cores" -lt 4 ]]; then
+        echo "bench gate: note — committed baseline was recorded on a $baseline_cores-core host; its speedup_w4 is not comparable. Re-baseline on this hardware."
+    fi
 else
-    echo "bench gate: host has $fresh_cores core(s) — skipping the 4-worker speedup gate (needs >= 4)"
+    echo "=================================================================="
+    echo "bench gate: SKIPPED — 4-worker speedup gate NOT ENFORCED"
+    echo "bench gate: SKIPPED — host has $fresh_cores core(s), gate needs >= 4;"
+    echo "bench gate: SKIPPED — parallel scaling is UNVERIFIED by this run"
+    echo "=================================================================="
 fi

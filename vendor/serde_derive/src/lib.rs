@@ -8,7 +8,9 @@
 //! Supported shapes — exactly what the workspace uses:
 //!
 //! * structs with named fields (including `#[serde(default)]` fields and
-//!   `Option<T>` fields, which tolerate being absent);
+//!   `Option<T>` fields, which tolerate being absent, and
+//!   `#[serde(skip)]` fields, which are never written and always
+//!   reconstructed from `Default`);
 //! * tuple structs (newtypes serialize transparently, wider tuples as
 //!   arrays);
 //! * enums with unit, tuple and struct variants (externally tagged, like
@@ -22,7 +24,16 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     has_default: bool,
+    skipped: bool,
     is_option: bool,
+}
+
+/// serde attributes honoured by the stub (`#[serde(default)]`,
+/// `#[serde(skip)]`).
+#[derive(Default, Clone, Copy)]
+struct FieldAttrs {
+    has_default: bool,
+    skipped: bool,
 }
 
 enum Shape {
@@ -47,26 +58,33 @@ enum Item {
     },
 }
 
-/// True if an attribute token group is `serde(default)` (possibly among
-/// other serde options; only `default` is honoured).
-fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+/// Reads the serde options the stub honours out of one attribute token
+/// group: `serde(default)` and `serde(skip)` (possibly among other serde
+/// options; everything else is ignored).
+fn attr_serde_flags(group: &proc_macro::Group) -> FieldAttrs {
+    let mut flags = FieldAttrs::default();
     let mut tokens = group.stream().into_iter();
     match tokens.next() {
         Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
-        _ => return false,
+        _ => return flags,
     }
-    match tokens.next() {
-        Some(TokenTree::Group(inner)) => inner
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default")),
-        _ => false,
+    if let Some(TokenTree::Group(inner)) = tokens.next() {
+        for t in inner.stream() {
+            if let TokenTree::Ident(i) = &t {
+                match i.to_string().as_str() {
+                    "default" => flags.has_default = true,
+                    "skip" => flags.skipped = true,
+                    _ => {}
+                }
+            }
+        }
     }
+    flags
 }
 
-/// Consumes leading attributes; returns whether any was `serde(default)`.
-fn skip_attrs(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
-    let mut has_default = false;
+/// Consumes leading attributes; returns the honoured serde flags.
+fn skip_attrs(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> FieldAttrs {
+    let mut flags = FieldAttrs::default();
     while let Some(TokenTree::Punct(p)) = iter.peek() {
         if p.as_char() != '#' {
             break;
@@ -74,13 +92,13 @@ fn skip_attrs(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>
         iter.next();
         // Outer attribute: `#` is followed by exactly one bracket group.
         if let Some(TokenTree::Group(g)) = iter.peek() {
-            if attr_is_serde_default(g) {
-                has_default = true;
-            }
+            let f = attr_serde_flags(g);
+            flags.has_default |= f.has_default;
+            flags.skipped |= f.skipped;
             iter.next();
         }
     }
-    has_default
+    flags
 }
 
 /// Consumes an optional `pub` / `pub(crate)` visibility.
@@ -99,7 +117,7 @@ fn parse_named_fields(group: proc_macro::Group) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut iter = group.stream().into_iter().peekable();
     loop {
-        let has_default = skip_attrs(&mut iter);
+        let attrs = skip_attrs(&mut iter);
         skip_vis(&mut iter);
         let name = match iter.next() {
             Some(TokenTree::Ident(i)) => i.to_string(),
@@ -125,7 +143,8 @@ fn parse_named_fields(group: proc_macro::Group) -> Vec<Field> {
         }
         fields.push(Field {
             name,
-            has_default,
+            has_default: attrs.has_default,
+            skipped: attrs.skipped,
             is_option,
         });
     }
@@ -238,6 +257,7 @@ fn parse_item(input: TokenStream) -> Item {
 fn gen_serialize_fields_named(fields: &[Field], access: &str) -> String {
     let pushes: Vec<String> = fields
         .iter()
+        .filter(|f| !f.skipped)
         .map(|f| {
             format!(
                 "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value({access}{n})),",
@@ -317,6 +337,11 @@ fn gen_deserialize_fields_named(fields: &[Field], type_label: &str) -> String {
         .iter()
         .map(|f| {
             let n = &f.name;
+            if f.skipped {
+                // A skipped field is never read from the input, even if a
+                // same-named key is present.
+                return format!("{n}: ::std::default::Default::default(),");
+            }
             let fallback = if f.has_default {
                 "::std::default::Default::default()".to_string()
             } else if f.is_option {

@@ -42,6 +42,15 @@ stage_build_test() {
         grep -q "\"label\":\"$cc\"" CC_STUDY.json \
             || { echo "cc-study: no deviation row for $cc" >&2; exit 1; }
     done
+    # Loss-recovery study smoke: every countermeasure must produce a
+    # campaign row, a chaos-storm row, and a measured-vs-modeled fit per
+    # provider (the command exits non-zero when any slice is empty or the
+    # storm never drove the baseline into timeouts).
+    ./target/release/repro recovery-study --smoke
+    for r in None RedundantRto Frto AckRobust; do
+        grep -q "\"label\":\"$r\"" RECOVERY_report.json \
+            || { echo "recovery-study: no row for $r" >&2; exit 1; }
+    done
     # Spec-driven campaign smoke: the committed smoke spec, run as one
     # process and as two OS-process shards, must merge to byte-identical
     # reports (the shard/merge path is a results-identity, not a results

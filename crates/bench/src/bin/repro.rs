@@ -608,6 +608,59 @@ fn cc_study_cmd(args: Vec<String>) -> ExitCode {
     }
 }
 
+/// `repro recovery-study [--smoke | --full] [--workers W]`: measures the
+/// §V loss-recovery countermeasures per provider — a high-speed campaign
+/// slice plus a chaos-storm (delayed-but-not-lost ACK flap) slice per
+/// variant — and fits the model's predicted gains against the measured
+/// ones. Writes `RECOVERY_report.json`; exits non-zero when any slice
+/// comes back empty or the storm never drove the baseline into timeouts.
+fn recovery_study_cmd(args: Vec<String>) -> ExitCode {
+    let opts = match cli::parse("recovery-study", args, &["--smoke", "--full", "--workers"]) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let report = match hsm_bench::recovery_study::run_recovery_study(opts.scale, opts.workers) {
+        Ok(r) => r,
+        Err(e) => return fail(format!("recovery-study failed: {e}")),
+    };
+    let json = match serde_json::to_string(&report) {
+        Ok(j) => j,
+        Err(e) => return fail(format!("failed to serialize recovery-study report: {e}")),
+    };
+    if let Err(e) = std::fs::write("RECOVERY_report.json", &json) {
+        return fail(format!("failed to write RECOVERY_report.json: {e}"));
+    }
+    println!(
+        "recovery-study: {} providers x {} variants ({} campaign + {} storm flows each) at {} scale",
+        report.providers.len(),
+        report.providers.first().map_or(0, |p| p.storm.len()),
+        report.campaign_flows_per_slice,
+        report.storm_flows_per_slice,
+        report.scale
+    );
+    for study in &report.providers {
+        for row in &study.storm {
+            println!(
+                "{}",
+                hsm_bench::recovery_study::render_storm_row(&study.provider, row)
+            );
+        }
+        for fit in &study.fits {
+            println!(
+                "{}",
+                hsm_bench::recovery_study::render_fit_row(&study.provider, fit)
+            );
+        }
+    }
+    println!("best storm gain: {:+.1} %", report.best_storm_gain_pct());
+    println!("wrote RECOVERY_report.json");
+    if report.complete() {
+        ExitCode::SUCCESS
+    } else {
+        fail("recovery-study incomplete: an empty slice or a storm that never bit")
+    }
+}
+
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
     eprintln!("{msg}");
     ExitCode::FAILURE
@@ -620,7 +673,8 @@ fn usage() {
     println!("       repro bench [--smoke | --full] [--spec FILE] [--workers W]");
     println!("       repro cache migrate --cache-dir DIR");
     println!("       repro chaos [--seed N] [--cases M] [--workers W] [--spec FILE]");
-    println!("       repro cc-study [--smoke | --full] [--workers W] [--spec FILE]\n");
+    println!("       repro cc-study [--smoke | --full] [--workers W] [--spec FILE]");
+    println!("       repro recovery-study [--smoke | --full] [--workers W]\n");
     println!("experiments:");
     for e in EXPERIMENTS {
         println!("  {:10} {}", e.id, e.about);
@@ -638,6 +692,9 @@ fn usage() {
     println!("`repro cc-study` sweeps the congestion-control zoo through");
     println!("the campaign engine, evaluates the enhanced/Padhye models");
     println!("against each controller, and writes CC_STUDY.json.");
+    println!("`repro recovery-study` measures the loss-recovery zoo per");
+    println!("provider under a delayed-ACK chaos storm, fits the model's");
+    println!("predicted gains, and writes RECOVERY_report.json.");
     println!("BENCH_campaign.json always records the Stress-scale worker");
     println!("matrix (cold/warm x workers in {{1, 2, 4, max}}), regardless");
     println!("of the --smoke/--full flags.");
@@ -702,6 +759,7 @@ fn main() -> ExitCode {
         Some("bench") => bench_cmd(rest(&args)),
         Some("chaos") => chaos_cmd(rest(&args)),
         Some("cc-study") => cc_study_cmd(rest(&args)),
+        Some("recovery-study") => recovery_study_cmd(rest(&args)),
         _ => experiments_cmd(args),
     }
 }

@@ -28,6 +28,7 @@ pub mod cc_study;
 pub mod cli;
 pub mod context;
 pub mod experiments;
+pub mod recovery_study;
 pub mod registry;
 pub mod report;
 pub mod simnet_bench;

@@ -11,13 +11,15 @@ use hsm_runtime::cache::{chaos_corrupt_disk_entry, chaos_forge_disk_entry, Cache
 use hsm_runtime::{CacheConfig, Campaign, ChaosInjection, EngineError, FlowCache};
 use hsm_scenario::prelude::*;
 use hsm_simnet::agent::{Agent, NullAgent};
-use hsm_simnet::chaos::{StormInjector, StormPlan};
+use hsm_simnet::chaos::{StormEpisode, StormInjector, StormKind, StormPlan};
 use hsm_simnet::engine::{Ctx, Engine};
 use hsm_simnet::link::{LinkId, LinkSpec};
 use hsm_simnet::packet::{FlowId, Packet, SeqNo};
 use hsm_simnet::time::{SimDuration, SimTime};
 use hsm_tcp::connection::{try_run_connection, ConnectionConfig, LossSpec, PathSpec};
-use hsm_tcp::reno::SenderConfig;
+use hsm_tcp::receiver::{Receiver, ReceiverConfig};
+use hsm_tcp::recovery::Recovery;
+use hsm_tcp::reno::{RenoSender, SenderConfig};
 use hsm_trace::analysis::timeout::TimeoutConfig;
 use hsm_trace::summary::analyze_flow;
 use std::path::Path;
@@ -60,6 +62,7 @@ pub fn run_drills(dir: &Path) -> Vec<DrillResult> {
         result("cache-forgery", drill_cache_forgery(dir)),
         result("link-storm", drill_link_storm()),
         result("ack-burst-loss", drill_ack_burst_loss()),
+        result("ack-delay-frto-undo", drill_ack_delay_frto_undo()),
         result("scratch-poison", drill_scratch_poison()),
         result("spec-roundtrip", drill_spec_roundtrip()),
     ]
@@ -308,6 +311,101 @@ fn drill_ack_burst_loss() -> Result<String, String> {
     Ok(format!(
         "ACK loss rose from {:.4} to {:.4} under burst episodes, deterministically",
         clean.p_a, stormy.p_a
+    ))
+}
+
+/// A *delayed-but-not-lost* ACK-burst storm: uplink `Flap` episodes hold
+/// every ACK back long enough to expire the retransmission timer, then
+/// deliver them all. Plain RFC 6298 collapses its window on each
+/// (spurious) timeout; the F-RTO sender must recognize the delay from
+/// the post-timeout ACK pattern — the undo counter fires — and deliver
+/// strictly more data than the no-recovery sender over the same horizon
+/// and seed. The comparison itself must replay identically.
+fn drill_ack_delay_frto_undo() -> Result<String, String> {
+    let run = |recovery: Recovery| {
+        let mut eng = Engine::new(31);
+        let tx = eng.add_agent(Box::new(RenoSender::new(
+            FlowId(0),
+            LinkId::from_raw(0),
+            SenderConfig {
+                stop_after: Some(SimDuration::from_secs(8)),
+                recovery,
+                ..Default::default()
+            },
+        )));
+        let rx = eng.add_agent(Box::new(Receiver::new(
+            FlowId(0),
+            LinkId::from_raw(0),
+            ReceiverConfig::default(),
+        )));
+        let down = eng.add_link(
+            LinkSpec::new(rx, "downlink")
+                .bandwidth_bps(50_000_000)
+                .prop_delay(SimDuration::from_millis(25)),
+        );
+        let up = eng.add_link(
+            LinkSpec::new(tx, "uplink")
+                .bandwidth_bps(50_000_000)
+                .prop_delay(SimDuration::from_millis(25)),
+        );
+        eng.agent_mut::<RenoSender>(tx).expect("sender").data_link = down;
+        eng.agent_mut::<Receiver>(rx).expect("receiver").uplink = up;
+        // Four ACK-holding episodes: every ACK is delayed ~800 ms (far
+        // past the RTO) but none is dropped.
+        let plan = StormPlan {
+            episodes: [400u64, 2_500, 4_500, 6_400]
+                .iter()
+                .map(|&at| StormEpisode {
+                    at: SimTime::from_millis(at),
+                    duration: SimDuration::from_millis(800),
+                    kind: StormKind::Flap(SimDuration::from_millis(800)),
+                })
+                .collect(),
+        };
+        eng.add_agent(Box::new(StormInjector::new(up, plan)));
+        eng.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+        let delivered = eng
+            .agent_mut::<Receiver>(rx)
+            .expect("receiver")
+            .metrics
+            .next_expected;
+        let sender = eng.agent_mut::<RenoSender>(tx).expect("sender");
+        (
+            delivered,
+            sender.metrics.spurious_rto_undone,
+            sender.metrics.timeouts.len() as u64,
+        )
+    };
+    let (frto_delivered, undone, timeouts) = run(Recovery::Frto);
+    let replay = run(Recovery::Frto);
+    if replay != (frto_delivered, undone, timeouts) {
+        return Err(format!(
+            "F-RTO run not deterministic: {replay:?} vs ({frto_delivered}, {undone}, {timeouts})"
+        ));
+    }
+    let (none_delivered, none_undone, none_timeouts) = run(Recovery::None);
+    if timeouts == 0 || none_timeouts == 0 {
+        return Err("storm raised no timeouts — episodes never bit".to_owned());
+    }
+    if none_undone != 0 {
+        return Err(format!(
+            "no-recovery sender claims {none_undone} undos without an undo mechanism"
+        ));
+    }
+    if undone == 0 {
+        return Err(format!(
+            "F-RTO never fired its undo across {timeouts} delay-storm timeouts"
+        ));
+    }
+    if frto_delivered <= none_delivered {
+        return Err(format!(
+            "F-RTO must out-deliver plain recovery under a pure delay storm: \
+             {frto_delivered} vs {none_delivered} segments"
+        ));
+    }
+    Ok(format!(
+        "F-RTO undid {undone} of {timeouts} spurious timeouts and delivered \
+         {frto_delivered} segments vs {none_delivered} without recovery, deterministically"
     ))
 }
 

@@ -15,6 +15,7 @@ use hsm_scenario::runner::{Motion, ScenarioConfig};
 use hsm_scenario::spec::{CampaignSpec, GridKind, ScenarioBase, ScenarioGrid, SweepAxis};
 use hsm_simnet::time::SimDuration;
 use hsm_tcp::cc::Algorithm;
+use hsm_tcp::recovery::Recovery;
 
 /// Salt for the congestion-control draw's *separate* rng stream: drawing
 /// the CC from `master ^ CC_SALT` instead of the main case stream keeps
@@ -26,6 +27,12 @@ const CC_SALT: u64 = 0xcc5a_0070_0b8d_641d;
 /// (like [`CC_SALT`]) means adding spec fuzzing changes no draw of the
 /// pre-existing config fuzzer for any `(master, case)` pair.
 const SPEC_SALT: u64 = 0x5bec_a271_e04f_93b7;
+
+/// Salt for the loss-recovery draw's rng stream. Same trick as
+/// [`CC_SALT`]: a separate stream keyed on `master ^ RECOVERY_SALT`
+/// leaves every pre-existing draw for `(master, case)` bit-identical, so
+/// the pinned chaos fixture only changes where recovery itself differs.
+const RECOVERY_SALT: u64 = 0x7ec0_3e6e_5a1d_9b2f;
 
 /// Bounds the fuzzer draws configurations from.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,10 +97,12 @@ pub fn config_for_case(ranges: &FuzzRanges, master: u64, case: u64) -> ScenarioC
             w_m,
             b: 2,
             flow: rng.range_u64(0, u64::from(ranges.max_flow)) as u32,
-            // Operating-region cases always run Reno: the aggregate
-            // accuracy envelope is calibrated against it, and the paper's
-            // models assume AIMD dynamics.
+            // Operating-region cases always run Reno with no recovery
+            // countermeasure: the aggregate accuracy envelope is
+            // calibrated against it, and the paper's models assume plain
+            // AIMD timeout dynamics.
             cc: Algorithm::Reno,
+            recovery: Recovery::None,
         }
     } else {
         let motion = if rng.chance(3, 4) {
@@ -110,6 +119,7 @@ pub fn config_for_case(ranges: &FuzzRanges, master: u64, case: u64) -> ScenarioC
             b: rng.range_u64(u64::from(ranges.b.0), u64::from(ranges.b.1)) as u32,
             flow: rng.range_u64(0, u64::from(ranges.max_flow)) as u32,
             cc: cc_for_case(master, case),
+            recovery: recovery_for_case(master, case),
         }
     }
 }
@@ -120,6 +130,14 @@ fn cc_for_case(master: u64, case: u64) -> Algorithm {
     let mut rng = ChaosRng::for_case(master ^ CC_SALT, case);
     let zoo = Algorithm::zoo();
     *pick(&mut rng, &zoo)
+}
+
+/// The loss-recovery countermeasure a roaming case runs, drawn from all
+/// four variants so the differential oracle exercises every strategy
+/// against every controller.
+fn recovery_for_case(master: u64, case: u64) -> Recovery {
+    let mut rng = ChaosRng::for_case(master ^ RECOVERY_SALT, case);
+    *pick(&mut rng, &Recovery::ALL)
 }
 
 /// Derives a randomized-but-valid declarative [`CampaignSpec`] for case
@@ -163,6 +181,9 @@ fn base_for(rng: &mut ChaosRng) -> ScenarioBase {
         w_m: rng.range_u64(4, 64) as u32,
         b: rng.range_u64(1, 3) as u32,
         cc: *pick(rng, &Algorithm::zoo()),
+        // Pinned: a drawn recovery would shift every subsequent draw of
+        // this stream and invalidate the pinned spec-fuzzer reports.
+        recovery: Recovery::None,
         seed_start: rng.range_u64(1, 1_000_000),
         seeds: rng.range_u64(1, 3) as u32,
         scale: 1.0,
@@ -217,6 +238,7 @@ pub fn in_operating_region(config: &ScenarioConfig) -> bool {
         && config.w_m >= 32
         && config.duration >= SimDuration::from_secs(60)
         && config.cc == Algorithm::Reno
+        && config.recovery == Recovery::None
 }
 
 /// One shrinking pass: every candidate reduction of `config`, roughly
@@ -236,6 +258,11 @@ fn shrink_candidates(config: &ScenarioConfig) -> Vec<ScenarioConfig> {
     // Reno is the best-understood controller; drop the zoo member first.
     push(ScenarioConfig {
         cc: Algorithm::Reno,
+        ..config.clone()
+    });
+    // Likewise strip any recovery countermeasure back to plain RFC 6298.
+    push(ScenarioConfig {
+        recovery: Recovery::None,
         ..config.clone()
     });
     push(ScenarioConfig {
@@ -353,6 +380,47 @@ mod tests {
     }
 
     #[test]
+    fn region_cases_pin_no_recovery_and_roamers_cover_all_variants() {
+        let ranges = FuzzRanges::default();
+        let mut seen = std::collections::BTreeSet::new();
+        for case in 0..400 {
+            let cfg = config_for_case(&ranges, 42, case);
+            if in_operating_region(&cfg) {
+                assert_eq!(cfg.recovery, Recovery::None, "case {case}");
+            } else {
+                seen.insert(cfg.recovery.label());
+            }
+        }
+        for variant in Recovery::ALL {
+            assert!(
+                seen.contains(variant.label()),
+                "400 cases never drew {}",
+                variant.label()
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_draw_does_not_perturb_the_other_streams() {
+        // The recovery stream is salted separately: every other field of
+        // a roaming case must match a draw made without consuming it.
+        let ranges = FuzzRanges::default();
+        for case in 0..50 {
+            let cfg = config_for_case(&ranges, 42, case);
+            let again = config_for_case(&ranges, 42, case);
+            assert_eq!(cfg, again);
+            // The spec fuzzer still pins recovery entirely.
+            for sc in &spec_for_case(42, case).scenarios {
+                assert_eq!(sc.base.recovery, Recovery::None, "case {case}");
+                assert!(
+                    !sc.sweep.iter().any(|a| matches!(a, SweepAxis::Recovery(_))),
+                    "case {case} swept recovery"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn fuzzer_populates_the_operating_region() {
         let ranges = FuzzRanges::default();
         let hits = (0..200)
@@ -368,6 +436,7 @@ mod tests {
         let min = shrink(&start, |_| true, 500);
         assert_eq!(min.motion, Motion::Stationary);
         assert_eq!(min.cc, Algorithm::Reno);
+        assert_eq!(min.recovery, Recovery::None);
         assert_eq!(min.provider, Provider::ChinaMobile);
         assert_eq!(min.w_m, 4);
         assert_eq!(min.b, 1);

@@ -15,7 +15,9 @@
 //! * [`eval`] — the deviation metric `D` (Eq. 22) and the Fig. 10
 //!   enhanced-vs-Padhye comparison;
 //! * [`sensitivity`] — the §V analyses (delayed-ACK harm, MPTCP
-//!   redundant-retransmission benefit) and general parameter sweeps.
+//!   redundant-retransmission benefit) and general parameter sweeps;
+//! * [`recovery`] — predicted throughput gains of the §V loss-recovery
+//!   countermeasures (`hsm-tcp`'s `Recovery` zoo, matched by label).
 //!
 //! ```
 //! use hsm_core::prelude::*;
@@ -39,6 +41,7 @@ pub mod eval;
 pub mod fit;
 pub mod padhye;
 pub mod params;
+pub mod recovery;
 pub mod sensitivity;
 
 /// Convenient glob-import surface: `use hsm_core::prelude::*;`.
@@ -56,6 +59,10 @@ pub mod prelude {
         full_batch_into as padhye_full_batch_into, q_p, q_p_exact, simple as padhye_simple, x_p,
     };
     pub use crate::params::{ModelParams, ValidateParamsError};
+    pub use crate::recovery::{
+        adjusted_terms as recovery_adjusted_terms, predict as predict_recovery_gains,
+        spurious_share, RecoveryPrediction, STRATEGY_LABELS as RECOVERY_LABELS,
+    };
     pub use crate::sensitivity::{
         delayed_ack_analysis, redundant_retransmit_benefit, sweep_p_a, sweep_p_d, sweep_q,
         sweep_w_m, DelayedAckPoint, RedundantRetransmitBenefit, SweepPoint,

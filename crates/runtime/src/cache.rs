@@ -38,6 +38,7 @@ use crate::error::CacheError;
 use hsm_scenario::provider::Provider;
 use hsm_scenario::runner::{Motion, ScenarioConfig};
 use hsm_tcp::cc::Algorithm;
+use hsm_tcp::recovery::Recovery;
 use hsm_trace::summary::FlowSummary;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -210,6 +211,14 @@ impl CacheKey {
                     .float(gamma)
                     .bytes(b"}}");
             }
+        }
+        // Same omit-when-default trick for the loss-recovery strategy:
+        // `recovery: None` configurations keep their pre-recovery digests,
+        // so existing disk tiers stay warm.
+        if config.recovery != Recovery::None {
+            h.bytes(b",\"recovery\":\"")
+                .bytes(config.recovery.label().as_bytes())
+                .bytes(b"\"");
         }
         h.bytes(b"}").bytes(ENGINE_VERSION.as_bytes());
         CacheKey(h.hash)
@@ -914,28 +923,65 @@ mod tests {
                         SimDuration::from_micros(u64::MAX),
                     ] {
                         for cc in cc_grid(seed) {
-                            let config = ScenarioConfig {
-                                provider,
-                                motion,
-                                seed,
-                                duration,
-                                w_m: (seed as u32 % 64).max(1),
-                                b: 1 + (seed as u32 % 4),
-                                flow: seed as u32 % 300,
-                                cc,
-                            };
-                            assert_eq!(
-                                CacheKey::of(&config).0,
-                                legacy_key(&config),
-                                "key drifted for {config:?}"
-                            );
-                            checked += 1;
+                            for recovery in Recovery::ALL {
+                                let config = ScenarioConfig {
+                                    provider,
+                                    motion,
+                                    seed,
+                                    duration,
+                                    w_m: (seed as u32 % 64).max(1),
+                                    b: 1 + (seed as u32 % 4),
+                                    flow: seed as u32 % 300,
+                                    cc,
+                                    recovery,
+                                };
+                                assert_eq!(
+                                    CacheKey::of(&config).0,
+                                    legacy_key(&config),
+                                    "key drifted for {config:?}"
+                                );
+                                checked += 1;
+                            }
                         }
                     }
                 }
             }
         }
-        assert_eq!(checked, 108 * 9);
+        assert_eq!(checked, 108 * 9 * 4);
+    }
+
+    const DEFAULT_CONFIG_DIGEST: u64 = 0xc642_7c51_06b5_4039;
+    const DEFAULT_BBR_CONFIG_DIGEST: u64 = 0x6440_7916_ac71_b8bd;
+
+    /// The default configuration's digest, frozen at its pre-recovery
+    /// value: `recovery: None` must hash to exactly what the field-less
+    /// config hashed to, or every existing disk tier goes cold.
+    #[test]
+    fn default_recovery_keeps_the_pre_recovery_digest() {
+        let config = ScenarioConfig::default();
+        assert_eq!(config.recovery, Recovery::None);
+        assert_eq!(CacheKey::of(&config).0, DEFAULT_CONFIG_DIGEST);
+        let zoo = ScenarioConfig {
+            cc: Algorithm::Bbr,
+            ..ScenarioConfig::default()
+        };
+        assert_eq!(CacheKey::of(&zoo).0, DEFAULT_BBR_CONFIG_DIGEST);
+    }
+
+    #[test]
+    fn non_default_recovery_changes_the_key() {
+        let none = ScenarioConfig::default();
+        for recovery in [Recovery::RedundantRto, Recovery::Frto, Recovery::AckRobust] {
+            let cured = ScenarioConfig {
+                recovery,
+                ..ScenarioConfig::default()
+            };
+            assert_ne!(
+                CacheKey::of(&none),
+                CacheKey::of(&cured),
+                "{recovery:?} must not collide with the no-recovery entry"
+            );
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::provider::Provider;
 use crate::runner::{run_scenario, Motion, ScenarioConfig, ScenarioOutcome};
 use hsm_simnet::time::SimDuration;
 use hsm_tcp::cc::Algorithm;
+use hsm_tcp::recovery::Recovery;
 use serde::{Deserialize, Serialize};
 
 /// One row of Table I — a real-world measurement campaign of the paper.
@@ -93,6 +94,8 @@ pub struct DatasetConfig {
     pub motion: Motion,
     /// Congestion-control algorithm every generated flow runs.
     pub cc: Algorithm,
+    /// Loss-recovery countermeasure every generated flow runs (§V).
+    pub recovery: Recovery,
 }
 
 impl Default for DatasetConfig {
@@ -105,6 +108,7 @@ impl Default for DatasetConfig {
             b: 2,
             motion: Motion::HighSpeed,
             cc: Algorithm::Reno,
+            recovery: Recovery::None,
         }
     }
 }
@@ -136,6 +140,7 @@ pub fn plan_dataset(cfg: &DatasetConfig) -> Vec<(usize, ScenarioConfig)> {
                     b: cfg.b,
                     flow: flow_id,
                     cc: cfg.cc,
+                    recovery: cfg.recovery,
                 },
             ));
             flow_id += 1;
@@ -191,6 +196,7 @@ pub fn plan_stationary_baseline(cfg: &DatasetConfig, n: u32) -> Vec<ScenarioConf
                 b: cfg.b,
                 flow: 10_000 + i,
                 cc: cfg.cc,
+                recovery: cfg.recovery,
             }
         })
         .collect()

@@ -2,15 +2,17 @@
 //! trace, analysis and model-ready summary.
 
 use crate::provider::Provider;
+use hsm_simnet::chaos::StormPlan;
 use hsm_simnet::error::SimError;
 use hsm_simnet::mobility::Trajectory;
 use hsm_simnet::time::{SimDuration, SimTime};
 use hsm_tcp::cc::Algorithm;
 use hsm_tcp::connection::{
-    run_connection, try_run_connection_with, ConnectionConfig, ConnectionOutcome,
-    ConnectionScratch, MobilityScenario, PathSpec,
+    run_connection, try_run_connection_with, try_run_connection_with_storm, ConnectionConfig,
+    ConnectionOutcome, ConnectionScratch, MobilityScenario, PathSpec,
 };
 use hsm_tcp::receiver::ReceiverConfig;
+use hsm_tcp::recovery::Recovery;
 use hsm_tcp::reno::SenderConfig;
 use hsm_trace::analysis::timeout::TimeoutConfig;
 use hsm_trace::summary::{analyze_flow, FlowAnalysis, FlowSummary};
@@ -106,6 +108,8 @@ pub struct ScenarioConfig {
     pub flow: u32,
     /// Congestion-control algorithm the sender runs.
     pub cc: Algorithm,
+    /// Loss-recovery countermeasure the sender runs (paper §V).
+    pub recovery: Recovery,
 }
 
 impl Default for ScenarioConfig {
@@ -119,15 +123,17 @@ impl Default for ScenarioConfig {
             b: 2,
             flow: 0,
             cc: Algorithm::Reno,
+            recovery: Recovery::None,
         }
     }
 }
 
-// Hand-written serde: the `cc` field is omitted when it is the default
-// (Reno) and defaulted when absent, so every pre-zoo serialized config —
-// and, critically, every content-addressed campaign cache key derived
-// from those bytes — is unchanged by the field's existence. (The vendored
-// serde derive has no `skip_serializing_if`, hence the manual impls.)
+// Hand-written serde: the `cc` and `recovery` fields are omitted when they
+// are the defaults (Reno / None) and defaulted when absent, so every
+// pre-zoo and pre-recovery serialized config — and, critically, every
+// content-addressed campaign cache key derived from those bytes — is
+// unchanged by the fields' existence. (The vendored serde derive has no
+// `skip_serializing_if`, hence the manual impls.)
 impl Serialize for ScenarioConfig {
     fn to_value(&self) -> serde::Value {
         let mut pairs = vec![
@@ -141,6 +147,9 @@ impl Serialize for ScenarioConfig {
         ];
         if self.cc != Algorithm::default() {
             pairs.push(("cc".to_owned(), self.cc.to_value()));
+        }
+        if self.recovery != Recovery::default() {
+            pairs.push(("recovery".to_owned(), self.recovery.to_value()));
         }
         serde::Value::Obj(pairs)
     }
@@ -169,6 +178,10 @@ impl Deserialize for ScenarioConfig {
             cc: match serde::get_field(obj, "cc") {
                 Some(v) => Algorithm::from_value(v)?,
                 None => Algorithm::default(),
+            },
+            recovery: match serde::get_field(obj, "recovery") {
+                Some(v) => Recovery::from_value(v)?,
+                None => Recovery::default(),
             },
         })
     }
@@ -239,6 +252,12 @@ impl ScenarioConfigBuilder {
     /// Sets the congestion-control algorithm the sender runs.
     pub fn cc(mut self, cc: Algorithm) -> Self {
         self.inner.cc = cc;
+        self
+    }
+
+    /// Sets the loss-recovery countermeasure the sender runs.
+    pub fn recovery(mut self, recovery: Recovery) -> Self {
+        self.inner.recovery = recovery;
         self
     }
 
@@ -319,6 +338,7 @@ impl ScenarioConfig {
             sender: SenderConfig {
                 w_m: self.w_m,
                 algorithm: self.cc,
+                recovery: self.recovery,
                 stop_after: Some(self.duration),
                 ..Default::default()
             },
@@ -435,6 +455,55 @@ pub fn try_run_scenario_with(
         outcome,
         analysis,
     })
+}
+
+/// [`try_run_scenario_with`] plus a chaos-storm schedule replayed on the
+/// uplink — the §V recovery-study rig: the scenario's provider path and
+/// motion stay as configured while the storm superimposes deterministic
+/// ACK-delay or ACK-burst episodes, and the full trace/analysis pipeline
+/// still runs, so storm flows yield the same model-ready [`FlowSummary`]
+/// campaign flows do. An empty plan is the identity: the built world is
+/// bit-identical to [`try_run_scenario_with`]'s.
+///
+/// # Errors
+///
+/// Same contract as [`try_run_scenario`].
+pub fn try_run_storm_scenario_with(
+    scratch: &mut Scratch,
+    config: &ScenarioConfig,
+    plan: &StormPlan,
+) -> Result<ScenarioOutcome, ScenarioError> {
+    config.validate()?;
+    let path = config.path();
+    let mobility = config.mobility();
+    let conn = config.connection();
+    let outcome = try_run_connection_with_storm(
+        &mut scratch.conn,
+        config.seed,
+        &path,
+        mobility.as_ref(),
+        plan,
+        &conn,
+    )?;
+    let analysis = analyze_flow(&outcome.trace, &TimeoutConfig::default());
+    Ok(ScenarioOutcome {
+        config: config.clone(),
+        outcome,
+        analysis,
+    })
+}
+
+/// Convenience wrapper over [`try_run_storm_scenario_with`] with a fresh
+/// scratch.
+///
+/// # Errors
+///
+/// Same contract as [`try_run_scenario`].
+pub fn try_run_storm_scenario(
+    config: &ScenarioConfig,
+    plan: &StormPlan,
+) -> Result<ScenarioOutcome, ScenarioError> {
+    try_run_storm_scenario_with(&mut Scratch::new(), config, plan)
 }
 
 #[cfg(test)]
@@ -581,6 +650,47 @@ mod tests {
     }
 
     #[test]
+    fn storm_scenario_summarizes_like_a_campaign_flow() {
+        use hsm_simnet::chaos::{StormEpisode, StormKind};
+        use hsm_simnet::time::SimTime;
+
+        let config = ScenarioConfig::builder()
+            .motion(Motion::Stationary)
+            .duration(SimDuration::from_secs(12))
+            .seed(8)
+            .build()
+            .expect("valid");
+        // Periodic long ACK-delay flaps: timeouts without extra loss.
+        let plan = StormPlan {
+            episodes: (0..4)
+                .map(|i| StormEpisode {
+                    at: SimTime::from_millis(600 + 2_500 * i),
+                    duration: SimDuration::from_millis(900),
+                    kind: StormKind::Flap(SimDuration::from_millis(900)),
+                })
+                .collect(),
+        };
+        let stormy = try_run_storm_scenario(&config, &plan).expect("storm run");
+        let calm = try_run_scenario(&config).expect("calm run");
+        assert!(
+            stormy.summary().timeouts > calm.summary().timeouts,
+            "storm must raise timeouts: {} vs {}",
+            stormy.summary().timeouts,
+            calm.summary().timeouts
+        );
+        assert!(stormy.summary().throughput_sps > 0.0);
+        assert!(stormy.summary().throughput_sps < calm.summary().throughput_sps);
+
+        // Empty plan = identity; reused scratch = fresh run.
+        let mut scratch = Scratch::new();
+        let empty = try_run_storm_scenario_with(&mut scratch, &config, &StormPlan::default())
+            .expect("empty-plan run");
+        assert_eq!(empty.summary(), calm.summary());
+        let reused = try_run_storm_scenario_with(&mut scratch, &config, &plan).expect("reused");
+        assert_eq!(reused.summary(), stormy.summary());
+    }
+
+    #[test]
     fn config_serializes_round_trip() {
         let cfg = ScenarioConfig {
             seed: 77,
@@ -618,6 +728,66 @@ mod tests {
             let back: ScenarioConfig = serde_json::from_str(&json).expect("deserialize");
             assert_eq!(back, cfg, "round trip for {}", cc.label());
         }
+    }
+
+    #[test]
+    fn recovery_field_serializes_only_when_non_default() {
+        // `recovery = None` must reproduce the exact pre-recovery bytes,
+        // or every content-addressed cache key in existing disk tiers
+        // would silently change.
+        let default_json = serde_json::to_string(&ScenarioConfig::default()).expect("serialize");
+        assert!(
+            !default_json.contains("\"recovery\""),
+            "default recovery leaked into the wire format: {default_json}"
+        );
+        let back: ScenarioConfig = serde_json::from_str(&default_json).expect("deserialize");
+        assert_eq!(back.recovery, Recovery::None, "absent recovery defaults");
+
+        for recovery in Recovery::ALL {
+            let cfg = ScenarioConfig {
+                recovery,
+                seed: 11,
+                ..Default::default()
+            };
+            let json = serde_json::to_string(&cfg).expect("serialize");
+            if recovery != Recovery::None {
+                assert!(
+                    json.contains("\"recovery\""),
+                    "non-default recovery must serialize"
+                );
+            }
+            let back: ScenarioConfig = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(back, cfg, "round trip for {}", recovery.label());
+        }
+
+        // Both non-default axes render together, in declaration order.
+        let cfg = ScenarioConfig {
+            cc: Algorithm::Bbr,
+            recovery: Recovery::Frto,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        assert!(json.contains("\"cc\":\"Bbr\"") && json.contains("\"recovery\":\"Frto\""));
+        let back: ScenarioConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn recovery_choice_reaches_the_sender_config() {
+        let cfg = ScenarioConfig {
+            recovery: Recovery::Frto,
+            ..Default::default()
+        };
+        assert_eq!(cfg.connection().sender.recovery, Recovery::Frto);
+        assert_eq!(
+            ScenarioConfig::default().connection().sender.recovery,
+            Recovery::None
+        );
+        let built = ScenarioConfig::builder()
+            .recovery(Recovery::AckRobust)
+            .build()
+            .expect("valid");
+        assert_eq!(built.recovery, Recovery::AckRobust);
     }
 
     #[test]

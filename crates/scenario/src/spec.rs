@@ -5,8 +5,8 @@
 //! (`[defaults]`), and lists `[[scenario]]` grids. Each scenario may
 //! override any base key and sweep any subset of axes ([`SweepAxis`]);
 //! the cartesian product of its axes — in the canonical order provider →
-//! motion → `duration_s` → `w_m` → `b` → `cc`, with `seeds` repetitions
-//! innermost — expands deterministically into plain [`ScenarioConfig`]s,
+//! motion → `duration_s` → `w_m` → `b` → `cc` → `recovery`, with `seeds`
+//! repetitions innermost — expands deterministically into plain [`ScenarioConfig`]s,
 //! so expansion never perturbs campaign cache keys. A scenario with
 //! `kind = "table1"` expands each grid point through the paper's Table I
 //! dataset planner ([`plan_dataset`]) instead.
@@ -31,6 +31,7 @@ use crate::provider::Provider;
 use crate::runner::{Motion, ScenarioConfig};
 use hsm_simnet::time::SimDuration;
 use hsm_tcp::cc::Algorithm;
+use hsm_tcp::recovery::Recovery;
 use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 use std::path::Path;
@@ -78,6 +79,8 @@ pub struct ScenarioBase {
     pub b: u32,
     /// Congestion-control algorithm.
     pub cc: Algorithm,
+    /// Loss-recovery countermeasure (§V).
+    pub recovery: Recovery,
     /// Seed of the scenario's first flow; flow `i` uses `seed_start + i`.
     pub seed_start: u64,
     /// Repetitions per grid point (each gets the next seed).
@@ -96,6 +99,7 @@ impl Default for ScenarioBase {
             w_m: 48,
             b: 2,
             cc: Algorithm::Reno,
+            recovery: Recovery::None,
             seed_start: 1,
             seeds: 1,
             scale: 1.0,
@@ -106,8 +110,9 @@ impl Default for ScenarioBase {
 /// One sweepable parameter axis with its grid values.
 ///
 /// Within a scenario the axes always apply in the canonical order
-/// `Provider → Motion → DurationSecs → Window → DelayedAck → Cc`
-/// (outermost to innermost loop), regardless of spec-file key order.
+/// `Provider → Motion → DurationSecs → Window → DelayedAck → Cc →
+/// Recovery` (outermost to innermost loop), regardless of spec-file key
+/// order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SweepAxis {
     /// Sweep the ISP.
@@ -122,6 +127,8 @@ pub enum SweepAxis {
     DelayedAck(Vec<u32>),
     /// Sweep the congestion-control algorithm.
     Cc(Vec<Algorithm>),
+    /// Sweep the loss-recovery countermeasure (§V).
+    Recovery(Vec<Recovery>),
 }
 
 impl SweepAxis {
@@ -134,6 +141,7 @@ impl SweepAxis {
             SweepAxis::Window(_) => "w_m",
             SweepAxis::DelayedAck(_) => "b",
             SweepAxis::Cc(_) => "cc",
+            SweepAxis::Recovery(_) => "recovery",
         }
     }
 
@@ -146,6 +154,7 @@ impl SweepAxis {
             SweepAxis::Window(v) => v.len(),
             SweepAxis::DelayedAck(v) => v.len(),
             SweepAxis::Cc(v) => v.len(),
+            SweepAxis::Recovery(v) => v.len(),
         }
     }
 
@@ -162,6 +171,7 @@ impl SweepAxis {
             SweepAxis::Window(_) => 3,
             SweepAxis::DelayedAck(_) => 4,
             SweepAxis::Cc(_) => 5,
+            SweepAxis::Recovery(_) => 6,
         }
     }
 }
@@ -353,6 +363,7 @@ impl CampaignSpec {
                                 b: point.b,
                                 flow,
                                 cc: point.cc,
+                                recovery: point.recovery,
                             });
                             seed_offset += 1;
                             flow = flow.wrapping_add(1);
@@ -369,6 +380,7 @@ impl CampaignSpec {
                             b: point.b,
                             motion: point.motion,
                             cc: point.cc,
+                            recovery: point.recovery,
                         };
                         out.extend(plan_dataset(&cfg).into_iter().map(|(_, c)| c));
                     });
@@ -477,9 +489,10 @@ struct Point {
     w_m: u32,
     b: u32,
     cc: Algorithm,
+    recovery: Recovery,
 }
 
-/// The six axes with swept values where present, base values elsewhere.
+/// The seven axes with swept values where present, base values elsewhere.
 struct ResolvedAxes {
     providers: Vec<Provider>,
     motions: Vec<Motion>,
@@ -487,6 +500,7 @@ struct ResolvedAxes {
     windows: Vec<u32>,
     delacks: Vec<u32>,
     ccs: Vec<Algorithm>,
+    recoveries: Vec<Recovery>,
 }
 
 fn resolved_axes(base: &ScenarioBase, sweep: &[SweepAxis]) -> ResolvedAxes {
@@ -497,6 +511,7 @@ fn resolved_axes(base: &ScenarioBase, sweep: &[SweepAxis]) -> ResolvedAxes {
         windows: vec![base.w_m],
         delacks: vec![base.b],
         ccs: vec![base.cc],
+        recoveries: vec![base.recovery],
     };
     for axis in sweep {
         match axis {
@@ -506,13 +521,14 @@ fn resolved_axes(base: &ScenarioBase, sweep: &[SweepAxis]) -> ResolvedAxes {
             SweepAxis::Window(v) => axes.windows = v.clone(),
             SweepAxis::DelayedAck(v) => axes.delacks = v.clone(),
             SweepAxis::Cc(v) => axes.ccs = v.clone(),
+            SweepAxis::Recovery(v) => axes.recoveries = v.clone(),
         }
     }
     axes
 }
 
-/// Visits every grid point in canonical order (provider outermost, cc
-/// innermost).
+/// Visits every grid point in canonical order (provider outermost,
+/// recovery innermost).
 fn for_each_point(axes: &ResolvedAxes, f: &mut impl FnMut(Point)) {
     for &provider in &axes.providers {
         for &motion in &axes.motions {
@@ -520,14 +536,17 @@ fn for_each_point(axes: &ResolvedAxes, f: &mut impl FnMut(Point)) {
                 for &w_m in &axes.windows {
                     for &b in &axes.delacks {
                         for &cc in &axes.ccs {
-                            f(Point {
-                                provider,
-                                motion,
-                                duration_s,
-                                w_m,
-                                b,
-                                cc,
-                            });
+                            for &recovery in &axes.recoveries {
+                                f(Point {
+                                    provider,
+                                    motion,
+                                    duration_s,
+                                    w_m,
+                                    b,
+                                    cc,
+                                    recovery,
+                                });
+                            }
                         }
                     }
                 }
@@ -606,7 +625,10 @@ fn validate_axis(path: &str, axis: &SweepAxis) -> Result<(), SpecError> {
                 }
             }
         }
-        SweepAxis::Provider(_) | SweepAxis::Motion(_) | SweepAxis::Cc(_) => {}
+        SweepAxis::Provider(_)
+        | SweepAxis::Motion(_)
+        | SweepAxis::Cc(_)
+        | SweepAxis::Recovery(_) => {}
     }
     Ok(())
 }
@@ -622,6 +644,7 @@ const BASE_KEYS: &[&str] = &[
     "w_m",
     "b",
     "cc",
+    "recovery",
     "seed_start",
     "seeds",
     "scale",
@@ -637,12 +660,21 @@ const SCENARIO_KEYS: &[&str] = &[
     "w_m",
     "b",
     "cc",
+    "recovery",
     "seed_start",
     "seeds",
     "scale",
 ];
 
-const SWEEP_KEYS: &[&str] = &["provider", "motion", "duration_s", "w_m", "b", "cc"];
+const SWEEP_KEYS: &[&str] = &[
+    "provider",
+    "motion",
+    "duration_s",
+    "w_m",
+    "b",
+    "cc",
+    "recovery",
+];
 
 fn expected(what: &str, got: &Value) -> String {
     format!("expected {what}, got {}", got.kind())
@@ -751,6 +783,9 @@ fn base_from_obj(
     if let Some(v) = serde::get_field(obj, "cc") {
         base.cc = algorithm_from_value(&at("cc"), v)?;
     }
+    if let Some(v) = serde::get_field(obj, "recovery") {
+        base.recovery = recovery_from_value(&at("recovery"), v)?;
+    }
     if let Some(v) = serde::get_field(obj, "seed_start") {
         base.seed_start = u64_from_value(&at("seed_start"), v)?;
     }
@@ -801,6 +836,11 @@ fn axis_from_value(sweep_path: &str, key: &str, value: &Value) -> Result<SweepAx
             &path,
             items,
             algorithm_from_value,
+        )?)),
+        "recovery" => Ok(SweepAxis::Recovery(axis_values(
+            &path,
+            items,
+            recovery_from_value,
         )?)),
         other => Err(SpecError::new(
             format!("{sweep_path}.{other}"),
@@ -863,6 +903,18 @@ fn algorithm_from_value(path: &str, v: &Value) -> Result<Algorithm, SpecError> {
             format!(
                 "expected a zoo label (Reno, Veno, Cubic, Bbr, Compound) or a \
                  parameterized form like {{ Veno = {{ beta = 3.0 }} }}: {e}"
+            ),
+        )
+    })
+}
+
+fn recovery_from_value(path: &str, v: &Value) -> Result<Recovery, SpecError> {
+    Recovery::from_value(v).map_err(|_| {
+        SpecError::new(
+            path,
+            format!(
+                "expected one of \"None\", \"RedundantRto\", \"Frto\", \"AckRobust\", got {}",
+                render_short(v)
             ),
         )
     })
@@ -940,6 +992,11 @@ fn base_to_value(base: &ScenarioBase, relative_to: Option<&ScenarioBase>) -> Val
         same(&|o| o.cc == base.cc),
     );
     push(
+        "recovery",
+        serde::Serialize::to_value(&base.recovery),
+        same(&|o| o.recovery == base.recovery),
+    );
+    push(
         "seed_start",
         Value::UInt(base.seed_start),
         same(&|o| o.seed_start == base.seed_start),
@@ -998,6 +1055,7 @@ fn canonical_sweep(sweep: &[SweepAxis]) -> Vec<(usize, (String, Value))> {
                 SweepAxis::Window(v) => v.iter().map(|w| Value::UInt(u64::from(*w))).collect(),
                 SweepAxis::DelayedAck(v) => v.iter().map(|b| Value::UInt(u64::from(*b))).collect(),
                 SweepAxis::Cc(v) => v.iter().map(|cc| algorithm_to_value(*cc)).collect(),
+                SweepAxis::Recovery(v) => v.iter().map(serde::Serialize::to_value).collect(),
             };
             (
                 axis.canonical_rank(),
@@ -1113,6 +1171,42 @@ mod tests {
 
         let err = CampaignSpec::from_toml("name = \"x\"\n").unwrap_err();
         assert_eq!(err.key, "scenario");
+    }
+
+    #[test]
+    fn recovery_axis_sweeps_innermost_and_round_trips() {
+        let text = r#"
+name = "cures"
+
+[[scenario]]
+name = "rec"
+duration_s = 30
+
+[scenario.sweep]
+cc = ["Reno", "Cubic"]
+recovery = ["None", "Frto", "AckRobust"]
+"#;
+        let spec = CampaignSpec::from_toml(text).expect("parses");
+        let configs = spec.expand().expect("expands");
+        assert_eq!(configs.len(), 6);
+        // Recovery is the innermost axis: it cycles fastest.
+        assert_eq!(configs[0].recovery, Recovery::None);
+        assert_eq!(configs[1].recovery, Recovery::Frto);
+        assert_eq!(configs[2].recovery, Recovery::AckRobust);
+        assert_eq!(configs[0].cc, Algorithm::Reno);
+        assert_eq!(configs[3].cc, Algorithm::cubic());
+        // Round trip preserves the axis and a base-level override.
+        let mut spec2 = spec.clone();
+        spec2.scenarios[0].base.recovery = Recovery::RedundantRto;
+        let back = CampaignSpec::from_toml(&spec2.to_toml()).expect("round trips");
+        assert_eq!(back, spec2);
+        assert_eq!(back.expand().unwrap(), spec2.expand().unwrap());
+
+        let err = CampaignSpec::from_toml(
+            "name = \"x\"\n[[scenario]]\nname = \"a\"\n[scenario.sweep]\nrecovery = [\"Fixit\"]\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.key, "scenario[0].sweep.recovery[0]");
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::metrics::{ReceiverMetrics, SenderMetrics};
 use crate::receiver::{Receiver, ReceiverConfig};
 use crate::reno::{RenoSender, SenderConfig};
 use hsm_simnet::cellular::{CellLayout, ChannelProcess, ChannelStats, HandoffParams};
+use hsm_simnet::chaos::{StormInjector, StormPlan};
 use hsm_simnet::error::SimError;
 use hsm_simnet::event::QueueStats;
 use hsm_simnet::link::{LinkId, LinkSpec};
@@ -320,6 +321,38 @@ pub fn try_run_connection_with(
     mobility: Option<&MobilityScenario>,
     cfg: &ConnectionConfig,
 ) -> Result<ConnectionOutcome, SimError> {
+    run_connection_world(scratch, seed, path, mobility, None, cfg)
+}
+
+/// [`try_run_connection_with`] plus a deterministic chaos-storm schedule
+/// replayed against the uplink — the rig for studying ACK-delay and
+/// ACK-burst impairments (paper §V) with the full trace/analysis
+/// pipeline attached. With an empty plan the built world is identical to
+/// the storm-free one (no injector agent is added).
+///
+/// # Errors
+///
+/// Returns the [`SimError`] reported by [`Engine::try_run_until`].
+pub fn try_run_connection_with_storm(
+    scratch: &mut ConnectionScratch,
+    seed: u64,
+    path: &PathSpec,
+    mobility: Option<&MobilityScenario>,
+    storm: &StormPlan,
+    cfg: &ConnectionConfig,
+) -> Result<ConnectionOutcome, SimError> {
+    let storm = (!storm.episodes.is_empty()).then_some(storm);
+    run_connection_world(scratch, seed, path, mobility, storm, cfg)
+}
+
+fn run_connection_world(
+    scratch: &mut ConnectionScratch,
+    seed: u64,
+    path: &PathSpec,
+    mobility: Option<&MobilityScenario>,
+    storm: Option<&StormPlan>,
+    cfg: &ConnectionConfig,
+) -> Result<ConnectionOutcome, SimError> {
     scratch.engine.reset(seed);
     scratch.deliveries.clear();
     let eng = &mut scratch.engine;
@@ -362,6 +395,12 @@ pub fn try_run_connection_with(
             m.handoff,
         )))
     });
+    // The storm rides the uplink: delayed/lost ACK bursts are the §V
+    // impairment under study. Absent a plan, no agent is added and the
+    // world is bit-identical to the pre-storm one.
+    if let Some(plan) = storm {
+        eng.add_agent(Box::new(StormInjector::new(up, plan.clone())));
+    }
 
     eng.add_delivery_log(scratch.deliveries.clone());
     eng.try_run_until(cfg.deadline)?;
@@ -520,6 +559,56 @@ mod tests {
         let out = run_connection(3, &PathSpec::default(), None, &cfg);
         assert!(out.finished_at <= SimTime::from_secs(5));
         assert!(!out.trace.records.is_empty());
+    }
+
+    #[test]
+    fn storm_runs_are_deterministic_and_empty_plans_are_identity() {
+        use hsm_simnet::chaos::{StormEpisode, StormKind};
+
+        let cfg = ConnectionConfig {
+            sender: SenderConfig {
+                stop_after: Some(SimDuration::from_secs(10)),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let path = PathSpec::default();
+        let plan = StormPlan {
+            episodes: vec![StormEpisode {
+                at: SimTime::from_millis(500),
+                duration: SimDuration::from_millis(900),
+                kind: StormKind::Flap(SimDuration::from_millis(900)),
+            }],
+        };
+        let mut scratch = ConnectionScratch::new();
+        let stormy = try_run_connection_with_storm(&mut scratch, 9, &path, None, &plan, &cfg)
+            .expect("storm run succeeds");
+        let replay = try_run_connection_with_storm(&mut scratch, 9, &path, None, &plan, &cfg)
+            .expect("storm replay succeeds");
+        assert_eq!(stormy.trace, replay.trace, "storm runs must replay");
+
+        // The delay flap must actually bite: timeouts appear that the
+        // storm-free run does not have.
+        let calm = try_run_connection_with(&mut scratch, 9, &path, None, &cfg).expect("calm run");
+        assert!(
+            stormy.sender.timeouts.len() > calm.sender.timeouts.len(),
+            "storm {} vs calm {} timeouts",
+            stormy.sender.timeouts.len(),
+            calm.sender.timeouts.len()
+        );
+
+        // An empty plan adds no injector agent: bit-identical world.
+        let empty = try_run_connection_with_storm(
+            &mut scratch,
+            9,
+            &path,
+            None,
+            &StormPlan::default(),
+            &cfg,
+        )
+        .expect("empty-plan run succeeds");
+        assert_eq!(empty.trace, calm.trace);
+        assert_eq!(empty.events_processed, calm.events_processed);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! * [`reno`] — the sender agent (fast retransmit on triple dup-ACKs,
 //!   lone-segment retransmission during timeout recovery, optional NewReno
 //!   partial-ACK handling, optional redundant backup-path retransmission);
+//! * [`recovery`] — the §V loss-recovery countermeasure zoo (redundant
+//!   retransmit-on-RTO, RFC 5682 F-RTO spurious-timeout undo, and an
+//!   ACK-loss-robust backoff), pluggable like the [`cc`] zoo;
 //! * [`receiver`] — cumulative + delayed ACKs (`b`), reordering buffer,
 //!   duplicate-payload accounting (spurious-timeout ground truth);
 //! * [`connection`] — one-call wiring of a full measurement rig
@@ -41,6 +44,7 @@ pub mod metrics;
 pub mod mptcp;
 pub mod newreno;
 pub mod receiver;
+pub mod recovery;
 pub mod reno;
 pub mod rtt;
 pub mod veno;
@@ -60,6 +64,7 @@ pub mod prelude {
     };
     pub use crate::newreno::new_reno_sender;
     pub use crate::receiver::{AdaptiveDelAck, Receiver, ReceiverConfig};
+    pub use crate::recovery::{AckDisposition, LossRecovery, Recovery, TimeoutPlan};
     pub use crate::reno::{RenoSender, SenderConfig};
     pub use crate::rtt::{Backoff, RttEstimator};
     pub use crate::veno::{veno_config, veno_sender};

@@ -46,9 +46,15 @@ pub struct SenderMetrics {
     pub acks_received: u64,
     /// Duplicate ACKs received.
     pub dup_acks_received: u64,
-    /// Timeouts detected as spurious and undone (Eifel-style response;
-    /// only with `spurious_rto_undo` enabled).
+    /// Timeouts detected as spurious and undone (the legacy
+    /// `spurious_rto_undo` flag or the F-RTO recovery strategy).
     pub spurious_rto_undone: u64,
+    /// New-data probe segments sent by the F-RTO state machine
+    /// (RFC 5682 step 2b; at most two per timeout).
+    pub frto_probes: u64,
+    /// Timeouts whose exponential backoff was withheld by the
+    /// ACK-loss-robust strategy pending a corroborating silent RTO.
+    pub backoff_skipped: u64,
 }
 
 impl SenderMetrics {
@@ -100,6 +106,18 @@ impl SenderMetrics {
             self.timeouts.len(),
             self.rto_at_timeout.len(),
             "metrics invariant violated: timeout and RTO logs out of lockstep",
+        );
+        assert!(
+            self.frto_probes <= 2 * self.timeouts.len() as u64,
+            "metrics invariant violated: {} F-RTO probes > 2 × {} timeouts",
+            self.frto_probes,
+            self.timeouts.len(),
+        );
+        assert!(
+            self.backoff_skipped <= self.timeouts.len() as u64,
+            "metrics invariant violated: {} skipped backoffs > {} timeouts",
+            self.backoff_skipped,
+            self.timeouts.len(),
         );
     }
 }

@@ -19,6 +19,7 @@
 use crate::cc::CongestionControl;
 use crate::cwnd::{Algorithm, Phase};
 use crate::metrics::SenderMetrics;
+use crate::recovery::{AckDisposition, LossRecovery, Recovery};
 use crate::rtt::{Backoff, RttEstimator};
 use hsm_simnet::engine::Ctx;
 use hsm_simnet::event::EventId;
@@ -49,6 +50,10 @@ pub struct SenderConfig {
     /// go-back-N resends. A future-work mitigation for the paper's
     /// spurious-timeout problem (exercised by the `ext_undo` experiment).
     pub spurious_rto_undo: bool,
+    /// Loss-recovery countermeasure (any member of the [`crate::recovery`]
+    /// zoo). [`Recovery::None`] reproduces the plain RFC 6298 recovery the
+    /// paper measures.
+    pub recovery: Recovery,
     /// Stop sending new data after this long (the flow keeps draining).
     pub stop_after: Option<SimDuration>,
     /// Stop after this many distinct segments have been sent.
@@ -65,6 +70,7 @@ impl Default for SenderConfig {
             newreno: false,
             algorithm: Algorithm::Reno,
             spurious_rto_undo: false,
+            recovery: Recovery::None,
             stop_after: None,
             max_segments: None,
         }
@@ -110,6 +116,11 @@ pub struct RenoSender {
     rto_gen: u64,
     timing: Option<(u64, SimTime)>,
     undo: Option<RtoUndo>,
+    /// The pluggable loss-recovery countermeasure (§V).
+    recovery: Box<dyn LossRecovery>,
+    /// Congestion controller snapshot taken when the F-RTO strategy arms;
+    /// restored on a spurious verdict, discarded on a genuine one.
+    frto_cwnd: Option<Box<dyn CongestionControl>>,
     stopped: bool,
     /// Ground-truth counters and logs.
     pub metrics: SenderMetrics,
@@ -137,6 +148,8 @@ impl RenoSender {
             rto_gen: 0,
             timing: None,
             undo: None,
+            recovery: cfg.recovery.build(),
+            frto_cwnd: None,
             stopped: false,
             metrics: SenderMetrics::default(),
         }
@@ -161,6 +174,11 @@ impl RenoSender {
     /// The RTT estimator (for inspection).
     pub fn rtt(&self) -> &RttEstimator {
         &self.rtt
+    }
+
+    /// The backoff ladder (for inspection).
+    pub fn backoff(&self) -> &Backoff {
+        &self.backoff
     }
 
     fn log(&mut self, now: SimTime) {
@@ -240,6 +258,30 @@ impl RenoSender {
         }
     }
 
+    /// Sends up to `n` previously-unsent segments regardless of the
+    /// congestion window (RFC 5682 step 2b F-RTO probes). Returns how many
+    /// went out; `snd_nxt` must sit at `high_water` on entry.
+    fn send_probe_segments(&mut self, ctx: &mut Ctx<'_>, n: u64) -> u64 {
+        debug_assert_eq!(self.snd_nxt, self.high_water);
+        let mut sent = 0;
+        for _ in 0..n {
+            if !self.may_send_new() {
+                break;
+            }
+            let seq = self.high_water;
+            ctx.send(self.data_link, Packet::data(self.flow, SeqNo(seq), false));
+            self.metrics.segments_sent += 1;
+            if self.timing.is_none() {
+                self.timing = Some((seq, ctx.now()));
+            }
+            self.metrics.max_seq_sent = self.metrics.max_seq_sent.max(seq);
+            self.high_water = seq + 1;
+            self.snd_nxt = self.high_water;
+            sent += 1;
+        }
+        sent
+    }
+
     fn retransmit(&mut self, ctx: &mut Ctx<'_>, seq: u64, redundant: bool) {
         ctx.send(self.data_link, Packet::data(self.flow, SeqNo(seq), true));
         self.metrics.segments_sent += 1;
@@ -290,7 +332,9 @@ impl RenoSender {
 
     fn on_ack(&mut self, ctx: &mut Ctx<'_>, cum: u64) {
         self.metrics.acks_received += 1;
+        self.recovery.observe_ack(ctx.now());
         if cum > self.snd_una {
+            let disposition = self.recovery.classify_ack(cum, true);
             let acked = cum - self.snd_una;
             self.snd_una = cum;
             // The receiver may have buffered out-of-order data: never
@@ -307,6 +351,42 @@ impl RenoSender {
                     // The old in-flight data was not lost: skip go-back-N.
                     self.snd_nxt = self.high_water.max(self.snd_una);
                     self.metrics.spurious_rto_undone += 1;
+                }
+            }
+            match disposition {
+                AckDisposition::SendNewData => {
+                    // RFC 5682 step 2b: defer the recovery decision —
+                    // skip go-back-N for now (the old window may still be
+                    // in flight) and probe with up to two new segments.
+                    // Window updates wait for the verdict.
+                    self.snd_nxt = self.high_water.max(self.snd_una);
+                    self.dup_acks = 0;
+                    let sent = self.send_probe_segments(ctx, 2);
+                    self.metrics.frto_probes += sent;
+                    if self.flight() == 0 {
+                        self.disarm_rto(ctx);
+                    } else {
+                        self.arm_rto(ctx);
+                    }
+                    self.log(ctx.now());
+                    #[cfg(any(debug_assertions, test))]
+                    self.assert_invariants();
+                    return;
+                }
+                AckDisposition::SpuriousUndo => {
+                    // RFC 5682 step 3b: the probe round advanced too — the
+                    // timeout was spurious. Restore the pre-collapse
+                    // window and keep sending new data.
+                    if let Some(saved) = self.frto_cwnd.take() {
+                        self.cwnd = saved;
+                        self.snd_nxt = self.high_water.max(self.snd_una);
+                        self.metrics.spurious_rto_undone += 1;
+                    }
+                }
+                AckDisposition::Conventional | AckDisposition::GenuineLoss => {
+                    // Any pending probe resolved conventionally: the saved
+                    // window no longer applies.
+                    self.frto_cwnd = None;
                 }
             }
             if let Some((seq, t0)) = self.timing {
@@ -340,8 +420,27 @@ impl RenoSender {
             self.log(ctx.now());
             self.send_available(ctx);
         } else if cum == self.snd_una && self.flight() > 0 {
+            let disposition = self.recovery.classify_ack(cum, false);
             self.dup_acks += 1;
             self.metrics.dup_acks_received += 1;
+            if disposition == AckDisposition::GenuineLoss {
+                // RFC 5682 step 3a: a duplicate ACK during the probe round
+                // — the loss was genuine. Discard the saved window and
+                // resume conventional go-back-N from the cumulative point.
+                self.frto_cwnd = None;
+                self.dup_acks = 0;
+                self.snd_nxt = self.snd_una;
+                self.send_available(ctx);
+                self.log(ctx.now());
+                #[cfg(any(debug_assertions, test))]
+                self.assert_invariants();
+                return;
+            }
+            if disposition == AckDisposition::Conventional {
+                // A dup ACK straight after the RTO retransmission reverts
+                // F-RTO (RFC 5682 step 2a); drop any saved window.
+                self.frto_cwnd = None;
+            }
             match self.cwnd.phase() {
                 Phase::FastRecovery => {
                     self.cwnd.on_dup_ack_in_recovery();
@@ -378,10 +477,27 @@ impl RenoSender {
         let expired = self.backoff.apply(self.rtt.rto());
         self.metrics.timeouts.push(ctx.now());
         self.metrics.rto_at_timeout.push(expired.as_secs_f64());
+        let first = self.backoff.consecutive_timeouts() == 0;
+        let plan = self
+            .recovery
+            .plan_timeout(ctx.now(), first, self.snd_una, self.high_water);
+        if plan.arm_frto {
+            // Snapshot the pre-collapse controller; a spurious verdict
+            // restores it. A ladder keeps the first rung's snapshot.
+            if self.frto_cwnd.is_none() {
+                self.frto_cwnd = Some(self.cwnd.clone_box());
+            }
+        } else {
+            // Either no F-RTO strategy, or the RFC's "the retransmission
+            // is lost too" repeat-RTO path: the loss is genuine.
+            self.frto_cwnd = None;
+        }
         // Arm the undo only at the *first* rung of a ladder, so the saved
         // window is the pre-collapse one; it is consumed (fired or
-        // discarded) by the first new ACK either way.
-        if self.cfg.spurious_rto_undo && self.undo.is_none() {
+        // discarded) by the first new ACK either way. The F-RTO strategy
+        // supersedes it (double-restoring would count one timeout as two
+        // spurious undos).
+        if self.cfg.spurious_rto_undo && !plan.arm_frto && self.undo.is_none() {
             self.undo = Some(RtoUndo {
                 cwnd: self.cwnd.clone_box(),
                 armed_snd_una: self.snd_una,
@@ -389,7 +505,14 @@ impl RenoSender {
         }
         let flight = self.flight();
         self.cwnd.on_timeout(flight);
-        self.backoff.on_timeout();
+        if plan.skip_backoff {
+            // ACK-robust RTO: the inter-arrival history says burst delay,
+            // not loss — re-arm at the same value and demand corroborating
+            // silence before the exponential ladder starts.
+            self.metrics.backoff_skipped += 1;
+        } else {
+            self.backoff.on_timeout();
+        }
         self.dup_acks = 0;
         self.recover = self.high_water;
         self.rto_timer = None;
@@ -399,6 +522,12 @@ impl RenoSender {
         // other in-flight data is presumed lost: go-back-N from here.
         self.retransmit(ctx, seq, true);
         self.snd_nxt = seq + 1;
+        if plan.retransmit_successor && seq + 1 < self.high_water {
+            // Redundant retransmit-on-RTO: the successor rides along,
+            // giving the receiver two chances to produce an advancing ACK.
+            self.retransmit(ctx, seq + 1, true);
+            self.snd_nxt = seq + 2;
+        }
         self.arm_rto(ctx);
         self.log(ctx.now());
         #[cfg(any(debug_assertions, test))]
@@ -802,6 +931,268 @@ mod tests {
             tx.metrics.spurious_rto_undone, 0,
             "a genuine loss must not trigger the undo"
         );
+    }
+
+    /// A delayed-but-not-lost ACK-burst storm: `episodes` delay spikes on
+    /// the uplink (paper Fig. 5 — the ACKs all arrive, late and bunched).
+    fn flap_storm(episodes: &[(u64, u64, u64)]) -> hsm_simnet::chaos::StormPlan {
+        use hsm_simnet::chaos::{StormEpisode, StormKind, StormPlan};
+        StormPlan {
+            episodes: episodes
+                .iter()
+                .map(|&(at, dur, extra)| StormEpisode {
+                    at: SimTime::from_millis(at),
+                    duration: SimDuration::from_millis(dur),
+                    kind: StormKind::Flap(SimDuration::from_millis(extra)),
+                })
+                .collect(),
+        }
+    }
+
+    fn flap_world(seed: u64, recovery: crate::recovery::Recovery) -> World {
+        let mut w = world(
+            seed,
+            SenderConfig {
+                max_segments: Some(600),
+                recovery,
+                ..Default::default()
+            },
+            ReceiverConfig::default(),
+            0.0,
+            0.0,
+        );
+        let up = w.up;
+        let plan = flap_storm(&[(400, 800, 800), (2_500, 800, 800)]);
+        w.eng
+            .add_agent(Box::new(hsm_simnet::chaos::StormInjector::new(up, plan)));
+        w
+    }
+
+    #[test]
+    fn frto_undoes_the_delay_storm_timeout_and_beats_no_recovery() {
+        use crate::recovery::Recovery;
+        let run = |recovery| {
+            let mut w = flap_world(17, recovery);
+            w.eng.run_until_idle();
+            let tx = w.eng.agent_mut::<RenoSender>(w.tx).unwrap();
+            (
+                tx.metrics.spurious_rto_undone,
+                tx.metrics.frto_probes,
+                tx.metrics.retransmissions,
+                w.eng.now(),
+            )
+        };
+        let (undone, probes, retx, finish) = run(Recovery::Frto);
+        let (undone_none, _, retx_none, finish_none) = run(Recovery::None);
+        assert_eq!(undone_none, 0);
+        assert!(undone >= 1, "delay storm must be detected as spurious");
+        assert!(probes >= 1, "F-RTO must have probed with new data");
+        assert!(
+            retx <= retx_none,
+            "F-RTO must not retransmit more than plain recovery ({retx} vs {retx_none})"
+        );
+        assert!(
+            finish <= finish_none,
+            "undoing a spurious collapse must not slow the flow ({finish:?} vs {finish_none:?})"
+        );
+    }
+
+    #[test]
+    fn frto_leaves_genuine_loss_ladders_untouched() {
+        use crate::recovery::Recovery;
+        // Same genuine whole-window loss as
+        // `consecutive_timeouts_double_the_timer`, now with F-RTO enabled:
+        // the ladder must still escalate (the RFC's "retransmission is
+        // lost too" path disengages the probe) and nothing may be undone.
+        let mut w = world(
+            5,
+            SenderConfig {
+                max_segments: Some(50),
+                recovery: Recovery::Frto,
+                ..Default::default()
+            },
+            ReceiverConfig::default(),
+            0.0,
+            0.0,
+        );
+        w.eng.link_mut(w.down).loss.set_outage(Some(Outage::new(
+            SimTime::from_millis(260),
+            SimTime::from_millis(4_000),
+            1.0,
+        )));
+        w.eng.run_until_idle();
+        let tx = w.eng.agent_mut::<RenoSender>(w.tx).unwrap();
+        assert_eq!(tx.metrics.spurious_rto_undone, 0);
+        let rtos = &tx.metrics.rto_at_timeout;
+        assert!(rtos.len() >= 3, "rtos: {rtos:?}");
+        for pair in rtos.windows(2) {
+            assert!(pair[1] >= pair[0] * 1.9, "backoff not doubling: {rtos:?}");
+        }
+        let rx = w.eng.agent_mut::<Receiver>(w.rx).unwrap();
+        assert_eq!(rx.next_expected(), SeqNo(50), "flow still completes");
+    }
+
+    #[test]
+    fn frto_spurious_undo_resets_the_backoff_ladder() {
+        use crate::recovery::Recovery;
+        let mut w = flap_world(18, Recovery::Frto);
+        w.eng.run_until_idle();
+        let tx = w.eng.agent_mut::<RenoSender>(w.tx).unwrap();
+        assert!(tx.metrics.spurious_rto_undone >= 1);
+        // The advancing ACKs that resolved the (spurious) episodes reset
+        // the ladder: the flow must end with no half-climbed backoff.
+        assert_eq!(tx.backoff().consecutive_timeouts(), 0);
+        let rx = w.eng.agent_mut::<Receiver>(w.rx).unwrap();
+        assert_eq!(rx.next_expected(), SeqNo(600));
+    }
+
+    #[test]
+    fn redundant_rto_rides_a_successor_through_timeout_recovery() {
+        use crate::recovery::Recovery;
+        let run = |recovery| {
+            let mut w = world(
+                4,
+                SenderConfig {
+                    max_segments: Some(400),
+                    recovery,
+                    ..Default::default()
+                },
+                ReceiverConfig::default(),
+                0.0,
+                0.0,
+            );
+            w.eng.link_mut(w.down).loss.set_outage(Some(Outage::new(
+                SimTime::from_millis(280),
+                SimTime::from_millis(1_200),
+                1.0,
+            )));
+            w.eng.run_until_idle();
+            let tx = w.eng.agent_mut::<RenoSender>(w.tx).unwrap();
+            let timeouts = tx.metrics.timeout_count();
+            let retx = tx.metrics.retransmissions;
+            let rx = w.eng.agent_mut::<Receiver>(w.rx).unwrap();
+            assert_eq!(rx.next_expected(), SeqNo(400), "flow completes");
+            (timeouts, retx)
+        };
+        let (timeouts, retx) = run(Recovery::RedundantRto);
+        let (_, retx_none) = run(Recovery::None);
+        assert!(timeouts >= 1);
+        // The paired successor is a real extra transmission.
+        assert!(
+            retx > retx_none,
+            "successor retransmissions must show up in the ledger ({retx} vs {retx_none})"
+        );
+    }
+
+    #[test]
+    fn ack_robust_withholds_backoff_only_under_the_storm_signature() {
+        use crate::recovery::Recovery;
+        // Two delay-spike episodes: the first seeds the burst-delay
+        // signature in the inter-arrival history, the second's timeout
+        // withholds its backoff.
+        let mut w = flap_world(19, Recovery::AckRobust);
+        w.eng.run_until_idle();
+        let tx = w.eng.agent_mut::<RenoSender>(w.tx).unwrap();
+        assert!(
+            tx.metrics.backoff_skipped >= 1,
+            "storm signature must withhold at least one backoff (timeouts: {})",
+            tx.metrics.timeout_count()
+        );
+        assert!(tx.metrics.backoff_skipped as usize <= tx.metrics.timeout_count());
+        let rx = w.eng.agent_mut::<Receiver>(w.rx).unwrap();
+        assert_eq!(rx.next_expected(), SeqNo(600));
+
+        // A genuine whole-window loss shows a steady (not bursty) ACK
+        // clock: nothing may be withheld, the ladder doubles as ever.
+        let mut w = world(
+            5,
+            SenderConfig {
+                max_segments: Some(50),
+                recovery: Recovery::AckRobust,
+                ..Default::default()
+            },
+            ReceiverConfig::default(),
+            0.0,
+            0.0,
+        );
+        w.eng.link_mut(w.down).loss.set_outage(Some(Outage::new(
+            SimTime::from_millis(260),
+            SimTime::from_millis(4_000),
+            1.0,
+        )));
+        w.eng.run_until_idle();
+        let tx = w.eng.agent_mut::<RenoSender>(w.tx).unwrap();
+        assert_eq!(tx.metrics.backoff_skipped, 0);
+        let rtos = &tx.metrics.rto_at_timeout;
+        for pair in rtos.windows(2) {
+            assert!(pair[1] >= pair[0] * 1.9, "backoff not doubling: {rtos:?}");
+        }
+    }
+
+    #[test]
+    fn karn_rule_no_sample_from_the_ambiguous_retransmit() {
+        use crate::recovery::Recovery;
+        // A single segment whose ACKs keep dying: every ACK the sender
+        // finally gets acknowledges a retransmitted segment, so Karn's
+        // rule forbids every RTT sample — with or without F-RTO armed.
+        for recovery in [Recovery::None, Recovery::Frto] {
+            let mut w = world(
+                21,
+                SenderConfig {
+                    max_segments: Some(1),
+                    recovery,
+                    ..Default::default()
+                },
+                ReceiverConfig::default(),
+                0.0,
+                0.0,
+            );
+            w.eng.link_mut(w.up).loss.set_outage(Some(Outage::new(
+                SimTime::from_millis(20),
+                SimTime::from_millis(1_500),
+                1.0,
+            )));
+            w.eng.run_until_idle();
+            let tx = w.eng.agent_mut::<RenoSender>(w.tx).unwrap();
+            assert!(tx.metrics.timeout_count() >= 1, "{recovery:?}");
+            assert_eq!(
+                tx.rtt().samples(),
+                0,
+                "{recovery:?}: ambiguous retransmit must not be RTT-sampled"
+            );
+            let rx = w.eng.agent_mut::<Receiver>(w.rx).unwrap();
+            assert_eq!(rx.next_expected(), SeqNo(1));
+        }
+    }
+
+    #[test]
+    fn default_recovery_is_none_and_composes_with_the_cc_zoo() {
+        use crate::recovery::Recovery;
+        assert_eq!(SenderConfig::default().recovery, Recovery::None);
+        // Every (recovery × cc) pair must complete a lossy flow.
+        for recovery in Recovery::ALL {
+            for algorithm in Algorithm::zoo() {
+                let mut w = world(
+                    23,
+                    SenderConfig {
+                        max_segments: Some(120),
+                        recovery,
+                        algorithm,
+                        ..Default::default()
+                    },
+                    ReceiverConfig::default(),
+                    0.01,
+                    0.01,
+                );
+                w.eng.run_until(SimTime::from_secs(120));
+                let rx = w.eng.agent_mut::<Receiver>(w.rx).unwrap();
+                assert_eq!(
+                    rx.next_expected(),
+                    SeqNo(120),
+                    "{recovery:?} × {algorithm:?} must complete"
+                );
+            }
+        }
     }
 
     #[test]

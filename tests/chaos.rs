@@ -73,6 +73,7 @@ fn every_fault_drill_detects_its_fault() {
         "cache-forgery",
         "link-storm",
         "ack-burst-loss",
+        "ack-delay-frto-undo",
         "scratch-poison",
         "spec-roundtrip",
     ];

@@ -10,6 +10,7 @@ use hsm::prelude::{
 };
 use hsm::scenario::prelude::{Motion, Provider};
 use hsm::tcp::cc::Algorithm;
+use hsm::tcp::recovery::Recovery;
 use proptest::prelude::*;
 use std::path::{Path, PathBuf};
 
@@ -32,23 +33,34 @@ fn arb_base() -> impl Strategy<Value = ScenarioBase> {
         1u32..4,
         0u64..1_000_000,
         1u32..4,
-        prop_oneof![
-            Just(Algorithm::Reno),
-            Just(Algorithm::Bbr),
-            Just(Algorithm::Veno { beta: 2.5 }),
-        ],
+        (
+            prop_oneof![
+                Just(Algorithm::Reno),
+                Just(Algorithm::Bbr),
+                Just(Algorithm::Veno { beta: 2.5 }),
+            ],
+            prop_oneof![
+                Just(Recovery::None),
+                Just(Recovery::RedundantRto),
+                Just(Recovery::Frto),
+                Just(Recovery::AckRobust),
+            ],
+        ),
     )
         .prop_map(
-            |(provider, motion, duration_s, w_m, b, seed_start, seeds, cc)| ScenarioBase {
-                provider,
-                motion,
-                duration_s,
-                w_m,
-                b,
-                cc,
-                seed_start,
-                seeds,
-                scale: 1.0,
+            |(provider, motion, duration_s, w_m, b, seed_start, seeds, (cc, recovery))| {
+                ScenarioBase {
+                    provider,
+                    motion,
+                    duration_s,
+                    w_m,
+                    b,
+                    cc,
+                    recovery,
+                    seed_start,
+                    seeds,
+                    scale: 1.0,
+                }
             },
         )
 }
